@@ -1,0 +1,192 @@
+package selectps
+
+// The benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§IV) plus the DESIGN.md §5 ablations and a few substrate
+// micro-benchmarks. Each figure benchmark runs the corresponding
+// experiment at a reduced-but-meaningful scale per iteration, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every artifact's code path and reports its cost. For
+// paper-shaped output at larger scales use cmd/selectsim.
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/experiments"
+	"selectps/internal/pubsub"
+	"selectps/internal/selectsys"
+)
+
+// benchOpt returns small, deterministic experiment options.
+func benchOpt() experiments.Options {
+	return experiments.Options{
+		Datasets: []datasets.Spec{datasets.Facebook},
+		Sizes:    []int{250, 500},
+		Trials:   1,
+		Samples:  40,
+		Seed:     99,
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(opt, 500)
+		if len(rows) != 1 {
+			b.Fatal("unexpected row count")
+		}
+	}
+}
+
+func BenchmarkLinkSweep(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.LinkSweep(opt, 300, []int{4, 8, 16})
+	}
+}
+
+func BenchmarkFig2Hops(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig2Hops(opt)
+	}
+}
+
+func BenchmarkFig3Relays(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig3Relays(opt)
+	}
+}
+
+func BenchmarkFig4Load(b *testing.B) {
+	opt := benchOpt()
+	opt.Samples = 25
+	for i := 0; i < b.N; i++ {
+		experiments.Fig4Load(opt, 300)
+	}
+}
+
+func BenchmarkFig5Convergence(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5Convergence(opt, 300)
+	}
+}
+
+func BenchmarkFig6Churn(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6Churn(opt, 300, 80)
+	}
+}
+
+func BenchmarkSimultaneousTransfers(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.SimultaneousTransfers(opt, []int{5, 20, 80})
+	}
+}
+
+func BenchmarkFig7Latency(b *testing.B) {
+	opt := benchOpt()
+	opt.Sizes = []int{250}
+	for i := 0; i < b.N; i++ {
+		experiments.Fig7Latency(opt)
+	}
+}
+
+func BenchmarkFig8IDs(b *testing.B) {
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		experiments.Fig8IDs(opt, 300)
+	}
+}
+
+// Ablation benchmarks: one per disabled design choice (DESIGN.md §5), so
+// the cost and effect of each mechanism is tracked individually.
+
+func benchAblation(b *testing.B, cfg selectsys.Config) {
+	b.Helper()
+	g := datasets.Facebook.Generate(400, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := selectsys.New(g, cfg, rand.New(rand.NewSource(int64(i))))
+		if o.N() != 400 {
+			b.Fatal("bad overlay")
+		}
+	}
+}
+
+func BenchmarkAblationFullSelect(b *testing.B) {
+	benchAblation(b, selectsys.Config{})
+}
+
+func BenchmarkAblationNoReassignment(b *testing.B) {
+	benchAblation(b, selectsys.Config{DisableReassignment: true})
+}
+
+func BenchmarkAblationRandomLinks(b *testing.B) {
+	benchAblation(b, selectsys.Config{RandomLinks: true})
+}
+
+func BenchmarkAblationPickerNoBandwidth(b *testing.B) {
+	benchAblation(b, selectsys.Config{PickerIgnoresBandwidth: true})
+}
+
+func BenchmarkAblationCentroidAllFriends(b *testing.B) {
+	benchAblation(b, selectsys.Config{CentroidAllFriends: true})
+}
+
+func BenchmarkAblationNaiveRecovery(b *testing.B) {
+	benchAblation(b, selectsys.Config{NaiveRecovery: true})
+}
+
+// Construction benchmarks per system: the cost of building each evaluated
+// overlay at the same scale.
+
+func benchBuild(b *testing.B, kind pubsub.Kind) {
+	b.Helper()
+	g := datasets.Facebook.Generate(400, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := pubsub.Build(kind, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(int64(i))))
+		if err != nil || o.N() != 400 {
+			b.Fatal("build failed")
+		}
+	}
+}
+
+func BenchmarkBuildSelect(b *testing.B)   { benchBuild(b, pubsub.Select) }
+func BenchmarkBuildSymphony(b *testing.B) { benchBuild(b, pubsub.Symphony) }
+func BenchmarkBuildBayeux(b *testing.B)   { benchBuild(b, pubsub.Bayeux) }
+func BenchmarkBuildVitis(b *testing.B)    { benchBuild(b, pubsub.Vitis) }
+func BenchmarkBuildOMen(b *testing.B)     { benchBuild(b, pubsub.OMen) }
+
+// Substrate micro-benchmarks.
+
+func BenchmarkGraphGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := datasets.Facebook.Generate(1000, int64(i))
+		if g.NumNodes() != 1000 {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkPublish(b *testing.B) {
+	g := datasets.Facebook.Generate(500, 7)
+	o, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(8)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bb := int32(rng.Intn(500))
+		pubsub.Publish(o, g, bb)
+	}
+}

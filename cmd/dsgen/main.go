@@ -1,0 +1,93 @@
+// Command dsgen generates and inspects the synthetic social-network data
+// sets that stand in for the paper's SNAP snapshots (Table II).
+//
+// Usage:
+//
+//	dsgen -dataset facebook -n 4000                  # print statistics
+//	dsgen -dataset twitter -n 10000 -edges out.txt   # also dump edge list
+//	dsgen -all                                       # Table II for all four
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"selectps/internal/datasets"
+	"selectps/internal/socialgraph"
+)
+
+func main() {
+	var (
+		name  = flag.String("dataset", "facebook", "data set: facebook|twitter|slashdot|gplus")
+		n     = flag.Int("n", 0, "number of users (default: data set's DefaultScale)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		edges = flag.String("edges", "", "write the edge list (one 'u v' per line) to this file")
+		all   = flag.Bool("all", false, "print statistics for all four data sets")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, spec := range datasets.All() {
+			size := *n
+			if size <= 0 {
+				size = spec.DefaultScale
+			}
+			g := spec.Generate(size, *seed)
+			fmt.Println(datasets.Measure(spec.Name, g))
+		}
+		return
+	}
+
+	spec, err := datasets.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	size := *n
+	if size <= 0 {
+		size = spec.DefaultScale
+	}
+	g := spec.Generate(size, *seed)
+	st := datasets.Measure(spec.Name, g)
+	fmt.Println(st)
+	fmt.Printf("paper: users=%d connections=%d avgDegree=%.3f\n",
+		spec.PaperUsers, spec.PaperConnections, spec.PaperAvgDegree)
+	rng := rand.New(rand.NewSource(*seed))
+	fmt.Printf("avg clustering (sampled): %.3f\n", g.AverageClustering(500, rng))
+	_, comps := g.ConnectedComponents()
+	fmt.Printf("connected components: %d\n", comps)
+
+	if *edges != "" {
+		if err := writeEdges(g, *edges); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("edge list written to %s\n", *edges)
+	}
+}
+
+func writeEdges(g *socialgraph.Graph, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if int32(u) < v {
+				fmt.Fprintf(w, "%d %d\n", u, v)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dsgen:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,128 @@
+// Command livebench runs the "realistic experiment" end to end on live
+// peers: it builds a SELECT overlay, starts one goroutine per peer on an
+// in-memory transport with netmodel-emulated pairwise latency (or real TCP
+// loopback sockets with -tcp), drives the exponential posting workload,
+// and reports delivery latency percentiles, hop distribution and delivery
+// completeness.
+//
+//	livebench -n 300 -posts 100
+//	livebench -n 100 -posts 40 -tcp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"selectps/internal/datasets"
+	"selectps/internal/metrics"
+	"selectps/internal/netmodel"
+	"selectps/internal/node"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/transport"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 300, "number of live peers")
+		posts   = flag.Int("posts", 100, "publications to drive")
+		name    = flag.String("dataset", "facebook", "data set shape")
+		seed    = flag.Int64("seed", 1, "seed")
+		useTCP  = flag.Bool("tcp", false, "real TCP loopback sockets instead of in-memory transport")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-publication delivery timeout")
+	)
+	flag.Parse()
+
+	spec, err := datasets.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	g := spec.Generate(*n, *seed)
+	net := netmodel.New(*n, netmodel.Config{}, rand.New(rand.NewSource(*seed+1)))
+	bw := make([]float64, *n)
+	for i := range bw {
+		bw[i] = net.Upload(overlay.PeerID(i))
+	}
+	ov, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr transport.Transport
+	if *useTCP {
+		t, err := transport.NewTCP(*n, 4096)
+		if err != nil {
+			fatal(err)
+		}
+		tr = t
+	} else {
+		sw := transport.NewSwitchboard(*n, 4096)
+		sw.Latency = func(from, to int32) time.Duration {
+			// Emulated propagation latency, scaled down 10x so runs finish
+			// quickly while preserving relative differences.
+			return time.Duration(net.Latency(from, to) * float64(time.Second) / 10)
+		}
+		tr = sw
+	}
+	cluster := node.StartCluster(g, ov, tr, node.Config{
+		HeartbeatEvery: 200 * time.Millisecond,
+		GossipEvery:    200 * time.Millisecond,
+	}, *seed)
+	defer cluster.Stop()
+	kind := "in-memory+latency"
+	if *useTCP {
+		kind = "tcp"
+	}
+	fmt.Printf("live cluster: %d peers (%s transport), %s graph, %d friendships\n",
+		*n, kind, spec.Name, g.NumEdges())
+
+	w := pubsub.NewWorkload(g, 10, rand.New(rand.NewSource(*seed+2)))
+	var latencies []float64
+	hops := metrics.NewHistogram(0, 16, 16)
+	done, wanted, delivered := 0, 0, 0
+	for tick := 0; done < *posts; tick++ {
+		for _, b := range w.PostersUntil(float64(tick), 1) {
+			if g.Degree(b) == 0 {
+				continue
+			}
+			subs := g.Neighbors(b)
+			start := time.Now()
+			seq := cluster.Nodes[b].Publish(1_200_000)
+			got, _ := cluster.AwaitDelivery(b, seq, subs, *timeout)
+			latencies = append(latencies, time.Since(start).Seconds())
+			wanted += len(subs)
+			delivered += got
+			for _, s := range subs {
+				if h, ok := cluster.Nodes[s].Received(b, seq); ok {
+					hops.Add(float64(h))
+				}
+			}
+			done++
+			if done >= *posts {
+				break
+			}
+		}
+	}
+
+	fmt.Printf("\npublications: %d   notifications delivered: %d/%d (%.2f%%)\n",
+		done, delivered, wanted, 100*float64(delivered)/float64(wanted))
+	fmt.Printf("delivery wall-clock per publication: p50=%.1fms p90=%.1fms p99=%.1fms\n",
+		metrics.Quantile(latencies, 0.5)*1000,
+		metrics.Quantile(latencies, 0.9)*1000,
+		metrics.Quantile(latencies, 0.99)*1000)
+	fmt.Println("hop distribution of deliveries:")
+	fr := hops.Fractions()
+	for h, f := range fr {
+		if f > 0.001 {
+			fmt.Printf("  %2d hops: %5.1f%%\n", h, f*100)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "livebench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,116 @@
+// Command overlayprobe builds one overlay and inspects it interactively
+// from the command line: lookups between peers, a publisher's routing
+// tree, and per-peer state — useful when studying how the systems differ
+// on a concrete network.
+//
+// Usage:
+//
+//	overlayprobe -system select -dataset facebook -n 800 -route 3:100
+//	overlayprobe -system symphony -n 500 -publish 42
+//	overlayprobe -system select -n 500 -peer 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "select", "system: select|symphony|bayeux|vitis|omen")
+		name    = flag.String("dataset", "facebook", "data set shape")
+		n       = flag.Int("n", 800, "number of peers")
+		seed    = flag.Int64("seed", 1, "seed")
+		route   = flag.String("route", "", "route between two peers, 'src:dst'")
+		publish = flag.Int("publish", -1, "build and describe the routing tree of this publisher")
+		peer    = flag.Int("peer", -1, "describe one peer (position, links, degree)")
+	)
+	flag.Parse()
+
+	spec, err := datasets.ByName(*name)
+	if err != nil {
+		fatal(err)
+	}
+	g := spec.Generate(*n, *seed)
+	o, err := pubsub.Build(pubsub.Kind(*system), g, pubsub.BuildOptions{}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("built %s over %s: %d peers, %d social edges\n",
+		o.Name(), spec.Name, o.N(), g.NumEdges())
+	if it, ok := o.(overlay.Iterative); ok {
+		fmt.Printf("construction iterations: %d\n", it.Iterations())
+	}
+
+	switch {
+	case *route != "":
+		parts := strings.SplitN(*route, ":", 2)
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-route wants 'src:dst'"))
+		}
+		src, err1 := strconv.Atoi(parts[0])
+		dst, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil || src < 0 || dst < 0 || src >= *n || dst >= *n {
+			fatal(fmt.Errorf("bad -route %q", *route))
+		}
+		path, ok := overlay.RouteOn(o, overlay.PeerID(src), overlay.PeerID(dst))
+		fmt.Printf("route %d -> %d: ok=%v hops=%d path=%v\n", src, dst, ok, path.Hops(), path)
+		fmt.Printf("socially connected: %v\n", g.HasEdge(int32(src), int32(dst)))
+
+	case *publish >= 0:
+		if *publish >= *n {
+			fatal(fmt.Errorf("publisher %d out of range", *publish))
+		}
+		b := overlay.PeerID(*publish)
+		d := pubsub.Publish(o, g, b)
+		fmt.Printf("publisher %d: %d subscribers, %d delivered, tree size %d, relay nodes %d, max depth %d\n",
+			b, d.Subscribers, d.Delivered, d.TreeSize, d.RelayNodes, d.MaxDepth)
+		fmt.Printf("forwarding peers: %d\n", len(d.Forwards))
+
+	case *peer >= 0:
+		if *peer >= *n {
+			fatal(fmt.Errorf("peer %d out of range", *peer))
+		}
+		p := overlay.PeerID(*peer)
+		fmt.Printf("peer %d: position=%.6f social degree=%d overlay links=%d online=%v\n",
+			p, float64(o.Position(p)), g.Degree(p), len(o.Links(p)), o.Online(p))
+		fmt.Printf("links: %v\n", o.Links(p))
+
+	default:
+		// Summary: average degree of the overlay and a few sample lookups.
+		totalLinks := 0
+		for p := 0; p < *n; p++ {
+			totalLinks += len(o.Links(overlay.PeerID(p)))
+		}
+		fmt.Printf("avg overlay out-degree: %.1f\n", float64(totalLinks)/float64(*n))
+		rng := rand.New(rand.NewSource(*seed + 1))
+		hops, okCount := 0, 0
+		for i := 0; i < 50; i++ {
+			u, v, ok := g.RandomEdge(rng)
+			if !ok {
+				break
+			}
+			if path, ok := overlay.RouteOn(o, u, v); ok {
+				hops += path.Hops()
+				okCount++
+			}
+		}
+		if okCount > 0 {
+			fmt.Printf("avg hops between sampled friends: %.2f (%d/50 lookups ok)\n",
+				float64(hops)/float64(okCount), okCount)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "overlayprobe:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,110 @@
+// Command selectsim runs the paper-reproduction experiments: every table
+// and figure of the evaluation section (§IV) plus the ablation study.
+//
+// Usage:
+//
+//	selectsim -exp fig2                        # one experiment
+//	selectsim -exp all -trials 5 -sizes 500,1000,2000,4000
+//	selectsim -exp fig6 -dataset facebook -n 1500 -steps 600
+//
+// Experiments: table2, linksweep, fig2, fig3, fig4, fig5, fig6, simul,
+// fig7, fig8, ablation, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"selectps/internal/datasets"
+	"selectps/internal/experiments"
+	"selectps/internal/metrics"
+	"selectps/internal/pubsub"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table2|linksweep|fig2|fig3|fig4|fig5|fig6|simul|fig7|fig8|ablation|summary|all")
+		dataset = flag.String("dataset", "", "restrict to one data set: facebook|twitter|slashdot|gplus")
+		sizes   = flag.String("sizes", "", "comma-separated network sizes for growth sweeps (default 500,1000,2000)")
+		trials  = flag.Int("trials", 0, "independent trials per point (default 3; paper uses 100)")
+		samples = flag.Int("samples", 0, "lookups/publications sampled per trial (default 150)")
+		seed    = flag.Int64("seed", 1, "base seed")
+		n       = flag.Int("n", 0, "network size for fixed-size experiments (fig4..fig8, ablation)")
+		steps   = flag.Int("steps", 0, "churn steps for fig6 (default 300)")
+		systems = flag.String("systems", "", "comma-separated systems (default all five)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Trials: *trials, Samples: *samples, Seed: *seed}
+	if *dataset != "" {
+		ds, err := datasets.ByName(*dataset)
+		if err != nil {
+			fatal(err)
+		}
+		opt.Datasets = []datasets.Spec{ds}
+	}
+	if *sizes != "" {
+		for _, tok := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || v <= 0 {
+				fatal(fmt.Errorf("bad -sizes entry %q", tok))
+			}
+			opt.Sizes = append(opt.Sizes, v)
+		}
+	}
+	if *systems != "" {
+		for _, tok := range strings.Split(*systems, ",") {
+			opt.Systems = append(opt.Systems, pubsub.Kind(strings.TrimSpace(tok)))
+		}
+	}
+
+	run := func(name string, f func()) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		f()
+		fmt.Printf("-- %s done in %s --\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	printTables := func(tabs []*metrics.Table) {
+		for _, t := range tabs {
+			fmt.Println(t)
+		}
+	}
+
+	all := map[string]func(){
+		"table2": func() {
+			fmt.Print(experiments.FormatTable2(experiments.Table2(opt, *n)))
+		},
+		"linksweep": func() { fmt.Println(experiments.LinkSweep(opt, *n, nil)) },
+		"fig2":      func() { printTables(experiments.Fig2Hops(opt)) },
+		"fig3":      func() { printTables(experiments.Fig3Relays(opt)) },
+		"fig4":      func() { printTables(experiments.Fig4Load(opt, *n)) },
+		"fig5":      func() { fmt.Println(experiments.Fig5Convergence(opt, *n)) },
+		"fig6":      func() { printTables(experiments.Fig6Churn(opt, *n, *steps)) },
+		"simul":     func() { fmt.Println(experiments.SimultaneousTransfers(opt, nil)) },
+		"fig7":      func() { printTables(experiments.Fig7Latency(opt)) },
+		"fig8":      func() { printTables(experiments.Fig8IDs(opt, *n)) },
+		"ablation":  func() { fmt.Println(experiments.Ablations(opt, *n)) },
+		"summary":   func() { fmt.Print(experiments.Summary(opt)) },
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table2", "linksweep", "fig2", "fig3", "fig4",
+			"fig5", "fig6", "simul", "fig7", "fig8", "ablation"} {
+			run(name, all[name])
+		}
+		return
+	}
+	f, ok := all[*exp]
+	if !ok {
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+	run(*exp, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "selectsim:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,10 @@
+// Package selectps is a from-scratch Go reproduction of "SELECT: A
+// Distributed Publish/Subscribe Notification System for Online Social
+// Networks" (Apolónia, Antaris, Girdzijauskas, Pallis, Dikaiakos, IPDPS
+// 2018).
+//
+// The root package holds only the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the system
+// itself lives under internal/ (see DESIGN.md for the inventory) and the
+// runnable entry points under cmd/ and examples/.
+package selectps

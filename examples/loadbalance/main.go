@@ -1,0 +1,34 @@
+// Loadbalance: the Fig. 4 scenario as a runnable demo — which peers carry
+// the relay traffic of the notification system? The example prints, per
+// social-degree decile, the transit copies each peer relays per
+// publication for all five systems.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+
+	"selectps/internal/datasets"
+	"selectps/internal/experiments"
+	"selectps/internal/pubsub"
+)
+
+func main() {
+	opt := experiments.Options{
+		Datasets: []datasets.Spec{datasets.Facebook},
+		Trials:   2,
+		Samples:  60,
+		Seed:     12,
+		Systems:  pubsub.AllKinds(),
+	}
+	tabs := experiments.Fig4Load(opt, 600)
+	for _, tab := range tabs {
+		fmt.Println(tab)
+		fmt.Println("summary (total transit copies per publication; lower = less overhead):")
+		for _, s := range tab.Series {
+			fmt.Printf("  %-10s total=%.3f  top-degree-decile share=%.0f%%\n",
+				s.Name, experiments.TotalLoad(s), 100*experiments.TopDecileShare(s))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Notificationfeed: the paper's motivating workload — users post at an
+// exponential rate and their friends must be notified in real time. The
+// example runs the same feed over SELECT and over a socially-oblivious
+// Symphony DHT and compares the traffic each peer carries.
+//
+//	go run ./examples/notificationfeed
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+)
+
+func main() {
+	const n = 600
+	g := datasets.Twitter.Generate(n, 9)
+	fmt.Printf("network: %d users, %d follow edges\n", g.NumNodes(), g.NumEdges())
+
+	for _, kind := range []pubsub.Kind{pubsub.Select, pubsub.Symphony} {
+		o, err := pubsub.Build(kind, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(10)))
+		if err != nil {
+			panic(err)
+		}
+		// Drive 200 publications from the exponential posting workload.
+		w := pubsub.NewWorkload(g, 10, rand.New(rand.NewSource(11)))
+		posts, delivered, wanted := 0, 0, 0
+		relayCopies := 0
+		forwardsPerPeer := make([]int, n)
+		for t := 0; posts < 200; t++ {
+			for _, b := range w.PostersUntil(float64(t), 1) {
+				if g.Degree(b) == 0 {
+					continue
+				}
+				d := pubsub.Publish(o, g, b)
+				posts++
+				delivered += d.Delivered
+				wanted += d.Subscribers
+				for peer, c := range d.Forwards {
+					forwardsPerPeer[peer] += c
+					if peer != b && !g.HasEdge(b, peer) {
+						relayCopies += c
+					}
+				}
+				if posts >= 200 {
+					break
+				}
+			}
+		}
+		// Who carries the traffic?
+		maxFwd, busiest := 0, overlay.PeerID(0)
+		total := 0
+		for p, f := range forwardsPerPeer {
+			total += f
+			if f > maxFwd {
+				maxFwd, busiest = f, overlay.PeerID(p)
+			}
+		}
+		fmt.Printf("\n[%s] %d posts, %d/%d notifications delivered\n",
+			kind, posts, delivered, wanted)
+		fmt.Printf("  total message copies:   %d\n", total)
+		fmt.Printf("  relayed by strangers:   %d (%.1f%%)\n",
+			relayCopies, 100*float64(relayCopies)/float64(total))
+		fmt.Printf("  busiest peer:           %d carried %d copies (social degree %d)\n",
+			busiest, maxFwd, g.Degree(busiest))
+	}
+}

@@ -1,0 +1,3 @@
+module selectps
+
+go 1.22

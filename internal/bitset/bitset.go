@@ -1,0 +1,182 @@
+// Package bitset provides a compact, fixed-capacity bit vector.
+//
+// SELECT's connection-establishment algorithm (Algorithm 5) exchanges a
+// "friendship bitmap" per social neighbor: position i is set when the
+// neighbor maintains an overlay link to the i-th member of the local friend
+// set C_p. These bitmaps are hashed by the LSH index (internal/lsh) and
+// compared for similarity, so the package exposes cheap population-count,
+// intersection and Hamming-distance primitives on top of []uint64 words.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a bit vector with a fixed length decided at construction.
+// The zero value is an empty, zero-length set; use New for a sized one.
+type Set struct {
+	words []uint64
+	n     int // number of valid bits
+}
+
+// New returns a Set holding n bits, all zero.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a Set of n bits with the given indices set.
+func FromIndices(n int, idx []int) *Set {
+	s := New(n)
+	for _, i := range idx {
+		s.Set(i)
+	}
+	return s
+}
+
+// Len returns the number of bits the set holds.
+func (s *Set) Len() int { return s.n }
+
+// check panics when i is out of range; bitmaps are internal fixed-shape
+// structures, so an out-of-range index is a programming error.
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Set turns bit i on.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (i % wordBits)
+}
+
+// Clear turns bit i off.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (i % wordBits)
+}
+
+// Test reports whether bit i is on.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(i%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// Reset clears every bit.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// sameShape panics unless a and b have equal lengths. Bitmaps compared in
+// the LSH index always describe the same friend set, so a mismatch is a bug.
+func sameShape(a, b *Set) {
+	if a.n != b.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d vs %d", a.n, b.n))
+	}
+}
+
+// AndCount returns |a ∧ b| without allocating.
+func AndCount(a, b *Set) int {
+	sameShape(a, b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] & b.words[i])
+	}
+	return c
+}
+
+// OrCount returns |a ∨ b| without allocating.
+func OrCount(a, b *Set) int {
+	sameShape(a, b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] | b.words[i])
+	}
+	return c
+}
+
+// Hamming returns the number of positions where a and b differ.
+func Hamming(a, b *Set) int {
+	sameShape(a, b)
+	c := 0
+	for i := range a.words {
+		c += bits.OnesCount64(a.words[i] ^ b.words[i])
+	}
+	return c
+}
+
+// Jaccard returns |a∧b| / |a∨b|, the similarity measure the LSH bucketing
+// approximates. Two empty sets are defined to have similarity 1.
+func Jaccard(a, b *Set) float64 {
+	union := OrCount(a, b)
+	if union == 0 {
+		return 1
+	}
+	return float64(AndCount(a, b)) / float64(union)
+}
+
+// Indices returns the positions of all set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &^= 1 << b
+		}
+	}
+	return out
+}
+
+// String renders the set as a 0/1 string, lowest index first. Intended for
+// tests and debugging of small bitmaps.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.Grow(s.n)
+	for i := 0; i < s.n; i++ {
+		if s.Test(i) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether a and b have identical length and contents.
+func Equal(a, b *Set) bool {
+	if a.n != b.n {
+		return false
+	}
+	for i := range a.words {
+		if a.words[i] != b.words[i] {
+			return false
+		}
+	}
+	return true
+}

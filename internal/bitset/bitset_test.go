@@ -1,0 +1,186 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 128, 129} {
+		if s.Test(i) {
+			t.Errorf("new set has bit %d on", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Errorf("bit %d not set", i)
+		}
+	}
+	if got := s.Count(); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	s.Clear(64)
+	if s.Test(64) || s.Count() != 6 {
+		t.Errorf("Clear(64) failed: count=%d", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for name, f := range map[string]func(){
+		"Set(-1)":   func() { s.Set(-1) },
+		"Set(10)":   func() { s.Set(10) },
+		"Test(10)":  func() { _ = s.Test(10) },
+		"Clear(10)": func() { s.Clear(10) },
+		"New(-1)":   func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AndCount with mismatched sizes did not panic")
+		}
+	}()
+	AndCount(New(5), New(6))
+}
+
+func TestFromIndicesAndIndices(t *testing.T) {
+	in := []int{3, 70, 5, 127}
+	s := FromIndices(128, in)
+	got := s.Indices()
+	want := []int{3, 5, 70, 127}
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCounts(t *testing.T) {
+	a := FromIndices(100, []int{1, 2, 3, 64, 65})
+	b := FromIndices(100, []int{2, 3, 4, 65, 99})
+	if got := AndCount(a, b); got != 3 {
+		t.Errorf("AndCount = %d, want 3", got)
+	}
+	if got := OrCount(a, b); got != 7 {
+		t.Errorf("OrCount = %d, want 7", got)
+	}
+	if got := Hamming(a, b); got != 4 {
+		t.Errorf("Hamming = %d, want 4", got)
+	}
+	if got := Jaccard(a, b); got != 3.0/7.0 {
+		t.Errorf("Jaccard = %v, want 3/7", got)
+	}
+}
+
+func TestJaccardEmpty(t *testing.T) {
+	if got := Jaccard(New(10), New(10)); got != 1 {
+		t.Errorf("Jaccard of empty sets = %v, want 1", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromIndices(70, []int{1, 69})
+	c := a.Clone()
+	c.Set(2)
+	if a.Test(2) {
+		t.Error("mutating clone affected original")
+	}
+	if !Equal(a, FromIndices(70, []int{1, 69})) {
+		t.Error("original changed unexpectedly")
+	}
+}
+
+func TestResetAndEqual(t *testing.T) {
+	a := FromIndices(64, []int{0, 63})
+	a.Reset()
+	if a.Count() != 0 {
+		t.Errorf("Count after Reset = %d", a.Count())
+	}
+	if Equal(a, New(63)) {
+		t.Error("Equal should be false for different lengths")
+	}
+	if !Equal(a, New(64)) {
+		t.Error("Equal should be true for two empty same-length sets")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(5, []int{0, 3})
+	if got := s.String(); got != "10010" {
+		t.Errorf("String = %q, want %q", got, "10010")
+	}
+}
+
+func TestPropertyInclusionExclusion(t *testing.T) {
+	// |a| + |b| == |a∧b| + |a∨b| for random sets.
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, b := New(200), New(200)
+		for i := 0; i < 200; i++ {
+			if ra.Intn(2) == 1 {
+				a.Set(i)
+			}
+			if rb.Intn(2) == 1 {
+				b.Set(i)
+			}
+		}
+		return a.Count()+b.Count() == AndCount(a, b)+OrCount(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHammingFromCounts(t *testing.T) {
+	// Hamming(a,b) == |a∨b| - |a∧b|.
+	f := func(seedA, seedB int64) bool {
+		ra := rand.New(rand.NewSource(seedA))
+		rb := rand.New(rand.NewSource(seedB))
+		a, b := New(123), New(123)
+		for i := 0; i < 123; i++ {
+			if ra.Intn(3) == 0 {
+				a.Set(i)
+			}
+			if rb.Intn(3) == 0 {
+				b.Set(i)
+			}
+		}
+		return Hamming(a, b) == OrCount(a, b)-AndCount(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndicesRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		s := New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 1 {
+				s.Set(i)
+			}
+		}
+		return Equal(s, FromIndices(n, s.Indices()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

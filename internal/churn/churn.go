@@ -1,0 +1,175 @@
+// Package churn models peer session behaviour: unexpected joins and
+// departures following the log-normal smartphone-churn measurements of
+// Berta et al. (paper ref. [20]), plus the Cumulative Moving Average (CMA)
+// availability tracker SELECT's recovery mechanism uses to distinguish
+// mostly-offline peers from temporarily unreachable ones (§III-F).
+package churn
+
+import (
+	"math"
+	"math/rand"
+
+	"selectps/internal/socialgraph"
+)
+
+// Model parameterizes session and offline durations, in simulation steps.
+// Durations are log-normal: exp(N(MuLog, SigmaLog)).
+type Model struct {
+	OnlineMuLog     float64 // mean of log(online session length)
+	OnlineSigmaLog  float64
+	OfflineMuLog    float64 // mean of log(offline gap length)
+	OfflineSigmaLog float64
+	// MinOnlineFraction floors how many peers may be offline at once; the
+	// paper's Fig. 6 experiment keeps at least half of the network online.
+	MinOnlineFraction float64
+}
+
+// DefaultModel gives sessions averaging ~20 steps and offline gaps ~7
+// steps, with at least half the peers online — the Fig. 6 regime.
+func DefaultModel() Model {
+	return Model{
+		OnlineMuLog: 3.0, OnlineSigmaLog: 0.7,
+		OfflineMuLog: 1.8, OfflineSigmaLog: 0.6,
+		MinOnlineFraction: 0.5,
+	}
+}
+
+// State tracks each peer's online/offline status over time.
+type State struct {
+	model       Model
+	rng         *rand.Rand
+	online      []bool
+	nextFlip    []int // step at which the peer toggles
+	onlineCount int
+}
+
+// NewState creates churn state for n peers, all initially online, with the
+// first departures scheduled from their session distribution.
+func NewState(n int, m Model, rng *rand.Rand) *State {
+	s := &State{
+		model:       m,
+		rng:         rng,
+		online:      make([]bool, n),
+		nextFlip:    make([]int, n),
+		onlineCount: n,
+	}
+	for i := range s.online {
+		s.online[i] = true
+		s.nextFlip[i] = s.draw(m.OnlineMuLog, m.OnlineSigmaLog)
+	}
+	return s
+}
+
+func (s *State) draw(mu, sigma float64) int {
+	d := int(math.Exp(s.rng.NormFloat64()*sigma + mu))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// N returns the number of peers tracked.
+func (s *State) N() int { return len(s.online) }
+
+// Online reports whether peer u is currently online.
+func (s *State) Online(u socialgraph.NodeID) bool { return s.online[u] }
+
+// OnlineCount returns how many peers are online.
+func (s *State) OnlineCount() int { return s.onlineCount }
+
+// Step advances to simulation step `now`, toggling peers whose transition
+// is due. It returns the peers that went offline and came online this step.
+// Departures that would push the online population below
+// MinOnlineFraction*N are deferred by rescheduling the flip.
+func (s *State) Step(now int) (wentOffline, cameOnline []socialgraph.NodeID) {
+	minOnline := int(math.Ceil(s.model.MinOnlineFraction * float64(len(s.online))))
+	for u := range s.online {
+		if s.nextFlip[u] > now {
+			continue
+		}
+		if s.online[u] {
+			if s.onlineCount-1 < minOnline {
+				// Defer this departure; try again shortly.
+				s.nextFlip[u] = now + 1 + s.rng.Intn(3)
+				continue
+			}
+			s.online[u] = false
+			s.onlineCount--
+			s.nextFlip[u] = now + s.draw(s.model.OfflineMuLog, s.model.OfflineSigmaLog)
+			wentOffline = append(wentOffline, socialgraph.NodeID(u))
+		} else {
+			s.online[u] = true
+			s.onlineCount++
+			s.nextFlip[u] = now + s.draw(s.model.OnlineMuLog, s.model.OnlineSigmaLog)
+			cameOnline = append(cameOnline, socialgraph.NodeID(u))
+		}
+	}
+	return wentOffline, cameOnline
+}
+
+// ForceOnline marks u online immediately (used when the recovery protocol
+// re-admits a peer at the end of an iteration, per §IV: "when the iteration
+// step is completed, the removed peers are recovered").
+func (s *State) ForceOnline(u socialgraph.NodeID) {
+	if !s.online[u] {
+		s.online[u] = true
+		s.onlineCount++
+		s.nextFlip[u] = s.nextFlip[u] + s.draw(s.model.OnlineMuLog, s.model.OnlineSigmaLog)
+	}
+}
+
+// CMA is the Cumulative Moving Average of a peer's observed availability:
+// each probe records 1 (responsive) or 0 (unresponsive), and the mean over
+// all probes so far estimates the peer's long-run online behaviour.
+// The zero value is ready to use.
+type CMA struct {
+	mean float64
+	n    int
+}
+
+// Observe folds one availability sample (true = online) into the average.
+func (c *CMA) Observe(online bool) {
+	x := 0.0
+	if online {
+		x = 1.0
+	}
+	c.n++
+	c.mean += (x - c.mean) / float64(c.n)
+}
+
+// Value returns the current average availability in [0,1]. With no
+// observations it returns 1: a never-probed peer is given the benefit of
+// the doubt so fresh connections are not churned immediately.
+func (c *CMA) Value() float64 {
+	if c.n == 0 {
+		return 1
+	}
+	return c.mean
+}
+
+// Samples returns how many observations have been folded in.
+func (c *CMA) Samples() int { return c.n }
+
+// Tracker maintains one CMA per peer.
+type Tracker struct {
+	cmas []CMA
+}
+
+// NewTracker returns a Tracker for n peers.
+func NewTracker(n int) *Tracker { return &Tracker{cmas: make([]CMA, n)} }
+
+// Observe records an availability sample for peer u.
+func (t *Tracker) Observe(u socialgraph.NodeID, online bool) {
+	t.cmas[u].Observe(online)
+}
+
+// Value returns peer u's average availability.
+func (t *Tracker) Value(u socialgraph.NodeID) float64 { return t.cmas[u].Value() }
+
+// ObserveAll folds the current online state of every peer into the tracker,
+// emulating the periodic liveness probes of §III-F.
+func (t *Tracker) ObserveAll(s *State) {
+	for u := range t.cmas {
+		t.cmas[u].Observe(s.Online(socialgraph.NodeID(u)))
+	}
+}

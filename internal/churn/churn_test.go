@@ -1,0 +1,196 @@
+package churn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInitialStateAllOnline(t *testing.T) {
+	s := NewState(10, DefaultModel(), rand.New(rand.NewSource(1)))
+	if s.OnlineCount() != 10 || s.N() != 10 {
+		t.Fatalf("OnlineCount = %d, N = %d", s.OnlineCount(), s.N())
+	}
+	for u := 0; u < 10; u++ {
+		if !s.Online(int32(u)) {
+			t.Errorf("peer %d not online initially", u)
+		}
+	}
+}
+
+func TestChurnTogglesPeers(t *testing.T) {
+	s := NewState(200, DefaultModel(), rand.New(rand.NewSource(2)))
+	sawOffline, sawReturn := false, false
+	for step := 0; step < 500; step++ {
+		off, on := s.Step(step)
+		if len(off) > 0 {
+			sawOffline = true
+		}
+		if len(on) > 0 {
+			sawReturn = true
+		}
+	}
+	if !sawOffline || !sawReturn {
+		t.Errorf("500 steps saw offline=%v return=%v; churn inactive", sawOffline, sawReturn)
+	}
+}
+
+func TestMinOnlineFractionRespected(t *testing.T) {
+	m := DefaultModel()
+	m.MinOnlineFraction = 0.5
+	// Aggressive churn: very short sessions.
+	m.OnlineMuLog, m.OfflineMuLog = 0.1, 3.5
+	s := NewState(100, m, rand.New(rand.NewSource(3)))
+	for step := 0; step < 1000; step++ {
+		s.Step(step)
+		if s.OnlineCount() < 50 {
+			t.Fatalf("step %d: online=%d < floor 50", step, s.OnlineCount())
+		}
+	}
+}
+
+func TestOnlineCountConsistent(t *testing.T) {
+	s := NewState(80, DefaultModel(), rand.New(rand.NewSource(4)))
+	for step := 0; step < 300; step++ {
+		s.Step(step)
+		count := 0
+		for u := 0; u < s.N(); u++ {
+			if s.Online(int32(u)) {
+				count++
+			}
+		}
+		if count != s.OnlineCount() {
+			t.Fatalf("step %d: cached count %d != actual %d", step, s.OnlineCount(), count)
+		}
+	}
+}
+
+func TestForceOnline(t *testing.T) {
+	m := DefaultModel()
+	m.OnlineMuLog = 0.1 // force quick departures
+	s := NewState(50, m, rand.New(rand.NewSource(5)))
+	var victim int32 = -1
+	for step := 0; step < 200 && victim < 0; step++ {
+		off, _ := s.Step(step)
+		if len(off) > 0 {
+			victim = off[0]
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no peer went offline in 200 steps")
+	}
+	before := s.OnlineCount()
+	s.ForceOnline(victim)
+	if !s.Online(victim) || s.OnlineCount() != before+1 {
+		t.Error("ForceOnline did not restore the peer")
+	}
+	// Idempotent on an online peer.
+	s.ForceOnline(victim)
+	if s.OnlineCount() != before+1 {
+		t.Error("ForceOnline double-counted")
+	}
+}
+
+func TestCMAZeroValue(t *testing.T) {
+	var c CMA
+	if c.Value() != 1 {
+		t.Errorf("unobserved CMA = %v, want 1", c.Value())
+	}
+	if c.Samples() != 0 {
+		t.Errorf("Samples = %d", c.Samples())
+	}
+}
+
+func TestCMAMean(t *testing.T) {
+	var c CMA
+	obs := []bool{true, true, false, true} // mean 0.75
+	for _, o := range obs {
+		c.Observe(o)
+	}
+	if math.Abs(c.Value()-0.75) > 1e-12 {
+		t.Errorf("CMA = %v, want 0.75", c.Value())
+	}
+	if c.Samples() != 4 {
+		t.Errorf("Samples = %d, want 4", c.Samples())
+	}
+}
+
+func TestCMAPropertyMatchesBatchMean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c CMA
+		n := 1 + rng.Intn(500)
+		ones := 0
+		for i := 0; i < n; i++ {
+			b := rng.Intn(2) == 1
+			if b {
+				ones++
+			}
+			c.Observe(b)
+		}
+		want := float64(ones) / float64(n)
+		return math.Abs(c.Value()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCMABounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var c CMA
+		for i := 0; i < 100; i++ {
+			c.Observe(rng.Intn(2) == 1)
+			if v := c.Value(); v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(3)
+	tr.Observe(0, true)
+	tr.Observe(0, false)
+	tr.Observe(1, true)
+	if math.Abs(tr.Value(0)-0.5) > 1e-12 {
+		t.Errorf("Value(0) = %v, want 0.5", tr.Value(0))
+	}
+	if tr.Value(1) != 1 {
+		t.Errorf("Value(1) = %v, want 1", tr.Value(1))
+	}
+	if tr.Value(2) != 1 {
+		t.Errorf("unobserved Value(2) = %v, want 1", tr.Value(2))
+	}
+}
+
+func TestTrackerObserveAllDiscriminates(t *testing.T) {
+	// Peers with short sessions should end with lower CMA than peers that
+	// never churn. Build a state, run it, and verify the tracker separates
+	// online-heavy from offline-heavy peers.
+	m := DefaultModel()
+	s := NewState(100, m, rand.New(rand.NewSource(6)))
+	tr := NewTracker(100)
+	offSteps := make([]int, 100)
+	for step := 0; step < 400; step++ {
+		s.Step(step)
+		tr.ObserveAll(s)
+		for u := 0; u < 100; u++ {
+			if !s.Online(int32(u)) {
+				offSteps[u]++
+			}
+		}
+	}
+	for u := 0; u < 100; u++ {
+		want := 1 - float64(offSteps[u])/400
+		if math.Abs(tr.Value(int32(u))-want) > 1e-9 {
+			t.Fatalf("peer %d CMA %v, want %v", u, tr.Value(int32(u)), want)
+		}
+	}
+}

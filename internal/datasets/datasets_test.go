@@ -1,0 +1,163 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestByName(t *testing.T) {
+	for _, want := range All() {
+		got, err := ByName(want.Name)
+		if err != nil || got.Name != want.Name {
+			t.Errorf("ByName(%q) = %v, %v", want.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("myspace"); err == nil {
+		t.Error("ByName of unknown data set should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Facebook.Generate(500, 42)
+	b := Facebook.Generate(500, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("same seed produced %d vs %d edges", a.NumEdges(), b.NumEdges())
+	}
+	for u := 0; u < a.NumNodes(); u++ {
+		na, nb := a.Neighbors(int32(u)), b.Neighbors(int32(u))
+		if len(na) != len(nb) {
+			t.Fatalf("node %d degree differs: %d vs %d", u, len(na), len(nb))
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("node %d adjacency differs", u)
+			}
+		}
+	}
+	c := Facebook.Generate(500, 43)
+	if c.NumEdges() == a.NumEdges() && sameAdj(a, c) {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func sameAdj(a, b interface {
+	NumNodes() int
+	Neighbors(int32) []int32
+}) bool {
+	for u := 0; u < a.NumNodes(); u++ {
+		na, nb := a.Neighbors(int32(u)), b.Neighbors(int32(u))
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestAverageDegreeTargets(t *testing.T) {
+	// At a few thousand nodes each generator should land within ~20% of the
+	// paper's average degree (finite-size effects shrink it slightly).
+	for _, spec := range All() {
+		n := 3000
+		g := spec.Generate(n, 1)
+		got := g.AverageDegree()
+		lo, hi := spec.PaperAvgDegree*0.75, spec.PaperAvgDegree*1.15
+		if got < lo || got > hi {
+			t.Errorf("%s avg degree = %.2f, want within [%.2f, %.2f] (paper %.2f)",
+				spec.Name, got, lo, hi, spec.PaperAvgDegree)
+		}
+	}
+}
+
+func TestConnectedSingleComponent(t *testing.T) {
+	// Growth process attaches every new node to an existing one, so the
+	// graph must be a single connected component.
+	for _, spec := range All() {
+		g := spec.Generate(800, 7)
+		_, count := g.ConnectedComponents()
+		if count != 1 {
+			t.Errorf("%s: %d components, want 1", spec.Name, count)
+		}
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	// Preferential attachment should produce a max degree well above the
+	// average (heavy-tailed distribution).
+	g := Slashdot.Generate(2000, 3)
+	if float64(g.MaxDegree()) < 4*g.AverageDegree() {
+		t.Errorf("max degree %d not heavy-tailed vs avg %.1f",
+			g.MaxDegree(), g.AverageDegree())
+	}
+}
+
+func TestTriadClosureRaisesClustering(t *testing.T) {
+	highTriad := Spec{Name: "hi", EdgesPerJoin: 6, TriadProb: 0.8}
+	noTriad := Spec{Name: "lo", EdgesPerJoin: 6, TriadProb: 0}
+	rng := rand.New(rand.NewSource(9))
+	hi := highTriad.Generate(1500, 5).AverageClustering(300, rng)
+	lo := noTriad.Generate(1500, 5).AverageClustering(300, rng)
+	if hi <= lo {
+		t.Errorf("triad closure did not raise clustering: hi=%.3f lo=%.3f", hi, lo)
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	if g := Facebook.Generate(0, 1); g.NumNodes() != 0 {
+		t.Error("Generate(0) should be empty")
+	}
+	if g := Facebook.Generate(-5, 1); g.NumNodes() != 0 {
+		t.Error("Generate(-5) should be empty")
+	}
+	g := Facebook.Generate(1, 1)
+	if g.NumNodes() != 1 || g.NumEdges() != 0 {
+		t.Errorf("Generate(1): %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	g = Facebook.Generate(2, 1)
+	if g.NumNodes() != 2 || g.NumEdges() != 1 {
+		t.Errorf("Generate(2): %d nodes %d edges, want 2 nodes 1 edge",
+			g.NumNodes(), g.NumEdges())
+	}
+	// Tiny graphs must stay simple (no dup/self edges) even when
+	// EdgesPerJoin exceeds n.
+	g = GooglePlus.Generate(10, 1)
+	if g.NumEdges() > 45 {
+		t.Errorf("10-node graph has %d edges > C(10,2)", g.NumEdges())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	g := Facebook.Generate(200, 2)
+	st := Measure("facebook", g)
+	if st.Users != 200 || st.Connections != g.NumEdges() {
+		t.Errorf("Measure = %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty Stats.String")
+	}
+}
+
+func TestNoSelfOrDuplicateEdges(t *testing.T) {
+	// Builder dedupes, so NumEdges must equal the count of distinct pairs.
+	g := Twitter.Generate(600, 11)
+	seen := make(map[[2]int32]bool)
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(int32(u)) {
+			if int32(u) == v {
+				t.Fatalf("self edge at %d", u)
+			}
+			a, b := int32(u), v
+			if a > b {
+				a, b = b, a
+			}
+			seen[[2]int32{a, b}] = true
+		}
+	}
+	if len(seen) != g.NumEdges() {
+		t.Errorf("distinct pairs %d != NumEdges %d", len(seen), g.NumEdges())
+	}
+}

@@ -1,0 +1,226 @@
+// Package des is a discrete-event fluid-flow simulator for dissemination
+// transfers: every tree edge becomes a flow whose rate is the bottleneck
+// of the sender's (equally shared) upload capacity and the receiver's
+// download capacity, and rates are recomputed whenever a transfer starts
+// or finishes. It refines internal/netmodel's closed-form estimate — the
+// closed form assumes a node's child transfers all start together and run
+// at a fixed share, while the event simulation lets early-finishing
+// transfers release capacity to the remaining ones, like real TCP flows.
+//
+// The §IV-D observation (total time for simultaneous sends grows linearly
+// with the connection count) and Fig. 7's store-and-forward dissemination
+// both run on this engine as well; experiments can cross-check the two
+// models.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"selectps/internal/netmodel"
+	"selectps/internal/socialgraph"
+)
+
+// transfer is one in-flight flow.
+type transfer struct {
+	from, to  socialgraph.NodeID
+	remaining float64 // bytes left
+	rate      float64 // current bytes/s
+	started   bool
+	startAt   float64 // when the flow may start (sender finished receiving + latency)
+	done      bool
+}
+
+// event is a moment the flow set changes.
+type event struct {
+	at   float64
+	kind eventKind
+	tr   *transfer
+}
+
+type eventKind uint8
+
+const (
+	evStart eventKind = iota
+	evFinishProbe
+)
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Result reports a simulated dissemination.
+type Result struct {
+	// Completion is l(b, S_b): the time the last receiver finishes.
+	Completion float64
+	// ReceiveAt[v] is when v finished receiving (Inf if unreached).
+	ReceiveAt []float64
+}
+
+// SimulateTree runs a store-and-forward dissemination of `bytes` over the
+// routing tree given as children lists, using the bandwidth/latency model.
+// A node starts sending to all its children once it has fully received the
+// payload; its upload is shared equally among its currently active
+// transfers, each additionally capped by the receiver's download rate.
+func SimulateTree(m *netmodel.Model, root socialgraph.NodeID, children [][]socialgraph.NodeID, bytes float64) (Result, error) {
+	n := len(children)
+	if int(root) >= n || root < 0 {
+		return Result{}, fmt.Errorf("des: root %d out of range", root)
+	}
+	recvAt := make([]float64, n)
+	for i := range recvAt {
+		recvAt[i] = math.Inf(1)
+	}
+	recvAt[root] = 0
+
+	// Build transfers in BFS order; child transfers become startable when
+	// the parent has received.
+	transfers := make(map[socialgraph.NodeID][]*transfer) // sender -> flows
+	var all []*transfer
+	queue := []socialgraph.NodeID{root}
+	seen := map[socialgraph.NodeID]bool{root: true}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range children[u] {
+			if seen[v] {
+				return Result{}, fmt.Errorf("des: node %d appears twice in the tree", v)
+			}
+			seen[v] = true
+			tr := &transfer{from: u, to: v, remaining: bytes}
+			transfers[u] = append(transfers[u], tr)
+			all = append(all, tr)
+			queue = append(queue, v)
+		}
+	}
+
+	var q eventQueue
+	now := 0.0
+	active := make(map[socialgraph.NodeID][]*transfer) // sender -> running flows
+
+	// recompute assigns rates to all active flows (equal share of sender's
+	// upload, capped by receiver download) and queues a finish probe for
+	// the earliest finisher.
+	recompute := func() {
+		var soonest float64 = math.Inf(1)
+		var soonestTr *transfer
+		for sender, flows := range active {
+			k := 0
+			for _, tr := range flows {
+				if !tr.done {
+					k++
+				}
+			}
+			if k == 0 {
+				continue
+			}
+			share := m.Upload(sender) / float64(k)
+			for _, tr := range flows {
+				if tr.done {
+					continue
+				}
+				tr.rate = math.Min(share, m.Download(tr.to))
+				if tr.rate <= 0 {
+					continue
+				}
+				if eta := now + tr.remaining/tr.rate; eta < soonest {
+					soonest, soonestTr = eta, tr
+				}
+			}
+		}
+		if soonestTr != nil {
+			heap.Push(&q, event{at: soonest, kind: evFinishProbe, tr: soonestTr})
+		}
+	}
+
+	// drain advances remaining bytes of all active flows from `from` to
+	// `to` time.
+	drain := func(from, to float64) {
+		dt := to - from
+		if dt <= 0 {
+			return
+		}
+		for _, flows := range active {
+			for _, tr := range flows {
+				if !tr.done {
+					tr.remaining -= tr.rate * dt
+				}
+			}
+		}
+	}
+
+	// Seed: root's child transfers start after per-link latency.
+	for _, tr := range transfers[root] {
+		tr.startAt = m.Latency(tr.from, tr.to)
+		heap.Push(&q, event{at: tr.startAt, kind: evStart, tr: tr})
+	}
+
+	finished := 0
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		drain(now, e.at)
+		now = e.at
+		switch e.kind {
+		case evStart:
+			if !e.tr.started && !e.tr.done {
+				e.tr.started = true
+				active[e.tr.from] = append(active[e.tr.from], e.tr)
+			}
+			recompute()
+		case evFinishProbe:
+			tr := e.tr
+			if tr.done || !tr.started {
+				recompute()
+				continue
+			}
+			if tr.remaining > 1e-6 {
+				// Rates changed since the probe was queued; re-probe.
+				recompute()
+				continue
+			}
+			tr.done = true
+			finished++
+			recvAt[tr.to] = now
+			// The receiver begins forwarding to its own children.
+			for _, next := range transfers[tr.to] {
+				next.startAt = now + m.Latency(next.from, next.to)
+				heap.Push(&q, event{at: next.startAt, kind: evStart, tr: next})
+			}
+			recompute()
+		}
+	}
+	if finished != len(all) {
+		return Result{}, fmt.Errorf("des: only %d of %d transfers completed", finished, len(all))
+	}
+	completion := 0.0
+	for _, tr := range all {
+		if recvAt[tr.to] > completion {
+			completion = recvAt[tr.to]
+		}
+	}
+	return Result{Completion: completion, ReceiveAt: recvAt}, nil
+}
+
+// SimulateStar runs the §IV-D experiment on the event engine: one sender,
+// k simultaneous transfers, returns the completion time of the last.
+func SimulateStar(m *netmodel.Model, center socialgraph.NodeID, targets []socialgraph.NodeID, bytes float64) (float64, error) {
+	n := m.N()
+	children := make([][]socialgraph.NodeID, n)
+	children[center] = append([]socialgraph.NodeID(nil), targets...)
+	res, err := SimulateTree(m, center, children, bytes)
+	if err != nil {
+		return 0, err
+	}
+	return res.Completion, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selectps/internal/metrics"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/selectsys"
+	"selectps/internal/sim"
+)
+
+// AblationVariant names one disabled mechanism.
+type AblationVariant struct {
+	Name string
+	Cfg  selectsys.Config
+}
+
+// AblationVariants returns full SELECT plus one variant per design choice
+// DESIGN.md §5 calls out.
+func AblationVariants() []AblationVariant {
+	return []AblationVariant{
+		{Name: "full", Cfg: selectsys.Config{}},
+		{Name: "no-reassignment", Cfg: selectsys.Config{DisableReassignment: true}},
+		{Name: "random-links", Cfg: selectsys.Config{RandomLinks: true}},
+		{Name: "picker-no-bw", Cfg: selectsys.Config{PickerIgnoresBandwidth: true}},
+		{Name: "centroid-all", Cfg: selectsys.Config{CentroidAllFriends: true}},
+		{Name: "naive-recovery", Cfg: selectsys.Config{NaiveRecovery: true}},
+		{Name: "no-lookahead", Cfg: selectsys.Config{DisableLookahead: true}},
+	}
+}
+
+// Ablations prices each SELECT design choice: average social-lookup hops,
+// relay nodes per tree, construction iterations and availability under
+// churn for every variant. x = variant index in AblationVariants order.
+func Ablations(opt Options, n int) *metrics.Table {
+	opt.fill()
+	if n <= 0 {
+		n = 800
+	}
+	ds := opt.Datasets[0]
+	variants := AblationVariants()
+	tab := &metrics.Table{
+		Title:  fmt.Sprintf("SELECT ablations — %s (n=%d; x = variant: %s)", ds.Name, n, variantLegend(variants)),
+		XLabel: "variant",
+		YLabel: "hops / relays / iterations / availability%",
+	}
+	hops := &metrics.Series{Name: "hops"}
+	relays := &metrics.Series{Name: "relays"}
+	iters := &metrics.Series{Name: "iterations"}
+	avail := &metrics.Series{Name: "availability%"}
+	for vi, v := range variants {
+		cfg := v.Cfg
+		var hw, rw, iw, aw metrics.Welford
+		sim.RunTrials(opt.Trials, trialSeed(opt.Seed, 11, int64(vi)), func(trial int, rng *rand.Rand) {
+			seed := trialSeed(opt.Seed, 11, int64(vi), int64(trial))
+			g, o, err := buildForTrial(pubsub.Select, ds, n, seed, &cfg)
+			if err != nil {
+				return
+			}
+			h := socialHops(o, g, opt.Samples, rng)
+			r := relayNodes(o, g, opt.Samples/3, rng)
+			var it float64
+			if iv, ok := o.(overlay.Iterative); ok {
+				it = float64(iv.Iterations())
+			}
+			pts := sim.RunChurn(o, g, sim.ChurnConfig{Steps: 100}, rng)
+			var av metrics.Welford
+			for _, p := range pts {
+				av.Add(p.Availability * 100)
+			}
+			mu.Lock()
+			hw.Merge(h)
+			rw.Merge(r)
+			iw.Add(it)
+			aw.Merge(av)
+			mu.Unlock()
+		})
+		hops.Add(float64(vi+1), hw)
+		relays.Add(float64(vi+1), rw)
+		iters.Add(float64(vi+1), iw)
+		avail.Add(float64(vi+1), aw)
+	}
+	tab.Series = []*metrics.Series{hops, relays, iters, avail}
+	return tab
+}
+
+func variantLegend(vs []AblationVariant) string {
+	s := ""
+	for i, v := range vs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d=%s", i+1, v.Name)
+	}
+	return s
+}

@@ -1,0 +1,220 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§IV). Each exported function reproduces one artifact and
+// returns printable metrics.Table values whose rows/series mirror what the
+// paper reports; cmd/selectsim exposes them on the command line and
+// bench_test.go wires them into `go test -bench`.
+//
+// Scale note: defaults run at laptop scale (hundreds to a few thousand
+// peers, a handful of trials) — the paper's qualitative shape (who wins,
+// by roughly what factor) is the reproduction target, per DESIGN.md §3.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selectps/internal/churn"
+	"selectps/internal/datasets"
+	"selectps/internal/growth"
+	"selectps/internal/metrics"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/selectsys"
+	"selectps/internal/sim"
+	"selectps/internal/socialgraph"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Datasets to sweep (default: all four of Table II).
+	Datasets []datasets.Spec
+	// Sizes is the network-size axis for the growth sweeps (Figs. 2, 3, 7).
+	Sizes []int
+	// Trials is the number of independent seeded repetitions per point
+	// (the paper uses 100; defaults are laptop-scale).
+	Trials int
+	// Samples is the number of lookups/publications sampled per trial.
+	Samples int
+	// Seed is the base seed; everything derives deterministically from it.
+	Seed int64
+	// Systems to compare (default: all five).
+	Systems []pubsub.Kind
+	// ChurnSteps is the number of churn steps (log-normal joins/departures
+	// plus each system's recovery) applied before the Fig. 3 relay sweep
+	// measures — §IV runs its pub/sub simulations in a churning network,
+	// which is where the baselines' repair weaknesses surface. Fig. 2
+	// (pure overlay lookup quality) always runs fully online. Negative
+	// disables churn; 0 uses the default (30).
+	ChurnSteps int
+}
+
+// Default returns laptop-scale options.
+func Default() Options {
+	return Options{
+		Datasets: datasets.All(),
+		Sizes:    []int{500, 1000, 2000},
+		Trials:   3,
+		Samples:  150,
+		Seed:     1,
+		Systems:  pubsub.AllKinds(),
+	}
+}
+
+func (o *Options) fill() {
+	d := Default()
+	if o.Datasets == nil {
+		o.Datasets = d.Datasets
+	}
+	if o.Sizes == nil {
+		o.Sizes = d.Sizes
+	}
+	if o.Trials == 0 {
+		o.Trials = d.Trials
+	}
+	if o.Samples == 0 {
+		o.Samples = d.Samples
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.Systems == nil {
+		o.Systems = d.Systems
+	}
+	if o.ChurnSteps == 0 {
+		o.ChurnSteps = 30
+	}
+}
+
+// trialSeed mixes the experiment seed with stable per-point coordinates.
+func trialSeed(base int64, parts ...int64) int64 {
+	s := base
+	for _, p := range parts {
+		s = s*1_000_000_007 + p + 0x9e37
+	}
+	return s
+}
+
+// buildForTrial generates the graph, derives the shared join schedule, and
+// constructs one system. The same (dataset, n, trial) always yields the
+// same graph and schedule for every system, so comparisons are paired.
+func buildForTrial(kind pubsub.Kind, ds datasets.Spec, n int, seed int64, selectCfg *selectsys.Config) (*socialgraph.Graph, overlay.Overlay, error) {
+	g := ds.Generate(n, seed)
+	rng := rand.New(rand.NewSource(seed + 7))
+	sched := growth.DefaultModel().Schedule(g, rng)
+	opt := pubsub.BuildOptions{Schedule: &sched, SelectConfig: selectCfg}
+	o, err := pubsub.Build(kind, g, opt, rand.New(rand.NewSource(seed+13)))
+	return g, o, err
+}
+
+// applyChurn drives the overlay through `steps` of log-normal churn with
+// the system's recovery running after every membership change, and leaves
+// the network in the final churned state (the paper's §IV experiments run
+// in an evolving, churning network).
+func applyChurn(o overlay.Overlay, steps int, rng *rand.Rand) {
+	if steps <= 0 {
+		return
+	}
+	state := churn.NewState(o.N(), churn.DefaultModel(), rng)
+	for step := 0; step < steps; step++ {
+		off, on := state.Step(step)
+		for _, p := range off {
+			o.SetOnline(p, false)
+		}
+		for _, p := range on {
+			o.SetOnline(p, true)
+		}
+		if len(off)+len(on) > 0 {
+			o.Repair()
+		}
+	}
+}
+
+// socialHops measures the average overlay hops between random socially
+// connected pairs (Fig. 2's metric). Pairs with an offline endpoint are
+// skipped (offline users neither post nor receive).
+func socialHops(o overlay.Overlay, g *socialgraph.Graph, samples int, rng *rand.Rand) metrics.Welford {
+	var w metrics.Welford
+	for i := 0; i < samples; i++ {
+		u, v, ok := g.RandomEdge(rng)
+		if !ok {
+			break
+		}
+		if !o.Online(u) || !o.Online(v) {
+			continue
+		}
+		path, ok := overlay.RouteOn(o, u, v)
+		if !ok {
+			// Failed lookups are not averaged into the hop count — Fig. 2
+			// reports the cost of successful lookups; delivery failures are
+			// the availability experiment's metric (Fig. 6).
+			continue
+		}
+		w.Add(float64(path.Hops()))
+	}
+	return w
+}
+
+// relayNodes measures the average relay-node count per pub/sub routing
+// path (Fig. 3's metric: intermediates between the publisher and each
+// subscriber that are not subscribers themselves), over sampled
+// publishers.
+func relayNodes(o overlay.Overlay, g *socialgraph.Graph, samples int, rng *rand.Rand) metrics.Welford {
+	var w metrics.Welford
+	n := o.N()
+	for i := 0; i < samples; i++ {
+		b := overlay.PeerID(rng.Intn(n))
+		if g.Degree(b) == 0 || !o.Online(b) {
+			continue
+		}
+		d := pubsub.Publish(o, g, b)
+		w.Add(d.PathRelaysMean)
+	}
+	return w
+}
+
+// sweepTable runs a per-dataset (size × system) sweep with the given
+// per-build measurement and returns one table per dataset.
+func sweepTable(opt Options, title, ylabel string, measure func(o overlay.Overlay, g *socialgraph.Graph, samples int, rng *rand.Rand) metrics.Welford) []*metrics.Table {
+	opt.fill()
+	var tables []*metrics.Table
+	for di, ds := range opt.Datasets {
+		tab := &metrics.Table{
+			Title:  fmt.Sprintf("%s — %s", title, ds.Name),
+			XLabel: "peers",
+			YLabel: ylabel,
+		}
+		for _, kind := range opt.Systems {
+			series := &metrics.Series{Name: string(kind)}
+			for si, n := range opt.Sizes {
+				agg := sim.MeanOverTrials(opt.Trials, trialSeed(opt.Seed, int64(di), int64(si)),
+					func(trial int, rng *rand.Rand) metrics.Welford {
+						g, o, err := buildForTrial(kind, ds, n, trialSeed(opt.Seed, int64(di), int64(si), int64(trial)), nil)
+						if err != nil {
+							return metrics.Welford{}
+						}
+						applyChurn(o, opt.ChurnSteps, rng)
+						return measure(o, g, opt.Samples, rng)
+					})
+				series.Add(float64(n), agg)
+			}
+			tab.Series = append(tab.Series, series)
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// Fig2Hops reproduces Fig. 2: average hops per social lookup as the
+// network grows, per data set, for all five systems. The lookup sweep runs
+// on the fully online overlay (failures under churn are Fig. 6's metric).
+func Fig2Hops(opt Options) []*metrics.Table {
+	opt.fill()
+	opt.ChurnSteps = -1
+	return sweepTable(opt, "Fig. 2: hops per social lookup", "avg hops", socialHops)
+}
+
+// Fig3Relays reproduces Fig. 3: average relay nodes per pub/sub routing
+// tree as the network grows, per data set, for all five systems.
+func Fig3Relays(opt Options) []*metrics.Table {
+	return sweepTable(opt, "Fig. 3: relay nodes per routing path", "avg relay nodes", relayNodes)
+}

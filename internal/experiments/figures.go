@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"selectps/internal/datasets"
+	"selectps/internal/metrics"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/selectsys"
+	"selectps/internal/sim"
+	"selectps/internal/socialgraph"
+)
+
+// Table2Row pairs a generated data set's statistics with the paper's.
+type Table2Row struct {
+	Generated datasets.Stats
+	Spec      datasets.Spec
+}
+
+// Table2 regenerates Table II from the synthetic generators at the given
+// scale (0 = each data set's DefaultScale) and reports the paper values
+// next to the measured ones.
+func Table2(opt Options, scale int) []Table2Row {
+	opt.fill()
+	var rows []Table2Row
+	for di, ds := range opt.Datasets {
+		n := scale
+		if n <= 0 {
+			n = ds.DefaultScale
+		}
+		g := ds.Generate(n, trialSeed(opt.Seed, int64(di)))
+		rows = append(rows, Table2Row{Generated: datasets.Measure(ds.Name, g), Spec: ds})
+	}
+	return rows
+}
+
+// FormatTable2 renders the Table II comparison.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("# Table II: data sets (generated vs paper)\n")
+	fmt.Fprintf(&b, "%-10s %10s %12s %12s %14s %12s\n",
+		"dataset", "users", "connections", "avgDegree", "paperAvgDeg", "maxDegree")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %10d %12d %12.3f %14.3f %12d\n",
+			r.Generated.Name, r.Generated.Users, r.Generated.Connections,
+			r.Generated.AvgDegree, r.Spec.PaperAvgDegree, r.Generated.MaxDegree)
+	}
+	return b.String()
+}
+
+// LinkSweep reproduces the §IV-C opening experiment: the average number of
+// hops between socially connected peers for SELECT as the number of direct
+// connections K grows — a >90% drop that flattens once K passes log2(N).
+func LinkSweep(opt Options, n int, ks []int) *metrics.Table {
+	opt.fill()
+	if n <= 0 {
+		n = 1000
+	}
+	if ks == nil {
+		ks = []int{2, 4, 8, 12, 16, 24}
+	}
+	ds := opt.Datasets[0]
+	tab := &metrics.Table{
+		Title:  fmt.Sprintf("§IV-C link sweep — %s, n=%d (log2N=%d)", ds.Name, n, pubsub.DefaultK(n)),
+		XLabel: "K links",
+		YLabel: "avg hops per social lookup",
+	}
+	series := &metrics.Series{Name: "select"}
+	for ki, k := range ks {
+		cfg := &selectsys.Config{K: k}
+		agg := sim.MeanOverTrials(opt.Trials, trialSeed(opt.Seed, 77, int64(ki)),
+			func(trial int, rng *rand.Rand) metrics.Welford {
+				g, o, err := buildForTrial(pubsub.Select, ds, n,
+					trialSeed(opt.Seed, 77, int64(ki), int64(trial)), cfg)
+				if err != nil {
+					return metrics.Welford{}
+				}
+				return socialHops(o, g, opt.Samples, rng)
+			})
+		series.Add(float64(k), agg)
+	}
+	tab.Series = append(tab.Series, series)
+	return tab
+}
+
+// Fig4Load reproduces Fig. 4: how the forwarding load of the pub/sub
+// routing trees distributes over peers by social degree. The load measured
+// is transit load — message copies forwarded by peers that are neither the
+// publisher nor subscribers of the message (forwarding one's own
+// subscription is useful work; relaying a stranger's notification is the
+// overhead the figure is about). y is the average number of relayed copies
+// a peer of each degree decile forwards per publication: flat and near
+// zero is balanced (SELECT); mass piled on the top deciles marks the
+// hotspot systems (Vitis, OMen); wide nonzero mass marks the socially
+// oblivious DHTs (Symphony, Bayeux).
+func Fig4Load(opt Options, n int) []*metrics.Table {
+	opt.fill()
+	if n <= 0 {
+		n = 1000
+	}
+	const buckets = 10
+	var tables []*metrics.Table
+	for di, ds := range opt.Datasets {
+		tab := &metrics.Table{
+			Title:  fmt.Sprintf("Fig. 4: relayed copies per peer per publication, by degree decile — %s (n=%d)", ds.Name, n),
+			XLabel: "degree decile",
+			YLabel: "relayed copies / peer / publication",
+		}
+		for _, kind := range opt.Systems {
+			shares := make([]metrics.Welford, buckets)
+			sim.RunTrials(opt.Trials, trialSeed(opt.Seed, 4, int64(di)), func(trial int, rng *rand.Rand) {
+				g, o, err := buildForTrial(kind, ds, n, trialSeed(opt.Seed, 4, int64(di), int64(trial)), nil)
+				if err != nil {
+					return
+				}
+				s := relayLoadByDegreeDecile(o, g, opt.Samples, buckets, rng)
+				mu.Lock()
+				for b := 0; b < buckets; b++ {
+					shares[b].Add(s[b])
+				}
+				mu.Unlock()
+			})
+			series := &metrics.Series{Name: string(kind)}
+			for b := 0; b < buckets; b++ {
+				series.Add(float64(b+1), shares[b])
+			}
+			tab.Series = append(tab.Series, series)
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// relayLoadByDegreeDecile publishes from users drawn by the exponential
+// posting workload and returns, per social-degree decile, the average
+// number of transit (non-subscriber) forwards performed per peer per
+// publication.
+func relayLoadByDegreeDecile(o overlay.Overlay, g *socialgraph.Graph, publications, buckets int, rng *rand.Rand) []float64 {
+	n := g.NumNodes()
+	decile := degreeDeciles(g, buckets)
+	population := make([]float64, buckets)
+	for p := 0; p < n; p++ {
+		population[decile[p]]++
+	}
+	w := pubsub.NewWorkload(g, 10, rng)
+	load := make([]float64, buckets)
+	published := 0
+	for t := 0; published < publications; t++ {
+		for _, b := range w.PostersUntil(float64(t), 1) {
+			if g.Degree(b) == 0 {
+				continue
+			}
+			d := pubsub.Publish(o, g, b)
+			for peer, c := range d.Forwards {
+				if peer == b || g.HasEdge(b, peer) {
+					continue // publisher or subscriber: useful work, not transit
+				}
+				load[decile[peer]] += float64(c)
+			}
+			published++
+			if published >= publications {
+				break
+			}
+		}
+		if t > publications*100 {
+			break // defensive: degenerate workload
+		}
+	}
+	out := make([]float64, buckets)
+	if published == 0 {
+		return out
+	}
+	for b := range out {
+		if population[b] > 0 {
+			out[b] = load[b] / population[b] / float64(published)
+		}
+	}
+	return out
+}
+
+// degreeDeciles splits peers into equal-population buckets by ascending
+// social degree.
+func degreeDeciles(g *socialgraph.Graph, buckets int) []int {
+	n := g.NumNodes()
+	byDeg := make([]socialgraph.NodeID, n)
+	for i := range byDeg {
+		byDeg[i] = socialgraph.NodeID(i)
+	}
+	sort.Slice(byDeg, func(i, j int) bool {
+		di, dj := g.Degree(byDeg[i]), g.Degree(byDeg[j])
+		if di != dj {
+			return di < dj
+		}
+		return byDeg[i] < byDeg[j]
+	})
+	decile := make([]int, n)
+	for rank, p := range byDeg {
+		d := rank * buckets / n
+		if d >= buckets {
+			d = buckets - 1
+		}
+		decile[p] = d
+	}
+	return decile
+}
+
+// TotalLoad sums a Fig. 4 series — the per-publication transit volume of
+// the system (the paper's relative improvements compare these).
+func TotalLoad(s *metrics.Series) float64 {
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Y
+	}
+	return sum
+}
+
+// TopDecileShare condenses a Fig. 4 series into the top-degree-decile's
+// share of the total transit load (1.0 = all load on the hub decile).
+func TopDecileShare(s *metrics.Series) float64 {
+	total := TotalLoad(s)
+	if total == 0 || len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].Y / total
+}
+
+// Fig5Convergence reproduces Fig. 5: iterations to organize the overlay,
+// per data set, for the iterative systems (Symphony and Bayeux are
+// excluded, as in the paper).
+func Fig5Convergence(opt Options, n int) *metrics.Table {
+	opt.fill()
+	if n <= 0 {
+		n = 1000
+	}
+	tab := &metrics.Table{
+		Title:  fmt.Sprintf("Fig. 5: iterations to construct the overlay (n=%d; x = dataset index: 1=facebook 2=twitter 3=slashdot 4=gplus)", n),
+		XLabel: "dataset",
+		YLabel: "iterations",
+	}
+	for _, kind := range pubsub.IterativeKinds() {
+		series := &metrics.Series{Name: string(kind)}
+		for di, ds := range opt.Datasets {
+			agg := sim.MeanOverTrials(opt.Trials, trialSeed(opt.Seed, 5, int64(di)),
+				func(trial int, rng *rand.Rand) metrics.Welford {
+					_, o, err := buildForTrial(kind, ds, n, trialSeed(opt.Seed, 5, int64(di), int64(trial)), nil)
+					if err != nil {
+						return metrics.Welford{}
+					}
+					var w metrics.Welford
+					if it, ok := o.(overlay.Iterative); ok {
+						w.Add(float64(it.Iterations()))
+					}
+					return w
+				})
+			series.Add(float64(di+1), agg)
+		}
+		tab.Series = append(tab.Series, series)
+	}
+	return tab
+}

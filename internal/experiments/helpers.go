@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"sort"
+	"sync"
+
+	"selectps/internal/datasets"
+	"selectps/internal/metrics"
+	"selectps/internal/socialgraph"
+)
+
+// mu serializes aggregation maps that parallel trials write into.
+var mu sync.Mutex
+
+// Short local aliases keeping long helper signatures readable.
+type (
+	datasetsSpec = datasets.Spec
+	graphT       = *socialgraph.Graph
+)
+
+// sortSeries orders a series by X (parallel trials may append points out
+// of order).
+func sortSeries(s *metrics.Series) {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// metricsSeries is a test-friendly alias.
+type metricsSeries = metrics.Series

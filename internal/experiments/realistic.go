@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"selectps/internal/metrics"
+	"selectps/internal/netmodel"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/ring"
+	"selectps/internal/selectsys"
+	"selectps/internal/sim"
+)
+
+// Fig6Churn reproduces Fig. 6: a long run with per-step joins/departures
+// (at least half the network always online), recovery after every event,
+// and periodic availability measurements. One table per data set, with the
+// dashed churn line and the solid availability line as two series.
+func Fig6Churn(opt Options, n, steps int) []*metrics.Table {
+	opt.fill()
+	if n <= 0 {
+		n = 800
+	}
+	if steps <= 0 {
+		steps = 300
+	}
+	var tables []*metrics.Table
+	for di, ds := range opt.Datasets {
+		tab := &metrics.Table{
+			Title:  fmt.Sprintf("Fig. 6: availability under churn — %s (n=%d, select)", ds.Name, n),
+			XLabel: "step",
+			YLabel: "fraction",
+		}
+		churnSeries := &metrics.Series{Name: "churn (offline)"}
+		availSeries := &metrics.Series{Name: "availability"}
+		// Aggregate per-step across trials.
+		type agg struct{ churn, avail metrics.Welford }
+		points := map[int]*agg{}
+		var order []int
+		sim.RunTrials(opt.Trials, trialSeed(opt.Seed, 6, int64(di)), func(trial int, rng *rand.Rand) {
+			seed := trialSeed(opt.Seed, 6, int64(di), int64(trial))
+			g, o, err := buildForTrial(pubsub.Select, ds, n, seed, nil)
+			if err != nil {
+				return
+			}
+			pts := sim.RunChurn(o, g, sim.ChurnConfig{Steps: steps}, rng)
+			for _, p := range pts {
+				// The map is shared across trials; RunTrials runs them on
+				// multiple goroutines, so serialize via the mutex below.
+				mu.Lock()
+				a := points[p.Step]
+				if a == nil {
+					a = &agg{}
+					points[p.Step] = a
+					order = append(order, p.Step)
+				}
+				a.churn.Add(p.OfflineFraction)
+				a.avail.Add(p.Availability)
+				mu.Unlock()
+			}
+		})
+		for _, step := range order {
+			a := points[step]
+			churnSeries.Add(float64(step), a.churn)
+			availSeries.Add(float64(step), a.avail)
+		}
+		sortSeries(churnSeries)
+		sortSeries(availSeries)
+		tab.Series = []*metrics.Series{churnSeries, availSeries}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// SimultaneousTransfers reproduces the §IV-D connectivity experiment: a
+// central peer sends a 1.2 MB fragment to all its connections at once; the
+// total transfer time grows linearly with the connection count.
+func SimultaneousTransfers(opt Options, counts []int) *metrics.Table {
+	opt.fill()
+	if counts == nil {
+		counts = []int{5, 10, 20, 40, 80}
+	}
+	tab := &metrics.Table{
+		Title:  "§IV-D: simultaneous 1.2MB transfers from one peer",
+		XLabel: "connections",
+		YLabel: "total time (s)",
+	}
+	series := &metrics.Series{Name: "star transfer"}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for _, c := range counts {
+		// Same seed for every count: the central peer and its targets keep
+		// identical bandwidths across the sweep, so the x-axis isolates the
+		// connection count.
+		agg := sim.MeanOverTrials(opt.Trials, trialSeed(opt.Seed, 9),
+			func(trial int, rng *rand.Rand) metrics.Welford {
+				m := netmodel.New(maxC+1, netmodel.Config{}, rng)
+				targets := make([]overlay.PeerID, c)
+				for i := range targets {
+					targets[i] = overlay.PeerID(i + 1)
+				}
+				var w metrics.Welford
+				w.Add(m.SimultaneousSend(0, targets, netmodel.PayloadBytes))
+				return w
+			})
+		series.Add(float64(c), agg)
+	}
+	tab.Series = append(tab.Series, series)
+	return tab
+}
+
+// Fig7Latency reproduces Fig. 7: average dissemination latency of a 1.2 MB
+// publication over the routing tree, with heterogeneous bandwidth and
+// emulated pairwise latency, as the network grows. "random" (the
+// socially-oblivious Symphony overlay) grows steeply; SELECT stays low.
+func Fig7Latency(opt Options) []*metrics.Table {
+	opt.fill()
+	systems := []pubsub.Kind{pubsub.Select, pubsub.Symphony}
+	var tables []*metrics.Table
+	for di, ds := range opt.Datasets {
+		tab := &metrics.Table{
+			Title:  fmt.Sprintf("Fig. 7: dissemination latency — %s", ds.Name),
+			XLabel: "peers",
+			YLabel: "avg latency (s)",
+		}
+		for _, kind := range systems {
+			name := string(kind)
+			if kind == pubsub.Symphony {
+				name = "random (symphony)"
+			}
+			series := &metrics.Series{Name: name}
+			for si, n := range opt.Sizes {
+				agg := sim.MeanOverTrials(opt.Trials, trialSeed(opt.Seed, 7, int64(di), int64(si)),
+					func(trial int, rng *rand.Rand) metrics.Welford {
+						seed := trialSeed(opt.Seed, 7, int64(di), int64(si), int64(trial))
+						net := netmodel.New(n, netmodel.Config{}, rand.New(rand.NewSource(seed+29)))
+						g, o, err := buildLatencyAware(kind, ds, n, seed, net)
+						if err != nil {
+							return metrics.Welford{}
+						}
+						var w metrics.Welford
+						samples := opt.Samples / 5
+						if samples < 10 {
+							samples = 10
+						}
+						for i := 0; i < samples; i++ {
+							b := overlay.PeerID(rng.Intn(n))
+							if g.Degree(b) == 0 {
+								continue
+							}
+							d := pubsub.Publish(o, g, b)
+							lat, _ := net.DisseminationLatency(b, d.Tree.ChildrenArray(n), netmodel.PayloadBytes)
+							if !math.IsInf(lat, 1) {
+								w.Add(lat)
+							}
+						}
+						return w
+					})
+				series.Add(float64(n), agg)
+			}
+			tab.Series = append(tab.Series, series)
+		}
+		tables = append(tables, tab)
+	}
+	return tables
+}
+
+// buildLatencyAware builds a system and, for SELECT, feeds the netmodel's
+// upload bandwidths into the picker — the latency awareness of §III-D.
+func buildLatencyAware(kind pubsub.Kind, ds datasetsSpec, n int, seed int64, net *netmodel.Model) (graphT, overlay.Overlay, error) {
+	var cfg *selectsys.Config
+	if kind == pubsub.Select {
+		bw := make([]float64, n)
+		for i := range bw {
+			bw[i] = net.Upload(overlay.PeerID(i))
+		}
+		cfg = &selectsys.Config{Bandwidths: bw}
+	}
+	return buildForTrial(kind, ds, n, seed, cfg)
+}
+
+// Fig8IDs reproduces Fig. 8: the distribution of identifiers after SELECT
+// converges — fraction of peers per ID-space decile plus the friend vs
+// random ring-distance contrast that quantifies the social clustering.
+func Fig8IDs(opt Options, n int) []*metrics.Table {
+	opt.fill()
+	if n <= 0 {
+		n = 1000
+	}
+	const bins = 10
+	var tables []*metrics.Table
+	for di, ds := range opt.Datasets {
+		tab := &metrics.Table{
+			Title:  fmt.Sprintf("Fig. 8: identifier distribution — %s (n=%d)", ds.Name, n),
+			XLabel: "ID decile",
+			YLabel: "fraction of peers / distance",
+		}
+		occupancy := make([]metrics.Welford, bins)
+		var friendD, randomD metrics.Welford
+		sim.RunTrials(opt.Trials, trialSeed(opt.Seed, 8, int64(di)), func(trial int, rng *rand.Rand) {
+			g, o, err := buildForTrial(pubsub.Select, ds, n, trialSeed(opt.Seed, 8, int64(di), int64(trial)), nil)
+			if err != nil {
+				return
+			}
+			h := metrics.NewHistogram(0, 1, bins)
+			for p := 0; p < n; p++ {
+				h.Add(float64(o.Position(overlay.PeerID(p))))
+			}
+			fr := h.Fractions()
+			var fd, rd metrics.Welford
+			for i := 0; i < opt.Samples; i++ {
+				u, v, ok := g.RandomEdge(rng)
+				if ok {
+					fd.Add(ring.Distance(o.Position(u), o.Position(v)))
+				}
+				a := overlay.PeerID(rng.Intn(n))
+				b := overlay.PeerID(rng.Intn(n))
+				rd.Add(ring.Distance(o.Position(a), o.Position(b)))
+			}
+			mu.Lock()
+			for b := 0; b < bins; b++ {
+				occupancy[b].Add(fr[b])
+			}
+			friendD.Merge(fd)
+			randomD.Merge(rd)
+			mu.Unlock()
+		})
+		occ := &metrics.Series{Name: "peer fraction"}
+		for b := 0; b < bins; b++ {
+			occ.Add(float64(b+1), occupancy[b])
+		}
+		dist := &metrics.Series{Name: "ring distance"}
+		dist.Add(1, friendD)
+		dist.Points[len(dist.Points)-1].Note = "friend pairs"
+		dist.Add(2, randomD)
+		dist.Points[len(dist.Points)-1].Note = "random pairs"
+		tab.Series = []*metrics.Series{occ, dist}
+		tables = append(tables, tab)
+	}
+	return tables
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"selectps/internal/metrics"
+)
+
+// Headline condenses one figure's tables into the paper's style of claim:
+// SELECT's value at the largest network size and the percentage reduction
+// against every baseline series.
+type Headline struct {
+	Dataset    string
+	At         float64 // the x (network size) the row is taken at
+	Select     float64
+	Reductions map[string]float64 // baseline name -> % reduction (positive = SELECT lower)
+}
+
+// Headlines extracts one Headline per table. Tables must contain a
+// "select" series; series without a point at the largest common X are
+// skipped.
+func Headlines(tables []*metrics.Table) []Headline {
+	var out []Headline
+	for _, tab := range tables {
+		var sel *metrics.Series
+		for _, s := range tab.Series {
+			if s.Name == "select" {
+				sel = s
+				break
+			}
+		}
+		if sel == nil || len(sel.Points) == 0 {
+			continue
+		}
+		last := sel.Points[len(sel.Points)-1]
+		h := Headline{
+			Dataset:    datasetOf(tab.Title),
+			At:         last.X,
+			Select:     last.Y,
+			Reductions: map[string]float64{},
+		}
+		for _, s := range tab.Series {
+			if s.Name == "select" || len(s.Points) == 0 {
+				continue
+			}
+			for _, p := range s.Points {
+				if p.X == last.X {
+					h.Reductions[s.Name] = metrics.Reduction(last.Y, p.Y)
+					break
+				}
+			}
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// datasetOf pulls the data-set name out of a table title of the form
+// "... — <name>" (the sweep titles' convention).
+func datasetOf(title string) string {
+	if i := strings.LastIndex(title, "— "); i >= 0 {
+		rest := title[i+len("— "):]
+		if j := strings.IndexAny(rest, " ("); j > 0 {
+			return rest[:j]
+		}
+		return rest
+	}
+	return title
+}
+
+// FormatHeadlines renders headline rows with the reduction percentages,
+// one block per metric.
+func FormatHeadlines(metric string, hs []Headline) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s — SELECT vs baselines (at largest size per sweep)\n", metric)
+	for _, h := range hs {
+		fmt.Fprintf(&b, "%-10s n=%-6g select=%.3f", h.Dataset, h.At, h.Select)
+		for _, name := range []string{"symphony", "bayeux", "vitis", "omen"} {
+			if r, ok := h.Reductions[name]; ok {
+				fmt.Fprintf(&b, "  vs %s: %+.0f%%", name, r)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary runs the two headline sweeps (Fig. 2 hops, Fig. 3 relays) and
+// formats the paper-style reduction claims at the caller's scale.
+func Summary(opt Options) string {
+	var b strings.Builder
+	b.WriteString(FormatHeadlines("Fig. 2 hops per social lookup", Headlines(Fig2Hops(opt))))
+	b.WriteByte('\n')
+	b.WriteString(FormatHeadlines("Fig. 3 relay nodes per routing path", Headlines(Fig3Relays(opt))))
+	return b.String()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"selectps/internal/metrics"
+)
+
+func mkSeries(name string, pts ...[2]float64) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for _, p := range pts {
+		s.Points = append(s.Points, metrics.Point{X: p[0], Y: p[1]})
+	}
+	return s
+}
+
+func TestHeadlines(t *testing.T) {
+	tab := &metrics.Table{
+		Title: "Fig. 2: hops per social lookup — facebook",
+		Series: []*metrics.Series{
+			mkSeries("select", [2]float64{400, 2}, [2]float64{800, 2.5}),
+			mkSeries("symphony", [2]float64{400, 8}, [2]float64{800, 10}),
+			mkSeries("vitis", [2]float64{400, 4}, [2]float64{800, 5}),
+		},
+	}
+	hs := Headlines([]*metrics.Table{tab})
+	if len(hs) != 1 {
+		t.Fatalf("headlines = %d", len(hs))
+	}
+	h := hs[0]
+	if h.Dataset != "facebook" || h.At != 800 || h.Select != 2.5 {
+		t.Fatalf("headline = %+v", h)
+	}
+	if r := h.Reductions["symphony"]; r != 75 {
+		t.Errorf("symphony reduction = %v, want 75", r)
+	}
+	if r := h.Reductions["vitis"]; r != 50 {
+		t.Errorf("vitis reduction = %v, want 50", r)
+	}
+}
+
+func TestHeadlinesSkipsTablesWithoutSelect(t *testing.T) {
+	tab := &metrics.Table{Title: "x — y", Series: []*metrics.Series{mkSeries("symphony", [2]float64{1, 1})}}
+	if hs := Headlines([]*metrics.Table{tab}); len(hs) != 0 {
+		t.Errorf("expected no headlines, got %d", len(hs))
+	}
+}
+
+func TestDatasetOf(t *testing.T) {
+	cases := map[string]string{
+		"Fig. 2: hops per social lookup — facebook":   "facebook",
+		"Fig. 8: identifier distribution — gplus (n)": "gplus",
+		"no dash here": "no dash here",
+	}
+	for in, want := range cases {
+		if got := datasetOf(in); got != want {
+			t.Errorf("datasetOf(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatHeadlines(t *testing.T) {
+	hs := []Headline{{
+		Dataset: "facebook", At: 800, Select: 2.5,
+		Reductions: map[string]float64{"symphony": 75, "omen": 40},
+	}}
+	out := FormatHeadlines("Fig. 2", hs)
+	for _, want := range []string{"facebook", "select=2.500", "vs symphony: +75%", "vs omen: +40%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummaryRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("summary runs full sweeps")
+	}
+	opt := tiny()
+	opt.Sizes = []int{250}
+	opt.Samples = 25
+	out := Summary(opt)
+	if !strings.Contains(out, "Fig. 2") || !strings.Contains(out, "Fig. 3") {
+		t.Errorf("summary incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "facebook") {
+		t.Errorf("summary missing dataset:\n%s", out)
+	}
+}

@@ -1,0 +1,180 @@
+// Package growth implements the evolving-network join process the paper
+// uses to drive its experiments (§IV): starting from one random social user,
+// friends join by invitation at a rate that is high right after a user
+// registers and decays exponentially with the user's age, following the
+// population-growth model of Zhu et al. (paper ref. [19]). Users whose
+// entire neighborhood never invites them eventually join independently.
+//
+// The output is a Schedule: for every user, the iteration step at which it
+// joins the overlay and which already-registered friend invited it (or -1
+// for an independent join). SELECT's projection step (Algorithm 1) consumes
+// exactly this information: invited peers are placed next to their inviter,
+// independent ones at a uniform hash position.
+package growth
+
+import (
+	"math"
+	"math/rand"
+
+	"selectps/internal/socialgraph"
+)
+
+// Event records one user joining the network.
+type Event struct {
+	Step    int
+	User    socialgraph.NodeID
+	Inviter socialgraph.NodeID // -1 when the user joined independently
+}
+
+// Schedule is a join order: events sorted by step (events within a step are
+// in generation order).
+type Schedule struct {
+	Events []Event
+	Steps  int // number of steps used (max Event.Step + 1)
+}
+
+// Model parameterizes the growth process.
+type Model struct {
+	// InitialRate is the per-step probability that a fresh registrant
+	// invites any given not-yet-joined friend.
+	InitialRate float64
+	// Decay is the exponential decay constant of the invitation rate with
+	// user age: rate(age) = InitialRate * exp(-Decay*age).
+	Decay float64
+	// MaxSteps bounds the diffusion; users still missing afterwards join
+	// independently, one batch per remaining step.
+	MaxSteps int
+}
+
+// DefaultModel matches the qualitative behaviour of [19]: a burst of
+// invitations right after joining, decaying exponentially.
+func DefaultModel() Model {
+	return Model{InitialRate: 0.5, Decay: 0.3, MaxSteps: 200}
+}
+
+// Schedule produces a join schedule for every node of g. The process is
+// deterministic in (g, model, rng state).
+func (m Model) Schedule(g *socialgraph.Graph, rng *rand.Rand) Schedule {
+	n := g.NumNodes()
+	if n == 0 {
+		return Schedule{}
+	}
+	joinStep := make([]int, n)
+	inviter := make([]socialgraph.NodeID, n)
+	joined := make([]bool, n)
+	for i := range joinStep {
+		joinStep[i] = -1
+		inviter[i] = -1
+	}
+
+	var events []Event
+	join := func(u socialgraph.NodeID, step int, inv socialgraph.NodeID) {
+		joined[u] = true
+		joinStep[u] = step
+		inviter[u] = inv
+		events = append(events, Event{Step: step, User: u, Inviter: inv})
+	}
+
+	seed := g.RandomNode(rng)
+	join(seed, 0, -1)
+	remaining := n - 1
+
+	// registered holds users that may still invite friends.
+	registered := []socialgraph.NodeID{seed}
+	step := 1
+	for remaining > 0 && step < m.MaxSteps {
+		// Iterate over a snapshot: invitations within a step take effect at
+		// this step but the new users start inviting next step.
+		snapshot := registered
+		for _, u := range snapshot {
+			age := step - joinStep[u]
+			rate := m.InitialRate * math.Exp(-m.Decay*float64(age))
+			if rate <= 1e-6 {
+				continue
+			}
+			for _, v := range g.Neighbors(u) {
+				if !joined[v] && rng.Float64() < rate {
+					join(v, step, u)
+					registered = append(registered, v)
+					remaining--
+				}
+			}
+		}
+		step++
+	}
+
+	// Anyone left joins independently (random subscription), spread over
+	// subsequent steps so the overlay keeps evolving.
+	for u := 0; u < n && remaining > 0; u++ {
+		if joined[u] {
+			continue
+		}
+		// If some friend already joined, model it as a late invitation so
+		// projection still gets locality when possible.
+		var inv socialgraph.NodeID = -1
+		for _, v := range g.Neighbors(socialgraph.NodeID(u)) {
+			if joined[v] {
+				inv = v
+				break
+			}
+		}
+		join(socialgraph.NodeID(u), step, inv)
+		remaining--
+		if rng.Float64() < 0.25 {
+			step++
+		}
+	}
+
+	return Schedule{Events: events, Steps: step + 1}
+}
+
+// JoinOrder returns the users in join order.
+func (s Schedule) JoinOrder() []socialgraph.NodeID {
+	out := make([]socialgraph.NodeID, len(s.Events))
+	for i, e := range s.Events {
+		out[i] = e.User
+	}
+	return out
+}
+
+// Prefix returns the first k events (a snapshot of the network after k
+// joins), clamped to the schedule length.
+func (s Schedule) Prefix(k int) []Event {
+	if k > len(s.Events) {
+		k = len(s.Events)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return s.Events[:k]
+}
+
+// InvitedFraction reports the fraction of joins that carried an inviter —
+// a sanity metric for the diffusion (most users should be invited).
+func (s Schedule) InvitedFraction() float64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	inv := 0
+	for _, e := range s.Events {
+		if e.Inviter >= 0 {
+			inv++
+		}
+	}
+	return float64(inv) / float64(len(s.Events))
+}
+
+// JoinsPerStep returns how many users joined at each step; the shape should
+// rise quickly and decay, mirroring the exponential model of [19].
+func (s Schedule) JoinsPerStep() []int {
+	if s.Steps == 0 {
+		return nil
+	}
+	out := make([]int, s.Steps)
+	for _, e := range s.Events {
+		if e.Step >= 0 && e.Step < len(out) {
+			out[e.Step]++
+		}
+	}
+	return out
+}

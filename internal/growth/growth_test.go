@@ -1,0 +1,160 @@
+package growth
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/socialgraph"
+)
+
+func TestScheduleCoversAllUsers(t *testing.T) {
+	g := datasets.Facebook.Generate(400, 1)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(2)))
+	if len(sched.Events) != g.NumNodes() {
+		t.Fatalf("schedule has %d events for %d nodes", len(sched.Events), g.NumNodes())
+	}
+	seen := make(map[socialgraph.NodeID]bool)
+	for _, e := range sched.Events {
+		if seen[e.User] {
+			t.Fatalf("user %d joins twice", e.User)
+		}
+		seen[e.User] = true
+	}
+}
+
+func TestStepsMonotonic(t *testing.T) {
+	g := datasets.Slashdot.Generate(300, 3)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(4)))
+	prev := -1
+	for _, e := range sched.Events {
+		if e.Step < prev {
+			t.Fatalf("events out of step order: %d after %d", e.Step, prev)
+		}
+		prev = e.Step
+		if e.Step >= sched.Steps {
+			t.Fatalf("event step %d >= Steps %d", e.Step, sched.Steps)
+		}
+	}
+}
+
+func TestInvitersAreRegisteredFriends(t *testing.T) {
+	g := datasets.Facebook.Generate(300, 5)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(6)))
+	joined := make(map[socialgraph.NodeID]bool)
+	for _, e := range sched.Events {
+		if e.Inviter >= 0 {
+			if !joined[e.Inviter] {
+				t.Fatalf("user %d invited by not-yet-joined %d", e.User, e.Inviter)
+			}
+			if !g.HasEdge(e.User, e.Inviter) {
+				t.Fatalf("inviter %d is not a friend of %d", e.Inviter, e.User)
+			}
+		}
+		joined[e.User] = true
+	}
+}
+
+func TestMostJoinsAreInvited(t *testing.T) {
+	// The generated graphs are connected, so diffusion should invite the
+	// overwhelming majority of users.
+	g := datasets.Facebook.Generate(500, 7)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(8)))
+	if f := sched.InvitedFraction(); f < 0.9 {
+		t.Errorf("invited fraction = %.2f, want >= 0.9", f)
+	}
+}
+
+func TestJoinsPerStepDecays(t *testing.T) {
+	g := datasets.Facebook.Generate(1000, 9)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(10)))
+	per := sched.JoinsPerStep()
+	if len(per) == 0 {
+		t.Fatal("no steps")
+	}
+	total := 0
+	peak, peakStep := 0, 0
+	for s, c := range per {
+		total += c
+		if c > peak {
+			peak, peakStep = c, s
+		}
+	}
+	if total != g.NumNodes() {
+		t.Errorf("per-step joins sum to %d, want %d", total, g.NumNodes())
+	}
+	// Per-user invitation rate decays exponentially, so network-wide joins
+	// rise while inviters multiply, peak, then decay: the peak must not be
+	// the final step and the tail must fall below the peak.
+	if peakStep == len(per)-1 {
+		t.Errorf("join peak at final step %d; expected a decaying tail", peakStep)
+	}
+	if per[len(per)-1] >= peak {
+		t.Errorf("last step joins %d >= peak %d; no decay", per[len(per)-1], peak)
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	g := datasets.Slashdot.Generate(100, 11)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(12)))
+	if got := len(sched.Prefix(10)); got != 10 {
+		t.Errorf("Prefix(10) len = %d", got)
+	}
+	if got := len(sched.Prefix(10_000)); got != len(sched.Events) {
+		t.Errorf("Prefix over-length len = %d", got)
+	}
+	if got := len(sched.Prefix(-1)); got != 0 {
+		t.Errorf("Prefix(-1) len = %d", got)
+	}
+}
+
+func TestJoinOrder(t *testing.T) {
+	g := datasets.Slashdot.Generate(50, 13)
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(14)))
+	order := sched.JoinOrder()
+	if len(order) != 50 {
+		t.Fatalf("JoinOrder len = %d", len(order))
+	}
+	if order[0] != sched.Events[0].User {
+		t.Error("JoinOrder[0] mismatch")
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := socialgraph.NewBuilder(0).Build()
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(1)))
+	if len(sched.Events) != 0 || sched.Steps != 0 {
+		t.Errorf("empty graph schedule = %+v", sched)
+	}
+}
+
+func TestDisconnectedGraphStillCovered(t *testing.T) {
+	// Two cliques with no bridge: diffusion covers one; independent joins
+	// must cover the other.
+	b := socialgraph.NewBuilder(8)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(int32(i), int32(j))
+			b.AddEdge(int32(i+4), int32(j+4))
+		}
+	}
+	g := b.Build()
+	sched := DefaultModel().Schedule(g, rand.New(rand.NewSource(15)))
+	if len(sched.Events) != 8 {
+		t.Fatalf("schedule covers %d of 8 users", len(sched.Events))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := datasets.Facebook.Generate(200, 16)
+	a := DefaultModel().Schedule(g, rand.New(rand.NewSource(17)))
+	b2 := DefaultModel().Schedule(g, rand.New(rand.NewSource(17)))
+	if len(a.Events) != len(b2.Events) {
+		t.Fatal("nondeterministic schedule length")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b2.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b2.Events[i])
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/bitset"
+)
+
+func BenchmarkBucket(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHasher(128, 16, 0, rng)
+	bm := bitset.New(128)
+	for i := 0; i < 128; i++ {
+		if rng.Intn(2) == 1 {
+			bm.Set(i)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.Bucket(bm)
+	}
+}
+
+func BenchmarkTableInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	h := NewHasher(64, 8, 0, rng)
+	bm := bitset.New(64)
+	bm.Set(3)
+	t := NewTable(h)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(int32(i%1000), bm)
+	}
+}

@@ -1,0 +1,167 @@
+// Package lsh implements the locality-sensitive hashing index SELECT's
+// connection-establishment algorithm uses (Algorithm 5, §III-D).
+//
+// Each social friend is described by a friendship bitmap (which members of
+// the local neighborhood that friend is linked to). Bitmaps are indexed
+// into |H| = K buckets so that friends with similar connection sets land in
+// the same bucket; the peer then keeps at most one long-range link per
+// bucket, avoiding redundant links to friends that already cover the same
+// region of the overlay.
+//
+// The family used is classic bit sampling for Hamming distance (Gionis,
+// Indyk, Motwani — paper ref. [14]): a fixed random subset of bit positions
+// forms a signature, and equal signatures collide into the same bucket.
+// Vectors at Hamming distance d collide with probability (1 - d/dim)^s for
+// s sampled bits, which is monotonically decreasing in d — the LSH property.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selectps/internal/bitset"
+)
+
+// Hasher maps bitmaps of a fixed dimension to one of NumBuckets buckets.
+type Hasher struct {
+	dim        int
+	numBuckets int
+	sample     []int  // bit positions forming the signature
+	mix        uint64 // rng-derived key mixed into the signature fold
+}
+
+// NewHasher creates a bit-sampling hasher for dim-bit inputs and the given
+// bucket count. sampleBits controls signature length; <=0 picks a default
+// that scales with the bucket count. The construction is deterministic in
+// the provided rng.
+func NewHasher(dim, numBuckets, sampleBits int, rng *rand.Rand) *Hasher {
+	if dim < 0 {
+		panic(fmt.Sprintf("lsh: negative dimension %d", dim))
+	}
+	if numBuckets <= 0 {
+		panic(fmt.Sprintf("lsh: bucket count %d must be positive", numBuckets))
+	}
+	if sampleBits <= 0 {
+		// Enough signature entropy to spread over the buckets while keeping
+		// collision probability meaningful for similar vectors.
+		sampleBits = 8
+		for 1<<sampleBits < numBuckets*4 && sampleBits < 24 {
+			sampleBits++
+		}
+	}
+	if sampleBits > dim {
+		sampleBits = dim
+	}
+	sample := rng.Perm(dim)[:sampleBits]
+	return &Hasher{dim: dim, numBuckets: numBuckets, sample: sample, mix: rng.Uint64()}
+}
+
+// NumBuckets returns the bucket count |H|.
+func (h *Hasher) NumBuckets() int { return h.numBuckets }
+
+// Dim returns the expected bitmap length.
+func (h *Hasher) Dim() int { return h.dim }
+
+// signature extracts the sampled bits as a packed word sequence and folds
+// them FNV-style into a 64-bit value. Equal signatures → equal folds.
+func (h *Hasher) signature(b *bitset.Set) uint64 {
+	if b.Len() != h.dim {
+		panic(fmt.Sprintf("lsh: bitmap length %d, hasher dimension %d", b.Len(), h.dim))
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	sig := offset64 ^ h.mix
+	var cur uint64
+	n := 0
+	for _, pos := range h.sample {
+		cur <<= 1
+		if b.Test(pos) {
+			cur |= 1
+		}
+		n++
+		if n == 64 {
+			sig = (sig ^ cur) * prime64
+			cur, n = 0, 0
+		}
+	}
+	if n > 0 {
+		sig = (sig ^ cur) * prime64
+	}
+	return sig
+}
+
+// Bucket returns the bucket index in [0, NumBuckets) for bitmap b.
+func (h *Hasher) Bucket(b *bitset.Set) int {
+	if h.numBuckets == 1 {
+		return 0
+	}
+	return int(h.signature(b) % uint64(h.numBuckets))
+}
+
+// Table is an LSH index instance: bitmaps inserted under integer keys,
+// grouped by bucket. This is the per-peer structure rebuilt each gossip
+// round in Algorithm 5 (lines 2–4).
+type Table struct {
+	h        *Hasher
+	buckets  [][]int32
+	bucketOf map[int32]int
+}
+
+// NewTable returns an empty index over the hasher.
+func NewTable(h *Hasher) *Table {
+	return &Table{
+		h:        h,
+		buckets:  make([][]int32, h.numBuckets),
+		bucketOf: make(map[int32]int),
+	}
+}
+
+// Insert indexes key's bitmap. Re-inserting a key moves it to the (possibly
+// new) bucket of the new bitmap.
+func (t *Table) Insert(key int32, b *bitset.Set) {
+	if old, ok := t.bucketOf[key]; ok {
+		t.removeFrom(old, key)
+	}
+	bk := t.h.Bucket(b)
+	t.buckets[bk] = append(t.buckets[bk], key)
+	t.bucketOf[key] = bk
+}
+
+func (t *Table) removeFrom(bucket int, key int32) {
+	l := t.buckets[bucket]
+	for i, k := range l {
+		if k == key {
+			l[i] = l[len(l)-1]
+			t.buckets[bucket] = l[:len(l)-1]
+			return
+		}
+	}
+}
+
+// Remove deletes key from the index; unknown keys are a no-op.
+func (t *Table) Remove(key int32) {
+	if bk, ok := t.bucketOf[key]; ok {
+		t.removeFrom(bk, key)
+		delete(t.bucketOf, key)
+	}
+}
+
+// Bucket returns the keys currently in bucket i. The slice is owned by the
+// table; callers must not mutate it.
+func (t *Table) Bucket(i int) []int32 { return t.buckets[i] }
+
+// BucketOf returns the bucket holding key, or -1 when absent.
+func (t *Table) BucketOf(key int32) int {
+	if bk, ok := t.bucketOf[key]; ok {
+		return bk
+	}
+	return -1
+}
+
+// Len returns the number of indexed keys.
+func (t *Table) Len() int { return len(t.bucketOf) }
+
+// NumBuckets returns |H|.
+func (t *Table) NumBuckets() int { return t.h.numBuckets }

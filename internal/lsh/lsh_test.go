@@ -1,0 +1,254 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/bitset"
+)
+
+func newHasher(t *testing.T, dim, buckets int) *Hasher {
+	t.Helper()
+	return NewHasher(dim, buckets, 0, rand.New(rand.NewSource(1)))
+}
+
+func TestBucketRange(t *testing.T) {
+	h := newHasher(t, 100, 8)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		b := bitset.New(100)
+		for j := 0; j < 100; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		bk := h.Bucket(b)
+		if bk < 0 || bk >= 8 {
+			t.Fatalf("bucket %d out of range", bk)
+		}
+	}
+}
+
+func TestIdenticalBitmapsSameBucket(t *testing.T) {
+	h := newHasher(t, 64, 8)
+	a := bitset.FromIndices(64, []int{1, 5, 9, 33})
+	b := bitset.FromIndices(64, []int{1, 5, 9, 33})
+	if h.Bucket(a) != h.Bucket(b) {
+		t.Error("identical bitmaps hashed to different buckets")
+	}
+}
+
+func TestDeterministicAcrossConstructions(t *testing.T) {
+	h1 := NewHasher(64, 8, 0, rand.New(rand.NewSource(7)))
+	h2 := NewHasher(64, 8, 0, rand.New(rand.NewSource(7)))
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 100; i++ {
+		b := bitset.New(64)
+		for j := 0; j < 64; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		if h1.Bucket(b) != h2.Bucket(b) {
+			t.Fatal("same-seed hashers disagree")
+		}
+	}
+}
+
+func TestLocalityProperty(t *testing.T) {
+	// Near-duplicate bitmaps must collide far more often than random pairs.
+	h := newHasher(t, 256, 8)
+	rng := rand.New(rand.NewSource(3))
+	trials := 400
+	nearColl, farColl := 0, 0
+	for i := 0; i < trials; i++ {
+		a := bitset.New(256)
+		for j := 0; j < 256; j++ {
+			if rng.Intn(2) == 1 {
+				a.Set(j)
+			}
+		}
+		// near: flip 4 random bits (Hamming 4)
+		near := a.Clone()
+		for k := 0; k < 4; k++ {
+			p := rng.Intn(256)
+			if near.Test(p) {
+				near.Clear(p)
+			} else {
+				near.Set(p)
+			}
+		}
+		// far: independent random bitmap
+		far := bitset.New(256)
+		for j := 0; j < 256; j++ {
+			if rng.Intn(2) == 1 {
+				far.Set(j)
+			}
+		}
+		if h.Bucket(a) == h.Bucket(near) {
+			nearColl++
+		}
+		if h.Bucket(a) == h.Bucket(far) {
+			farColl++
+		}
+	}
+	if nearColl <= farColl {
+		t.Errorf("LSH property violated: near collisions %d <= far collisions %d",
+			nearColl, farColl)
+	}
+	// Random pairs collide at roughly 1/8 by chance; near pairs should be
+	// clearly above that.
+	if float64(nearColl)/float64(trials) < 0.3 {
+		t.Errorf("near-duplicate collision rate %.2f too low", float64(nearColl)/float64(trials))
+	}
+}
+
+func TestBucketSpread(t *testing.T) {
+	// Random bitmaps should occupy most buckets, not collapse into one.
+	h := newHasher(t, 128, 8)
+	rng := rand.New(rand.NewSource(4))
+	used := make(map[int]bool)
+	for i := 0; i < 400; i++ {
+		b := bitset.New(128)
+		for j := 0; j < 128; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		used[h.Bucket(b)] = true
+	}
+	if len(used) < 6 {
+		t.Errorf("only %d of 8 buckets used", len(used))
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	h := newHasher(t, 10, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on dimension mismatch")
+		}
+	}()
+	h.Bucket(bitset.New(11))
+}
+
+func TestConstructorValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"negative dim": func() { NewHasher(-1, 2, 0, rand.New(rand.NewSource(1))) },
+		"zero buckets": func() { NewHasher(10, 0, 0, rand.New(rand.NewSource(1))) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSingleBucket(t *testing.T) {
+	h := NewHasher(32, 1, 0, rand.New(rand.NewSource(5)))
+	if h.Bucket(bitset.New(32)) != 0 {
+		t.Error("single-bucket hasher must return 0")
+	}
+}
+
+func TestZeroDim(t *testing.T) {
+	h := NewHasher(0, 4, 0, rand.New(rand.NewSource(6)))
+	if bk := h.Bucket(bitset.New(0)); bk < 0 || bk >= 4 {
+		t.Errorf("zero-dim bucket = %d", bk)
+	}
+}
+
+func TestTableInsertRemove(t *testing.T) {
+	h := newHasher(t, 64, 4)
+	tab := NewTable(h)
+	a := bitset.FromIndices(64, []int{1, 2, 3})
+	b := bitset.FromIndices(64, []int{60, 61, 62})
+	tab.Insert(10, a)
+	tab.Insert(20, b)
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+	if tab.BucketOf(10) != h.Bucket(a) {
+		t.Error("BucketOf(10) mismatch")
+	}
+	if tab.BucketOf(99) != -1 {
+		t.Error("BucketOf(unknown) should be -1")
+	}
+	tab.Remove(10)
+	if tab.Len() != 1 || tab.BucketOf(10) != -1 {
+		t.Error("Remove failed")
+	}
+	tab.Remove(10) // idempotent
+	if tab.Len() != 1 {
+		t.Error("double Remove changed table")
+	}
+}
+
+func TestTableReinsertMoves(t *testing.T) {
+	h := newHasher(t, 64, 8)
+	tab := NewTable(h)
+	var a, b *bitset.Set
+	// Find two bitmaps in different buckets.
+	rng := rand.New(rand.NewSource(9))
+	for {
+		a, b = bitset.New(64), bitset.New(64)
+		for j := 0; j < 64; j++ {
+			if rng.Intn(2) == 1 {
+				a.Set(j)
+			}
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		if h.Bucket(a) != h.Bucket(b) {
+			break
+		}
+	}
+	tab.Insert(5, a)
+	tab.Insert(5, b)
+	if tab.Len() != 1 {
+		t.Fatalf("reinsert duplicated key: Len=%d", tab.Len())
+	}
+	if tab.BucketOf(5) != h.Bucket(b) {
+		t.Error("reinsert did not move key to new bucket")
+	}
+	// Old bucket must no longer contain the key.
+	for _, k := range tab.Bucket(h.Bucket(a)) {
+		if k == 5 {
+			t.Error("key still in old bucket")
+		}
+	}
+}
+
+func TestTableBucketsPartitionKeys(t *testing.T) {
+	h := newHasher(t, 128, 6)
+	tab := NewTable(h)
+	rng := rand.New(rand.NewSource(10))
+	for k := int32(0); k < 200; k++ {
+		b := bitset.New(128)
+		for j := 0; j < 128; j++ {
+			if rng.Intn(2) == 1 {
+				b.Set(j)
+			}
+		}
+		tab.Insert(k, b)
+	}
+	total := 0
+	seen := make(map[int32]bool)
+	for i := 0; i < tab.NumBuckets(); i++ {
+		for _, k := range tab.Bucket(i) {
+			if seen[k] {
+				t.Fatalf("key %d appears in two buckets", k)
+			}
+			seen[k] = true
+			total++
+		}
+	}
+	if total != 200 || tab.Len() != 200 {
+		t.Errorf("partition covers %d keys, Len=%d, want 200", total, tab.Len())
+	}
+}

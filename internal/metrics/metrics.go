@@ -1,0 +1,212 @@
+// Package metrics provides the statistical plumbing the experiment harness
+// uses: numerically stable streaming moments (Welford), mergeable across
+// worker goroutines for parallel trials, plus simple histogram and
+// series/table containers that print like the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Welford accumulates mean and variance in a single pass. The zero value is
+// ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel merge),
+// so per-worker accumulators can be reduced after a parallel sweep.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean (0 with no observations).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the sample variance (0 with fewer than two observations).
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// Quantile computes the q-quantile (0<=q<=1) of a sample by sorting a copy.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Histogram counts observations into fixed-width bins over [min,max);
+// values outside clamp to the edge bins.
+type Histogram struct {
+	Min, Max float64
+	Bins     []int64
+}
+
+// NewHistogram returns a histogram with the given bin count.
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		panic(fmt.Sprintf("metrics: bad histogram [%v,%v) x%d", min, max, bins))
+	}
+	return &Histogram{Min: min, Max: max, Bins: make([]int64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Bins) {
+		i = len(h.Bins) - 1
+	}
+	h.Bins[i]++
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int64 {
+	var t int64
+	for _, b := range h.Bins {
+		t += b
+	}
+	return t
+}
+
+// Fractions returns each bin's share of the total (zeros when empty).
+func (h *Histogram) Fractions() []float64 {
+	out := make([]float64, len(h.Bins))
+	t := h.Total()
+	if t == 0 {
+		return out
+	}
+	for i, b := range h.Bins {
+		out[i] = float64(b) / float64(t)
+	}
+	return out
+}
+
+// Point is one x/y measurement with dispersion.
+type Point struct {
+	X    float64
+	Y    float64
+	Std  float64
+	N    int64
+	Note string
+}
+
+// Series is a named sequence of points — one line in a paper figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point computed from an accumulator.
+func (s *Series) Add(x float64, w Welford) {
+	s.Points = append(s.Points, Point{X: x, Y: w.Mean(), Std: w.Std(), N: w.N()})
+}
+
+// Table is a printable collection of series sharing an X axis — one figure.
+type Table struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// String renders the table with one row per X value and one column per
+// series, in the spirit of the paper's figures.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %16s", s.Name)
+	}
+	fmt.Fprintf(&b, "   (%s)\n", t.YLabel)
+	// Collect the union of X values in first-seen order.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%-12g", x)
+		for _, s := range t.Series {
+			found := false
+			for _, p := range s.Points {
+				if p.X == x {
+					fmt.Fprintf(&b, " %16.3f", p.Y)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Reduction returns the relative reduction (1 - a/b) as a percentage,
+// matching the paper's "X% fewer" phrasing; b == 0 yields 0.
+func Reduction(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (1 - a/b) * 100
+}

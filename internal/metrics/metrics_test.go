@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Errorf("N = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if math.Abs(w.Var()-32.0/7.0) > 1e-12 {
+		t.Errorf("Var = %v, want %v", w.Var(), 32.0/7.0)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Var() != 0 || w.Std() != 0 {
+		t.Error("empty accumulator should be all zeros")
+	}
+}
+
+func TestWelfordMergeMatchesSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		var all, a, b Welford
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()*10 + 3
+			all.Add(x)
+			if i%2 == 0 {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == all.N() &&
+			math.Abs(a.Mean()-all.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-all.Var()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWelfordMergeEmpty(t *testing.T) {
+	var a, b Welford
+	a.Add(1)
+	a.Add(3)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 2 || a.Mean() != 2 {
+		t.Error("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 {
+		t.Error("merge into empty failed")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Errorf("q25 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 9.99, 10, 11, -5} {
+		h.Add(x)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	// bins: [0,2): {0,1.9,-5}=3; [2,4): {2}=1; [8,10): {9.99,10,11}=3
+	if h.Bins[0] != 3 || h.Bins[1] != 1 || h.Bins[4] != 3 {
+		t.Errorf("Bins = %v", h.Bins)
+	}
+	fr := h.Fractions()
+	if math.Abs(fr[0]-3.0/7.0) > 1e-12 {
+		t.Errorf("Fractions = %v", fr)
+	}
+	var sum float64
+	for _, f := range fr {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+}
+
+func TestHistogramEmptyFractions(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	for _, f := range h.Fractions() {
+		if f != 0 {
+			t.Error("empty histogram has nonzero fractions")
+		}
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram accepted")
+		}
+	}()
+	NewHistogram(1, 0, 5)
+}
+
+func TestSeriesAndTable(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(3)
+	s1 := &Series{Name: "select"}
+	s1.Add(100, w)
+	s2 := &Series{Name: "symphony"}
+	s2.Add(100, w)
+	s2.Add(200, w)
+	tab := &Table{Title: "Fig X", XLabel: "peers", YLabel: "hops", Series: []*Series{s1, s2}}
+	out := tab.String()
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "select") {
+		t.Errorf("table header missing: %s", out)
+	}
+	if !strings.Contains(out, "200") {
+		t.Errorf("missing x row: %s", out)
+	}
+	// s1 has no point at 200 → a dash.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder: %s", out)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if r := Reduction(1, 10); math.Abs(r-90) > 1e-12 {
+		t.Errorf("Reduction(1,10) = %v", r)
+	}
+	if r := Reduction(5, 0); r != 0 {
+		t.Errorf("Reduction by zero = %v", r)
+	}
+	if r := Reduction(10, 10); r != 0 {
+		t.Errorf("Reduction equal = %v", r)
+	}
+}

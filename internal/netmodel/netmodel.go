@@ -1,0 +1,196 @@
+// Package netmodel is the network substrate for the paper's "realistic
+// experiments" (§IV-D).
+//
+// Substitution note (DESIGN.md §2): the paper runs WebRTC browser peers on
+// 18 VMs and emulates latency on the network interface. This package models
+// the same effects in-process: each peer gets heterogeneous upload/download
+// bandwidth drawn from access-technology tiers, pairwise latency derives
+// from random coordinates on a unit square (a flat geography stand-in), and
+// — crucially for Fig. 7 and the §IV-D simultaneous-transfer experiment —
+// a sender's upload bandwidth is shared equally across its concurrent
+// transfers. Payloads default to the paper's 1.2 MB "average image size".
+package netmodel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"selectps/internal/socialgraph"
+)
+
+// PayloadBytes is the paper's dissemination payload: 1.2 MB.
+const PayloadBytes = 1.2 * 1000 * 1000
+
+// Tier is an access-technology bandwidth class.
+type Tier struct {
+	Name        string
+	UploadBps   float64 // bytes per second
+	DownloadBps float64
+	Weight      float64 // relative population share
+}
+
+// DefaultTiers is a coarse residential mix: ADSL, cable, VDSL, fiber.
+// Values are bytes/s (8 Mbit/s download ≈ 1e6 B/s).
+func DefaultTiers() []Tier {
+	return []Tier{
+		{Name: "adsl", UploadBps: 0.125e6, DownloadBps: 1e6, Weight: 0.30},
+		{Name: "cable", UploadBps: 0.75e6, DownloadBps: 6e6, Weight: 0.35},
+		{Name: "vdsl", UploadBps: 1.5e6, DownloadBps: 8e6, Weight: 0.20},
+		{Name: "fiber", UploadBps: 12e6, DownloadBps: 12e6, Weight: 0.15},
+	}
+}
+
+// Model holds per-peer connectivity characteristics.
+type Model struct {
+	up, down []float64
+	x, y     []float64 // unit-square coordinates for latency
+	baseLat  float64   // constant per-hop latency floor (seconds)
+	distLat  float64   // latency per unit distance (seconds)
+}
+
+// Config parameterizes model generation.
+type Config struct {
+	Tiers   []Tier
+	BaseLat float64 // seconds; default 10 ms
+	DistLat float64 // seconds per unit distance; default 80 ms
+	// Jitter multiplies each peer's tier bandwidth by exp(N(0, Jitter)) so
+	// peers within a tier still differ. Default 0.25.
+	Jitter float64
+}
+
+// New builds a model for n peers, deterministic in rng.
+func New(n int, cfg Config, rng *rand.Rand) *Model {
+	if n < 0 {
+		panic(fmt.Sprintf("netmodel: negative peer count %d", n))
+	}
+	if cfg.Tiers == nil {
+		cfg.Tiers = DefaultTiers()
+	}
+	if cfg.BaseLat == 0 {
+		cfg.BaseLat = 0.010
+	}
+	if cfg.DistLat == 0 {
+		cfg.DistLat = 0.080
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.25
+	}
+	var totalW float64
+	for _, t := range cfg.Tiers {
+		totalW += t.Weight
+	}
+	m := &Model{
+		up:      make([]float64, n),
+		down:    make([]float64, n),
+		x:       make([]float64, n),
+		y:       make([]float64, n),
+		baseLat: cfg.BaseLat,
+		distLat: cfg.DistLat,
+	}
+	for i := 0; i < n; i++ {
+		r := rng.Float64() * totalW
+		tier := cfg.Tiers[len(cfg.Tiers)-1]
+		for _, t := range cfg.Tiers {
+			if r < t.Weight {
+				tier = t
+				break
+			}
+			r -= t.Weight
+		}
+		j := math.Exp(rng.NormFloat64() * cfg.Jitter)
+		m.up[i] = tier.UploadBps * j
+		m.down[i] = tier.DownloadBps * j
+		m.x[i] = rng.Float64()
+		m.y[i] = rng.Float64()
+	}
+	return m
+}
+
+// N returns the number of peers modeled.
+func (m *Model) N() int { return len(m.up) }
+
+// Upload returns peer u's upload bandwidth in bytes/s.
+func (m *Model) Upload(u socialgraph.NodeID) float64 { return m.up[u] }
+
+// Download returns peer u's download bandwidth in bytes/s.
+func (m *Model) Download(u socialgraph.NodeID) float64 { return m.down[u] }
+
+// Latency returns the one-way propagation latency between u and v in
+// seconds. It is symmetric and zero for u == v.
+func (m *Model) Latency(u, v socialgraph.NodeID) float64 {
+	if u == v {
+		return 0
+	}
+	dx := m.x[u] - m.x[v]
+	dy := m.y[u] - m.y[v]
+	return m.baseLat + m.distLat*math.Sqrt(dx*dx+dy*dy)
+}
+
+// TransferTime returns the time for u to send `bytes` to v while u is
+// running `concurrent` simultaneous uploads (>=1): propagation latency plus
+// serialization at the bottleneck of u's upload share and v's download.
+func (m *Model) TransferTime(u, v socialgraph.NodeID, bytes float64, concurrent int) float64 {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	upShare := m.up[u] / float64(concurrent)
+	bw := math.Min(upShare, m.down[v])
+	return m.Latency(u, v) + bytes/bw
+}
+
+// SimultaneousSend models the §IV-D connectivity experiment: u sends
+// `bytes` to every target at once, upload shared equally. It returns the
+// completion time of the slowest transfer. With k targets the serialization
+// term scales ~linearly in k, reproducing the paper's observation that the
+// bottleneck is simultaneous transfers, not connection count.
+func (m *Model) SimultaneousSend(u socialgraph.NodeID, targets []socialgraph.NodeID, bytes float64) float64 {
+	if len(targets) == 0 {
+		return 0
+	}
+	var worst float64
+	for _, v := range targets {
+		if t := m.TransferTime(u, v, bytes, len(targets)); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// DisseminationLatency computes the completion time of a store-and-forward
+// dissemination over a routing tree: every node begins forwarding only
+// after fully receiving the payload, and forwards to all its children
+// simultaneously (upload shared). children[u] lists u's children; root is
+// the publisher. It returns l(b, S_b) = max over nodes of their receive
+// time (Eq. 1) and the per-node receive times (-Inf... represented as
+// math.Inf(1) for unreached nodes, 0 for the root).
+func (m *Model) DisseminationLatency(root socialgraph.NodeID, children [][]socialgraph.NodeID, bytes float64) (float64, []float64) {
+	n := len(children)
+	recv := make([]float64, n)
+	for i := range recv {
+		recv[i] = math.Inf(1)
+	}
+	recv[root] = 0
+	// BFS order: a node's children receive after the node itself.
+	queue := []socialgraph.NodeID{root}
+	var worst float64
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		k := len(children[u])
+		if k == 0 {
+			continue
+		}
+		for _, v := range children[u] {
+			t := recv[u] + m.TransferTime(u, v, bytes, k)
+			if t < recv[v] {
+				recv[v] = t
+			}
+			if recv[v] > worst && !math.IsInf(recv[v], 1) {
+				worst = recv[v]
+			}
+			queue = append(queue, v)
+		}
+	}
+	return worst, recv
+}

@@ -1,0 +1,160 @@
+package netmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newModel(t *testing.T, n int) *Model {
+	t.Helper()
+	return New(n, Config{}, rand.New(rand.NewSource(1)))
+}
+
+func TestNewDefaults(t *testing.T) {
+	m := newModel(t, 50)
+	if m.N() != 50 {
+		t.Fatalf("N = %d", m.N())
+	}
+	for u := int32(0); u < 50; u++ {
+		if m.Upload(u) <= 0 || m.Download(u) <= 0 {
+			t.Fatalf("peer %d has nonpositive bandwidth", u)
+		}
+	}
+}
+
+func TestHeterogeneousBandwidth(t *testing.T) {
+	m := newModel(t, 200)
+	minUp, maxUp := math.Inf(1), 0.0
+	for u := int32(0); u < 200; u++ {
+		minUp = math.Min(minUp, m.Upload(u))
+		maxUp = math.Max(maxUp, m.Upload(u))
+	}
+	if maxUp/minUp < 5 {
+		t.Errorf("bandwidth spread %0.1fx too homogeneous", maxUp/minUp)
+	}
+}
+
+func TestLatencySymmetricPositive(t *testing.T) {
+	m := newModel(t, 30)
+	for u := int32(0); u < 30; u++ {
+		if m.Latency(u, u) != 0 {
+			t.Fatalf("self latency nonzero")
+		}
+		for v := u + 1; v < 30; v++ {
+			l1, l2 := m.Latency(u, v), m.Latency(v, u)
+			if l1 != l2 {
+				t.Fatalf("asymmetric latency %v vs %v", l1, l2)
+			}
+			if l1 < 0.010 { // base latency floor
+				t.Fatalf("latency %v below base", l1)
+			}
+			if l1 > 0.010+0.080*math.Sqrt2+1e-9 { // max distance on unit square
+				t.Fatalf("latency %v above max", l1)
+			}
+		}
+	}
+}
+
+func TestTransferTimeSharing(t *testing.T) {
+	m := newModel(t, 10)
+	t1 := m.TransferTime(0, 1, PayloadBytes, 1)
+	t4 := m.TransferTime(0, 1, PayloadBytes, 4)
+	if t4 <= t1 {
+		t.Errorf("sharing upload across 4 transfers did not slow transfer: %v vs %v", t1, t4)
+	}
+	// concurrent < 1 clamps to 1
+	if m.TransferTime(0, 1, PayloadBytes, 0) != t1 {
+		t.Error("concurrent=0 not clamped")
+	}
+}
+
+func TestSimultaneousSendLinearGrowth(t *testing.T) {
+	// §IV-D: total time for a central peer sending to k targets at once
+	// grows ~linearly with k.
+	m := New(200, Config{Jitter: 1e-9}, rand.New(rand.NewSource(3)))
+	targets := func(k int) []int32 {
+		out := make([]int32, k)
+		for i := range out {
+			out[i] = int32(i + 1)
+		}
+		return out
+	}
+	t5 := m.SimultaneousSend(0, targets(5), PayloadBytes)
+	t50 := m.SimultaneousSend(0, targets(50), PayloadBytes)
+	ratio := t50 / t5
+	if ratio < 5 || ratio > 15 {
+		t.Errorf("50 vs 5 targets time ratio = %.1f, want ~10 (linear)", ratio)
+	}
+	if m.SimultaneousSend(0, nil, PayloadBytes) != 0 {
+		t.Error("empty target set should take 0 time")
+	}
+}
+
+func TestDisseminationLatencyChain(t *testing.T) {
+	m := newModel(t, 4)
+	// chain 0 -> 1 -> 2 -> 3
+	children := [][]int32{{1}, {2}, {3}, {}}
+	total, recv := m.DisseminationLatency(0, children, PayloadBytes)
+	if recv[0] != 0 {
+		t.Errorf("root recv = %v", recv[0])
+	}
+	want := m.TransferTime(0, 1, PayloadBytes, 1) +
+		m.TransferTime(1, 2, PayloadBytes, 1) +
+		m.TransferTime(2, 3, PayloadBytes, 1)
+	if math.Abs(recv[3]-want) > 1e-9 {
+		t.Errorf("chain end recv = %v, want %v", recv[3], want)
+	}
+	if total != recv[3] {
+		t.Errorf("total %v != deepest %v", total, recv[3])
+	}
+	// store-and-forward monotonicity
+	if !(recv[1] < recv[2] && recv[2] < recv[3]) {
+		t.Errorf("recv times not increasing along chain: %v", recv)
+	}
+}
+
+func TestDisseminationLatencyStarVsChain(t *testing.T) {
+	// A wide star from a slow uploader should be slower than relaying via a
+	// fast intermediary would suggest: star time grows with fan-out.
+	m := New(20, Config{Jitter: 1e-9}, rand.New(rand.NewSource(5)))
+	star := make([][]int32, 20)
+	star[0] = []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	tStar, _ := m.DisseminationLatency(0, star, PayloadBytes)
+	single := make([][]int32, 20)
+	single[0] = []int32{1}
+	tOne, _ := m.DisseminationLatency(0, single, PayloadBytes)
+	if tStar < tOne*5 {
+		t.Errorf("10-way star %v not ~10x slower than single %v", tStar, tOne)
+	}
+}
+
+func TestDisseminationUnreachedNodes(t *testing.T) {
+	m := newModel(t, 5)
+	children := [][]int32{{1}, {}, {}, {}, {}} // nodes 2..4 not in tree
+	_, recv := m.DisseminationLatency(0, children, PayloadBytes)
+	for u := 2; u < 5; u++ {
+		if !math.IsInf(recv[u], 1) {
+			t.Errorf("unreached node %d has finite recv %v", u, recv[u])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(40, Config{}, rand.New(rand.NewSource(9)))
+	b := New(40, Config{}, rand.New(rand.NewSource(9)))
+	for u := int32(0); u < 40; u++ {
+		if a.Upload(u) != b.Upload(u) || a.Latency(u, (u+1)%40) != b.Latency(u, (u+1)%40) {
+			t.Fatal("model not deterministic in seed")
+		}
+	}
+}
+
+func TestNegativeNPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1, Config{}, rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,563 @@
+// Package node is the live deployment of a SELECT overlay: every peer is
+// a goroutine with a mailbox, speaking the wire protocol over a transport
+// (in-memory switchboard or real TCP loopback sockets). It corresponds to
+// the paper's "realistic experiments" runtime (§IV-D), where the simulator
+// is replaced by actual message passing.
+//
+// The overlay construction (projection, reassignment, LSH links) converges
+// in internal/selectsys; the node runtime takes the converged routing
+// state and runs the live protocols on top of it:
+//
+//   - directed publication forwarding (§III-E): the publisher unicasts to
+//     every subscriber; intermediate nodes forward greedily using only
+//     their own links and their cached lookahead;
+//   - the peer-sampling exchange (Algorithms 3–4): nodes periodically send
+//     their neighborhood and routing table to a random friend and receive
+//     the mutual-friend count and friendship bitmap — which also fills the
+//     lookahead cache;
+//   - heartbeats feeding per-link CMA availability (§III-F).
+package node
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"selectps/internal/churn"
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/socialgraph"
+	"selectps/internal/transport"
+	"selectps/internal/wire"
+)
+
+// Config tunes the live protocols.
+type Config struct {
+	// HeartbeatEvery is the ping interval (0 disables heartbeats).
+	HeartbeatEvery time.Duration
+	// GossipEvery is the Algorithm-3 exchange interval (0 disables; the
+	// paper suggests ~10 s, tests use milliseconds).
+	GossipEvery time.Duration
+	// TTL bounds forwarding hops (default 32).
+	TTL uint8
+}
+
+func (c *Config) fill() {
+	if c.TTL == 0 {
+		c.TTL = 32
+	}
+}
+
+// msgID identifies a publication.
+type msgID struct {
+	Publisher int32
+	Seq       uint32
+}
+
+// Node is one live peer.
+type Node struct {
+	id  overlay.PeerID
+	g   *socialgraph.Graph
+	ov  overlay.Overlay
+	tr  transport.Transport
+	cfg Config
+	rng *rand.Rand
+
+	mu sync.Mutex
+	// seen dedups directed copies passing through; received records local
+	// deliveries with their hop count.
+	seen     map[msgID]bool
+	received map[msgID]uint8
+	// lookahead caches neighbors' routing tables learned via ExchangeRT.
+	lookahead map[overlay.PeerID][]overlay.PeerID
+	// cma tracks per-link availability from heartbeats.
+	cma map[overlay.PeerID]*churn.CMA
+	// pendingPings: seq -> target of pings not yet answered.
+	pendingPings map[uint32]overlay.PeerID
+	// acked records publication acks seen by this node (publisher role).
+	acked map[msgID]map[int32]bool
+	// exchanges counts completed Algorithm-3 rounds (active side).
+	exchanges int
+	seq       uint32
+
+	// paused simulates an unresponsive peer (churn): incoming messages are
+	// consumed and dropped, nothing is sent.
+	paused atomic.Bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newNode wires a node; run() starts its loop.
+func newNode(id overlay.PeerID, g *socialgraph.Graph, ov overlay.Overlay, tr transport.Transport, cfg Config, seed int64) *Node {
+	return &Node{
+		id: id, g: g, ov: ov, tr: tr, cfg: cfg,
+		rng:          rand.New(rand.NewSource(seed)),
+		seen:         make(map[msgID]bool),
+		received:     make(map[msgID]uint8),
+		lookahead:    make(map[overlay.PeerID][]overlay.PeerID),
+		cma:          make(map[overlay.PeerID]*churn.CMA),
+		pendingPings: make(map[uint32]overlay.PeerID),
+		acked:        make(map[msgID]map[int32]bool),
+		stop:         make(chan struct{}),
+	}
+}
+
+func (n *Node) run() {
+	defer n.wg.Done()
+	inbox := n.tr.Inbox(int32(n.id))
+	var heartbeat, gossip <-chan time.Time
+	if n.cfg.HeartbeatEvery > 0 {
+		t := time.NewTicker(n.cfg.HeartbeatEvery)
+		defer t.Stop()
+		heartbeat = t.C
+	}
+	if n.cfg.GossipEvery > 0 {
+		t := time.NewTicker(n.cfg.GossipEvery)
+		defer t.Stop()
+		gossip = t.C
+	}
+	for {
+		select {
+		case <-n.stop:
+			return
+		case env, ok := <-inbox:
+			if !ok {
+				return
+			}
+			if n.paused.Load() {
+				continue // unresponsive peer: drop everything
+			}
+			n.handle(env.Msg)
+		case <-heartbeat:
+			if !n.paused.Load() {
+				n.sendHeartbeats()
+			}
+		case <-gossip:
+			if !n.paused.Load() {
+				n.sendExchange()
+			}
+		}
+	}
+}
+
+func (n *Node) nextSeq() uint32 {
+	n.seq++
+	return n.seq
+}
+
+func (n *Node) handle(m *wire.Message) {
+	switch m.Kind {
+	case wire.KindPing:
+		reply := &wire.Message{Kind: wire.KindPong, From: int32(n.id), To: m.From, Seq: m.Seq}
+		_ = n.tr.Send(m.From, reply)
+	case wire.KindPong:
+		n.mu.Lock()
+		if target, ok := n.pendingPings[m.Seq]; ok && target == overlay.PeerID(m.From) {
+			delete(n.pendingPings, m.Seq)
+			n.observe(target, true)
+		} else {
+			// Late pong (already counted as a miss at the last heartbeat
+			// tick): the peer evidently is alive — record the recovery so
+			// slow links do not read as dead ones.
+			n.observe(overlay.PeerID(m.From), true)
+		}
+		n.mu.Unlock()
+	case wire.KindExchangeRT:
+		n.handleExchange(m)
+	case wire.KindExchangeReply:
+		n.mu.Lock()
+		n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
+		n.exchanges++
+		n.mu.Unlock()
+	case wire.KindPublish:
+		n.handlePublish(m)
+	case wire.KindAck:
+		n.routeOrConsumeAck(m)
+	}
+}
+
+// handleExchange is the passive thread of Algorithm 4: compare the
+// received neighborhood with the local one, return the mutual count and
+// the friendship bitmap, and cache the sender's routing table as
+// lookahead.
+func (n *Node) handleExchange(m *wire.Message) {
+	mine := n.g.Neighbors(n.id)
+	theirs := int32sToPeers(m.Neighborhood)
+	mutual := countMutualSorted(mine, theirs)
+	// Friendship bitmap over the SENDER's neighborhood: bit i set when
+	// their i-th friend is in our routing table.
+	inRT := make(map[overlay.PeerID]bool, len(n.ov.Links(n.id)))
+	for _, q := range n.ov.Links(n.id) {
+		inRT[q] = true
+	}
+	words := (len(theirs) + 63) / 64
+	bitmap := make([]uint64, words)
+	for i, f := range theirs {
+		if inRT[f] {
+			bitmap[i/64] |= 1 << (i % 64)
+		}
+	}
+	n.mu.Lock()
+	n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
+	n.mu.Unlock()
+	reply := &wire.Message{
+		Kind: wire.KindExchangeReply, From: int32(n.id), To: m.From, Seq: m.Seq,
+		NMutual:      int32(mutual),
+		Bitmap:       bitmap,
+		RoutingTable: peersToInt32s(n.ov.Links(n.id)),
+	}
+	_ = n.tr.Send(m.From, reply)
+}
+
+// sendExchange is the active thread of Algorithm 3: pick a random social
+// friend and send it the neighborhood and routing table.
+func (n *Node) sendExchange() {
+	n.mu.Lock()
+	f, ok := n.g.RandomFriend(n.id, n.rng)
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	m := &wire.Message{
+		Kind: wire.KindExchangeRT, From: int32(n.id), To: int32(f), Seq: n.nextSeq(),
+		Neighborhood: peersToInt32s(n.g.Neighbors(n.id)),
+		RoutingTable: peersToInt32s(n.ov.Links(n.id)),
+	}
+	_ = n.tr.Send(int32(f), m)
+}
+
+// sendHeartbeats pings every link; unanswered pings from the previous
+// round count as offline observations (§III-F probes).
+func (n *Node) sendHeartbeats() {
+	n.mu.Lock()
+	for _, target := range n.pendingPings {
+		n.observe(target, false)
+	}
+	n.pendingPings = make(map[uint32]overlay.PeerID)
+	links := append([]overlay.PeerID(nil), n.ov.Links(n.id)...)
+	seqs := make(map[uint32]overlay.PeerID, len(links))
+	for _, q := range links {
+		s := n.nextSeq()
+		seqs[s] = q
+		n.pendingPings[s] = q
+	}
+	n.mu.Unlock()
+	for s, q := range seqs {
+		_ = n.tr.Send(int32(q), &wire.Message{Kind: wire.KindPing, From: int32(n.id), To: int32(q), Seq: s})
+	}
+}
+
+// observe folds one availability sample for link q. Callers hold n.mu.
+func (n *Node) observe(q overlay.PeerID, online bool) {
+	c := n.cma[q]
+	if c == nil {
+		c = &churn.CMA{}
+		n.cma[q] = c
+	}
+	c.Observe(online)
+}
+
+// handlePublish processes a directed publication copy: deliver locally
+// when this node is the target, forward otherwise.
+func (n *Node) handlePublish(m *wire.Message) {
+	id := msgID{m.Publisher, m.Seq}
+	if overlay.PeerID(m.To) == n.id {
+		n.mu.Lock()
+		if _, dup := n.received[id]; !dup {
+			n.received[id] = m.HopCount
+		}
+		n.mu.Unlock()
+		// Ack back to the publisher (directed).
+		if overlay.PeerID(m.Publisher) != n.id {
+			ack := &wire.Message{
+				Kind: wire.KindAck, From: int32(n.id), To: m.Publisher,
+				Seq: m.Seq, Publisher: m.Publisher, TTL: n.cfg.TTL,
+			}
+			n.forward(ack, overlay.PeerID(m.Publisher))
+		}
+		return
+	}
+	if m.TTL == 0 {
+		return
+	}
+	m.TTL--
+	m.HopCount++
+	n.forward(m, overlay.PeerID(m.To))
+}
+
+// routeOrConsumeAck delivers an ack to this node (publisher) or forwards
+// it toward the publisher.
+func (n *Node) routeOrConsumeAck(m *wire.Message) {
+	if overlay.PeerID(m.To) == n.id {
+		id := msgID{m.Publisher, m.Seq}
+		n.mu.Lock()
+		set := n.acked[id]
+		if set == nil {
+			set = make(map[int32]bool)
+			n.acked[id] = set
+		}
+		set[m.From] = true
+		n.mu.Unlock()
+		return
+	}
+	if m.TTL == 0 {
+		return
+	}
+	m.TTL--
+	n.forward(m, overlay.PeerID(m.To))
+}
+
+// forward sends m one hop toward target using only local knowledge: a
+// direct link, the cached lookahead (a neighbor whose routing table holds
+// the target), or the link greedily closest to the target's identifier.
+func (n *Node) forward(m *wire.Message, target overlay.PeerID) {
+	next, ok := n.nextHop(target)
+	if !ok {
+		return // dead end; the publisher's ack accounting will notice
+	}
+	_ = n.tr.Send(int32(next), m)
+}
+
+func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
+	links := n.ov.Links(n.id)
+	// CMA-informed liveness (§III-F): links whose heartbeat history says
+	// the peer is mostly offline are avoided as intermediate hops — but a
+	// direct link to the target itself is always tried (the message can
+	// only be for that peer).
+	alive := func(q overlay.PeerID) bool {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		c := n.cma[q]
+		return c == nil || c.Samples() < 3 || c.Value() >= 0.5
+	}
+	for _, q := range links {
+		if q == target {
+			return q, true
+		}
+	}
+	// Lookahead: a live neighbor that lists the target in its routing
+	// table.
+	n.mu.Lock()
+	var via overlay.PeerID = -1
+	for _, q := range links {
+		for _, r := range n.lookahead[q] {
+			if r == target {
+				via = q
+				break
+			}
+		}
+		if via >= 0 {
+			break
+		}
+	}
+	n.mu.Unlock()
+	if via >= 0 && alive(via) {
+		return via, true
+	}
+	// Greedy on the ring, avoiding links the CMA marks dead.
+	best := overlay.PeerID(-1)
+	bestD := ring.Distance(n.ov.Position(n.id), n.ov.Position(target))
+	var aliveLinks []overlay.PeerID
+	for _, q := range links {
+		if !alive(q) {
+			continue
+		}
+		aliveLinks = append(aliveLinks, q)
+		if d := ring.Distance(n.ov.Position(q), n.ov.Position(target)); d < bestD {
+			best, bestD = q, d
+		}
+	}
+	if best >= 0 {
+		return best, true
+	}
+	// Local minimum with the closer links dead: take a random live link —
+	// a TTL-bounded random walk that escapes the dead region; retries then
+	// explore different paths.
+	if len(aliveLinks) > 0 {
+		n.mu.Lock()
+		q := aliveLinks[n.rng.Intn(len(aliveLinks))]
+		n.mu.Unlock()
+		return q, true
+	}
+	return -1, false
+}
+
+// Pause makes the node unresponsive (simulated churn departure).
+func (n *Node) Pause() { n.paused.Store(true) }
+
+// Resume brings a paused node back online.
+func (n *Node) Resume() { n.paused.Store(false) }
+
+// RetryMissing re-sends publication seq to every subscriber that has not
+// acked yet — the publisher-driven repair of the live pub/sub (delivery
+// reliability under churn, Fig. 6's regime).
+func (n *Node) RetryMissing(seq uint32) int {
+	id := msgID{int32(n.id), seq}
+	n.mu.Lock()
+	acked := n.acked[id]
+	var missing []overlay.PeerID
+	for _, s := range n.g.Neighbors(n.id) {
+		if acked == nil || !acked[int32(s)] {
+			missing = append(missing, s)
+		}
+	}
+	n.mu.Unlock()
+	for _, s := range missing {
+		m := &wire.Message{
+			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
+			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
+		}
+		n.forward(m, s)
+	}
+	return len(missing)
+}
+
+// Publish unicasts a publication to every subscriber (the node's social
+// friends) and returns the sequence number identifying it.
+func (n *Node) Publish(payloadSize uint32) uint32 {
+	n.mu.Lock()
+	seq := n.nextSeq()
+	id := msgID{int32(n.id), seq}
+	n.received[id] = 0 // the publisher trivially has its own message
+	n.mu.Unlock()
+	for _, s := range n.g.Neighbors(n.id) {
+		m := &wire.Message{
+			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
+			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
+			PayloadSize: payloadSize,
+		}
+		n.forward(m, s)
+	}
+	return seq
+}
+
+// Received reports whether this node got publication (publisher, seq) and
+// at how many hops.
+func (n *Node) Received(publisher overlay.PeerID, seq uint32) (hops uint8, ok bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.received[msgID{int32(publisher), seq}]
+	return h, ok
+}
+
+// Acked returns how many subscribers have acknowledged publication seq.
+func (n *Node) Acked(seq uint32) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.acked[msgID{int32(n.id), seq}])
+}
+
+// Exchanges returns the number of completed gossip exchanges (active side).
+func (n *Node) Exchanges() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.exchanges
+}
+
+// LinkAvailability returns the CMA estimate for link q (1 when never
+// probed).
+func (n *Node) LinkAvailability(q overlay.PeerID) float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if c := n.cma[q]; c != nil {
+		return c.Value()
+	}
+	return 1
+}
+
+// Lookahead returns the cached routing table of neighbor q.
+func (n *Node) Lookahead(q overlay.PeerID) []overlay.PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]overlay.PeerID(nil), n.lookahead[q]...)
+}
+
+// ID returns the node's peer id.
+func (n *Node) ID() overlay.PeerID { return n.id }
+
+// Cluster runs one node per peer of an overlay.
+type Cluster struct {
+	Nodes []*Node
+	tr    transport.Transport
+}
+
+// StartCluster spawns a node goroutine per peer over the given transport.
+func StartCluster(g *socialgraph.Graph, ov overlay.Overlay, tr transport.Transport, cfg Config, seed int64) *Cluster {
+	cfg.fill()
+	c := &Cluster{tr: tr}
+	for p := 0; p < ov.N(); p++ {
+		n := newNode(overlay.PeerID(p), g, ov, tr, cfg, seed+int64(p))
+		c.Nodes = append(c.Nodes, n)
+	}
+	for _, n := range c.Nodes {
+		n.wg.Add(1)
+		go n.run()
+	}
+	return c
+}
+
+// AwaitDelivery polls until every subscriber of (publisher, seq) received
+// the publication or the timeout elapses; it returns the delivered count
+// and whether delivery completed.
+func (c *Cluster) AwaitDelivery(publisher overlay.PeerID, seq uint32, subs []overlay.PeerID, timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		delivered := 0
+		for _, s := range subs {
+			if _, ok := c.Nodes[s].Received(publisher, seq); ok {
+				delivered++
+			}
+		}
+		if delivered == len(subs) {
+			return delivered, true
+		}
+		if time.Now().After(deadline) {
+			return delivered, false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Stop terminates all nodes and closes the transport.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		close(n.stop)
+	}
+	for _, n := range c.Nodes {
+		n.wg.Wait()
+	}
+	c.tr.Close()
+}
+
+func peersToInt32s(ps []overlay.PeerID) []int32 {
+	out := make([]int32, len(ps))
+	copy(out, ps)
+	return out
+}
+
+func int32sToPeers(xs []int32) []overlay.PeerID {
+	out := make([]overlay.PeerID, len(xs))
+	copy(out, xs)
+	return out
+}
+
+// countMutualSorted counts common elements of two sorted id lists; the
+// live analogue of |C_u ∩ C_p| in Algorithm 4 line 3.
+func countMutualSorted(a, b []overlay.PeerID) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,340 @@
+package node
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/socialgraph"
+	"selectps/internal/transport"
+)
+
+// buildCluster constructs a SELECT overlay over a small graph and starts a
+// live in-memory cluster on it.
+func buildCluster(t *testing.T, n int, seed int64, cfg Config) (*socialgraph.Graph, *Cluster) {
+	t.Helper()
+	g := datasets.Facebook.Generate(n, seed)
+	ov, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewSwitchboard(n, 1024)
+	return g, StartCluster(g, ov, tr, cfg, seed)
+}
+
+func TestPublishReachesAllSubscribers(t *testing.T) {
+	g, c := buildCluster(t, 150, 1, Config{})
+	defer c.Stop()
+	var pub overlay.PeerID
+	for p := overlay.PeerID(0); p < 150; p++ {
+		if g.Degree(p) > g.Degree(pub) {
+			pub = p
+		}
+	}
+	seq := c.Nodes[pub].Publish(1_200_000)
+	subs := g.Neighbors(pub)
+	delivered, ok := c.AwaitDelivery(pub, seq, subs, 5*time.Second)
+	if !ok {
+		t.Fatalf("only %d/%d subscribers delivered", delivered, len(subs))
+	}
+}
+
+func TestPublishAcksFlowBack(t *testing.T) {
+	g, c := buildCluster(t, 120, 2, Config{})
+	defer c.Stop()
+	var pub overlay.PeerID = -1
+	for p := overlay.PeerID(0); p < 120; p++ {
+		if g.Degree(p) >= 5 {
+			pub = p
+			break
+		}
+	}
+	if pub < 0 {
+		t.Skip("no publisher with enough friends")
+	}
+	seq := c.Nodes[pub].Publish(1000)
+	subs := g.Neighbors(pub)
+	if _, ok := c.AwaitDelivery(pub, seq, subs, 5*time.Second); !ok {
+		t.Fatal("delivery incomplete")
+	}
+	// Acks travel back to the publisher; allow a moment for the reverse
+	// paths.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Nodes[pub].Acked(seq) < len(subs) && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.Nodes[pub].Acked(seq); got < len(subs)*9/10 {
+		t.Errorf("acks received %d of %d", got, len(subs))
+	}
+}
+
+func TestMultiplePublishersConcurrently(t *testing.T) {
+	g, c := buildCluster(t, 150, 3, Config{})
+	defer c.Stop()
+	type pubRec struct {
+		p   overlay.PeerID
+		seq uint32
+	}
+	var pubs []pubRec
+	for p := overlay.PeerID(0); p < 150 && len(pubs) < 8; p += 19 {
+		if g.Degree(p) == 0 {
+			continue
+		}
+		pubs = append(pubs, pubRec{p, c.Nodes[p].Publish(500)})
+	}
+	for _, pr := range pubs {
+		subs := g.Neighbors(pr.p)
+		if delivered, ok := c.AwaitDelivery(pr.p, pr.seq, subs, 5*time.Second); !ok {
+			t.Fatalf("publisher %d: %d/%d delivered", pr.p, delivered, len(subs))
+		}
+	}
+}
+
+func TestHopCountsAreSmall(t *testing.T) {
+	g, c := buildCluster(t, 200, 4, Config{})
+	defer c.Stop()
+	var pub overlay.PeerID
+	for p := overlay.PeerID(0); p < 200; p++ {
+		if g.Degree(p) > g.Degree(pub) {
+			pub = p
+		}
+	}
+	seq := c.Nodes[pub].Publish(100)
+	subs := g.Neighbors(pub)
+	if _, ok := c.AwaitDelivery(pub, seq, subs, 5*time.Second); !ok {
+		t.Fatal("delivery incomplete")
+	}
+	total, count := 0, 0
+	for _, s := range subs {
+		if h, ok := c.Nodes[s].Received(pub, seq); ok {
+			total += int(h)
+			count++
+		}
+	}
+	if avg := float64(total) / float64(count); avg > 4 {
+		t.Errorf("avg live hops %.2f too high", avg)
+	}
+}
+
+func TestGossipExchangeFillsLookahead(t *testing.T) {
+	g, c := buildCluster(t, 80, 5, Config{GossipEvery: 5 * time.Millisecond})
+	defer c.Stop()
+	deadline := time.Now().Add(5 * time.Second)
+	done := 0
+	for time.Now().Before(deadline) {
+		done = 0
+		for _, n := range c.Nodes {
+			if n.Exchanges() > 0 {
+				done++
+			}
+		}
+		if done > 60 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if done <= 60 {
+		t.Fatalf("only %d/80 nodes completed a gossip exchange", done)
+	}
+	// Lookahead caches must hold actual routing tables of the partner.
+	checked := 0
+	for _, n := range c.Nodes {
+		for _, f := range g.Neighbors(n.ID()) {
+			la := n.Lookahead(f)
+			if len(la) == 0 {
+				continue
+			}
+			checked++
+			break
+		}
+	}
+	if checked == 0 {
+		t.Error("no lookahead entries cached")
+	}
+}
+
+func TestHeartbeatsBuildCMA(t *testing.T) {
+	_, c := buildCluster(t, 60, 6, Config{HeartbeatEvery: 25 * time.Millisecond})
+	defer c.Stop()
+	time.Sleep(400 * time.Millisecond)
+	// All nodes alive: availability estimates should be high for probed
+	// links.
+	probed, lowAvail := 0, 0
+	for _, n := range c.Nodes {
+		for _, q := range n.ov.Links(n.ID()) {
+			// value 1 could mean "never probed"; count explicitly probed
+			// links via the cma map, reading under the node's mutex.
+			n.mu.Lock()
+			cma := n.cma[q]
+			samples, value := 0, 0.0
+			if cma != nil {
+				samples, value = cma.Samples(), cma.Value()
+			}
+			n.mu.Unlock()
+			if samples == 0 {
+				continue
+			}
+			probed++
+			if value < 0.5 {
+				lowAvail++
+			}
+		}
+	}
+	if probed == 0 {
+		t.Fatal("no links probed")
+	}
+	if lowAvail > probed/10 {
+		t.Errorf("%d of %d probed links look unavailable in an all-alive cluster", lowAvail, probed)
+	}
+}
+
+func TestExchangeMutualCountMatchesGraph(t *testing.T) {
+	// countMutualSorted must agree with socialgraph.CommonNeighbors.
+	g := datasets.Facebook.Generate(100, 7)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 50; i++ {
+		u, v, _ := g.RandomEdge(rng)
+		want := g.CommonNeighbors(u, v)
+		got := countMutualSorted(g.Neighbors(u), g.Neighbors(v))
+		if got != want {
+			t.Fatalf("mutual(%d,%d) = %d, want %d", u, v, got, want)
+		}
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	const n = 40
+	g := datasets.Facebook.Generate(n, 9)
+	ov, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := transport.NewTCP(n, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := StartCluster(g, ov, tr, Config{}, 9)
+	defer c.Stop()
+	var pub overlay.PeerID
+	for p := overlay.PeerID(0); p < n; p++ {
+		if g.Degree(p) > g.Degree(pub) {
+			pub = p
+		}
+	}
+	seq := c.Nodes[pub].Publish(1_200_000)
+	subs := g.Neighbors(pub)
+	delivered, ok := c.AwaitDelivery(pub, seq, subs, 10*time.Second)
+	if !ok {
+		t.Fatalf("TCP cluster delivered %d/%d", delivered, len(subs))
+	}
+}
+
+func TestLatencyAwareSwitchboard(t *testing.T) {
+	// Deliveries still complete when the transport injects latency.
+	const n = 60
+	g := datasets.Facebook.Generate(n, 10)
+	ov, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := transport.NewSwitchboard(n, 1024)
+	tr.Latency = func(from, to int32) time.Duration { return time.Millisecond }
+	c := StartCluster(g, ov, tr, Config{}, 10)
+	defer c.Stop()
+	var pub overlay.PeerID
+	for p := overlay.PeerID(0); p < n; p++ {
+		if g.Degree(p) > g.Degree(pub) {
+			pub = p
+		}
+	}
+	seq := c.Nodes[pub].Publish(100)
+	if _, ok := c.AwaitDelivery(pub, seq, g.Neighbors(pub), 10*time.Second); !ok {
+		t.Fatal("latency cluster delivery incomplete")
+	}
+}
+
+func TestLiveChurnRecovery(t *testing.T) {
+	// Pause a set of non-subscriber peers (potential relays), let
+	// heartbeats learn their unavailability, and verify that
+	// publisher-driven retries deliver to every online subscriber.
+	g, c := buildCluster(t, 150, 11, Config{HeartbeatEvery: 10 * time.Millisecond})
+	defer c.Stop()
+	var pub overlay.PeerID
+	for p := overlay.PeerID(0); p < 150; p++ {
+		if g.Degree(p) > g.Degree(pub) {
+			pub = p
+		}
+	}
+	subs := g.Neighbors(pub)
+	isSub := make(map[overlay.PeerID]bool, len(subs))
+	for _, s := range subs {
+		isSub[s] = true
+	}
+	// Pause ~20% of peers that are neither publisher nor subscribers.
+	paused := 0
+	for p := overlay.PeerID(0); p < 150 && paused < 30; p += 5 {
+		if p == pub || isSub[p] {
+			continue
+		}
+		c.Nodes[p].Pause()
+		paused++
+	}
+	// Give heartbeats time to mark the paused peers dead.
+	time.Sleep(150 * time.Millisecond)
+
+	seq := c.Nodes[pub].Publish(1000)
+	deadline := time.Now().Add(8 * time.Second)
+	delivered := 0
+	for time.Now().Before(deadline) {
+		delivered = 0
+		for _, s := range subs {
+			if _, ok := c.Nodes[s].Received(pub, seq); ok {
+				delivered++
+			}
+		}
+		if delivered == len(subs) {
+			break
+		}
+		c.Nodes[pub].RetryMissing(seq)
+		time.Sleep(20 * time.Millisecond)
+	}
+	if delivered != len(subs) {
+		t.Fatalf("only %d/%d subscribers delivered under churn", delivered, len(subs))
+	}
+}
+
+func TestPausedNodeDropsEverything(t *testing.T) {
+	g, c := buildCluster(t, 60, 12, Config{})
+	defer c.Stop()
+	var pub overlay.PeerID = -1
+	for p := overlay.PeerID(0); p < 60; p++ {
+		if g.Degree(p) >= 3 {
+			pub = p
+			break
+		}
+	}
+	if pub < 0 {
+		t.Skip("no publisher")
+	}
+	victim := g.Neighbors(pub)[0]
+	c.Nodes[victim].Pause()
+	seq := c.Nodes[pub].Publish(100)
+	time.Sleep(100 * time.Millisecond)
+	if _, ok := c.Nodes[victim].Received(pub, seq); ok {
+		t.Error("paused subscriber received a publication")
+	}
+	c.Nodes[victim].Resume()
+	// After resume, a retry reaches it.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.Nodes[pub].RetryMissing(seq)
+		time.Sleep(10 * time.Millisecond)
+		if _, ok := c.Nodes[victim].Received(pub, seq); ok {
+			return
+		}
+	}
+	t.Fatal("resumed subscriber never received the publication")
+}

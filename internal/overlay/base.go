@@ -1,0 +1,169 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"selectps/internal/ring"
+)
+
+// Base is an embeddable implementation of the bookkeeping half of Overlay:
+// positions, link sets and liveness for n peers. Concrete systems embed it
+// and add their construction, routing and repair logic.
+type Base struct {
+	name    string
+	pos     []ring.ID
+	links   [][]PeerID
+	online  []bool
+	offline int
+}
+
+// NewBase creates bookkeeping for n peers, all online at position 0 with no
+// links.
+func NewBase(name string, n int) *Base {
+	b := &Base{
+		name:   name,
+		pos:    make([]ring.ID, n),
+		links:  make([][]PeerID, n),
+		online: make([]bool, n),
+	}
+	for i := range b.online {
+		b.online[i] = true
+	}
+	return b
+}
+
+// Name implements Overlay.
+func (b *Base) Name() string { return b.name }
+
+// N implements Overlay.
+func (b *Base) N() int { return len(b.pos) }
+
+// Position implements Overlay.
+func (b *Base) Position(p PeerID) ring.ID { return b.pos[p] }
+
+// SetPosition moves a peer in the ID space.
+func (b *Base) SetPosition(p PeerID, id ring.ID) {
+	if !id.Valid() {
+		panic(fmt.Sprintf("overlay: invalid position %v for peer %d", id, p))
+	}
+	b.pos[p] = id
+}
+
+// Links implements Overlay.
+func (b *Base) Links(p PeerID) []PeerID { return b.links[p] }
+
+// SetLinks replaces a peer's entire link set.
+func (b *Base) SetLinks(p PeerID, l []PeerID) { b.links[p] = l }
+
+// AddLink appends a link if not already present; it reports whether the
+// link was added.
+func (b *Base) AddLink(p, q PeerID) bool {
+	if p == q {
+		return false
+	}
+	for _, x := range b.links[p] {
+		if x == q {
+			return false
+		}
+	}
+	b.links[p] = append(b.links[p], q)
+	return true
+}
+
+// RemoveLink deletes q from p's links; it reports whether it was present.
+func (b *Base) RemoveLink(p, q PeerID) bool {
+	l := b.links[p]
+	for i, x := range l {
+		if x == q {
+			l[i] = l[len(l)-1]
+			b.links[p] = l[:len(l)-1]
+			return true
+		}
+	}
+	return false
+}
+
+// HasLink reports whether p links to q.
+func (b *Base) HasLink(p, q PeerID) bool {
+	for _, x := range b.links[p] {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+// Degree returns the number of outgoing links of p.
+func (b *Base) Degree(p PeerID) int { return len(b.links[p]) }
+
+// Online implements Overlay.
+func (b *Base) Online(p PeerID) bool { return b.online[p] }
+
+// SetOnline implements Overlay.
+func (b *Base) SetOnline(p PeerID, online bool) {
+	if b.online[p] != online {
+		b.online[p] = online
+		if online {
+			b.offline--
+		} else {
+			b.offline++
+		}
+	}
+}
+
+// OfflineCount returns how many peers are currently offline.
+func (b *Base) OfflineCount() int { return b.offline }
+
+// Repair implements Overlay as a no-op; systems with recovery protocols
+// override it.
+func (b *Base) Repair() {}
+
+// SortedByPosition returns all peers ordered by ring position (ties by id),
+// the ring successor order used to wire short-range links.
+func (b *Base) SortedByPosition() []PeerID {
+	out := make([]PeerID, len(b.pos))
+	for i := range out {
+		out[i] = PeerID(i)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if b.pos[out[i]] != b.pos[out[j]] {
+			return b.pos[out[i]] < b.pos[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// WireRing gives every peer links to its ring successor and predecessor —
+// the two short-range links R_p^s every system keeps for correctness
+// (§III-D, and the paper's §V argument that the ring grounds reachability).
+func (b *Base) WireRing() {
+	order := b.SortedByPosition()
+	n := len(order)
+	if n < 2 {
+		return
+	}
+	for i, p := range order {
+		succ := order[(i+1)%n]
+		pred := order[(i-1+n)%n]
+		b.AddLink(p, succ)
+		b.AddLink(p, pred)
+	}
+}
+
+// ClosestOnline returns the online peer whose position is nearest to id
+// (linear scan; used by construction phases, not routing). ok=false when
+// every peer is offline.
+func (b *Base) ClosestOnline(id ring.ID) (PeerID, bool) {
+	best, bestD, found := PeerID(-1), 2.0, false
+	for p := range b.pos {
+		if !b.online[p] {
+			continue
+		}
+		if d := ring.Distance(b.pos[p], id); d < bestD {
+			best, bestD, found = PeerID(p), d, true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,323 @@
+// Package bayeux implements the Bayeux baseline (Zhuang et al. — paper
+// ref. [11]): peers organized in a Tapestry-style prefix-routing DHT, with
+// a per-topic rendezvous node at the root of a spanning tree that delivers
+// events to subscribers.
+//
+// Peers carry immutable 32-bit identifiers (base-4 digits, 16 levels).
+// Routing fixes one digit of the target per hop, giving O(log N) hops; a
+// surrogate rule handles missing or offline table entries. Each publisher
+// is a topic: its rendezvous root is the peer whose identifier is closest
+// to the topic hash, subscribers join by routing toward the root, and
+// publications flow publisher → root → reverse join paths. Nodes on those
+// paths relay messages they never subscribed to — the relay-node overhead
+// the paper's Fig. 3 attributes to Bayeux.
+package bayeux
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sort"
+
+	"crypto/sha1"
+	"math/rand"
+
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+const (
+	digitBits = 2  // base-4 digits
+	numLevels = 16 // 32-bit ids / 2 bits per digit
+	numDigits = 1 << digitBits
+)
+
+// digit returns the l-th most significant base-4 digit of id.
+func digit(id uint32, l int) int {
+	shift := 32 - digitBits*(l+1)
+	return int(id>>shift) & (numDigits - 1)
+}
+
+// sharedPrefix returns how many leading digits a and b share (0..numLevels).
+func sharedPrefix(a, b uint32) int {
+	if a == b {
+		return numLevels
+	}
+	return bits.LeadingZeros32(a^b) / digitBits
+}
+
+// Overlay is a constructed Bayeux network.
+type Overlay struct {
+	*overlay.Base
+	ids    []uint32 // per-peer DHT identifier
+	byID   []overlay.PeerID
+	sorted []uint32 // ids in ascending order, aligned with byID
+	// rt[p] holds numLevels*numDigits entries; -1 when empty.
+	rt [][]overlay.PeerID
+}
+
+// Config parameterizes construction. Bayeux needs no tuning knobs beyond
+// determinism; the struct exists for interface symmetry with the other
+// systems.
+type Config struct{}
+
+// New builds a Bayeux overlay over n peers, deterministic in rng (used only
+// for id collision salting, which SHA-1 makes effectively unnecessary).
+func New(n int, _ Config, _ *rand.Rand) *Overlay {
+	o := &Overlay{
+		Base: overlay.NewBase("bayeux", n),
+		ids:  make([]uint32, n),
+	}
+	seen := make(map[uint32]bool, n)
+	for i := 0; i < n; i++ {
+		id := hash32(uint64(i), 0)
+		for salt := uint64(1); seen[id]; salt++ {
+			id = hash32(uint64(i), salt)
+		}
+		seen[id] = true
+		o.ids[i] = id
+		// Ring position mirrors the DHT id so the generic Overlay interface
+		// (Fig. 8 style measurements) sees a consistent geometry.
+		o.SetPosition(overlay.PeerID(i), ring.Norm(float64(id)/float64(1<<32)))
+	}
+	o.buildSortedIndex()
+	o.buildTables()
+	return o
+}
+
+func hash32(key, salt uint64) uint32 {
+	var b [16]byte
+	binary.BigEndian.PutUint64(b[:8], key)
+	binary.BigEndian.PutUint64(b[8:], salt)
+	sum := sha1.Sum(b[:])
+	return binary.BigEndian.Uint32(sum[:4])
+}
+
+func (o *Overlay) buildSortedIndex() {
+	n := len(o.ids)
+	o.byID = make([]overlay.PeerID, n)
+	for i := range o.byID {
+		o.byID[i] = overlay.PeerID(i)
+	}
+	sort.Slice(o.byID, func(i, j int) bool { return o.ids[o.byID[i]] < o.ids[o.byID[j]] })
+	o.sorted = make([]uint32, n)
+	for i, p := range o.byID {
+		o.sorted[i] = o.ids[p]
+	}
+}
+
+// buildTables fills every peer's prefix routing table from global
+// knowledge (the simulator stands in for Tapestry's join protocol). For
+// each level l, peers sharing an l-digit prefix are grouped; within a
+// group, the entry for digit d points to the group member with that next
+// digit whose id is numerically closest to the owner's.
+func (o *Overlay) buildTables() {
+	n := len(o.ids)
+	o.rt = make([][]overlay.PeerID, n)
+	for p := range o.rt {
+		e := make([]overlay.PeerID, numLevels*numDigits)
+		for i := range e {
+			e[i] = -1
+		}
+		o.rt[p] = e
+	}
+	// groups: prefix value -> members, rebuilt per level. Members are in
+	// ascending id order because we iterate byID.
+	type bucketed struct {
+		members [numDigits][]overlay.PeerID
+	}
+	for l := 0; l < numLevels; l++ {
+		groups := make(map[uint32]*bucketed)
+		shift := 32 - digitBits*l
+		for _, p := range o.byID {
+			var prefix uint32
+			if l > 0 {
+				prefix = o.ids[p] >> shift
+			}
+			g := groups[prefix]
+			if g == nil {
+				g = &bucketed{}
+				groups[prefix] = g
+			}
+			g.members[digit(o.ids[p], l)] = append(g.members[digit(o.ids[p], l)], p)
+		}
+		// Fill entries: for each group member and digit, point at the
+		// closest-id representative within the digit bucket.
+		for _, g := range groups {
+			var all []overlay.PeerID
+			for d := 0; d < numDigits; d++ {
+				all = append(all, g.members[d]...)
+			}
+			for _, p := range all {
+				for d := 0; d < numDigits; d++ {
+					cand := g.members[d]
+					if len(cand) == 0 {
+						continue
+					}
+					o.rt[p][l*numDigits+d] = closestByID(o.ids, cand, o.ids[p])
+				}
+			}
+		}
+	}
+	// Mirror table entries into the generic link sets so Links() reflects
+	// the maintained connections (deduplicated).
+	for p := range o.rt {
+		o.SetLinks(overlay.PeerID(p), nil)
+		for _, q := range o.rt[p] {
+			if q >= 0 && q != overlay.PeerID(p) {
+				o.AddLink(overlay.PeerID(p), q)
+			}
+		}
+	}
+}
+
+// closestByID returns the candidate (ascending id order) whose id is
+// numerically closest to ref.
+func closestByID(ids []uint32, cand []overlay.PeerID, ref uint32) overlay.PeerID {
+	best := cand[0]
+	var bestD uint32 = absDiff(ids[best], ref)
+	for _, c := range cand[1:] {
+		if d := absDiff(ids[c], ref); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+func absDiff(a, b uint32) uint32 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// ID returns peer p's 32-bit DHT identifier.
+func (o *Overlay) ID(p overlay.PeerID) uint32 { return o.ids[p] }
+
+// Route implements prefix routing from src to dst, fixing one digit per
+// hop; offline or missing entries fall back to the surrogate rule (any
+// online table entry with a strictly longer shared prefix with the target,
+// else the online entry numerically closest to it).
+func (o *Overlay) Route(src, dst overlay.PeerID) (overlay.Path, bool) {
+	if src == dst {
+		return overlay.Path{src}, true
+	}
+	target := o.ids[dst]
+	path := overlay.Path{src}
+	cur := src
+	for hops := 0; hops < overlay.MaxRouteHops; hops++ {
+		if cur == dst {
+			return path, true
+		}
+		l := sharedPrefix(o.ids[cur], target)
+		next := overlay.PeerID(-1)
+		if l < numLevels {
+			if e := o.rt[cur][l*numDigits+digit(target, l)]; e >= 0 && e != cur && o.Online(e) {
+				next = e
+			}
+		}
+		if next < 0 {
+			next = o.surrogate(cur, target)
+		}
+		if next < 0 || next == cur {
+			return path, false
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path, false
+}
+
+// surrogate scans cur's table for the best online fallback: longest shared
+// prefix with target, ties by numeric closeness. Returns -1 when no online
+// entry improves on cur.
+func (o *Overlay) surrogate(cur overlay.PeerID, target uint32) overlay.PeerID {
+	curShared := sharedPrefix(o.ids[cur], target)
+	curDist := absDiff(o.ids[cur], target)
+	best := overlay.PeerID(-1)
+	bestShared, bestDist := curShared, curDist
+	for _, e := range o.rt[cur] {
+		if e < 0 || e == cur || !o.Online(e) {
+			continue
+		}
+		s := sharedPrefix(o.ids[e], target)
+		d := absDiff(o.ids[e], target)
+		if s > bestShared || (s == bestShared && d < bestDist) {
+			best, bestShared, bestDist = e, s, d
+		}
+	}
+	return best
+}
+
+// RendezvousRoot returns the topic root for publisher b: the online peer
+// whose id is numerically closest to the topic hash. ok=false when all
+// peers are offline.
+func (o *Overlay) RendezvousRoot(b overlay.PeerID) (overlay.PeerID, bool) {
+	topic := hash32(uint64(b), 0x7069) // distinct salt for the topic space
+	best := overlay.PeerID(-1)
+	var bestD uint32
+	for p := range o.ids {
+		if !o.Online(overlay.PeerID(p)) {
+			continue
+		}
+		d := absDiff(o.ids[p], topic)
+		if best < 0 || d < bestD {
+			best, bestD = overlay.PeerID(p), d
+		}
+	}
+	return best, best >= 0
+}
+
+// DisseminationTree implements overlay.Disseminator: the publisher routes
+// the event to the rendezvous root, and the root forwards it down the
+// reversed join paths of the subscribers.
+func (o *Overlay) DisseminationTree(publisher overlay.PeerID, subs []overlay.PeerID) (*overlay.Tree, []overlay.PeerID) {
+	t := overlay.NewTree(publisher)
+	root, ok := o.RendezvousRoot(publisher)
+	if !ok {
+		return t, append([]overlay.PeerID(nil), subs...)
+	}
+	var failed []overlay.PeerID
+	if root != publisher {
+		path, ok := o.Route(publisher, root)
+		if !ok {
+			return t, append([]overlay.PeerID(nil), subs...)
+		}
+		t.AddPath(path)
+	}
+	for _, s := range subs {
+		if s == publisher || t.Contains(s) {
+			continue
+		}
+		join, ok := o.Route(s, root)
+		if !ok {
+			failed = append(failed, s)
+			continue
+		}
+		// Reverse the join path: messages flow root -> ... -> s.
+		rev := make(overlay.Path, len(join))
+		for i, p := range join {
+			rev[len(join)-1-i] = p
+		}
+		t.AddPath(rev)
+	}
+	return t, failed
+}
+
+// Repair rebuilds routing tables ignoring offline peers, modeling
+// Tapestry's republishing/repair after failures.
+func (o *Overlay) Repair() {
+	// Drop offline peers from groups by rebuilding tables over online ids
+	// only, then restore entries for offline peers' tables untouched (they
+	// are unreachable anyway).
+	n := len(o.ids)
+	// Simple approach: rebuild everything, then null entries pointing to
+	// offline peers and re-surrogate lazily during routing.
+	o.buildTables()
+	for p := 0; p < n; p++ {
+		for i, e := range o.rt[p] {
+			if e >= 0 && !o.Online(e) {
+				o.rt[p][i] = -1
+			}
+		}
+	}
+}

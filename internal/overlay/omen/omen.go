@@ -1,0 +1,407 @@
+// Package omen implements the OMen baseline (Chen, Vitenberg, Jacobsen —
+// paper ref. [6]): topic-connected overlays (TCOs) built by a Greedy-Merge
+// approximation (ref. [22], [24]) on top of a small-world ring, with
+// per-peer shadow sets that repair the TCO under churn.
+//
+// In the paper's workload each social user is a topic whose subscribers are
+// the user's friends. A topic is "connected" when its members form a
+// connected subgraph of topic links, letting publications spread member-to-
+// member without relays. OMen's documented weaknesses, reproduced here:
+//
+//   - Greedy Merge concentrates edges on high-degree peers (hotspots,
+//     Fig. 4): merges pick the highest-degree representatives.
+//   - Construction starts from a random DHT placement and converges slowly
+//     (Fig. 5): one merge per topic per round.
+//   - No monitoring of peers' online behaviour (§II, Fig. 6): shadows are
+//     chosen without availability information, so repair can hand a topic
+//     to a peer that is mostly offline.
+package omen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/socialgraph"
+)
+
+// Config parameterizes construction.
+type Config struct {
+	// MaxDegree caps the number of topic links a peer accepts (the bounded
+	// connection budget every system gets, §IV-C).
+	MaxDegree int
+	// LongLinks is the harmonic long-link budget of the underlying
+	// small-world overlay (default max(2, MaxDegree/2)).
+	LongLinks int
+	// ShadowSize is the number of backup peers kept per peer (default 3).
+	ShadowSize int
+	// MaxRounds bounds the merge process (default 512; the per-peer
+	// one-negotiation-per-round constraint makes full TCO construction
+	// need a few hundred rounds at thousands of peers).
+	MaxRounds int
+}
+
+func (c *Config) fill() {
+	if c.LongLinks == 0 {
+		c.LongLinks = c.MaxDegree / 2
+		if c.LongLinks < 2 {
+			c.LongLinks = 2
+		}
+	}
+	if c.ShadowSize == 0 {
+		c.ShadowSize = 3
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 512
+	}
+}
+
+// Overlay is a constructed OMen network.
+type Overlay struct {
+	*overlay.Base
+	g          *socialgraph.Graph
+	cfg        Config
+	rng        *rand.Rand
+	topicLinks [][]overlay.PeerID // undirected TCO adjacency
+	topicDeg   []int
+	shadows    [][]overlay.PeerID
+	protected  []map[overlay.PeerID]bool // ring + harmonic links never removed
+	iterations int
+}
+
+// New builds an OMen overlay for social graph g. Deterministic in rng.
+func New(g *socialgraph.Graph, cfg Config, rng *rand.Rand) *Overlay {
+	cfg.fill()
+	n := g.NumNodes()
+	o := &Overlay{
+		Base:       overlay.NewBase("omen", n),
+		g:          g,
+		cfg:        cfg,
+		rng:        rng,
+		topicLinks: make([][]overlay.PeerID, n),
+		topicDeg:   make([]int, n),
+		shadows:    make([][]overlay.PeerID, n),
+	}
+	for i := 0; i < n; i++ {
+		o.SetPosition(overlay.PeerID(i), ring.HashUint64(uint64(i)))
+	}
+	o.WireRing()
+	o.wireHarmonic()
+	// Snapshot the structural links (ring + harmonic): topic-edge repair
+	// must never remove them, or greedy fallback routing can dead-end.
+	o.protected = make([]map[overlay.PeerID]bool, n)
+	for p := 0; p < n; p++ {
+		set := make(map[overlay.PeerID]bool)
+		for _, q := range o.Links(overlay.PeerID(p)) {
+			set[q] = true
+		}
+		o.protected[p] = set
+	}
+	o.greedyMerge()
+	o.buildShadows()
+	return o
+}
+
+func (o *Overlay) wireHarmonic() {
+	n := o.N()
+	if n < 3 {
+		return
+	}
+	sorted := o.SortedByPosition()
+	positions := make([]ring.ID, n)
+	for i, p := range sorted {
+		positions[i] = o.Position(p)
+	}
+	lnN := math.Log(float64(n))
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		for added, attempts := 0, 0; added < o.cfg.LongLinks && attempts < o.cfg.LongLinks*8; attempts++ {
+			d := math.Exp(lnN * (o.rng.Float64() - 1))
+			target := ring.Perturb(o.Position(pid), d)
+			q := sorted[ring.Successor(positions, target)]
+			if q != pid && o.AddLink(pid, q) {
+				added++
+			}
+		}
+	}
+}
+
+// topicMembers returns the members of topic t: the publisher plus its
+// social friends.
+func (o *Overlay) topicMembers(t overlay.PeerID) []overlay.PeerID {
+	fr := o.g.Neighbors(t)
+	out := make([]overlay.PeerID, 0, len(fr)+1)
+	out = append(out, t)
+	out = append(out, fr...)
+	return out
+}
+
+func (o *Overlay) addTopicEdge(u, v overlay.PeerID) bool {
+	if u == v || o.hasTopicEdge(u, v) {
+		return false
+	}
+	o.topicLinks[u] = append(o.topicLinks[u], v)
+	o.topicLinks[v] = append(o.topicLinks[v], u)
+	o.topicDeg[u]++
+	o.topicDeg[v]++
+	o.AddLink(u, v)
+	o.AddLink(v, u)
+	return true
+}
+
+func (o *Overlay) hasTopicEdge(u, v overlay.PeerID) bool {
+	for _, x := range o.topicLinks[u] {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// components splits members into connected components under the current
+// topic-link adjacency restricted to the member set. Offline filtering is
+// applied when onlineOnly is set (used by dissemination under churn).
+func (o *Overlay) components(members []overlay.PeerID, onlineOnly bool) [][]overlay.PeerID {
+	inSet := make(map[overlay.PeerID]int, len(members)) // -1 = unvisited
+	for _, m := range members {
+		if onlineOnly && !o.Online(m) {
+			continue
+		}
+		inSet[m] = -1
+	}
+	var comps [][]overlay.PeerID
+	for _, m := range members {
+		if v, ok := inSet[m]; !ok || v != -1 {
+			continue
+		}
+		comp := []overlay.PeerID{m}
+		inSet[m] = len(comps)
+		for i := 0; i < len(comp); i++ {
+			u := comp[i]
+			for _, w := range o.topicLinks[u] {
+				if v, ok := inSet[w]; ok && v == -1 {
+					inSet[w] = len(comps)
+					comp = append(comp, w)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// greedyMerge runs rounds of the degree-bounded Greedy-Merge: each round,
+// every still-disconnected topic tries to add one edge joining its two
+// largest components, endpoints chosen as the highest-social-degree
+// members under the degree cap. A peer can negotiate at most ONE new topic
+// edge per round (per-round communication is bounded in a gossip overlay),
+// which serializes the merges that all want the same hub representatives —
+// the slow convergence Fig. 5 attributes to OMen. Rounds continue until
+// every topic is connected or an entire round makes no progress.
+func (o *Overlay) greedyMerge() {
+	n := o.N()
+	if n < 2 {
+		return
+	}
+	busy := make([]bool, n)
+	for round := 1; round <= o.cfg.MaxRounds; round++ {
+		for i := range busy {
+			busy[i] = false
+		}
+		added := false
+		blocked := false
+		done := true
+		for t := 0; t < n; t++ {
+			members := o.topicMembers(overlay.PeerID(t))
+			if len(members) < 2 {
+				continue
+			}
+			comps := o.components(members, false)
+			if len(comps) <= 1 {
+				continue
+			}
+			done = false
+			sort.Slice(comps, func(i, j int) bool { return len(comps[i]) > len(comps[j]) })
+			u := o.pickRepresentative(comps[0])
+			v := o.pickRepresentative(comps[1])
+			if u < 0 || v < 0 {
+				continue
+			}
+			if busy[u] || busy[v] {
+				blocked = true // negotiating elsewhere this round
+				continue
+			}
+			if o.addTopicEdge(u, v) {
+				busy[u], busy[v] = true, true
+				added = true
+			}
+		}
+		o.iterations = round
+		if done || (!added && !blocked) {
+			break
+		}
+	}
+}
+
+// pickRepresentative returns the component member with the highest social
+// degree that still has budget; when every member is at the cap, the
+// highest-degree member is used anyway (the topic must stay connectable —
+// this is exactly how hotspots exceed their fair load).
+func (o *Overlay) pickRepresentative(comp []overlay.PeerID) overlay.PeerID {
+	best, bestUncapped := overlay.PeerID(-1), overlay.PeerID(-1)
+	bd, bu := -1, -1
+	for _, m := range comp {
+		d := o.g.Degree(m)
+		if d > bd {
+			best, bd = m, d
+		}
+		if o.topicDeg[m] < o.cfg.MaxDegree && d > bu {
+			bestUncapped, bu = m, d
+		}
+	}
+	if bestUncapped >= 0 {
+		return bestUncapped
+	}
+	return best
+}
+
+// buildShadows samples, for each peer, backup peers from its topics'
+// membership (friends and friends-of-friends) — without consulting any
+// availability signal, per OMen's design.
+func (o *Overlay) buildShadows() {
+	n := o.N()
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		cand := o.g.Neighbors(pid)
+		if len(cand) == 0 {
+			continue
+		}
+		size := o.cfg.ShadowSize
+		if size > len(cand) {
+			size = len(cand)
+		}
+		perm := o.rng.Perm(len(cand))
+		sh := make([]overlay.PeerID, 0, size)
+		for _, i := range perm[:size] {
+			sh = append(sh, cand[i])
+		}
+		o.shadows[pid] = sh
+	}
+}
+
+// Iterations implements overlay.Iterative.
+func (o *Overlay) Iterations() int { return o.iterations }
+
+// TopicLinks returns p's TCO adjacency (shared slice).
+func (o *Overlay) TopicLinks(p overlay.PeerID) []overlay.PeerID { return o.topicLinks[p] }
+
+// Shadows returns p's shadow set (shared slice).
+func (o *Overlay) Shadows(p overlay.PeerID) []overlay.PeerID { return o.shadows[p] }
+
+// Route: direct topic/base link, then greedy small-world fallback. OMen
+// peers know only their own links — there is no Symphony-style lookahead
+// set (that is SELECT's §III-E addition), so no two-hop scan happens here.
+func (o *Overlay) Route(src, dst overlay.PeerID) (overlay.Path, bool) {
+	if src == dst {
+		return overlay.Path{src}, true
+	}
+	if o.Online(dst) {
+		for _, q := range o.Links(src) {
+			if q == dst {
+				return overlay.Path{src, dst}, true
+			}
+		}
+	}
+	return overlay.GreedyRoute(o, src, dst)
+}
+
+// DisseminationTree implements overlay.Disseminator: BFS over the topic's
+// TCO from the publisher; members unreachable within the TCO (degree cap
+// or churn) are reached by unicast fallback over the small-world overlay,
+// which introduces relay nodes.
+func (o *Overlay) DisseminationTree(publisher overlay.PeerID, subs []overlay.PeerID) (*overlay.Tree, []overlay.PeerID) {
+	t := overlay.NewTree(publisher)
+	want := make(map[overlay.PeerID]bool, len(subs)+1)
+	for _, s := range subs {
+		want[s] = true
+	}
+	want[publisher] = true
+
+	// BFS restricted to topic members and online peers.
+	visited := map[overlay.PeerID]bool{publisher: true}
+	queue := []overlay.PeerID{publisher}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range o.topicLinks[u] {
+			if visited[v] || !want[v] || !o.Online(v) {
+				continue
+			}
+			visited[v] = true
+			t.AddPath(overlay.Path{u, v})
+			queue = append(queue, v)
+		}
+	}
+	var failed []overlay.PeerID
+	for _, s := range subs {
+		if s == publisher || t.Contains(s) {
+			continue
+		}
+		path, ok := o.Route(publisher, s)
+		if !ok {
+			failed = append(failed, s)
+			continue
+		}
+		t.AddPath(path)
+	}
+	return t, failed
+}
+
+// Repair implements OMen's shadow-based mending: offline topic links are
+// replaced by links to a shadow peer, blind to the shadow's availability
+// history.
+func (o *Overlay) Repair() {
+	n := o.N()
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		if !o.Online(pid) {
+			continue
+		}
+		for _, q := range append([]overlay.PeerID(nil), o.topicLinks[pid]...) {
+			if o.Online(q) {
+				continue
+			}
+			o.removeTopicEdge(pid, q)
+			for _, sh := range o.shadows[pid] {
+				if sh != pid && o.Online(sh) && !o.hasTopicEdge(pid, sh) {
+					o.addTopicEdge(pid, sh)
+					break
+				}
+			}
+		}
+	}
+}
+
+func (o *Overlay) removeTopicEdge(u, v overlay.PeerID) {
+	rm := func(a, b overlay.PeerID) {
+		l := o.topicLinks[a]
+		for i, x := range l {
+			if x == b {
+				l[i] = l[len(l)-1]
+				o.topicLinks[a] = l[:len(l)-1]
+				o.topicDeg[a]--
+				break
+			}
+		}
+	}
+	rm(u, v)
+	rm(v, u)
+	if !o.protected[u][v] {
+		o.RemoveLink(u, v)
+	}
+	if !o.protected[v][u] {
+		o.RemoveLink(v, u)
+	}
+}

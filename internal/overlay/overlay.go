@@ -1,0 +1,312 @@
+// Package overlay defines the abstractions shared by SELECT and the four
+// baseline P2P systems it is evaluated against: ring-position bookkeeping,
+// greedy routing (§II-A), lookup paths, dissemination trees and relay-node
+// accounting (§II-B/C).
+//
+// A concrete overlay (Symphony, Bayeux, Vitis, OMen, SELECT) provides peer
+// positions and link sets; this package provides the generic machinery the
+// experiments measure: routing between socially connected peers (Fig. 2),
+// building pub/sub routing trees and counting their relay nodes (Fig. 3),
+// and per-peer forwarding load (Fig. 4).
+package overlay
+
+import (
+	"fmt"
+
+	"selectps/internal/ring"
+	"selectps/internal/socialgraph"
+)
+
+// PeerID identifies a peer. Social users map 1:1 onto peers (§III-A), so
+// PeerID and socialgraph.NodeID are the same dense index space.
+type PeerID = socialgraph.NodeID
+
+// Overlay is the minimal surface the measurement harness needs from any of
+// the five systems.
+type Overlay interface {
+	// Name identifies the system ("select", "symphony", ...).
+	Name() string
+	// N returns the number of peers (online or not).
+	N() int
+	// Position returns the peer's identifier in the ring ID space.
+	Position(p PeerID) ring.ID
+	// Links returns the peer's current outgoing connections (routing table
+	// R_p: short-range plus long-range). Callers must not mutate the slice.
+	Links(p PeerID) []PeerID
+	// Online reports whether the peer is currently reachable.
+	Online(p PeerID) bool
+	// SetOnline toggles a peer's liveness (churn injection).
+	SetOnline(p PeerID, online bool)
+	// Repair runs one maintenance round (recovery after churn). Systems
+	// without an online repair protocol may make it a no-op.
+	Repair()
+}
+
+// Path is a hop sequence from source to destination, inclusive of both.
+type Path []PeerID
+
+// Hops returns the number of overlay hops (edges) in the path.
+func (p Path) Hops() int {
+	if len(p) == 0 {
+		return 0
+	}
+	return len(p) - 1
+}
+
+// MaxRouteHops bounds greedy routing; beyond this the lookup is abandoned.
+// Greedy routing over a ring with successor links needs at most N hops;
+// the bound exists to terminate cleanly on partitioned/offline topologies.
+const MaxRouteHops = 1 << 16
+
+// GreedyRoute routes from src toward dst over the overlay by repeatedly
+// forwarding to the online neighbor closest (in ring distance) to dst,
+// exactly the lookup of §II-A. It returns ok=false when routing dead-ends
+// (no neighbor makes progress — a local minimum caused by churn or a
+// malformed topology).
+func GreedyRoute(o Overlay, src, dst PeerID) (Path, bool) {
+	if src == dst {
+		return Path{src}, true
+	}
+	dstPos := o.Position(dst)
+	path := Path{src}
+	cur := src
+	for hops := 0; hops < MaxRouteHops; hops++ {
+		if cur == dst {
+			return path, true
+		}
+		best := PeerID(-1)
+		bestD := ring.Distance(o.Position(cur), dstPos)
+		for _, nb := range o.Links(cur) {
+			if !o.Online(nb) {
+				continue
+			}
+			if nb == dst {
+				best = nb
+				break
+			}
+			if d := ring.Distance(o.Position(nb), dstPos); d < bestD {
+				best, bestD = nb, d
+			}
+		}
+		if best < 0 {
+			return path, false
+		}
+		path = append(path, best)
+		cur = best
+	}
+	return path, false
+}
+
+// Router lets a system substitute its own routing procedure (e.g. Bayeux's
+// prefix routing, SELECT's lookahead-aware forwarding). Systems that do not
+// implement it fall back to GreedyRoute.
+type Router interface {
+	Route(src, dst PeerID) (Path, bool)
+}
+
+// RouteOn routes src→dst with the system's own router when it has one,
+// greedy ring routing otherwise.
+func RouteOn(o Overlay, src, dst PeerID) (Path, bool) {
+	if r, ok := o.(Router); ok {
+		return r.Route(src, dst)
+	}
+	return GreedyRoute(o, src, dst)
+}
+
+// Tree is a dissemination (routing) tree RT_b rooted at a publisher.
+type Tree struct {
+	Root     PeerID
+	parent   map[PeerID]PeerID
+	children map[PeerID][]PeerID
+}
+
+// NewTree returns a tree containing only the root.
+func NewTree(root PeerID) *Tree {
+	return &Tree{
+		Root:     root,
+		parent:   make(map[PeerID]PeerID),
+		children: make(map[PeerID][]PeerID),
+	}
+}
+
+// Contains reports whether p is part of the tree.
+func (t *Tree) Contains(p PeerID) bool {
+	if p == t.Root {
+		return true
+	}
+	_, ok := t.parent[p]
+	return ok
+}
+
+// AddPath grafts a root-originating path onto the tree. The path's first
+// element must already be in the tree (usually the root); nodes already
+// present keep their existing parent, so merged unicast paths form a proper
+// tree. It panics if the path does not start inside the tree.
+func (t *Tree) AddPath(p Path) {
+	if len(p) == 0 {
+		return
+	}
+	if !t.Contains(p[0]) {
+		panic(fmt.Sprintf("overlay: path start %d not in tree", p[0]))
+	}
+	for i := 1; i < len(p); i++ {
+		child, par := p[i], p[i-1]
+		if t.Contains(child) {
+			continue
+		}
+		t.parent[child] = par
+		t.children[par] = append(t.children[par], child)
+	}
+}
+
+// Parent returns p's parent and true, or -1,false for the root or absent
+// nodes.
+func (t *Tree) Parent(p PeerID) (PeerID, bool) {
+	par, ok := t.parent[p]
+	if !ok {
+		return -1, false
+	}
+	return par, true
+}
+
+// Children returns p's children (shared slice; do not mutate).
+func (t *Tree) Children(p PeerID) []PeerID { return t.children[p] }
+
+// Size returns the number of nodes in the tree, root included.
+func (t *Tree) Size() int { return len(t.parent) + 1 }
+
+// Nodes returns all tree nodes; order is root first, then insertion order
+// of the remaining nodes is unspecified.
+func (t *Tree) Nodes() []PeerID {
+	out := make([]PeerID, 0, t.Size())
+	out = append(out, t.Root)
+	for p := range t.parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ChildrenArray converts the tree into a dense children-list form for n
+// peers (e.g. for netmodel.DisseminationLatency).
+func (t *Tree) ChildrenArray(n int) [][]PeerID {
+	out := make([][]PeerID, n)
+	for p, c := range t.children {
+		out[p] = c
+	}
+	return out
+}
+
+// RelayNodes counts the relay nodes of the tree per §II-C: nodes on the
+// dissemination paths that are not the publisher and not subscribers
+// themselves (subscribers that forward are not relays).
+func (t *Tree) RelayNodes(isSubscriber func(PeerID) bool) int {
+	relays := 0
+	for p := range t.parent {
+		if !isSubscriber(p) {
+			relays++
+		}
+	}
+	return relays
+}
+
+// PathRelays returns the number of relay nodes on the tree path from the
+// root to s — intermediate nodes that are not subscribers (§II-C, and the
+// Fig. 3 caption's "relay nodes per pub/sub routing path"). Returns -1
+// when s is not in the tree.
+func (t *Tree) PathRelays(s PeerID, isSubscriber func(PeerID) bool) int {
+	if !t.Contains(s) {
+		return -1
+	}
+	relays := 0
+	for s != t.Root {
+		par, ok := t.parent[s]
+		if !ok {
+			return -1
+		}
+		if par != t.Root && !isSubscriber(par) {
+			relays++
+		}
+		s = par
+	}
+	return relays
+}
+
+// ForwardCounts returns, for every tree node that forwards the message, the
+// number of copies it sends (its child count). Leaves are omitted.
+func (t *Tree) ForwardCounts() map[PeerID]int {
+	out := make(map[PeerID]int, len(t.children))
+	for p, c := range t.children {
+		if len(c) > 0 {
+			out[p] = len(c)
+		}
+	}
+	return out
+}
+
+// Depth returns the hop depth of p in the tree (0 for the root), or -1 if
+// absent.
+func (t *Tree) Depth(p PeerID) int {
+	if p == t.Root {
+		return 0
+	}
+	d := 0
+	for p != t.Root {
+		par, ok := t.parent[p]
+		if !ok {
+			return -1
+		}
+		p = par
+		d++
+		if d > MaxRouteHops {
+			panic("overlay: parent cycle in tree")
+		}
+	}
+	return d
+}
+
+// BuildUnicastTree constructs a dissemination tree by merging the overlay
+// routing paths from the publisher to each subscriber — how a pub/sub
+// service runs on top of an overlay with no native multicast (Symphony and
+// generic DHTs, §II-B). Subscribers that cannot be reached (routing failed)
+// are returned in failed.
+func BuildUnicastTree(o Overlay, publisher PeerID, subs []PeerID) (t *Tree, failed []PeerID) {
+	t = NewTree(publisher)
+	for _, s := range subs {
+		if s == publisher || t.Contains(s) {
+			continue
+		}
+		path, ok := RouteOn(o, publisher, s)
+		if !ok {
+			failed = append(failed, s)
+			continue
+		}
+		t.AddPath(path)
+	}
+	return t, failed
+}
+
+// Disseminator is implemented by systems with a native multicast strategy
+// (Bayeux's rendezvous tree, OMen's topic-connected overlay, SELECT's
+// friend links + lookahead). Tree must contain the publisher as root;
+// failed lists subscribers the system could not deliver to.
+type Disseminator interface {
+	DisseminationTree(publisher PeerID, subs []PeerID) (t *Tree, failed []PeerID)
+}
+
+// BuildTree builds the routing tree RT_b for a publisher using the
+// system's native disseminator when present, merged unicast paths
+// otherwise.
+func BuildTree(o Overlay, publisher PeerID, subs []PeerID) (*Tree, []PeerID) {
+	if d, ok := o.(Disseminator); ok {
+		return d.DisseminationTree(publisher, subs)
+	}
+	return BuildUnicastTree(o, publisher, subs)
+}
+
+// Iterative is implemented by systems whose overlay construction converges
+// over gossip rounds (SELECT, Vitis, OMen). Fig. 5 reads Iterations.
+type Iterative interface {
+	// Iterations returns the number of construction rounds executed until
+	// convergence.
+	Iterations() int
+}

@@ -1,0 +1,117 @@
+// Package symphony implements the Symphony baseline (Manku, Bawa,
+// Raghavan — paper ref. [10]): a small-world ring DHT with immutable
+// uniform-hash identifiers, successor/predecessor short links, and k
+// long-range links drawn from the harmonic distribution p(d) ∝ 1/d.
+//
+// The paper evaluates "a pub/sub system over the Symphony P2P overlay
+// network without any further modification on the P2P topology" (§IV-C):
+// the overlay is completely oblivious to the social graph, so every social
+// edge costs O(log N) overlay hops and dissemination trees are full of
+// relay nodes. Dissemination uses the generic merged-unicast-path tree
+// (overlay.BuildUnicastTree); construction is non-iterative, so Symphony is
+// excluded from the Fig. 5 convergence comparison, exactly as in the paper.
+package symphony
+
+import (
+	"math"
+	"math/rand"
+
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+// Overlay is a constructed Symphony network.
+type Overlay struct {
+	*overlay.Base
+	k   int
+	rng *rand.Rand
+}
+
+// Config parameterizes construction.
+type Config struct {
+	// K is the number of long-range links per peer (the paper assigns
+	// log2(N) direct connections to every system, §IV-C).
+	K int
+}
+
+// New builds a Symphony overlay over n peers. Positions are uniform SHA-1
+// hashes of the peer index; long links follow the harmonic distribution.
+// Deterministic in rng.
+func New(n int, cfg Config, rng *rand.Rand) *Overlay {
+	o := &Overlay{Base: overlay.NewBase("symphony", n), k: cfg.K, rng: rng}
+	for i := 0; i < n; i++ {
+		o.SetPosition(overlay.PeerID(i), ring.HashUint64(uint64(i)))
+	}
+	o.WireRing()
+	if n > 1 {
+		sorted := o.SortedByPosition()
+		positions := make([]ring.ID, n)
+		for i, p := range sorted {
+			positions[i] = o.Position(p)
+		}
+		for p := 0; p < n; p++ {
+			o.drawLongLinks(overlay.PeerID(p), sorted, positions)
+		}
+	}
+	return o
+}
+
+// drawLongLinks gives p its k harmonic long-range links: draw distance
+// d = exp(ln(n)·(r−1)) for uniform r (Symphony §3), land at pos+d, and link
+// to the manager of that point (its clockwise successor on the ring).
+func (o *Overlay) drawLongLinks(p overlay.PeerID, sorted []overlay.PeerID, positions []ring.ID) {
+	n := len(sorted)
+	lnN := math.Log(float64(n))
+	for added, attempts := 0, 0; added < o.k && attempts < o.k*8; attempts++ {
+		d := math.Exp(lnN * (o.rng.Float64() - 1))
+		target := ring.Perturb(o.Position(p), d)
+		q := sorted[ring.Successor(positions, target)]
+		if q != p && o.AddLink(p, q) {
+			// Symphony routes over incoming links too (bi-directional
+			// routing, Symphony §4.2): mirror the link.
+			o.AddLink(q, p)
+			added++
+		}
+	}
+}
+
+// K returns the configured long-link budget.
+func (o *Overlay) K() int { return o.k }
+
+// Repair re-draws long links that point at offline peers so lookups keep a
+// harmonic link distribution under churn. Ring links are left in place
+// (greedy routing skips offline neighbors); Symphony's original protocol
+// similarly re-establishes failed long links lazily.
+func (o *Overlay) Repair() {
+	n := o.N()
+	if n < 2 {
+		return
+	}
+	sorted := o.SortedByPosition()
+	positions := make([]ring.ID, n)
+	for i, p := range sorted {
+		positions[i] = o.Position(p)
+	}
+	lnN := math.Log(float64(n))
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		if !o.Online(pid) {
+			continue
+		}
+		for _, q := range append([]overlay.PeerID(nil), o.Links(pid)...) {
+			if o.Online(q) {
+				continue
+			}
+			o.RemoveLink(pid, q)
+			// Replace with a fresh harmonic draw landing on an online peer.
+			for attempt := 0; attempt < 8; attempt++ {
+				d := math.Exp(lnN * (o.rng.Float64() - 1))
+				target := ring.Perturb(o.Position(pid), d)
+				r := sorted[ring.Successor(positions, target)]
+				if r != pid && o.Online(r) && o.AddLink(pid, r) {
+					break
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package pubsub ties the overlays to the paper's publish/subscribe
+// workload (§II-B): every social user is a publisher whose subscribers are
+// its social friends (the interest function f follows the friendship
+// edges), publishers post at an exponential rate (the latent-interaction
+// model of ref. [21]), and each publication is delivered along a routing
+// tree whose relay nodes, forwarding load and latency the experiments
+// measure.
+//
+// The package also provides the single factory the experiment harness uses
+// to construct any of the five evaluated systems from the same inputs.
+package pubsub
+
+import (
+	"fmt"
+	"math/rand"
+
+	"selectps/internal/growth"
+	"selectps/internal/overlay"
+	"selectps/internal/overlay/bayeux"
+	"selectps/internal/overlay/omen"
+	"selectps/internal/overlay/symphony"
+	"selectps/internal/overlay/vitis"
+	"selectps/internal/selectsys"
+	"selectps/internal/socialgraph"
+)
+
+// Kind names one of the evaluated systems.
+type Kind string
+
+// The five systems of §IV-C.
+const (
+	Select   Kind = "select"
+	Symphony Kind = "symphony"
+	Bayeux   Kind = "bayeux"
+	Vitis    Kind = "vitis"
+	OMen     Kind = "omen"
+)
+
+// AllKinds returns the systems in the order the paper lists them.
+func AllKinds() []Kind { return []Kind{Select, Symphony, Bayeux, Vitis, OMen} }
+
+// IterativeKinds returns the systems with an iterative construction
+// (Fig. 5 "Symphony and Bayeux are excluded").
+func IterativeKinds() []Kind { return []Kind{Select, Vitis, OMen} }
+
+// BuildOptions carries the shared construction inputs.
+type BuildOptions struct {
+	// K is the direct-connection budget; the paper assigns log2(N) to every
+	// system (§IV-C). 0 lets each system apply that default.
+	K int
+	// Schedule optionally fixes the join schedule (SELECT's projection
+	// input); when nil a default growth schedule is derived from rng.
+	Schedule *growth.Schedule
+	// SelectConfig optionally overrides SELECT's full configuration
+	// (ablations); K is still applied when set.
+	SelectConfig *selectsys.Config
+}
+
+// Build constructs the named system over the social graph. Deterministic
+// in rng.
+func Build(kind Kind, g *socialgraph.Graph, opt BuildOptions, rng *rand.Rand) (overlay.Overlay, error) {
+	k := opt.K
+	if k <= 0 {
+		k = DefaultK(g.NumNodes())
+	}
+	switch kind {
+	case Select:
+		cfg := selectsys.Config{}
+		if opt.SelectConfig != nil {
+			cfg = *opt.SelectConfig
+		}
+		if cfg.K == 0 {
+			cfg.K = k
+		}
+		if opt.Schedule != nil {
+			return selectsys.NewFromSchedule(g, *opt.Schedule, cfg, rng), nil
+		}
+		return selectsys.New(g, cfg, rng), nil
+	case Symphony:
+		return symphony.New(g.NumNodes(), symphony.Config{K: k}, rng), nil
+	case Bayeux:
+		return bayeux.New(g.NumNodes(), bayeux.Config{}, rng), nil
+	case Vitis:
+		return vitis.New(g, vitis.Config{K: k}, rng), nil
+	case OMen:
+		return omen.New(g, omen.Config{MaxDegree: k}, rng), nil
+	default:
+		return nil, fmt.Errorf("pubsub: unknown system %q", kind)
+	}
+}
+
+// DefaultK returns the paper's per-peer direct-connection budget log2(N)
+// (§IV-C), at least 2.
+func DefaultK(n int) int {
+	k := 0
+	for v := n; v > 1; v >>= 1 {
+		k++
+	}
+	if k < 2 {
+		k = 2
+	}
+	return k
+}
+
+// Subscribers returns S_b for publisher b: its social friends (§II-B).
+func Subscribers(g *socialgraph.Graph, b overlay.PeerID) []overlay.PeerID {
+	return g.Neighbors(b)
+}
+
+// OnlineSubscribers filters S_b to the peers currently online in o.
+func OnlineSubscribers(g *socialgraph.Graph, o overlay.Overlay, b overlay.PeerID) []overlay.PeerID {
+	var subs []overlay.PeerID
+	for _, s := range g.Neighbors(b) {
+		if o.Online(s) {
+			subs = append(subs, s)
+		}
+	}
+	return subs
+}
+
+// Delivery is the accounting for one publication.
+type Delivery struct {
+	Publisher   overlay.PeerID
+	Subscribers int
+	Delivered   int
+	// RelayNodes counts tree nodes that are neither the publisher nor
+	// subscribers (§II-C).
+	RelayNodes int
+	// PathRelaysMean is the average number of relay nodes on the routing
+	// path from the publisher to each delivered subscriber — the Fig. 3
+	// metric ("relay nodes per pub/sub routing path").
+	PathRelaysMean float64
+	// TreeSize is the number of nodes in the routing tree.
+	TreeSize int
+	// MaxDepth is the deepest subscriber's hop distance from the publisher.
+	MaxDepth int
+	// Forwards maps each forwarding peer to the number of message copies
+	// it sent (Fig. 4's load measure).
+	Forwards map[overlay.PeerID]int
+	// Tree is the routing tree itself (for latency measurements).
+	Tree *overlay.Tree
+}
+
+// Publish builds the routing tree for b over the overlay and accounts for
+// it. Subscribers that are offline are excluded up front (they cannot
+// receive notifications); unreachable online subscribers count as
+// undelivered.
+func Publish(o overlay.Overlay, g *socialgraph.Graph, b overlay.PeerID) Delivery {
+	subs := OnlineSubscribers(g, o, b)
+	tree, failed := overlay.BuildTree(o, b, subs)
+	isSub := func(p overlay.PeerID) bool { return g.HasEdge(b, p) }
+	d := Delivery{
+		Publisher:   b,
+		Subscribers: len(subs),
+		Delivered:   len(subs) - len(failed),
+		RelayNodes:  tree.RelayNodes(isSub),
+		TreeSize:    tree.Size(),
+		Forwards:    tree.ForwardCounts(),
+		Tree:        tree,
+	}
+	pathRelays, counted := 0, 0
+	for _, s := range subs {
+		if dep := tree.Depth(s); dep > d.MaxDepth {
+			d.MaxDepth = dep
+		}
+		if r := tree.PathRelays(s, isSub); r >= 0 {
+			pathRelays += r
+			counted++
+		}
+	}
+	if counted > 0 {
+		d.PathRelaysMean = float64(pathRelays) / float64(counted)
+	}
+	return d
+}
+
+// Workload draws publishers posting at an exponential rate: each user's
+// inter-post gap is exponential with a rate proportional to its degree
+// (active users post more, per [21]'s latent-interaction observations).
+type Workload struct {
+	g        *socialgraph.Graph
+	rng      *rand.Rand
+	nextPost []float64
+	baseRate float64
+}
+
+// NewWorkload creates a workload where the average user posts once per
+// meanGap time units.
+func NewWorkload(g *socialgraph.Graph, meanGap float64, rng *rand.Rand) *Workload {
+	if meanGap <= 0 {
+		panic("pubsub: meanGap must be positive")
+	}
+	w := &Workload{
+		g:        g,
+		rng:      rng,
+		nextPost: make([]float64, g.NumNodes()),
+		baseRate: 1 / meanGap,
+	}
+	avg := g.AverageDegree()
+	if avg == 0 {
+		avg = 1
+	}
+	for u := range w.nextPost {
+		w.nextPost[u] = w.gap(socialgraph.NodeID(u), avg)
+	}
+	return w
+}
+
+func (w *Workload) gap(u socialgraph.NodeID, avgDeg float64) float64 {
+	rate := w.baseRate * (0.5 + float64(w.g.Degree(u))/avgDeg)
+	return w.rng.ExpFloat64() / rate
+}
+
+// PostersUntil returns the users whose next post falls in [now, now+dt),
+// rescheduling each. Order is ascending user id (deterministic).
+func (w *Workload) PostersUntil(now, dt float64) []socialgraph.NodeID {
+	var out []socialgraph.NodeID
+	avg := w.g.AverageDegree()
+	if avg == 0 {
+		avg = 1
+	}
+	end := now + dt
+	for u := range w.nextPost {
+		for w.nextPost[u] < end {
+			out = append(out, socialgraph.NodeID(u))
+			w.nextPost[u] += w.gap(socialgraph.NodeID(u), avg)
+		}
+	}
+	return out
+}

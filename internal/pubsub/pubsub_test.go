@@ -1,0 +1,191 @@
+package pubsub
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+)
+
+func TestDefaultK(t *testing.T) {
+	cases := map[int]int{0: 2, 1: 2, 2: 2, 4: 2, 1024: 10, 1 << 20: 20, 63731: 15}
+	for n, want := range cases {
+		if got := DefaultK(n); got != want {
+			t.Errorf("DefaultK(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestBuildAllKinds(t *testing.T) {
+	g := datasets.Facebook.Generate(300, 1)
+	for _, kind := range AllKinds() {
+		o, err := Build(kind, g, BuildOptions{}, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("Build(%s): %v", kind, err)
+		}
+		if o.N() != 300 {
+			t.Errorf("%s: N = %d", kind, o.N())
+		}
+		if string(kind) != o.Name() {
+			t.Errorf("kind %s built overlay named %s", kind, o.Name())
+		}
+	}
+	if _, err := Build("gnutella", g, BuildOptions{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestIterativeKindsImplementIterative(t *testing.T) {
+	g := datasets.Slashdot.Generate(200, 3)
+	for _, kind := range IterativeKinds() {
+		o, err := Build(kind, g, BuildOptions{}, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, ok := o.(overlay.Iterative)
+		if !ok {
+			t.Fatalf("%s does not implement Iterative", kind)
+		}
+		if it.Iterations() < 1 {
+			t.Errorf("%s iterations = %d", kind, it.Iterations())
+		}
+	}
+}
+
+func TestPublishAccounting(t *testing.T) {
+	g := datasets.Facebook.Generate(300, 5)
+	for _, kind := range AllKinds() {
+		o, err := Build(kind, g, BuildOptions{}, rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 10; i++ {
+			b := overlay.PeerID(rng.Intn(300))
+			d := Publish(o, g, b)
+			if d.Subscribers != g.Degree(b) {
+				t.Errorf("%s: subscribers %d != degree %d", kind, d.Subscribers, g.Degree(b))
+			}
+			if d.Delivered != d.Subscribers {
+				t.Errorf("%s: only %d/%d delivered with no churn", kind, d.Delivered, d.Subscribers)
+			}
+			if d.TreeSize < d.Delivered {
+				t.Errorf("%s: tree smaller than deliveries", kind)
+			}
+			if d.RelayNodes < 0 || d.RelayNodes > d.TreeSize {
+				t.Errorf("%s: relay count %d out of range", kind, d.RelayNodes)
+			}
+			total := 0
+			for _, c := range d.Forwards {
+				total += c
+			}
+			// Every non-root tree node receives exactly one copy.
+			if total != d.TreeSize-1 {
+				t.Errorf("%s: forwards %d != tree edges %d", kind, total, d.TreeSize-1)
+			}
+		}
+	}
+}
+
+func TestSelectFewerRelaysThanSymphony(t *testing.T) {
+	// The headline claim at unit scale: SELECT's trees carry far fewer
+	// relay nodes than Symphony's.
+	g := datasets.Facebook.Generate(400, 8)
+	sel, err := Build(Select, g, BuildOptions{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := Build(Symphony, g, BuildOptions{}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(10))
+	var selRelays, symRelays int
+	for i := 0; i < 30; i++ {
+		b := overlay.PeerID(rng.Intn(400))
+		selRelays += Publish(sel, g, b).RelayNodes
+		symRelays += Publish(sym, g, b).RelayNodes
+	}
+	if selRelays*2 >= symRelays {
+		t.Errorf("SELECT relays %d not well below Symphony %d", selRelays, symRelays)
+	}
+}
+
+func TestOfflineSubscribersExcluded(t *testing.T) {
+	g := datasets.Facebook.Generate(200, 11)
+	o, err := Build(Select, g, BuildOptions{}, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b overlay.PeerID = -1
+	for p := overlay.PeerID(0); p < 200; p++ {
+		if g.Degree(p) >= 3 {
+			b = p
+			break
+		}
+	}
+	if b < 0 {
+		t.Skip("no suitable publisher")
+	}
+	off := g.Neighbors(b)[0]
+	o.SetOnline(off, false)
+	d := Publish(o, g, b)
+	if d.Subscribers != g.Degree(b)-1 {
+		t.Errorf("offline subscriber still counted: %d vs %d", d.Subscribers, g.Degree(b)-1)
+	}
+	o.SetOnline(off, true)
+}
+
+func TestWorkloadExponentialPosting(t *testing.T) {
+	g := datasets.Facebook.Generate(200, 13)
+	w := NewWorkload(g, 10, rand.New(rand.NewSource(14)))
+	total := 0
+	for step := 0; step < 100; step++ {
+		posters := w.PostersUntil(float64(step), 1)
+		total += len(posters)
+		for _, p := range posters {
+			if p < 0 || int(p) >= 200 {
+				t.Fatalf("bad poster %d", p)
+			}
+		}
+	}
+	// 200 users, ~1 post per 10 time units for an average user, 100 units:
+	// expect on the order of 2000 posts (looser bounds for rate dispersion).
+	if total < 800 || total > 8000 {
+		t.Errorf("posts over horizon = %d, expected on the order of 2000", total)
+	}
+}
+
+func TestWorkloadDegreeBias(t *testing.T) {
+	g := datasets.Facebook.Generate(300, 15)
+	w := NewWorkload(g, 5, rand.New(rand.NewSource(16)))
+	counts := make(map[int32]int)
+	for step := 0; step < 400; step++ {
+		for _, p := range w.PostersUntil(float64(step), 1) {
+			counts[p]++
+		}
+	}
+	maxDeg, minDeg := int32(-1), int32(-1)
+	for p := int32(0); p < 300; p++ {
+		if maxDeg < 0 || g.Degree(p) > g.Degree(maxDeg) {
+			maxDeg = p
+		}
+		if minDeg < 0 || g.Degree(p) < g.Degree(minDeg) {
+			minDeg = p
+		}
+	}
+	if counts[maxDeg] <= counts[minDeg] {
+		t.Errorf("high-degree user posted %d <= low-degree %d", counts[maxDeg], counts[minDeg])
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	g := datasets.Facebook.Generate(10, 17)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nonpositive meanGap accepted")
+		}
+	}()
+	NewWorkload(g, 0, rand.New(rand.NewSource(18)))
+}

@@ -1,0 +1,45 @@
+package ring
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDistance(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	u, v := Norm(rng.Float64()), Norm(rng.Float64())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Distance(u, v)
+	}
+}
+
+func BenchmarkMidpoint(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	u, v := Norm(rng.Float64()), Norm(rng.Float64())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Midpoint(u, v)
+	}
+}
+
+func BenchmarkHashUint64(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = HashUint64(uint64(i))
+	}
+}
+
+func BenchmarkSuccessor(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ids := make([]ID, 10000)
+	for i := range ids {
+		ids[i] = Norm(rng.Float64())
+	}
+	SortIDs(ids)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Successor(ids, ids[i%len(ids)])
+	}
+}

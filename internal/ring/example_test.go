@@ -1,0 +1,27 @@
+package ring_test
+
+import (
+	"fmt"
+
+	"selectps/internal/ring"
+)
+
+// ExampleDistance shows the ring metric d_I(u,v): the shorter arc between
+// two identifiers, wrapping around 1.0.
+func ExampleDistance() {
+	fmt.Printf("%.2f\n", ring.Distance(0.1, 0.3))
+	fmt.Printf("%.2f\n", ring.Distance(0.9, 0.1)) // wraps: 0.2, not 0.8
+	// Output:
+	// 0.20
+	// 0.20
+}
+
+// ExampleMidpoint shows Algorithm 2's target position: the midpoint of the
+// two strongest friends, respecting wraparound.
+func ExampleMidpoint() {
+	fmt.Printf("%.2f\n", ring.Midpoint(0.2, 0.4))
+	fmt.Printf("%.2f\n", ring.Midpoint(0.9, 0.1)) // midpoint across the wrap is 0.0
+	// Output:
+	// 0.30
+	// 0.00
+}

@@ -1,0 +1,166 @@
+// Package ring implements the unit-interval identifier space used by the
+// SELECT overlay and its baselines.
+//
+// Identifiers live on the circle [0,1): the successor of 0.999… wraps to 0.
+// The package provides the ring distance metric d_I(u,v) from the paper
+// (§II-A), directional (clockwise) distance for successor routing, midpoint
+// and centroid computations that respect wraparound (needed by the identifier
+// reassignment of Algorithm 2), and the uniform SHA-1 projection used for
+// peers that join without an invitation (Algorithm 1, line 5).
+package ring
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ID is a position on the unit ring [0,1).
+type ID float64
+
+// Norm returns id normalized into [0,1). It tolerates any finite input,
+// including negatives, by wrapping modulo 1.
+func Norm(x float64) ID {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		panic(fmt.Sprintf("ring: non-finite identifier %v", x))
+	}
+	x = math.Mod(x, 1)
+	if x < 0 {
+		x++
+	}
+	// math.Mod can return 1.0-ulp ~ fine; it never returns exactly 1 for
+	// inputs < 2, but guard anyway so ID invariants hold.
+	if x >= 1 {
+		x = 0
+	}
+	return ID(x)
+}
+
+// Valid reports whether id lies in [0,1).
+func (id ID) Valid() bool { return id >= 0 && id < 1 }
+
+// Distance returns the ring distance between u and v: the length of the
+// shorter arc, in [0, 0.5]. This is d_I(u,v) from the paper.
+func Distance(u, v ID) float64 {
+	d := math.Abs(float64(u) - float64(v))
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// Clockwise returns the clockwise (increasing-ID, wrapping) distance from u
+// to v, in [0,1).
+func Clockwise(u, v ID) float64 {
+	d := float64(v) - float64(u)
+	if d < 0 {
+		d++
+	}
+	return d
+}
+
+// Between reports whether x lies on the clockwise arc from a (exclusive) to
+// b (inclusive). When a == b the arc is the whole ring and Between is true
+// for every x != a, matching successor semantics on a ring with one node.
+func Between(a, x, b ID) bool {
+	if a == b {
+		return x != a
+	}
+	return Clockwise(a, x) > 0 && Clockwise(a, x) <= Clockwise(a, b)
+}
+
+// Midpoint returns the point halfway along the shorter arc between u and v.
+// It is the position assigned by Algorithm 2 (identifier reassignment): the
+// centroid of a peer's two strongest social friends. Ties (antipodal points)
+// resolve to the clockwise side of u.
+func Midpoint(u, v ID) ID {
+	cw := Clockwise(u, v)
+	if cw <= 0.5 {
+		return Norm(float64(u) + cw/2)
+	}
+	ccw := 1 - cw
+	return Norm(float64(u) - ccw/2)
+}
+
+// Centroid returns the circular mean of the given identifiers, i.e. the
+// angle of the vector sum of the points mapped onto the unit circle. It is
+// used by the "centroid of all friends" ablation from §III-C. Centroid of an
+// empty set or of points whose vectors cancel returns ok=false.
+func Centroid(ids []ID) (ID, bool) {
+	if len(ids) == 0 {
+		return 0, false
+	}
+	var sx, sy float64
+	for _, id := range ids {
+		a := 2 * math.Pi * float64(id)
+		sx += math.Cos(a)
+		sy += math.Sin(a)
+	}
+	const eps = 1e-12
+	if sx*sx+sy*sy < eps {
+		return 0, false
+	}
+	a := math.Atan2(sy, sx) / (2 * math.Pi)
+	return Norm(a), true
+}
+
+// Hash maps an arbitrary byte string uniformly onto the ring using SHA-1,
+// the uniform mapping function the paper assumes for peer identifiers
+// (§II-A). The top 53 bits of the digest become the mantissa so the full
+// float64 precision is used.
+func Hash(b []byte) ID {
+	sum := sha1.Sum(b)
+	u := binary.BigEndian.Uint64(sum[:8]) >> 11 // 53 significant bits
+	return ID(float64(u) / float64(1<<53))
+}
+
+// HashUint64 hashes a numeric key (e.g. a user index) onto the ring.
+func HashUint64(k uint64) ID {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], k)
+	return Hash(b[:])
+}
+
+// Perturb returns id displaced clockwise by delta (possibly negative),
+// wrapped onto the ring. Used to place invited peers adjacent to their
+// inviter (Algorithm 1, line 3) without colliding exactly.
+func Perturb(id ID, delta float64) ID {
+	return Norm(float64(id) + delta)
+}
+
+// SortIDs sorts ids in ascending ring order (plain numeric order on [0,1)).
+func SortIDs(ids []ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// Successor returns the index into sorted (ascending) ids of the first
+// element strictly greater than id, wrapping to 0; i.e. the clockwise
+// successor position. sorted must be non-empty.
+func Successor(sorted []ID, id ID) int {
+	if len(sorted) == 0 {
+		panic("ring: Successor on empty slice")
+	}
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > id })
+	if i == len(sorted) {
+		return 0
+	}
+	return i
+}
+
+// ArcLengths returns, for sorted ids, the clockwise gap following each
+// element (the gap after the last wraps to the first). Useful for measuring
+// identifier clustering (Fig. 8).
+func ArcLengths(sorted []ID) []float64 {
+	n := len(sorted)
+	if n == 0 {
+		return nil
+	}
+	gaps := make([]float64, n)
+	for i := 0; i < n-1; i++ {
+		gaps[i] = float64(sorted[i+1] - sorted[i])
+	}
+	gaps[n-1] = 1 - float64(sorted[n-1]) + float64(sorted[0])
+	return gaps
+}

@@ -1,0 +1,268 @@
+package ring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNorm(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want ID
+	}{
+		{0, 0},
+		{0.25, 0.25},
+		{1, 0},
+		{1.5, 0.5},
+		{-0.25, 0.75},
+		{-1, 0},
+		{2.75, 0.75},
+	}
+	for _, c := range cases {
+		if got := Norm(c.in); math.Abs(float64(got-c.want)) > 1e-12 {
+			t.Errorf("Norm(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Norm(NaN) did not panic")
+		}
+	}()
+	Norm(math.NaN())
+}
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		u, v ID
+		want float64
+	}{
+		{0, 0, 0},
+		{0, 0.5, 0.5},
+		{0.1, 0.9, 0.2},   // wraps
+		{0.9, 0.1, 0.2},   // symmetric
+		{0.25, 0.75, 0.5}, /* antipodal */
+	}
+	for _, c := range cases {
+		if got := Distance(c.u, c.v); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Distance(%v,%v) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		u := Norm(float64(a) / 65536)
+		v := Norm(float64(b) / 65536)
+		w := Norm(float64(c) / 65536)
+		duv := Distance(u, v)
+		// symmetry, range, identity
+		if duv != Distance(v, u) || duv < 0 || duv > 0.5 {
+			return false
+		}
+		if Distance(u, u) != 0 {
+			return false
+		}
+		// triangle inequality
+		return Distance(u, w) <= duv+Distance(v, w)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockwise(t *testing.T) {
+	if got := Clockwise(0.9, 0.1); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Clockwise(0.9,0.1) = %v, want 0.2", got)
+	}
+	if got := Clockwise(0.1, 0.9); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Clockwise(0.1,0.9) = %v, want 0.8", got)
+	}
+	if got := Clockwise(0.3, 0.3); got != 0 {
+		t.Errorf("Clockwise(x,x) = %v, want 0", got)
+	}
+}
+
+func TestClockwiseSumIsFull(t *testing.T) {
+	f := func(a, b uint16) bool {
+		u := Norm(float64(a) / 65536)
+		v := Norm(float64(b) / 65536)
+		if u == v {
+			return Clockwise(u, v) == 0
+		}
+		s := Clockwise(u, v) + Clockwise(v, u)
+		return math.Abs(s-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetween(t *testing.T) {
+	cases := []struct {
+		a, x, b ID
+		want    bool
+	}{
+		{0.1, 0.2, 0.3, true},
+		{0.1, 0.3, 0.3, true},  // inclusive upper
+		{0.1, 0.1, 0.3, false}, // exclusive lower
+		{0.9, 0.95, 0.1, true}, // wrap
+		{0.9, 0.05, 0.1, true}, // wrap
+		{0.9, 0.5, 0.1, false}, // outside wrap arc
+		{0.4, 0.4, 0.4, false}, // a==b, x==a
+		{0.4, 0.6, 0.4, true},  // a==b, full ring
+	}
+	for _, c := range cases {
+		if got := Between(c.a, c.x, c.b); got != c.want {
+			t.Errorf("Between(%v,%v,%v) = %v, want %v", c.a, c.x, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	cases := []struct {
+		u, v, want ID
+	}{
+		{0.2, 0.4, 0.3},
+		{0.4, 0.2, 0.3},
+		{0.9, 0.1, 0.0}, // across the wrap
+		{0.1, 0.9, 0.0},
+		{0.5, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		got := Midpoint(c.u, c.v)
+		if Distance(got, c.want) > 1e-12 {
+			t.Errorf("Midpoint(%v,%v) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestMidpointEquidistant(t *testing.T) {
+	f := func(a, b uint16) bool {
+		u := Norm(float64(a) / 65536)
+		v := Norm(float64(b) / 65536)
+		m := Midpoint(u, v)
+		return math.Abs(Distance(m, u)-Distance(m, v)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	if _, ok := Centroid(nil); ok {
+		t.Error("Centroid(nil) should not be ok")
+	}
+	if _, ok := Centroid([]ID{0.0, 0.5}); ok {
+		t.Error("Centroid of antipodal pair should cancel")
+	}
+	got, ok := Centroid([]ID{0.1, 0.2, 0.3})
+	if !ok || Distance(got, 0.2) > 1e-9 {
+		t.Errorf("Centroid = %v (ok=%v), want 0.2", got, ok)
+	}
+	// Cluster straddling the wrap point.
+	got, ok = Centroid([]ID{0.95, 0.05})
+	if !ok || Distance(got, 0) > 1e-9 {
+		t.Errorf("Centroid wrap = %v (ok=%v), want 0", got, ok)
+	}
+}
+
+func TestHashUniformity(t *testing.T) {
+	// Coarse chi-square style check: 10k hashed keys over 10 deciles.
+	const n, buckets = 10000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		id := HashUint64(uint64(i))
+		if !id.Valid() {
+			t.Fatalf("HashUint64(%d) = %v out of range", i, id)
+		}
+		counts[int(float64(id)*buckets)]++
+	}
+	for b, c := range counts {
+		if c < n/buckets/2 || c > n/buckets*2 {
+			t.Errorf("bucket %d has %d of %d hashes; far from uniform", b, c, n)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	if Hash([]byte("peer-42")) != Hash([]byte("peer-42")) {
+		t.Error("Hash is not deterministic")
+	}
+	if Hash([]byte("peer-42")) == Hash([]byte("peer-43")) {
+		t.Error("distinct keys unexpectedly collide")
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	sorted := []ID{0.1, 0.3, 0.7}
+	cases := []struct {
+		id   ID
+		want int
+	}{
+		{0.0, 0},
+		{0.1, 1},
+		{0.2, 1},
+		{0.69, 2},
+		{0.7, 0}, // wraps
+		{0.9, 0},
+	}
+	for _, c := range cases {
+		if got := Successor(sorted, c.id); got != c.want {
+			t.Errorf("Successor(%v) = %d, want %d", c.id, got, c.want)
+		}
+	}
+}
+
+func TestArcLengths(t *testing.T) {
+	gaps := ArcLengths([]ID{0.1, 0.4, 0.8})
+	want := []float64{0.3, 0.4, 0.3}
+	var sum float64
+	for i := range gaps {
+		sum += gaps[i]
+		if math.Abs(gaps[i]-want[i]) > 1e-12 {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("gaps sum to %v, want 1", sum)
+	}
+	if ArcLengths(nil) != nil {
+		t.Error("ArcLengths(nil) should be nil")
+	}
+}
+
+func TestArcLengthsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		ids := make([]ID, n)
+		for i := range ids {
+			ids[i] = Norm(rng.Float64())
+		}
+		SortIDs(ids)
+		var sum float64
+		for _, g := range ArcLengths(ids) {
+			if g < 0 {
+				t.Fatalf("negative gap %v", g)
+			}
+			sum += g
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("gaps sum to %v, want 1", sum)
+		}
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	if got := Perturb(0.99, 0.02); Distance(got, 0.01) > 1e-12 {
+		t.Errorf("Perturb wrap = %v, want 0.01", got)
+	}
+	if got := Perturb(0.01, -0.02); Distance(got, 0.99) > 1e-12 {
+		t.Errorf("Perturb negative wrap = %v, want 0.99", got)
+	}
+}

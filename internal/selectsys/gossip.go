@@ -1,0 +1,592 @@
+package selectsys
+
+import (
+	"sort"
+
+	"selectps/internal/bitset"
+	"selectps/internal/lsh"
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+// runGossip executes the construction gossip (the vertex-centric model of
+// §IV): the identifier-reassignment rounds of Algorithms 2–4 followed by
+// connection-establishment rounds of Algorithm 5, until both stabilize.
+// Iterations() reports the total, the Fig. 5 metric.
+//
+// The peer-sampling exchange of Algorithms 3–4 is what, in a deployment,
+// delivers the neighbor sets and bitmaps each peer needs; the simulator
+// grants direct read access to the same information, which equals the
+// gossip's converged knowledge.
+var debugGossip = false
+
+func (o *Overlay) runGossip() {
+	n := o.N()
+	if n == 0 {
+		return
+	}
+	// Phase 1: identifier reassignment (region formation + placement).
+	if !o.cfg.DisableReassignment {
+		o.iterations = o.reassignPositions()
+	}
+	o.rewireRing()
+	// Phase 2: connection establishment rounds until the link sets
+	// stabilize. The 1% slack absorbs boundary peers whose bucket picks
+	// flip between equivalent representatives, and the plateau check stops
+	// the phase when changes stop shrinking (a handful of peers can trade
+	// equivalent links indefinitely as their friends' bitmaps co-evolve).
+	threshold := n / 50
+	if threshold < 1 {
+		threshold = 1
+	}
+	minChanged, sinceMin := n+1, 0
+	for round := 1; round <= o.cfg.MaxRounds; round++ {
+		linkChanged := 0
+		for p := 0; p < n; p++ {
+			// Parity alternation: peers refresh their links every other
+			// round, breaking the two-peer drop/refill cycles that mutual
+			// coverage decisions can otherwise sustain indefinitely.
+			if (p+round)%2 != 0 {
+				continue
+			}
+			if o.createLinks(overlay.PeerID(p)) {
+				linkChanged++
+			}
+		}
+		if debugGossip {
+			println("link round", round, "changed", linkChanged)
+		}
+		o.iterations++
+		if linkChanged <= threshold {
+			break
+		}
+		// Plateau: once the change count stops reaching new lows the
+		// remaining churn is a standing oscillation, not progress.
+		if linkChanged < minChanged {
+			minChanged, sinceMin = linkChanged, 0
+		} else {
+			sinceMin++
+			if sinceMin >= 2 {
+				break
+			}
+		}
+	}
+	o.syncBaseLinks()
+}
+
+// The identifier-reassignment phase. Algorithm 2's geometric intent —
+// every peer relocates toward its strongest social ties until socially
+// connected peers share a ring region — is realized in two steps that a
+// gossiping peer can perform with exactly the information Algorithms 3–4
+// exchange:
+//
+//  1. Region formation: each peer repeatedly adopts the region label that
+//     its friends support most strongly, weighting each friend's vote by
+//     tie strength (strength-weighted label propagation). This is the
+//     gossip analogue of "move to the midpoint of your two strongest
+//     friends": a peer ends up in the region where its strong ties are.
+//     Running the literal synchronized midpoint dynamics instead
+//     contracts the entire connected graph onto one ring position and
+//     destroys the ID space — label propagation reaches the same social
+//     co-location without the collapse.
+//  2. Placement: regions receive disjoint ring arcs proportional to their
+//     population (ordered by region hash, so placement is uniform and
+//     deterministic), and members spread evenly inside their arc. The
+//     ring stays fully covered, identifiers stay unique, and communities
+//     become the compact contiguous groups of Fig. 8.
+//
+// reassignPositions returns the number of label-propagation rounds used.
+func (o *Overlay) reassignPositions() int {
+	n := o.N()
+	if n == 0 {
+		return 0
+	}
+	labels := make([]int32, n)
+	for p := range labels {
+		labels[p] = int32(p)
+	}
+	maxRounds := o.cfg.MaxRounds / 2
+	if maxRounds < 1 {
+		maxRounds = 1
+	}
+	rounds := 0
+	// A handful of boundary peers can keep flipping between equally
+	// supported regions; they do not change the macro structure, so the
+	// phase stops once changes fall under 2%.
+	stopAt := n / 50
+	next := make([]int32, n)
+	for r := 0; r < maxRounds; r++ {
+		rounds++
+		changed := 0
+		// Synchronous superstep: decisions read the previous round's labels
+		// only — sequential in-place updates would let one label telescope
+		// through the whole graph in a single pass. A peer switches only
+		// when the challenger's support strictly exceeds its current
+		// label's support (hysteresis against oscillation).
+		tally := make(map[int32]float64)
+		for p := 0; p < n; p++ {
+			pid := overlay.PeerID(p)
+			next[p] = labels[p]
+			// Parity alternation: only half the peers may switch per round,
+			// which breaks the two-cycles synchronous label propagation is
+			// prone to (pairs of peers swapping labels forever).
+			if (p+r)%2 != 0 {
+				continue
+			}
+			friends := o.g.Neighbors(pid)
+			if len(friends) == 0 {
+				continue
+			}
+			for k := range tally {
+				delete(tally, k)
+			}
+			for _, f := range friends {
+				w := o.tieStrength(pid, f)
+				if o.cfg.CentroidAllFriends {
+					// Ablation (§III-C): all friends pull equally, the
+					// "centroid of all friends" policy. High-degree hubs
+					// then drag unrelated users into one region.
+					w = 1
+				}
+				tally[labels[f]] += w
+			}
+			cur := tally[labels[p]]
+			best, bestW := labels[p], cur
+			for l, w := range tally {
+				if w > bestW && w > cur {
+					best, bestW = l, w
+				} else if w == bestW && w > cur && l < best {
+					best = l
+				}
+			}
+			if best != labels[p] {
+				next[p] = best
+				changed++
+			}
+		}
+		labels, next = next, labels
+		if changed <= stopAt {
+			break
+		}
+		if debugGossip {
+			distinct := make(map[int32]int)
+			for _, l := range labels {
+				distinct[l]++
+			}
+			max := 0
+			for _, c := range distinct {
+				if c > max {
+					max = c
+				}
+			}
+			println("lpa round", r+1, "changed", changed, "labels", len(distinct), "maxsize", max)
+		}
+	}
+	o.placeByRegions(labels)
+	return rounds
+}
+
+// tieStrength is the symmetric strength of the (p,v) friendship: common
+// friends over the union of the two neighborhoods. Eq. 2's one-sided
+// normalization |C_p∩C_u|/|C_p| would make every low-degree peer's
+// strongest friends the global hubs; the symmetric form keeps the
+// common-friend signal of §III-A ("the number of common friends that the
+// two nodes share") while anchoring peers to their own community.
+func (o *Overlay) tieStrength(p, v overlay.PeerID) float64 {
+	common := o.g.CommonNeighbors(p, v)
+	union := o.g.Degree(p) + o.g.Degree(v) - common
+	if union <= 0 {
+		return 0
+	}
+	// The +1 keeps the friendship edge itself worth something even with no
+	// common friends.
+	return (float64(common) + 1) / float64(union+1)
+}
+
+// placeByRegions assigns each region a ring arc proportional to its
+// population and spreads members evenly inside it.
+func (o *Overlay) placeByRegions(labels []int32) {
+	n := o.N()
+	members := make(map[int32][]overlay.PeerID)
+	for p := 0; p < n; p++ {
+		members[labels[p]] = append(members[labels[p]], overlay.PeerID(p))
+	}
+	type region struct {
+		label int32
+		hash  ring.ID
+	}
+	regions := make([]region, 0, len(members))
+	for l := range members {
+		regions = append(regions, region{l, ring.HashUint64(uint64(uint32(l)))})
+	}
+	sort.Slice(regions, func(i, j int) bool {
+		if regions[i].hash != regions[j].hash {
+			return regions[i].hash < regions[j].hash
+		}
+		return regions[i].label < regions[j].label
+	})
+	var start float64
+	for _, r := range regions {
+		ms := members[r.label]
+		width := float64(len(ms)) / float64(n)
+		for i, p := range ms {
+			// Even spread with a deterministic sub-slot jitter keeps
+			// identifiers unique and ordering stable.
+			frac := (float64(i) + 0.5) / float64(len(ms))
+			o.SetPosition(p, ring.Norm(start+width*frac))
+		}
+		start += width
+	}
+}
+
+// topTieFriends returns p's two friends with the strongest symmetric ties
+// (used by the Algorithm-2 anchor choice and by tests).
+func (o *Overlay) topTieFriends(p overlay.PeerID) (best, second overlay.PeerID) {
+	best, second = -1, -1
+	var bs, ss float64 = -1, -1
+	for _, v := range o.g.Neighbors(p) {
+		s := o.tieStrength(p, v)
+		switch {
+		case s > bs:
+			second, ss = best, bs
+			best, bs = v, s
+		case s > ss:
+			second, ss = v, s
+		}
+	}
+	return best, second
+}
+
+// rewireRing refreshes the two short-range links R_p^s (successor and
+// predecessor in the current identifier order).
+func (o *Overlay) rewireRing() {
+	n := o.N()
+	if n < 2 {
+		return
+	}
+	order := o.SortedByPosition()
+	if o.shortLinks == nil {
+		o.shortLinks = make([][2]overlay.PeerID, n)
+	}
+	for i, p := range order {
+		succ := order[(i+1)%n]
+		pred := order[(i-1+n)%n]
+		o.shortLinks[p] = [2]overlay.PeerID{succ, pred}
+	}
+}
+
+// syncBaseLinks publishes shortLinks + longLinks + incoming long links
+// into the generic link sets used by routing and the experiments. The
+// routing view is symmetric: connections are reliable TCP channels
+// (§III-A) and carry messages in both directions, so a peer forwards over
+// links it initiated and links initiated toward it; the K-incoming cap
+// governs connection acceptance, not traffic direction.
+func (o *Overlay) syncBaseLinks() {
+	n := o.N()
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		o.SetLinks(pid, nil)
+		if o.shortLinks != nil {
+			for _, q := range o.shortLinks[p] {
+				if q != pid {
+					o.AddLink(pid, q)
+				}
+			}
+		}
+		for _, q := range o.longLinks[p] {
+			o.AddLink(pid, q)
+		}
+		for _, q := range o.incomingFrom[p] {
+			o.AddLink(pid, q)
+		}
+	}
+}
+
+// bitmapFor builds the friendship bitmap of friend u from p's perspective
+// (Algorithm 4, constructFriendshipBitmap): bit j is set when u maintains
+// a long-range link to the j-th member of C_p.
+func (o *Overlay) bitmapFor(p, u overlay.PeerID) *bitset.Set {
+	idx := o.friendIdx[p]
+	bm := bitset.New(len(idx))
+	// Self bit: u trivially reaches itself. Without it, every bitmap is
+	// all-zero in the first round (no long links exist yet), the LSH hashes
+	// the whole neighborhood into a single bucket, and only one link can
+	// ever bootstrap. With it, distinct friends spread over the K buckets
+	// immediately while similar link sets still collide once links exist.
+	if j, ok := idx[u]; ok {
+		bm.Set(j)
+	}
+	for _, l := range o.longLinks[u] {
+		if j, ok := idx[l]; ok {
+			bm.Set(j)
+		}
+	}
+	return bm
+}
+
+// createLinks is Algorithm 5: index the friends' bitmaps into the K LSH
+// buckets, keep one picker-chosen representative per bucket as a long-range
+// link, and drop redundant links to other peers of the same bucket. It
+// reports whether p's long-link set changed.
+func (o *Overlay) createLinks(p overlay.PeerID) bool {
+	friends := o.g.Neighbors(p)
+	if len(friends) == 0 {
+		return false
+	}
+	if o.cfg.RandomLinks {
+		return o.createRandomLinks(p, friends)
+	}
+	table := lsh.NewTable(o.hashers[p])
+	conn := make(map[overlay.PeerID]int, len(friends)) // candidate -> link count
+	for _, u := range friends {
+		bm := o.bitmapFor(p, u)
+		table.Insert(u, bm)
+		conn[u] = bm.Count()
+	}
+	changed := false
+	for b := 0; b < table.NumBuckets(); b++ {
+		bucket := table.Bucket(b)
+		if len(bucket) == 0 {
+			continue
+		}
+		// Hysteresis: when the bucket already holds linked peers, keep the
+		// picker-best among them instead of re-picking from scratch — the
+		// paper's recovery rationale ("not create a chain of connections
+		// reassignment", §III-F) applied to steady-state maintenance.
+		var linked []overlay.PeerID
+		for _, v := range bucket {
+			if o.hasLong(p, v) {
+				linked = append(linked, v)
+			}
+		}
+		keep := overlay.PeerID(-1)
+		switch len(linked) {
+		case 0:
+			pick := o.picker(bucket, conn)
+			if o.establish(p, pick) {
+				changed = true
+				keep = pick
+			}
+		case 1:
+			keep = linked[0]
+		default:
+			keep = o.picker(linked, conn)
+		}
+		if keep < 0 {
+			continue
+		}
+		// Drop redundant same-bucket links (Algorithm 5 lines 12–16) — but
+		// only when the kept representative actually covers them ("similar
+		// connections" must mean the message still reaches the dropped peer
+		// through the representative in one hop). Friends with empty
+		// bitmaps hash together without being mutually reachable; dropping
+		// those would silently disconnect them from the routing tree.
+		for _, v := range bucket {
+			if v != keep && o.hasLong(p, v) && o.hasLong(keep, v) {
+				o.dropLong(p, v)
+				changed = true
+			}
+		}
+	}
+	// Enforce the K budget: shed covered links first, then the weakest
+	// ties.
+	for len(o.longLinks[p]) > o.cfg.K {
+		victim := o.budgetVictim(p)
+		o.dropLong(p, victim)
+		changed = true
+	}
+	// Spend remaining budget on friends no current link can reach in one
+	// forward, weakest ties first: strong ties live in the same community
+	// region and stay reachable through the ring and the lookahead set,
+	// while weak cross-community ties have no alternative path — linking
+	// them is what keeps "the maximum number of each social user's
+	// neighborhood" within 1–2 hops (§III-A).
+	if len(o.longLinks[p]) < o.cfg.K {
+		var uncovered []overlay.PeerID
+		for _, u := range friends {
+			if !o.hasLong(p, u) && !o.coveredBy(p, u) {
+				uncovered = append(uncovered, u)
+			}
+		}
+		sort.Slice(uncovered, func(i, j int) bool {
+			si, sj := o.tieStrength(p, uncovered[i]), o.tieStrength(p, uncovered[j])
+			if si != sj {
+				return si < sj
+			}
+			return uncovered[i] < uncovered[j]
+		})
+		for _, u := range uncovered {
+			if len(o.longLinks[p]) >= o.cfg.K {
+				// At budget: a redundant link (one whose peer another link
+				// already covers) may be evicted in favor of the lone
+				// friend — the "drop link overlap" intent of Algorithm 5.
+				victim, ok := o.coveredVictim(p)
+				if !ok {
+					break
+				}
+				o.dropLong(p, victim)
+				changed = true
+			}
+			if o.establish(p, u) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// coveredVictim returns a long link of p whose peer is covered by another
+// long link (reachable in two hops anyway), weakest tie first; ok=false
+// when every link is the sole path to its peer.
+func (o *Overlay) coveredVictim(p overlay.PeerID) (overlay.PeerID, bool) {
+	victim := overlay.PeerID(-1)
+	var victimTie float64
+	for _, v := range o.longLinks[p] {
+		cov := false
+		for _, w := range o.longLinks[p] {
+			if w != v && o.hasLong(w, v) {
+				cov = true
+				break
+			}
+		}
+		if !cov {
+			continue
+		}
+		tie := o.tieStrength(p, v)
+		if victim < 0 || tie < victimTie {
+			victim, victimTie = v, tie
+		}
+	}
+	return victim, victim >= 0
+}
+
+// coveredBy reports whether some long link of p links u (u is reachable in
+// two hops through p's routing table).
+func (o *Overlay) coveredBy(p, u overlay.PeerID) bool {
+	for _, w := range o.longLinks[p] {
+		if o.hasLong(w, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// budgetVictim picks the long link to shed when over budget: a link whose
+// peer is covered by another link if possible, the weakest tie otherwise.
+func (o *Overlay) budgetVictim(p overlay.PeerID) overlay.PeerID {
+	victim, covered := overlay.PeerID(-1), false
+	var victimTie float64
+	for _, v := range o.longLinks[p] {
+		cov := false
+		for _, w := range o.longLinks[p] {
+			if w != v && o.hasLong(w, v) {
+				cov = true
+				break
+			}
+		}
+		tie := o.tieStrength(p, v)
+		switch {
+		case victim < 0,
+			cov && !covered,
+			cov == covered && tie < victimTie:
+			victim, covered, victimTie = v, cov, tie
+		}
+	}
+	return victim
+}
+
+// createRandomLinks is the Algorithm-5 ablation: fill the K-link budget
+// with uniformly random friends, no similarity bucketing.
+func (o *Overlay) createRandomLinks(p overlay.PeerID, friends []overlay.PeerID) bool {
+	changed := false
+	for attempts := 0; len(o.longLinks[p]) < o.cfg.K && attempts < o.cfg.K*8; attempts++ {
+		u := friends[o.rng.Intn(len(friends))]
+		if !o.hasLong(p, u) && o.establish(p, u) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// picker is Algorithm 6: sort the bucket by connection count (descending —
+// "the maximum number of social connections"), and when the runner-up has
+// strictly better bandwidth than the leader, prefer the runner-up.
+func (o *Overlay) picker(bucket []overlay.PeerID, conn map[overlay.PeerID]int) overlay.PeerID {
+	sorted := append([]overlay.PeerID(nil), bucket...)
+	sort.Slice(sorted, func(i, j int) bool {
+		ci, cj := conn[sorted[i]], conn[sorted[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		if o.bw[sorted[i]] != o.bw[sorted[j]] {
+			return o.bw[sorted[i]] > o.bw[sorted[j]]
+		}
+		return sorted[i] < sorted[j]
+	})
+	if !o.cfg.PickerIgnoresBandwidth &&
+		len(sorted) > 1 && o.bw[sorted[0]] < o.bw[sorted[1]] {
+		return sorted[1]
+	}
+	return sorted[0]
+}
+
+func (o *Overlay) hasLong(p, u overlay.PeerID) bool {
+	for _, x := range o.longLinks[p] {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+// establish creates the long-range link p→u, honoring u's K-incoming cap:
+// a full peer accepts the new connection only when it has better bandwidth
+// than the worst current one, which is then evicted (§III-D).
+func (o *Overlay) establish(p, u overlay.PeerID) bool {
+	if p == u {
+		return false
+	}
+	if len(o.incomingFrom[u]) >= o.cfg.K {
+		worst := overlay.PeerID(-1)
+		wi := -1
+		for i, x := range o.incomingFrom[u] {
+			if worst < 0 || o.bw[x] < o.bw[worst] {
+				worst, wi = x, i
+			}
+		}
+		if worst < 0 || o.bw[p] <= o.bw[worst] {
+			return false
+		}
+		// Evict the worst-bandwidth incoming link.
+		o.incomingFrom[u][wi] = o.incomingFrom[u][len(o.incomingFrom[u])-1]
+		o.incomingFrom[u] = o.incomingFrom[u][:len(o.incomingFrom[u])-1]
+		o.removeLongOut(worst, u)
+	}
+	o.longLinks[p] = append(o.longLinks[p], u)
+	o.incomingFrom[u] = append(o.incomingFrom[u], p)
+	return true
+}
+
+// dropLong removes the long link p→u (both directions of bookkeeping).
+func (o *Overlay) dropLong(p, u overlay.PeerID) {
+	o.removeLongOut(p, u)
+	in := o.incomingFrom[u]
+	for i, x := range in {
+		if x == p {
+			in[i] = in[len(in)-1]
+			o.incomingFrom[u] = in[:len(in)-1]
+			break
+		}
+	}
+}
+
+func (o *Overlay) removeLongOut(p, u overlay.PeerID) {
+	l := o.longLinks[p]
+	for i, x := range l {
+		if x == u {
+			l[i] = l[len(l)-1]
+			o.longLinks[p] = l[:len(l)-1]
+			return
+		}
+	}
+}

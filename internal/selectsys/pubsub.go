@@ -1,0 +1,185 @@
+package selectsys
+
+import (
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+// Route implements §III-E forwarding: deliver within 1 hop when the
+// destination is in the routing table R_p, within 2 hops when it appears
+// in the lookahead set L_p (a neighbor's routing table, as in Symphony's
+// lookahead), and otherwise forward greedily to the link minimizing the
+// ring distance to the destination.
+func (o *Overlay) Route(src, dst overlay.PeerID) (overlay.Path, bool) {
+	if src == dst {
+		return overlay.Path{src}, true
+	}
+	if !o.Online(dst) {
+		return overlay.GreedyRoute(o, src, dst)
+	}
+	path := overlay.Path{src}
+	cur := src
+	for hops := 0; hops < overlay.MaxRouteHops; hops++ {
+		if cur == dst {
+			return path, true
+		}
+		next, ok := o.forwardChoice(cur, dst)
+		if !ok {
+			return path, false
+		}
+		path = append(path, next...)
+		cur = path[len(path)-1]
+	}
+	return path, false
+}
+
+// forwardChoice returns the next one or two hops from cur toward dst.
+func (o *Overlay) forwardChoice(cur, dst overlay.PeerID) ([]overlay.PeerID, bool) {
+	// 1 hop: dst in routing table.
+	for _, q := range o.Links(cur) {
+		if q == dst {
+			return []overlay.PeerID{dst}, true
+		}
+	}
+	// 2 hops: dst in the lookahead set (links of an online neighbor).
+	if !o.cfg.DisableLookahead {
+		for _, q := range o.Links(cur) {
+			if !o.Online(q) {
+				continue
+			}
+			for _, r := range o.Links(q) {
+				if r == dst {
+					return []overlay.PeerID{q, dst}, true
+				}
+			}
+		}
+	}
+	// Greedy: the online link closest to dst's identifier, only if it makes
+	// progress.
+	dstPos := o.Position(dst)
+	best := overlay.PeerID(-1)
+	bestD := ring.Distance(o.Position(cur), dstPos)
+	for _, q := range o.Links(cur) {
+		if !o.Online(q) {
+			continue
+		}
+		if d := ring.Distance(o.Position(q), dstPos); d < bestD {
+			best, bestD = q, d
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	return []overlay.PeerID{best}, true
+}
+
+// DisseminationTree implements overlay.Disseminator: the routing tree RT_b
+// of §III-E. Subscribers directly linked to the publisher are delivered in
+// one hop; subscribers found in the lookahead set of a tree member are
+// delivered through that member (2 hops); the remainder is reached by
+// SELECT routing, merged into the tree.
+func (o *Overlay) DisseminationTree(publisher overlay.PeerID, subs []overlay.PeerID) (*overlay.Tree, []overlay.PeerID) {
+	t := overlay.NewTree(publisher)
+	var pending []overlay.PeerID
+
+	// Pass 1: direct links of the publisher.
+	direct := make(map[overlay.PeerID]bool, len(o.Links(publisher)))
+	for _, q := range o.Links(publisher) {
+		if o.Online(q) {
+			direct[q] = true
+		}
+	}
+	for _, s := range subs {
+		if s == publisher || t.Contains(s) {
+			continue
+		}
+		if direct[s] {
+			t.AddPath(overlay.Path{publisher, s})
+		} else {
+			pending = append(pending, s)
+		}
+	}
+
+	// Pass 2: lookahead through peers already in the tree (preferring
+	// subscriber forwarders keeps relays at zero).
+	if len(pending) > 0 && !o.cfg.DisableLookahead {
+		still := pending[:0]
+		members := t.Nodes()
+		for _, s := range pending {
+			found := false
+			for _, m := range members {
+				if m == s || !o.Online(m) {
+					continue
+				}
+				for _, r := range o.Links(m) {
+					if r == s {
+						t.AddPath(overlay.Path{m, s})
+						found = true
+						break
+					}
+				}
+				if found {
+					break
+				}
+			}
+			if !found {
+				still = append(still, s)
+			} else {
+				members = append(members, s)
+			}
+		}
+		pending = still
+	}
+
+	// Pass 3: SELECT routing for the leftovers, starting from the tree
+	// member nearest the subscriber in the ID space — socially clustered
+	// identifiers make that member land in the subscriber's region, so the
+	// grafted path stays short and adds few relays. Each grafted path adds
+	// members whose routing tables may now cover later leftovers within a
+	// hop, so the lookahead check is retried first.
+	var failed []overlay.PeerID
+	for _, s := range pending {
+		if t.Contains(s) {
+			continue // covered by a previously grafted path
+		}
+		if !o.cfg.DisableLookahead {
+			if m, ok := o.lookaheadForwarder(t, s); ok {
+				t.AddPath(overlay.Path{m, s})
+				continue
+			}
+		}
+		from := publisher
+		bestD := ring.Distance(o.Position(publisher), o.Position(s))
+		for _, m := range t.Nodes() {
+			if !o.Online(m) {
+				continue
+			}
+			if d := ring.Distance(o.Position(m), o.Position(s)); d < bestD {
+				from, bestD = m, d
+			}
+		}
+		path, ok := o.Route(from, s)
+		if !ok {
+			failed = append(failed, s)
+			continue
+		}
+		t.AddPath(path)
+	}
+	return t, failed
+}
+
+// lookaheadForwarder returns an online tree member whose routing table
+// already contains s (delivery in one more hop), if any.
+func (o *Overlay) lookaheadForwarder(t *overlay.Tree, s overlay.PeerID) (overlay.PeerID, bool) {
+	for _, m := range t.Nodes() {
+		if m == s || !o.Online(m) {
+			continue
+		}
+		for _, r := range o.Links(m) {
+			if r == s {
+				return m, true
+			}
+		}
+	}
+	return -1, false
+}

@@ -1,0 +1,121 @@
+package selectsys
+
+import (
+	"sort"
+
+	"selectps/internal/lsh"
+	"selectps/internal/overlay"
+)
+
+// Repair is SELECT's recovery mechanism (§III-F). Each online peer probes
+// its routing-table entries and folds the observation into the per-peer
+// Cumulative Moving Average. An unresponsive long-range link is kept when
+// the peer's availability history is good (a temporal failure: replacing
+// it would set off a chain of connection reassignments), and replaced with
+// another peer from the same LSH bucket when the history says the peer is
+// mostly offline. Short-range ring links are always patched to the nearest
+// online successor/predecessor so greedy routing keeps making progress —
+// this is what sustains the paper's 100% communication availability in
+// Fig. 6.
+func (o *Overlay) Repair() {
+	n := o.N()
+	if n == 0 {
+		return
+	}
+	// Probe phase (Algorithms 3–4 heartbeat): every online peer observes
+	// the liveness of its long-range links.
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		if !o.Online(pid) {
+			continue
+		}
+		for _, q := range o.longLinks[p] {
+			o.tracker.Observe(q, o.Online(q))
+		}
+	}
+	// Replacement phase.
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		if !o.Online(pid) {
+			continue
+		}
+		for _, q := range append([]overlay.PeerID(nil), o.longLinks[p]...) {
+			if o.Online(q) {
+				continue
+			}
+			if !o.cfg.NaiveRecovery && o.tracker.Value(q) >= o.cfg.CMAThreshold {
+				// Good history: temporal failure, keep the connection.
+				continue
+			}
+			o.dropLong(pid, q)
+			if alt, ok := o.bucketAlternative(pid, q); ok {
+				o.establish(pid, alt)
+			}
+		}
+	}
+	o.patchRing()
+	o.syncBaseLinks()
+}
+
+// bucketAlternative finds an online replacement for the dead link p→q from
+// the same LSH bucket q occupies in p's index (§III-F), chosen by the
+// Algorithm 6 picker. ok=false when the bucket holds no online candidate.
+func (o *Overlay) bucketAlternative(p, dead overlay.PeerID) (overlay.PeerID, bool) {
+	friends := o.g.Neighbors(p)
+	if len(friends) == 0 {
+		return -1, false
+	}
+	table := lsh.NewTable(o.hashers[p])
+	conn := make(map[overlay.PeerID]int, len(friends))
+	for _, u := range friends {
+		bm := o.bitmapFor(p, u)
+		table.Insert(u, bm)
+		conn[u] = bm.Count()
+	}
+	b := table.BucketOf(dead)
+	if b < 0 {
+		return -1, false
+	}
+	var candidates []overlay.PeerID
+	for _, u := range table.Bucket(b) {
+		if u != dead && u != p && o.Online(u) && !o.hasLong(p, u) {
+			candidates = append(candidates, u)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1, false
+	}
+	return o.picker(candidates, conn), true
+}
+
+// patchRing points every online peer's short-range links at its nearest
+// online ring neighbors.
+func (o *Overlay) patchRing() {
+	n := o.N()
+	var online []overlay.PeerID
+	for p := 0; p < n; p++ {
+		if o.Online(overlay.PeerID(p)) {
+			online = append(online, overlay.PeerID(p))
+		}
+	}
+	if len(online) < 2 {
+		return
+	}
+	// Sort online peers by position (ties by id), then link successively.
+	sort.Slice(online, func(i, j int) bool {
+		pi, pj := o.Position(online[i]), o.Position(online[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return online[i] < online[j]
+	})
+	m := len(online)
+	if o.shortLinks == nil {
+		o.shortLinks = make([][2]overlay.PeerID, n)
+	}
+	for i, p := range online {
+		succ := online[(i+1)%m]
+		pred := online[(i-1+m)%m]
+		o.shortLinks[p] = [2]overlay.PeerID{succ, pred}
+	}
+}

@@ -1,0 +1,183 @@
+package selectsys
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+)
+
+func TestRepairPatchesRing(t *testing.T) {
+	g := datasets.Facebook.Generate(300, 1)
+	o := New(g, Config{}, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 90; i++ { // 30% offline
+		o.SetOnline(overlay.PeerID(rng.Intn(300)), false)
+	}
+	o.Repair()
+	// Every pair of online peers must remain routable.
+	fails := 0
+	for i := 0; i < 200; i++ {
+		src := overlay.PeerID(rng.Intn(300))
+		dst := overlay.PeerID(rng.Intn(300))
+		if src == dst || !o.Online(src) || !o.Online(dst) {
+			continue
+		}
+		path, ok := o.Route(src, dst)
+		if !ok {
+			fails++
+			continue
+		}
+		for _, p := range path[1 : len(path)-1] {
+			if !o.Online(p) {
+				t.Fatalf("route through offline peer %d", p)
+			}
+		}
+	}
+	if fails > 0 {
+		t.Errorf("%d routes failed after repair; recovery must keep 100%% availability", fails)
+	}
+}
+
+func TestRepairKeepsHighCMALinks(t *testing.T) {
+	g := datasets.Facebook.Generate(200, 3)
+	o := New(g, Config{CMAThreshold: 0.5}, rand.New(rand.NewSource(3)))
+	// Find a peer with at least one long link.
+	var p overlay.PeerID = -1
+	for i := overlay.PeerID(0); i < 200; i++ {
+		if len(o.LongLinks(i)) > 0 && o.Online(i) {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		t.Skip("no long links formed")
+	}
+	q := o.LongLinks(p)[0]
+	// Give q a spotless availability history, then take it offline once.
+	for i := 0; i < 20; i++ {
+		o.Tracker().Observe(q, true)
+	}
+	o.SetOnline(q, false)
+	o.Repair()
+	if !o.hasLong(p, q) {
+		t.Error("high-CMA link was dropped; §III-F says temporal failures are kept")
+	}
+	o.SetOnline(q, true)
+}
+
+func TestRepairReplacesLowCMALinks(t *testing.T) {
+	g := datasets.Facebook.Generate(200, 4)
+	o := New(g, Config{CMAThreshold: 0.5}, rand.New(rand.NewSource(4)))
+	var p overlay.PeerID = -1
+	for i := overlay.PeerID(0); i < 200; i++ {
+		if len(o.LongLinks(i)) > 0 && o.Online(i) {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		t.Skip("no long links formed")
+	}
+	q := o.LongLinks(p)[0]
+	// Give q a terrible availability history.
+	for i := 0; i < 20; i++ {
+		o.Tracker().Observe(q, false)
+	}
+	o.SetOnline(q, false)
+	o.Repair()
+	if o.hasLong(p, q) {
+		t.Error("low-CMA offline link survived repair")
+	}
+}
+
+func TestNaiveRecoveryAblationDropsRegardless(t *testing.T) {
+	g := datasets.Facebook.Generate(200, 5)
+	o := New(g, Config{NaiveRecovery: true}, rand.New(rand.NewSource(5)))
+	var p overlay.PeerID = -1
+	for i := overlay.PeerID(0); i < 200; i++ {
+		if len(o.LongLinks(i)) > 0 && o.Online(i) {
+			p = i
+			break
+		}
+	}
+	if p < 0 {
+		t.Skip("no long links formed")
+	}
+	q := o.LongLinks(p)[0]
+	for i := 0; i < 20; i++ {
+		o.Tracker().Observe(q, true) // perfect history — ignored by ablation
+	}
+	o.SetOnline(q, false)
+	o.Repair()
+	if o.hasLong(p, q) {
+		t.Error("naive recovery kept an offline link")
+	}
+}
+
+func TestDisseminationUnderChurn(t *testing.T) {
+	g := datasets.Facebook.Generate(400, 6)
+	o := New(g, Config{}, rand.New(rand.NewSource(6)))
+	rng := rand.New(rand.NewSource(7))
+	// Half the network offline — the paper's worst case in Fig. 6.
+	for i := 0; i < 400 && o.OfflineCount() < 200; i++ {
+		o.SetOnline(overlay.PeerID(rng.Intn(400)), false)
+	}
+	o.Repair()
+	trials, delivered, wanted := 0, 0, 0
+	for i := 0; i < 40; i++ {
+		pub := overlay.PeerID(rng.Intn(400))
+		if !o.Online(pub) {
+			continue
+		}
+		var subs []overlay.PeerID
+		for _, s := range g.Neighbors(pub) {
+			if o.Online(s) {
+				subs = append(subs, s)
+			}
+		}
+		if len(subs) == 0 {
+			continue
+		}
+		trials++
+		tree, failed := o.DisseminationTree(pub, subs)
+		wanted += len(subs)
+		delivered += len(subs) - len(failed)
+		for _, s := range subs {
+			if !tree.Contains(s) && !contains(failed, s) {
+				t.Fatalf("subscriber %d neither delivered nor failed", s)
+			}
+		}
+	}
+	if trials == 0 {
+		t.Fatal("no trials")
+	}
+	if delivered != wanted {
+		t.Errorf("availability %d/%d < 100%% after repair", delivered, wanted)
+	}
+}
+
+func contains(l []overlay.PeerID, x overlay.PeerID) bool {
+	for _, y := range l {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRepairEmptyOverlay(t *testing.T) {
+	g := datasets.Facebook.Generate(0, 8)
+	o := New(g, Config{}, rand.New(rand.NewSource(8)))
+	o.Repair() // must not panic
+}
+
+func TestRepairAllOffline(t *testing.T) {
+	g := datasets.Facebook.Generate(50, 9)
+	o := New(g, Config{}, rand.New(rand.NewSource(9)))
+	for p := overlay.PeerID(0); p < 50; p++ {
+		o.SetOnline(p, false)
+	}
+	o.Repair() // must not panic
+}

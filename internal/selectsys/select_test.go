@@ -1,0 +1,263 @@
+package selectsys
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/socialgraph"
+)
+
+func build(t *testing.T, n int, seed int64) (*socialgraph.Graph, *Overlay) {
+	t.Helper()
+	g := datasets.Facebook.Generate(n, seed)
+	o := New(g, Config{}, rand.New(rand.NewSource(seed)))
+	return g, o
+}
+
+func TestConstructionBasics(t *testing.T) {
+	g, o := build(t, 300, 1)
+	if o.Name() != "select" || o.N() != 300 {
+		t.Fatal("metadata wrong")
+	}
+	if o.Iterations() < 1 {
+		t.Errorf("Iterations = %d", o.Iterations())
+	}
+	if o.K() < 2 {
+		t.Errorf("K = %d", o.K())
+	}
+	if o.Graph() != g {
+		t.Error("Graph accessor broken")
+	}
+	for p := overlay.PeerID(0); p < 300; p++ {
+		if !o.Position(p).Valid() {
+			t.Fatalf("peer %d invalid position", p)
+		}
+		if len(o.LongLinks(p)) > o.K() {
+			t.Errorf("peer %d has %d long links > K=%d", p, len(o.LongLinks(p)), o.K())
+		}
+	}
+}
+
+func TestLongLinksAreFriends(t *testing.T) {
+	g, o := build(t, 300, 2)
+	for p := overlay.PeerID(0); p < 300; p++ {
+		for _, q := range o.LongLinks(p) {
+			if !g.HasEdge(p, q) {
+				t.Fatalf("long link %d->%d is not a social edge", p, q)
+			}
+		}
+	}
+}
+
+func TestIncomingCapRespected(t *testing.T) {
+	_, o := build(t, 400, 3)
+	incoming := make([]int, 400)
+	for p := overlay.PeerID(0); p < 400; p++ {
+		for _, q := range o.LongLinks(p) {
+			incoming[q]++
+		}
+	}
+	for u, c := range incoming {
+		if c > o.K() {
+			t.Errorf("peer %d has %d incoming long links > K=%d", u, c, o.K())
+		}
+	}
+}
+
+func TestSociallyConnectedPeersCluster(t *testing.T) {
+	// After reassignment, the ring distance between friends should be far
+	// below the 0.25 expectation for uniform random placement.
+	g, o := build(t, 400, 4)
+	rng := rand.New(rand.NewSource(5))
+	var friendDist, randomDist float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		u, v, _ := g.RandomEdge(rng)
+		friendDist += ring.Distance(o.Position(u), o.Position(v))
+		a := overlay.PeerID(rng.Intn(400))
+		b := overlay.PeerID(rng.Intn(400))
+		randomDist += ring.Distance(o.Position(a), o.Position(b))
+	}
+	friendDist /= trials
+	randomDist /= trials
+	// Cross-community friendships keep the average up; what matters is the
+	// clear separation from the random-pair baseline (~0.25).
+	if friendDist > 0.65*randomDist {
+		t.Errorf("avg friend ring distance %.3f not well below random %.3f",
+			friendDist, randomDist)
+	}
+}
+
+func TestReassignmentAblationKeepsUniform(t *testing.T) {
+	g := datasets.Facebook.Generate(400, 6)
+	o := New(g, Config{DisableReassignment: true}, rand.New(rand.NewSource(6)))
+	rng := rand.New(rand.NewSource(7))
+	var friendDist float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		u, v, _ := g.RandomEdge(rng)
+		friendDist += ring.Distance(o.Position(u), o.Position(v))
+	}
+	friendDist /= trials
+	// Projection places invited users near their inviters, so distances
+	// are below uniform (0.25) even without reassignment — but the full
+	// algorithm must do clearly better.
+	full := New(g, Config{}, rand.New(rand.NewSource(6)))
+	var fullDist float64
+	rng = rand.New(rand.NewSource(7))
+	for i := 0; i < trials; i++ {
+		u, v, _ := g.RandomEdge(rng)
+		fullDist += ring.Distance(full.Position(u), full.Position(v))
+	}
+	fullDist /= trials
+	if fullDist >= friendDist {
+		t.Errorf("reassignment did not tighten clusters: full=%.3f frozen=%.3f",
+			fullDist, friendDist)
+	}
+}
+
+func TestRouteSocialPairsShort(t *testing.T) {
+	// K = 14 mirrors the paper's K = log2(N) at its real data-set scales
+	// relative to the ~25 average degree (Facebook 63k: K=16).
+	g := datasets.Facebook.Generate(400, 8)
+	o := New(g, Config{K: 14}, rand.New(rand.NewSource(8)))
+	rng := rand.New(rand.NewSource(9))
+	const trials = 300
+	totalHops, twoHop := 0, 0
+	for i := 0; i < trials; i++ {
+		u, v, _ := g.RandomEdge(rng)
+		path, ok := o.Route(u, v)
+		if !ok {
+			t.Fatalf("route %d->%d failed", u, v)
+		}
+		totalHops += path.Hops()
+		if path.Hops() <= 2 {
+			twoHop++
+		}
+	}
+	avg := float64(totalHops) / trials
+	if avg > 3 {
+		t.Errorf("avg hops between friends = %.2f, want <= 3", avg)
+	}
+	if float64(twoHop)/trials < 0.55 {
+		t.Errorf("only %d/%d social lookups within 2 hops", twoHop, trials)
+	}
+}
+
+func TestRouteArbitraryPairs(t *testing.T) {
+	_, o := build(t, 300, 10)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		src := overlay.PeerID(rng.Intn(300))
+		dst := overlay.PeerID(rng.Intn(300))
+		path, ok := o.Route(src, dst)
+		if !ok {
+			t.Fatalf("route %d->%d failed", src, dst)
+		}
+		if path[0] != src || path[len(path)-1] != dst {
+			t.Fatalf("bad endpoints %v", path)
+		}
+	}
+}
+
+func TestDisseminationFewRelays(t *testing.T) {
+	g := datasets.Facebook.Generate(400, 12)
+	o := New(g, Config{K: 14}, rand.New(rand.NewSource(12)))
+	rng := rand.New(rand.NewSource(13))
+	totalRelays, trials := 0, 0
+	for i := 0; i < 60; i++ {
+		pub := overlay.PeerID(rng.Intn(400))
+		subs := g.Neighbors(pub)
+		if len(subs) == 0 {
+			continue
+		}
+		tree, failed := o.DisseminationTree(pub, subs)
+		if len(failed) > 0 {
+			t.Fatalf("publisher %d failed subscribers %v", pub, failed)
+		}
+		for _, s := range subs {
+			if !tree.Contains(s) {
+				t.Fatalf("subscriber %d missing from tree", s)
+			}
+		}
+		isSub := func(p overlay.PeerID) bool { return g.HasEdge(pub, p) }
+		totalRelays += tree.RelayNodes(isSub)
+		trials++
+	}
+	if trials == 0 {
+		t.Fatal("no trials")
+	}
+	if avg := float64(totalRelays) / float64(trials); avg > 4 {
+		t.Errorf("avg relay nodes = %.2f, want near zero for SELECT", avg)
+	}
+}
+
+func TestConvergenceFasterThanMaxRounds(t *testing.T) {
+	_, o := build(t, 400, 14)
+	if o.Iterations() >= 60 {
+		t.Errorf("SELECT used %d rounds; expected quick convergence", o.Iterations())
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := datasets.Slashdot.Generate(200, 15)
+	a := New(g, Config{}, rand.New(rand.NewSource(16)))
+	b := New(g, Config{}, rand.New(rand.NewSource(16)))
+	if a.Iterations() != b.Iterations() {
+		t.Fatalf("iterations differ: %d vs %d", a.Iterations(), b.Iterations())
+	}
+	for p := overlay.PeerID(0); p < 200; p++ {
+		if a.Position(p) != b.Position(p) {
+			t.Fatalf("positions differ at peer %d", p)
+		}
+		la, lb := a.LongLinks(p), b.LongLinks(p)
+		if len(la) != len(lb) {
+			t.Fatalf("long links differ at peer %d", p)
+		}
+	}
+}
+
+func TestEmptyAndTinyGraphs(t *testing.T) {
+	g := socialgraph.NewBuilder(0).Build()
+	o := New(g, Config{}, rand.New(rand.NewSource(1)))
+	if o.N() != 0 {
+		t.Error("empty overlay wrong")
+	}
+	g1 := socialgraph.NewBuilder(1).Build()
+	o1 := New(g1, Config{}, rand.New(rand.NewSource(1)))
+	if o1.N() != 1 {
+		t.Error("singleton overlay wrong")
+	}
+	if _, ok := o1.Route(0, 0); !ok {
+		t.Error("self route failed")
+	}
+	b := socialgraph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	g2 := b.Build()
+	o2 := New(g2, Config{}, rand.New(rand.NewSource(1)))
+	if path, ok := o2.Route(0, 1); !ok || path.Hops() != 1 {
+		t.Errorf("pair route = %v, %v", path, ok)
+	}
+}
+
+func TestIsolatedUsers(t *testing.T) {
+	// A graph with isolated nodes: they stay at their hash position with
+	// ring links only, and routing to them still works.
+	b := socialgraph.NewBuilder(10)
+	for i := int32(0); i < 8; i++ {
+		b.AddEdge(i, (i+1)%8)
+	}
+	g := b.Build() // nodes 8, 9 isolated
+	o := New(g, Config{K: 3}, rand.New(rand.NewSource(2)))
+	if path, ok := o.Route(0, 9); !ok {
+		t.Error("route to isolated peer failed")
+	} else if path[len(path)-1] != 9 {
+		t.Error("wrong terminal")
+	}
+	if len(o.LongLinks(8)) != 0 {
+		t.Error("isolated peer has long links")
+	}
+}

@@ -1,0 +1,156 @@
+// Package sim is the experiment engine: deterministic parallel trial
+// execution (the stand-in for the paper's 20-node Flink cluster, see
+// DESIGN.md §2) and the churn simulation of Fig. 6.
+//
+// Determinism: every trial derives its own rand.Rand from (baseSeed,
+// trial index), so results are bit-identical regardless of how the worker
+// pool schedules trials.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"math/rand"
+
+	"selectps/internal/churn"
+	"selectps/internal/metrics"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/socialgraph"
+)
+
+// RunTrials executes fn for trial indexes [0,trials) across a worker pool.
+// Each invocation receives a private deterministic rng. fn must not share
+// mutable state between trials without its own synchronization.
+func RunTrials(trials int, baseSeed int64, fn func(trial int, rng *rand.Rand)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				fn(t, rand.New(rand.NewSource(baseSeed+int64(t)*1_000_003)))
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+}
+
+// MeanOverTrials runs fn in parallel trials and merges the per-trial
+// accumulators into one.
+func MeanOverTrials(trials int, baseSeed int64, fn func(trial int, rng *rand.Rand) metrics.Welford) metrics.Welford {
+	partial := make([]metrics.Welford, trials)
+	RunTrials(trials, baseSeed, func(t int, rng *rand.Rand) {
+		partial[t] = fn(t, rng)
+	})
+	var total metrics.Welford
+	for _, w := range partial {
+		total.Merge(w)
+	}
+	return total
+}
+
+// ChurnConfig parameterizes the Fig. 6 experiment.
+type ChurnConfig struct {
+	// Steps is the number of simulation steps ("each second a random
+	// number of peers depart or join").
+	Steps int
+	// Model is the churn process; zero value uses churn.DefaultModel().
+	Model churn.Model
+	// MeasureEvery is the step interval between availability measurements
+	// (default 10).
+	MeasureEvery int
+	// PublishersPerMeasure is how many online publishers are sampled per
+	// measurement (default 20).
+	PublishersPerMeasure int
+}
+
+func (c *ChurnConfig) fill() {
+	if c.Steps == 0 {
+		c.Steps = 300
+	}
+	if (c.Model == churn.Model{}) {
+		c.Model = churn.DefaultModel()
+	}
+	if c.MeasureEvery == 0 {
+		c.MeasureEvery = 10
+	}
+	if c.PublishersPerMeasure == 0 {
+		c.PublishersPerMeasure = 20
+	}
+}
+
+// ChurnPoint is one measurement of the churn run.
+type ChurnPoint struct {
+	Step            int
+	OfflineFraction float64
+	// Availability is delivered/expected across the sampled publications
+	// (1.0 = every online subscriber of every sampled publisher reached).
+	Availability float64
+}
+
+// RunChurn drives the overlay through churn: each step peers depart/return
+// per the model, the overlay's recovery runs, and availability is measured
+// periodically by publishing from sampled online peers. The overlay is
+// left with every peer online again when the run ends.
+func RunChurn(o overlay.Overlay, g *socialgraph.Graph, cfg ChurnConfig, rng *rand.Rand) []ChurnPoint {
+	cfg.fill()
+	n := o.N()
+	if n == 0 {
+		return nil
+	}
+	state := churn.NewState(n, cfg.Model, rng)
+	var points []ChurnPoint
+	for step := 0; step < cfg.Steps; step++ {
+		off, on := state.Step(step)
+		for _, p := range off {
+			o.SetOnline(p, false)
+		}
+		for _, p := range on {
+			o.SetOnline(p, true)
+		}
+		if len(off)+len(on) > 0 {
+			o.Repair()
+		}
+		if step%cfg.MeasureEvery != 0 {
+			continue
+		}
+		wanted, delivered := 0, 0
+		for i := 0; i < cfg.PublishersPerMeasure; i++ {
+			b := socialgraph.NodeID(rng.Intn(n))
+			if !o.Online(b) {
+				continue
+			}
+			d := pubsub.Publish(o, g, b)
+			wanted += d.Subscribers
+			delivered += d.Delivered
+		}
+		avail := 1.0
+		if wanted > 0 {
+			avail = float64(delivered) / float64(wanted)
+		}
+		points = append(points, ChurnPoint{
+			Step:            step,
+			OfflineFraction: 1 - float64(state.OnlineCount())/float64(n),
+			Availability:    avail,
+		})
+	}
+	for p := 0; p < n; p++ {
+		o.SetOnline(overlay.PeerID(p), true)
+	}
+	o.Repair()
+	return points
+}

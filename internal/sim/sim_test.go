@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/metrics"
+	"selectps/internal/pubsub"
+)
+
+func TestRunTrialsRunsAll(t *testing.T) {
+	var count int64
+	seen := make([]int64, 50)
+	RunTrials(50, 1, func(trial int, rng *rand.Rand) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&seen[trial], 1)
+	})
+	if count != 50 {
+		t.Fatalf("ran %d trials, want 50", count)
+	}
+	for i, s := range seen {
+		if s != 1 {
+			t.Fatalf("trial %d ran %d times", i, s)
+		}
+	}
+}
+
+func TestRunTrialsDeterministicRngs(t *testing.T) {
+	a := make([]float64, 8)
+	b := make([]float64, 8)
+	RunTrials(8, 42, func(trial int, rng *rand.Rand) { a[trial] = rng.Float64() })
+	RunTrials(8, 42, func(trial int, rng *rand.Rand) { b[trial] = rng.Float64() })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d rng differs across runs", i)
+		}
+	}
+	// Different trials should get different streams.
+	if a[0] == a[1] && a[1] == a[2] {
+		t.Error("trial rngs suspiciously identical")
+	}
+}
+
+func TestRunTrialsZero(t *testing.T) {
+	ran := false
+	RunTrials(0, 1, func(int, *rand.Rand) { ran = true })
+	if ran {
+		t.Error("zero trials ran something")
+	}
+}
+
+func TestMeanOverTrials(t *testing.T) {
+	got := MeanOverTrials(10, 3, func(trial int, rng *rand.Rand) metrics.Welford {
+		var w metrics.Welford
+		w.Add(float64(trial))
+		return w
+	})
+	if got.N() != 10 {
+		t.Fatalf("N = %d", got.N())
+	}
+	if got.Mean() != 4.5 {
+		t.Fatalf("Mean = %v, want 4.5", got.Mean())
+	}
+}
+
+func TestRunChurnSelectAvailability(t *testing.T) {
+	g := datasets.Facebook.Generate(300, 1)
+	o, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points := RunChurn(o, g, ChurnConfig{Steps: 120}, rand.New(rand.NewSource(3)))
+	if len(points) == 0 {
+		t.Fatal("no measurements")
+	}
+	sawChurn := false
+	for _, p := range points {
+		if p.OfflineFraction > 0.51 {
+			t.Errorf("step %d: offline fraction %.2f exceeds the half floor", p.Step, p.OfflineFraction)
+		}
+		if p.OfflineFraction > 0.05 {
+			sawChurn = true
+		}
+		if p.Availability < 0.999 {
+			t.Errorf("step %d: availability %.4f < 100%% for SELECT", p.Step, p.Availability)
+		}
+	}
+	if !sawChurn {
+		t.Error("churn never materialized in the run")
+	}
+	// Everyone must be back online afterwards.
+	for p := int32(0); p < 300; p++ {
+		if !o.Online(p) {
+			t.Fatalf("peer %d left offline after run", p)
+		}
+	}
+}
+
+func TestRunChurnEmptyOverlay(t *testing.T) {
+	g := datasets.Facebook.Generate(0, 4)
+	o, err := pubsub.Build(pubsub.Symphony, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts := RunChurn(o, g, ChurnConfig{Steps: 10}, rand.New(rand.NewSource(6))); pts != nil {
+		t.Errorf("expected no points for empty overlay, got %d", len(pts))
+	}
+}

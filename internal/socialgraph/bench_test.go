@@ -1,0 +1,47 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const n = 5000
+	bl := NewBuilder(n)
+	for e := 0; e < 12*n; e++ {
+		bl.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return bl.Build()
+}
+
+func BenchmarkCommonNeighbors(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u, v, _ := g.RandomEdge(rng)
+		_ = g.CommonNeighbors(u, v)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HasEdge(NodeID(rng.Intn(5000)), NodeID(rng.Intn(5000)))
+	}
+}
+
+func BenchmarkBFSDistances(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.BFSDistances(NodeID(i % 5000))
+	}
+}

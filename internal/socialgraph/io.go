@@ -1,0 +1,91 @@
+package socialgraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file provides SNAP-style edge-list I/O. The paper's evaluation uses
+// the SNAP snapshots of Facebook, Twitter, Slashdot and GooglePlus; this
+// environment is offline, so experiments default to synthetic generators
+// (internal/datasets) — but a user with the real files can load them here
+// and run every experiment unchanged.
+
+// LoadEdgeList reads a whitespace-separated edge list ("u v" per line,
+// '#'-prefixed comment lines ignored — the SNAP format). Node ids may be
+// arbitrary non-negative integers; they are densified to 0..N-1 in first-
+// appearance order. Directed inputs are symmetrized (an edge either way
+// becomes a friendship), matching the paper's treatment of the follow
+// graphs.
+func LoadEdgeList(r io.Reader) (*Graph, error) {
+	type rawEdge struct{ u, v int64 }
+	var edges []rawEdge
+	ids := make(map[int64]NodeID)
+	intern := func(x int64) NodeID {
+		if id, ok := ids[x]; ok {
+			return id
+		}
+		id := NodeID(len(ids))
+		ids[x] = id
+		return id
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("socialgraph: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("socialgraph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("socialgraph: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("socialgraph: line %d: negative node id", lineNo)
+		}
+		edges = append(edges, rawEdge{u, v})
+		intern(u)
+		intern(v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("socialgraph: %v", err)
+	}
+	b := NewBuilder(len(ids))
+	for _, e := range edges {
+		b.AddEdge(ids[e.u], ids[e.v])
+	}
+	return b.Build(), nil
+}
+
+// WriteEdgeList writes the graph as a SNAP-style undirected edge list,
+// each friendship once ("u v" with u < v), with a size header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# nodes %d edges %d\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(NodeID(u)) {
+			if NodeID(u) < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package socialgraph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadEdgeListBasic(t *testing.T) {
+	in := `# a comment
+0 1
+1 2
+
+2 0
+`
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("nodes=%d edges=%d, want 3/3", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListDensifiesSparseIDs(t *testing.T) {
+	in := "1000 2000\n2000 5\n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3 (densified)", g.NumNodes())
+	}
+	// first-appearance order: 1000->0, 2000->1, 5->2
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || g.HasEdge(0, 2) {
+		t.Error("densified adjacency wrong")
+	}
+}
+
+func TestLoadEdgeListSymmetrizesAndDedupes(t *testing.T) {
+	in := "0 1\n1 0\n0 1\n"
+	g, err := LoadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestLoadEdgeListErrors(t *testing.T) {
+	for name, in := range map[string]string{
+		"missing field": "42\n",
+		"non-numeric":   "a b\n",
+		"negative":      "-1 2\n",
+	} {
+		if _, err := LoadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(0, 4)
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	// Densification permutes node ids (first appearance in the edge list),
+	// so compare the degree multiset, which is permutation invariant.
+	degs := func(g *Graph) map[int]int {
+		m := map[int]int{}
+		for u := 0; u < g.NumNodes(); u++ {
+			m[g.Degree(NodeID(u))]++
+		}
+		return m
+	}
+	d1, d2 := degs(g), degs(g2)
+	for k, v := range d1 {
+		if d2[k] != v {
+			t.Fatalf("degree multiset mismatch: %v vs %v", d1, d2)
+		}
+	}
+}
+
+func TestWriteEdgeListHeader(t *testing.T) {
+	g := NewBuilder(2).Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "# nodes 2 edges 0") {
+		t.Errorf("header = %q", buf.String())
+	}
+}
+
+func TestEdgeListRoundTripIsolatedNodesDropped(t *testing.T) {
+	// Isolated nodes cannot survive an edge-list round trip; the loader
+	// only sees nodes with edges. Document the behaviour.
+	b := NewBuilder(4) // node 3 isolated
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 3 {
+		t.Errorf("nodes = %d, want 3 (isolated dropped)", g2.NumNodes())
+	}
+}

@@ -1,0 +1,173 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"selectps/internal/wire"
+)
+
+// TCP is a loopback TCP transport: every peer listens on its own port and
+// frames wire messages with the 4-byte length prefix wire.Marshal emits.
+// Connections are opened lazily per (sender, receiver) pair and reused.
+type TCP struct {
+	mu        sync.Mutex
+	addrs     map[int32]string
+	conns     map[connKey]net.Conn
+	boxes     map[int32]chan Envelope
+	listeners []net.Listener
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type connKey struct{ from, to int32 }
+
+// NewTCP starts one loopback listener per peer 0..n-1 and returns the
+// transport. Close releases all sockets.
+func NewTCP(n, buffer int) (*TCP, error) {
+	t := &TCP{
+		addrs: make(map[int32]string, n),
+		conns: make(map[connKey]net.Conn),
+		boxes: make(map[int32]chan Envelope, n),
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs[int32(i)] = ln.Addr().String()
+		t.boxes[int32(i)] = make(chan Envelope, buffer)
+		t.wg.Add(1)
+		go t.acceptLoop(ln, int32(i))
+	}
+	return t, nil
+}
+
+func (t *TCP) acceptLoop(ln net.Listener, owner int32) {
+	defer t.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn, owner)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn, owner int32) {
+	defer t.wg.Done()
+	defer conn.Close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size == 0 || size > 1<<24 {
+			return // malformed frame
+		}
+		body := make([]byte, size)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		m, err := wire.Unmarshal(body)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		box, ok := t.boxes[owner]
+		closed := t.closed
+		t.mu.Unlock()
+		if !ok || closed {
+			return
+		}
+		func() {
+			defer func() { _ = recover() }() // race with Close: drop
+			select {
+			case box <- Envelope{Msg: m}:
+			default: // congested: drop
+			}
+		}()
+	}
+}
+
+// Send implements Transport.
+func (t *TCP) Send(to int32, m *wire.Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: tcp closed")
+	}
+	addr, ok := t.addrs[to]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("transport: unknown peer %d", to)
+	}
+	key := connKey{m.From, to}
+	conn := t.conns[key]
+	t.mu.Unlock()
+
+	if conn == nil {
+		var err error
+		conn, err = net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("transport: dial %d: %w", to, err)
+		}
+		t.mu.Lock()
+		if existing := t.conns[key]; existing != nil {
+			t.mu.Unlock()
+			conn.Close()
+			conn = existing
+		} else {
+			t.conns[key] = conn
+			t.mu.Unlock()
+		}
+	}
+	if _, err := conn.Write(wire.Marshal(m)); err != nil {
+		t.mu.Lock()
+		delete(t.conns, key)
+		t.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: write to %d: %w", to, err)
+	}
+	return nil
+}
+
+// Inbox implements Transport.
+func (t *TCP) Inbox(owner int32) <-chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.boxes[owner]
+}
+
+// Close implements Transport.
+func (t *TCP) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	listeners := t.listeners
+	conns := t.conns
+	t.conns = map[connKey]net.Conn{}
+	t.mu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	t.wg.Wait()
+	t.mu.Lock()
+	for _, b := range t.boxes {
+		close(b)
+	}
+	t.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+// Package transport moves wire messages between live peers. Two
+// implementations stand in for the paper's WebRTC data channels
+// (DESIGN.md §2): an in-process switchboard with optional emulated latency
+// (the default for experiments — deterministic and fast), and real TCP
+// sockets on the loopback interface (demonstrating that the node runtime
+// speaks an actual network protocol).
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"selectps/internal/wire"
+)
+
+// Envelope is a received message.
+type Envelope struct {
+	Msg *wire.Message
+}
+
+// Transport delivers messages between peers. Implementations must be safe
+// for concurrent use.
+type Transport interface {
+	// Send delivers m to peer `to` asynchronously. Errors are best-effort:
+	// a send to a closed or unknown peer reports failure, but delivery is
+	// not guaranteed even on nil error (the network may drop it).
+	Send(to int32, m *wire.Message) error
+	// Inbox returns the receive channel for peer `owner`. The channel is
+	// closed when the transport shuts down.
+	Inbox(owner int32) <-chan Envelope
+	// Close shuts the transport down and closes all inboxes.
+	Close()
+}
+
+// Switchboard is the in-memory transport: per-peer buffered mailboxes,
+// optional per-message latency, deterministic when Latency is nil.
+type Switchboard struct {
+	mu     sync.Mutex
+	boxes  map[int32]chan Envelope
+	closed bool
+	// Latency, when set, returns the delivery delay for a message from →
+	// to; delivery happens on a timer goroutine.
+	Latency func(from, to int32) time.Duration
+	wg      sync.WaitGroup
+}
+
+// NewSwitchboard creates mailboxes for peers 0..n-1 with the given buffer
+// size per mailbox.
+func NewSwitchboard(n, buffer int) *Switchboard {
+	s := &Switchboard{boxes: make(map[int32]chan Envelope, n)}
+	for i := 0; i < n; i++ {
+		s.boxes[int32(i)] = make(chan Envelope, buffer)
+	}
+	return s
+}
+
+// Send implements Transport.
+func (s *Switchboard) Send(to int32, m *wire.Message) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("transport: switchboard closed")
+	}
+	box, ok := s.boxes[to]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: unknown peer %d", to)
+	}
+	deliver := func() {
+		defer func() {
+			// A concurrently closed mailbox is a dropped packet, not a
+			// crash — real networks drop packets too.
+			_ = recover()
+		}()
+		select {
+		case box <- Envelope{Msg: m}:
+		default:
+			// Mailbox full: drop, like a congested link.
+		}
+	}
+	if s.Latency != nil {
+		d := s.Latency(m.From, to)
+		s.wg.Add(1)
+		time.AfterFunc(d, func() {
+			defer s.wg.Done()
+			deliver()
+		})
+		return nil
+	}
+	deliver()
+	return nil
+}
+
+// Inbox implements Transport.
+func (s *Switchboard) Inbox(owner int32) <-chan Envelope {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.boxes[owner]
+}
+
+// Close implements Transport.
+func (s *Switchboard) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	boxes := s.boxes
+	s.mu.Unlock()
+	s.wg.Wait() // let in-flight delayed deliveries finish or drop
+	for _, b := range boxes {
+		close(b)
+	}
+}

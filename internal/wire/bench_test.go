@@ -1,0 +1,31 @@
+package wire
+
+import "testing"
+
+func benchMessage() *Message {
+	return &Message{
+		Kind: KindExchangeRT, From: 12, To: 99, Seq: 7,
+		Neighborhood: []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		RoutingTable: []int32{20, 21, 22, 23, 24, 25, 26, 27},
+		Bitmap:       []uint64{0xDEAD, 0xBEEF},
+	}
+}
+
+func BenchmarkMarshal(b *testing.B) {
+	m := benchMessage()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Marshal(m)
+	}
+}
+
+func BenchmarkUnmarshal(b *testing.B) {
+	frame := Marshal(benchMessage())[4:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

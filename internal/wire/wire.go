@@ -1,0 +1,247 @@
+// Package wire defines the message protocol of the live SELECT deployment
+// (internal/node): the peer-sampling exchange of Algorithms 3–4, the
+// heartbeat probes behind the CMA recovery (§III-F), and publication
+// forwarding. Messages use a compact length-prefixed binary encoding
+// (encoding/binary, little endian) suitable for both the in-memory and the
+// TCP transport.
+//
+// The paper's demo system speaks WebRTC between browsers; this package is
+// its stand-in at the protocol layer (DESIGN.md §2).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind discriminates message types.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindPing probes a peer's liveness (§III-F heartbeats).
+	KindPing Kind = iota + 1
+	// KindPong answers a ping.
+	KindPong
+	// KindExchangeRT carries a peer's social neighborhood C_p and routing
+	// table R_p to a random friend (Algorithm 3 line 3).
+	KindExchangeRT
+	// KindExchangeReply returns the mutual-friend count and the friendship
+	// bitmap (Algorithm 4 line 6).
+	KindExchangeReply
+	// KindPublish carries a publication being disseminated.
+	KindPublish
+	// KindAck confirms a publication reached a subscriber.
+	KindAck
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindPing:
+		return "ping"
+	case KindPong:
+		return "pong"
+	case KindExchangeRT:
+		return "exchange-rt"
+	case KindExchangeReply:
+		return "exchange-reply"
+	case KindPublish:
+		return "publish"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Message is one protocol message. Field usage depends on Kind; unused
+// fields stay zero and encode compactly.
+type Message struct {
+	Kind Kind
+	// From and To are the logical peer ids (dense indexes).
+	From, To int32
+	// Seq correlates requests and replies, and identifies publications
+	// ((Publisher,Seq) is the message id for dedup).
+	Seq uint32
+
+	// ExchangeRT: the sender's social neighborhood and routing table.
+	Neighborhood []int32
+	RoutingTable []int32
+
+	// ExchangeReply: the mutual count and the friendship bitmap words.
+	NMutual int32
+	Bitmap  []uint64
+
+	// Publish: the originating publisher, remaining TTL, and the payload
+	// size in bytes (the paper's 1.2 MB fragments; the body itself is not
+	// materialized).
+	Publisher   int32
+	TTL         uint8
+	PayloadSize uint32
+	// HopCount accumulates the overlay hops this copy has traveled.
+	HopCount uint8
+}
+
+const maxSliceLen = 1 << 20 // defensive decode bound
+
+// Marshal encodes m into a self-delimited frame (4-byte length prefix).
+func Marshal(m *Message) []byte {
+	// size: fixed header + slices
+	size := 1 + 4 + 4 + 4 + // kind, from, to, seq
+		4 + 4*len(m.Neighborhood) +
+		4 + 4*len(m.RoutingTable) +
+		4 + // nmutual
+		4 + 8*len(m.Bitmap) +
+		4 + 1 + 4 + 1 // publisher, ttl, payload, hopcount
+	buf := make([]byte, 4+size)
+	binary.LittleEndian.PutUint32(buf, uint32(size))
+	b := buf[4:]
+	b[0] = byte(m.Kind)
+	off := 1
+	put32 := func(v int32) {
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+		off += 4
+	}
+	putU32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[off:], v)
+		off += 4
+	}
+	put32(m.From)
+	put32(m.To)
+	putU32(m.Seq)
+	putU32(uint32(len(m.Neighborhood)))
+	for _, v := range m.Neighborhood {
+		put32(v)
+	}
+	putU32(uint32(len(m.RoutingTable)))
+	for _, v := range m.RoutingTable {
+		put32(v)
+	}
+	put32(m.NMutual)
+	putU32(uint32(len(m.Bitmap)))
+	for _, w := range m.Bitmap {
+		binary.LittleEndian.PutUint64(b[off:], w)
+		off += 8
+	}
+	put32(m.Publisher)
+	b[off] = m.TTL
+	off++
+	putU32(m.PayloadSize)
+	b[off] = m.HopCount
+	off++
+	return buf[:4+off]
+}
+
+// Unmarshal decodes one frame produced by Marshal (without the length
+// prefix, i.e. the payload after framing).
+func Unmarshal(b []byte) (*Message, error) {
+	m := &Message{}
+	if len(b) < 1 {
+		return nil, fmt.Errorf("wire: empty frame")
+	}
+	m.Kind = Kind(b[0])
+	off := 1
+	need := func(n int) error {
+		if off+n > len(b) {
+			return fmt.Errorf("wire: truncated frame (need %d at %d of %d)", n, off, len(b))
+		}
+		return nil
+	}
+	get32 := func() (int32, error) {
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		v := int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		return v, nil
+	}
+	getU32 := func() (uint32, error) {
+		if err := need(4); err != nil {
+			return 0, err
+		}
+		v := binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		return v, nil
+	}
+	var err error
+	if m.From, err = get32(); err != nil {
+		return nil, err
+	}
+	if m.To, err = get32(); err != nil {
+		return nil, err
+	}
+	if m.Seq, err = getU32(); err != nil {
+		return nil, err
+	}
+	nl, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if nl > maxSliceLen {
+		return nil, fmt.Errorf("wire: neighborhood length %d too large", nl)
+	}
+	if nl > 0 {
+		m.Neighborhood = make([]int32, nl)
+		for i := range m.Neighborhood {
+			if m.Neighborhood[i], err = get32(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rl, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if rl > maxSliceLen {
+		return nil, fmt.Errorf("wire: routing table length %d too large", rl)
+	}
+	if rl > 0 {
+		m.RoutingTable = make([]int32, rl)
+		for i := range m.RoutingTable {
+			if m.RoutingTable[i], err = get32(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if m.NMutual, err = get32(); err != nil {
+		return nil, err
+	}
+	bl, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if bl > maxSliceLen {
+		return nil, fmt.Errorf("wire: bitmap length %d too large", bl)
+	}
+	if bl > 0 {
+		if err := need(8 * int(bl)); err != nil {
+			return nil, err
+		}
+		m.Bitmap = make([]uint64, bl)
+		for i := range m.Bitmap {
+			m.Bitmap[i] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+	}
+	if m.Publisher, err = get32(); err != nil {
+		return nil, err
+	}
+	if err := need(1); err != nil {
+		return nil, err
+	}
+	m.TTL = b[off]
+	off++
+	if m.PayloadSize, err = getU32(); err != nil {
+		return nil, err
+	}
+	if err := need(1); err != nil {
+		return nil, err
+	}
+	m.HopCount = b[off]
+	off++
+	if off != len(b) {
+		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-off)
+	}
+	return m, nil
+}

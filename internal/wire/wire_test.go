@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindPing: "ping", KindPong: "pong", KindExchangeRT: "exchange-rt",
+		KindExchangeReply: "exchange-reply", KindPublish: "publish", KindAck: "ack",
+		Kind(99): "kind(99)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestRoundTripAllFields(t *testing.T) {
+	m := &Message{
+		Kind:         KindExchangeReply,
+		From:         3,
+		To:           77,
+		Seq:          0xDEADBEEF,
+		Neighborhood: []int32{1, 2, 3},
+		RoutingTable: []int32{9, 8},
+		NMutual:      -5,
+		Bitmap:       []uint64{0xFFFF, 0, 42},
+		Publisher:    12,
+		TTL:          7,
+		PayloadSize:  1_200_000,
+		HopCount:     3,
+	}
+	frame := Marshal(m)
+	length := binary.LittleEndian.Uint32(frame)
+	if int(length) != len(frame)-4 {
+		t.Fatalf("length prefix %d != body %d", length, len(frame)-4)
+	}
+	got, err := Unmarshal(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n  in: %+v\n out: %+v", m, got)
+	}
+}
+
+func TestRoundTripEmptySlices(t *testing.T) {
+	m := &Message{Kind: KindPing, From: 1, To: 2, Seq: 3}
+	got, err := Unmarshal(Marshal(m)[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+	m := &Message{Kind: KindPublish, Publisher: 5, TTL: 2}
+	frame := Marshal(m)[4:]
+	for cut := 1; cut < len(frame); cut++ {
+		if _, err := Unmarshal(frame[:cut]); err == nil {
+			t.Fatalf("truncated frame of %d/%d bytes accepted", cut, len(frame))
+		}
+	}
+	// Trailing garbage must be rejected.
+	if _, err := Unmarshal(append(append([]byte{}, frame...), 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Absurd slice length must be rejected, not allocated.
+	bad := append([]byte{}, frame...)
+	binary.LittleEndian.PutUint32(bad[13:], 1<<30) // neighborhood length field
+	if _, err := Unmarshal(bad); err == nil {
+		t.Error("giant slice length accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Kind:        Kind(1 + rng.Intn(6)),
+			From:        int32(rng.Intn(1 << 20)),
+			To:          int32(rng.Intn(1 << 20)),
+			Seq:         rng.Uint32(),
+			NMutual:     int32(rng.Intn(1000) - 500),
+			Publisher:   int32(rng.Intn(1 << 20)),
+			TTL:         uint8(rng.Intn(256)),
+			PayloadSize: rng.Uint32(),
+			HopCount:    uint8(rng.Intn(256)),
+		}
+		if n := rng.Intn(20); n > 0 {
+			m.Neighborhood = make([]int32, n)
+			for i := range m.Neighborhood {
+				m.Neighborhood[i] = int32(rng.Intn(1 << 16))
+			}
+		}
+		if n := rng.Intn(20); n > 0 {
+			m.RoutingTable = make([]int32, n)
+			for i := range m.RoutingTable {
+				m.RoutingTable[i] = int32(rng.Intn(1 << 16))
+			}
+		}
+		if n := rng.Intn(8); n > 0 {
+			m.Bitmap = make([]uint64, n)
+			for i := range m.Bitmap {
+				m.Bitmap[i] = rng.Uint64()
+			}
+		}
+		got, err := Unmarshal(Marshal(m)[4:])
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
