@@ -78,6 +78,25 @@ func (s *Set) Count() int {
 	return c
 }
 
+// Reshape resizes s to hold n bits, all zero, reusing the backing array
+// when it is large enough. It is the scratch-buffer companion to New:
+// hot loops that build many bitmaps of varying sizes (the per-friend
+// friendship bitmaps of Algorithm 5) reshape one set instead of
+// allocating one per bitmap.
+func (s *Set) Reshape(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	w := (n + wordBits - 1) / wordBits
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+		clear(s.words)
+	}
+	s.n = n
+}
+
 // Clone returns a deep copy of s.
 func (s *Set) Clone() *Set {
 	c := New(s.n)
@@ -87,9 +106,7 @@ func (s *Set) Clone() *Set {
 
 // Reset clears every bit.
 func (s *Set) Reset() {
-	for i := range s.words {
-		s.words[i] = 0
-	}
+	clear(s.words)
 }
 
 // sameShape panics unless a and b have equal lengths. Bitmaps compared in

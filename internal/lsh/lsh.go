@@ -52,8 +52,35 @@ func NewHasher(dim, numBuckets, sampleBits int, rng *rand.Rand) *Hasher {
 	if sampleBits > dim {
 		sampleBits = dim
 	}
-	sample := rng.Perm(dim)[:sampleBits]
+	sample := samplePositions(dim, sampleBits, rng)
 	return &Hasher{dim: dim, numBuckets: numBuckets, sample: sample, mix: rng.Uint64()}
+}
+
+// samplePositions draws k distinct positions from [0,dim) by a partial
+// Fisher–Yates shuffle over a sparse swap table: k rng draws and O(k)
+// memory, where rng.Perm(dim) would spend dim draws and dim ints to keep
+// only the k-element prefix. Per-peer hashers make this the dominant
+// allocation of overlay construction on hub-heavy graphs (dim = |C_p|,
+// k ≈ 10). Deterministic in the rng, but a different draw sequence than
+// the former rng.Perm — seeds produce different (equally valid) hashers
+// than pre-acceleration builds; see CHANGES.md.
+func samplePositions(dim, k int, rng *rand.Rand) []int {
+	sample := make([]int, k)
+	swap := make(map[int]int, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(dim-i)
+		vj, ok := swap[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := swap[i]
+		if !ok {
+			vi = i
+		}
+		sample[i] = vj
+		swap[j] = vi
+	}
+	return sample
 }
 
 // NumBuckets returns the bucket count |H|.

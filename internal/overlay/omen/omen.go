@@ -69,6 +69,14 @@ type Overlay struct {
 	shadows    [][]overlay.PeerID
 	protected  []map[overlay.PeerID]bool // ring + harmonic links never removed
 	iterations int
+
+	// components scratch: epoch-stamped membership/visited marks. Greedy
+	// Merge calls components for every topic every round, so per-call maps
+	// were the dominant construction cost; stamping makes each call
+	// allocation-free with O(1) reset.
+	compEpoch int64
+	inSet     []int64
+	seen      []int64
 }
 
 // New builds an OMen overlay for social graph g. Deterministic in rng.
@@ -164,25 +172,30 @@ func (o *Overlay) hasTopicEdge(u, v overlay.PeerID) bool {
 // topic-link adjacency restricted to the member set. Offline filtering is
 // applied when onlineOnly is set (used by dissemination under churn).
 func (o *Overlay) components(members []overlay.PeerID, onlineOnly bool) [][]overlay.PeerID {
-	inSet := make(map[overlay.PeerID]int, len(members)) // -1 = unvisited
+	if o.inSet == nil {
+		o.inSet = make([]int64, o.N())
+		o.seen = make([]int64, o.N())
+	}
+	o.compEpoch++
+	e := o.compEpoch
 	for _, m := range members {
 		if onlineOnly && !o.Online(m) {
 			continue
 		}
-		inSet[m] = -1
+		o.inSet[m] = e
 	}
 	var comps [][]overlay.PeerID
 	for _, m := range members {
-		if v, ok := inSet[m]; !ok || v != -1 {
+		if o.inSet[m] != e || o.seen[m] == e {
 			continue
 		}
 		comp := []overlay.PeerID{m}
-		inSet[m] = len(comps)
+		o.seen[m] = e
 		for i := 0; i < len(comp); i++ {
 			u := comp[i]
 			for _, w := range o.topicLinks[u] {
-				if v, ok := inSet[w]; ok && v == -1 {
-					inSet[w] = len(comps)
+				if o.inSet[w] == e && o.seen[w] != e {
+					o.seen[w] = e
 					comp = append(comp, w)
 				}
 			}
@@ -206,6 +219,10 @@ func (o *Overlay) greedyMerge() {
 		return
 	}
 	busy := make([]bool, n)
+	// Edges are only ever added during construction, so a topic that is
+	// connected stays connected: checking it again in later rounds cannot
+	// add edges or change any decision, only burn a components() call.
+	connected := make([]bool, n)
 	for round := 1; round <= o.cfg.MaxRounds; round++ {
 		for i := range busy {
 			busy[i] = false
@@ -214,12 +231,17 @@ func (o *Overlay) greedyMerge() {
 		blocked := false
 		done := true
 		for t := 0; t < n; t++ {
+			if connected[t] {
+				continue
+			}
 			members := o.topicMembers(overlay.PeerID(t))
 			if len(members) < 2 {
+				connected[t] = true
 				continue
 			}
 			comps := o.components(members, false)
 			if len(comps) <= 1 {
+				connected[t] = true
 				continue
 			}
 			done = false

@@ -118,6 +118,7 @@ type Tree struct {
 	Root     PeerID
 	parent   map[PeerID]PeerID
 	children map[PeerID][]PeerID
+	order    []PeerID // non-root nodes in insertion order (deterministic Nodes)
 }
 
 // NewTree returns a tree containing only the root.
@@ -156,6 +157,7 @@ func (t *Tree) AddPath(p Path) {
 		}
 		t.parent[child] = par
 		t.children[par] = append(t.children[par], child)
+		t.order = append(t.order, child)
 	}
 }
 
@@ -175,15 +177,15 @@ func (t *Tree) Children(p PeerID) []PeerID { return t.children[p] }
 // Size returns the number of nodes in the tree, root included.
 func (t *Tree) Size() int { return len(t.parent) + 1 }
 
-// Nodes returns all tree nodes; order is root first, then insertion order
-// of the remaining nodes is unspecified.
+// Nodes returns all tree nodes, root first, then insertion order. The
+// order is deterministic: dissemination-tree construction iterates Nodes()
+// and breaks ties by first match, so a map-order walk here would make
+// routing trees (and every relay/latency metric derived from them) differ
+// between identical runs.
 func (t *Tree) Nodes() []PeerID {
 	out := make([]PeerID, 0, t.Size())
 	out = append(out, t.Root)
-	for p := range t.parent {
-		out = append(out, p)
-	}
-	return out
+	return append(out, t.order...)
 }
 
 // ChildrenArray converts the tree into a dense children-list form for n

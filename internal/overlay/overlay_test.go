@@ -355,3 +355,24 @@ func TestSetLinksAndDefaultRepair(t *testing.T) {
 	}
 	b.Repair() // no-op must not panic
 }
+
+func TestTreeNodesInsertionOrder(t *testing.T) {
+	// Nodes() must be root-first then insertion order — dissemination-tree
+	// construction breaks forwarder ties by first match over Nodes(), so a
+	// map-order walk would make routing trees nondeterministic between
+	// identical runs.
+	tr := NewTree(0)
+	tr.AddPath(Path{0, 5, 3})
+	tr.AddPath(Path{0, 9})
+	tr.AddPath(Path{5, 3, 7}) // 3 already present, 7 new
+	want := []PeerID{0, 5, 3, 9, 7}
+	got := tr.Nodes()
+	if len(got) != len(want) {
+		t.Fatalf("Nodes() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes() = %v, want %v", got, want)
+		}
+	}
+}

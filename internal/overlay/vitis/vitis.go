@@ -187,17 +187,16 @@ func (o *Overlay) updateClusterLinks(p overlay.PeerID) bool {
 	for q := range cand {
 		list = append(list, q)
 	}
-	sort.Slice(list, func(i, j int) bool {
-		ui, uj := o.utility(p, list[i]), o.utility(p, list[j])
-		if ui != uj {
-			return ui > uj
-		}
-		di, dj := o.g.Degree(list[i]), o.g.Degree(list[j])
-		if di != dj {
-			return di > dj // prefer high social degree (hotspot bias)
-		}
-		return list[i] < list[j]
-	})
+	// Score each candidate once up front. The comparator below induces a
+	// total order (final tie-break is the strict peer-id comparison), so
+	// sorting cached scores yields exactly the permutation the previous
+	// utility-in-comparator version produced — minus the O(m log m)
+	// set intersections the comparator used to redo.
+	util := make([]int, len(list))
+	for i, q := range list {
+		util[i] = o.utility(p, q)
+	}
+	sort.Sort(&byUtility{list, util, o.g})
 	k := o.cfg.K
 	if k > len(list) {
 		k = len(list)
@@ -205,7 +204,7 @@ func (o *Overlay) updateClusterLinks(p overlay.PeerID) bool {
 	newLinks := list[:k]
 	// Drop zero-utility candidates: clusters only form around shared
 	// interests; random strangers are not kept.
-	for len(newLinks) > 0 && o.utility(p, newLinks[len(newLinks)-1]) == 0 {
+	for len(newLinks) > 0 && util[len(newLinks)-1] == 0 {
 		newLinks = newLinks[:len(newLinks)-1]
 	}
 	if equalSets(newLinks, o.cluster[p]) {
@@ -227,6 +226,32 @@ func (o *Overlay) updateClusterLinks(p overlay.PeerID) bool {
 	}
 	o.cluster[p] = append([]overlay.PeerID(nil), newLinks...)
 	return true
+}
+
+// byUtility sorts peers by descending cached utility, then (with a graph
+// set) descending social degree — the hotspot bias — then ascending id.
+type byUtility struct {
+	list []overlay.PeerID
+	util []int
+	g    *socialgraph.Graph // nil: skip the degree tie-break
+}
+
+func (s *byUtility) Len() int { return len(s.list) }
+func (s *byUtility) Swap(i, j int) {
+	s.list[i], s.list[j] = s.list[j], s.list[i]
+	s.util[i], s.util[j] = s.util[j], s.util[i]
+}
+func (s *byUtility) Less(i, j int) bool {
+	if s.util[i] != s.util[j] {
+		return s.util[i] > s.util[j]
+	}
+	if s.g != nil {
+		di, dj := s.g.Degree(s.list[i]), s.g.Degree(s.list[j])
+		if di != dj {
+			return di > dj // prefer high social degree (hotspot bias)
+		}
+	}
+	return s.list[i] < s.list[j]
 }
 
 func equalSets(a, b []overlay.PeerID) bool {
@@ -330,13 +355,11 @@ func (o *Overlay) updateClusterLinksOnline(p overlay.PeerID) {
 			list = append(list, q)
 		}
 	}
-	sort.Slice(list, func(i, j int) bool {
-		ui, uj := o.utility(p, list[i]), o.utility(p, list[j])
-		if ui != uj {
-			return ui > uj
-		}
-		return list[i] < list[j]
-	})
+	util := make([]int, len(list))
+	for i, q := range list {
+		util[i] = o.utility(p, q)
+	}
+	sort.Sort(&byUtility{list, util, nil})
 	k := o.cfg.K
 	if k > len(list) {
 		k = len(list)

@@ -1,0 +1,93 @@
+// Package par provides deterministic intra-trial parallelism: fixed
+// contiguous sharding of an index range over a bounded worker pool.
+//
+// The experiment engine (internal/sim) already parallelizes across trials;
+// par parallelizes *inside* one trial, where determinism is non-negotiable
+// — the gossip supersteps and precomputation passes it accelerates must
+// produce bit-identical results for a fixed seed no matter how many workers
+// run them. The contract that makes this safe is purely structural: For
+// splits [0,n) into one contiguous span per worker, every index is
+// processed by exactly one worker, and the caller's closure writes only to
+// per-index state (plus an optional per-shard accumulator merged in shard
+// order afterwards). No scheduling decision can then affect the output.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// forced holds a test/tuning override for the worker count; 0 means "use
+// GOMAXPROCS".
+var forced atomic.Int32
+
+// SetWorkers overrides the worker count used by For. n <= 0 restores the
+// GOMAXPROCS default. Intended for tests (forcing the parallel path on
+// single-CPU machines, or the sequential path for differential runs) and
+// for callers that want to bound background parallelism.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	forced.Store(int32(n))
+}
+
+// Workers reports the number of workers For will use for a large range.
+func Workers() int {
+	if f := forced.Load(); f > 0 {
+		return int(f)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minShard is the smallest range worth spawning goroutines for; below it
+// the fork/join overhead dominates any speedup.
+const minShard = 256
+
+// For splits [0,n) into w contiguous spans and calls fn(shard, lo, hi) for
+// each, concurrently when it pays. shard is the span's index in [0,w) where
+// w = Shards(n), so callers can maintain per-shard scratch state and merge
+// it deterministically (in shard order) after For returns.
+//
+// fn must confine its writes to per-index state and its own shard's
+// scratch; For guarantees each index lands in exactly one span but provides
+// no other synchronization.
+func For(n int, fn func(shard, lo, hi int)) {
+	w := Shards(n)
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for s := 0; s < w; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			fn(s, lo, hi)
+		}(s, lo, hi)
+	}
+	wg.Wait()
+}
+
+// Shards reports how many spans For will use for a range of size n: 1 for
+// small ranges (run inline), Workers() otherwise, never more than n.
+func Shards(n int) int {
+	w := Workers()
+	if forced.Load() == 0 && n < minShard {
+		return 1
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}

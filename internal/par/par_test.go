@@ -1,0 +1,74 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEachIndexOnce is the core sharding contract: every index in
+// [0,n) is visited by exactly one (shard, lo, hi) span.
+func TestForCoversEachIndexOnce(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 2, 3, 7} {
+		SetWorkers(workers)
+		for _, n := range []int{0, 1, 5, workers, workers + 1, 1000} {
+			visits := make([]int32, n)
+			For(n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestForShardIndexing checks that shard ids are dense in [0, Shards(n))
+// and that spans are contiguous and ordered by shard id, which is what
+// makes shard-ordered merges deterministic.
+func TestForShardIndexing(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	n := 1003
+	w := Shards(n)
+	los := make([]int, w)
+	his := make([]int, w)
+	For(n, func(shard, lo, hi int) {
+		los[shard], his[shard] = lo, hi
+	})
+	prev := 0
+	for s := 0; s < w; s++ {
+		if los[s] != prev {
+			t.Fatalf("shard %d starts at %d, want %d", s, los[s], prev)
+		}
+		if his[s] < los[s] {
+			t.Fatalf("shard %d: hi %d < lo %d", s, his[s], los[s])
+		}
+		prev = his[s]
+	}
+	if prev != n {
+		t.Fatalf("spans cover [0,%d), want [0,%d)", prev, n)
+	}
+}
+
+func TestSmallRangeRunsInline(t *testing.T) {
+	// Without a forced worker count, ranges under minShard run as a single
+	// inline span (no goroutine fork for trivial work).
+	if got := Shards(minShard - 1); got != 1 {
+		t.Fatalf("Shards(%d) = %d, want 1", minShard-1, got)
+	}
+	defer SetWorkers(0)
+	SetWorkers(3)
+	// A forced count overrides the inline shortcut so tests can exercise
+	// the parallel path on any machine.
+	if got := Shards(8); got != 3 {
+		t.Fatalf("forced Shards(8) = %d, want 3", got)
+	}
+	if got := Shards(2); got != 2 {
+		t.Fatalf("forced Shards(2) = %d, want 2 (never more shards than items)", got)
+	}
+}

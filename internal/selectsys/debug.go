@@ -1,0 +1,30 @@
+package selectsys
+
+import (
+	"log"
+	"os"
+	"strings"
+)
+
+// Round-level gossip tracing is gated by the SELECT_DEBUG environment
+// variable: a comma-separated list of facilities ("gossip", or "all").
+//
+//	SELECT_DEBUG=gossip go test ./internal/selectsys -run TestConverge
+//
+// replaces the old compile-time debugGossip flag — tracing no longer
+// requires editing source. Output goes to stderr through a standard
+// log.Logger so it interleaves cleanly with test output.
+var (
+	gossipDebug = debugEnabled("gossip")
+	debugLog    = log.New(os.Stderr, "selectsys: ", log.Lmsgprefix)
+)
+
+// debugEnabled reports whether SELECT_DEBUG names the facility (or "all").
+func debugEnabled(facility string) bool {
+	for _, tok := range strings.Split(os.Getenv("SELECT_DEBUG"), ",") {
+		if tok = strings.TrimSpace(tok); tok == facility || tok == "all" {
+			return true
+		}
+	}
+	return false
+}

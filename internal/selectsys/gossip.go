@@ -4,8 +4,8 @@ import (
 	"sort"
 
 	"selectps/internal/bitset"
-	"selectps/internal/lsh"
 	"selectps/internal/overlay"
+	"selectps/internal/par"
 	"selectps/internal/ring"
 )
 
@@ -18,8 +18,6 @@ import (
 // delivers the neighbor sets and bitmaps each peer needs; the simulator
 // grants direct read access to the same information, which equals the
 // gossip's converged knowledge.
-var debugGossip = false
-
 func (o *Overlay) runGossip() {
 	n := o.N()
 	if n == 0 {
@@ -53,8 +51,8 @@ func (o *Overlay) runGossip() {
 				linkChanged++
 			}
 		}
-		if debugGossip {
-			println("link round", round, "changed", linkChanged)
+		if gossipDebug {
+			debugLog.Printf("link round %d changed %d", round, linkChanged)
 		}
 		o.iterations++
 		if linkChanged <= threshold {
@@ -95,6 +93,13 @@ func (o *Overlay) runGossip() {
 //     ring stays fully covered, identifiers stay unique, and communities
 //     become the compact contiguous groups of Fig. 8.
 //
+// Each superstep reads only the previous round's labels, so the peer loop
+// is sharded across par workers: every peer's decision is a pure function
+// of (labels, tie cache, round parity), each worker owns a contiguous
+// span of peers with private vote-tally scratch, and the per-shard change
+// counts are summed in shard order — bit-identical to the sequential pass
+// for any worker count (parallel_test.go asserts this under -race).
+//
 // reassignPositions returns the number of label-propagation rounds used.
 func (o *Overlay) reassignPositions() int {
 	n := o.N()
@@ -115,60 +120,90 @@ func (o *Overlay) reassignPositions() int {
 	// phase stops once changes fall under 2%.
 	stopAt := n / 50
 	next := make([]int32, n)
+	// Per-shard vote-tally scratch. Labels are always existing peer ids —
+	// a peer only ever adopts a label already carried by a friend — so
+	// they stay dense in [0,n) and a flat slice replaces the old
+	// map[int32]float64: O(1) unhashed accumulation, cleared via the
+	// touched-label list (every vote weight is strictly positive, so
+	// tally[l] == 0 marks an untouched label).
+	shards := par.Shards(n)
+	tallies := make([][]float64, shards)
+	touchedBy := make([][]int32, shards)
+	changedBy := make([]int, shards)
 	for r := 0; r < maxRounds; r++ {
 		rounds++
-		changed := 0
 		// Synchronous superstep: decisions read the previous round's labels
 		// only — sequential in-place updates would let one label telescope
 		// through the whole graph in a single pass. A peer switches only
 		// when the challenger's support strictly exceeds its current
 		// label's support (hysteresis against oscillation).
-		tally := make(map[int32]float64)
-		for p := 0; p < n; p++ {
-			pid := overlay.PeerID(p)
-			next[p] = labels[p]
-			// Parity alternation: only half the peers may switch per round,
-			// which breaks the two-cycles synchronous label propagation is
-			// prone to (pairs of peers swapping labels forever).
-			if (p+r)%2 != 0 {
-				continue
+		round := r
+		clear(changedBy)
+		par.For(n, func(shard, lo, hi int) {
+			if tallies[shard] == nil {
+				tallies[shard] = make([]float64, n)
 			}
-			friends := o.g.Neighbors(pid)
-			if len(friends) == 0 {
-				continue
-			}
-			for k := range tally {
-				delete(tally, k)
-			}
-			for _, f := range friends {
-				w := o.tieStrength(pid, f)
-				if o.cfg.CentroidAllFriends {
-					// Ablation (§III-C): all friends pull equally, the
-					// "centroid of all friends" policy. High-degree hubs
-					// then drag unrelated users into one region.
-					w = 1
+			tally, touched := tallies[shard], touchedBy[shard][:0]
+			changed := 0
+			for p := lo; p < hi; p++ {
+				pid := overlay.PeerID(p)
+				next[p] = labels[p]
+				// Parity alternation: only half the peers may switch per
+				// round, which breaks the two-cycles synchronous label
+				// propagation is prone to (pairs of peers swapping labels
+				// forever).
+				if (p+round)%2 != 0 {
+					continue
 				}
-				tally[labels[f]] += w
-			}
-			cur := tally[labels[p]]
-			best, bestW := labels[p], cur
-			for l, w := range tally {
-				if w > bestW && w > cur {
-					best, bestW = l, w
-				} else if w == bestW && w > cur && l < best {
-					best = l
+				friends := o.g.Neighbors(pid)
+				if len(friends) == 0 {
+					continue
+				}
+				touched = touched[:0]
+				row := o.tie[p]
+				for i, f := range friends {
+					w := row[i]
+					if o.cfg.CentroidAllFriends {
+						// Ablation (§III-C): all friends pull equally, the
+						// "centroid of all friends" policy. High-degree hubs
+						// then drag unrelated users into one region.
+						w = 1
+					}
+					l := labels[f]
+					if tally[l] == 0 {
+						touched = append(touched, l)
+					}
+					tally[l] += w
+				}
+				cur := tally[labels[p]]
+				best, bestW := labels[p], cur
+				for _, l := range touched {
+					w := tally[l]
+					if w > bestW && w > cur {
+						best, bestW = l, w
+					} else if w == bestW && w > cur && l < best {
+						best = l
+					}
+				}
+				for _, l := range touched {
+					tally[l] = 0
+				}
+				if best != labels[p] {
+					next[p] = best
+					changed++
 				}
 			}
-			if best != labels[p] {
-				next[p] = best
-				changed++
-			}
+			touchedBy[shard], changedBy[shard] = touched, changed
+		})
+		changed := 0
+		for _, c := range changedBy {
+			changed += c
 		}
 		labels, next = next, labels
 		if changed <= stopAt {
 			break
 		}
-		if debugGossip {
+		if gossipDebug {
 			distinct := make(map[int32]int)
 			for _, l := range labels {
 				distinct[l]++
@@ -179,55 +214,54 @@ func (o *Overlay) reassignPositions() int {
 					max = c
 				}
 			}
-			println("lpa round", r+1, "changed", changed, "labels", len(distinct), "maxsize", max)
+			debugLog.Printf("lpa round %d changed %d labels %d maxsize %d",
+				r+1, changed, len(distinct), max)
 		}
 	}
 	o.placeByRegions(labels)
 	return rounds
 }
 
-// tieStrength is the symmetric strength of the (p,v) friendship: common
-// friends over the union of the two neighborhoods. Eq. 2's one-sided
-// normalization |C_p∩C_u|/|C_p| would make every low-degree peer's
-// strongest friends the global hubs; the symmetric form keeps the
-// common-friend signal of §III-A ("the number of common friends that the
-// two nodes share") while anchoring peers to their own community.
-func (o *Overlay) tieStrength(p, v overlay.PeerID) float64 {
-	common := o.g.CommonNeighbors(p, v)
-	union := o.g.Degree(p) + o.g.Degree(v) - common
-	if union <= 0 {
-		return 0
-	}
-	// The +1 keeps the friendship edge itself worth something even with no
-	// common friends.
-	return (float64(common) + 1) / float64(union+1)
-}
-
 // placeByRegions assigns each region a ring arc proportional to its
-// population and spreads members evenly inside it.
+// population and spreads members evenly inside it. Region labels are
+// renumbered densely in first-seen order so membership lives in flat
+// slices; arcs are still ordered by the hash of the *original* label,
+// keeping placement uniform and independent of the renumbering.
 func (o *Overlay) placeByRegions(labels []int32) {
 	n := o.N()
-	members := make(map[int32][]overlay.PeerID)
+	denseOf := make([]int32, n)
+	for i := range denseOf {
+		denseOf[i] = -1
+	}
+	var regionLabel []int32 // dense id -> original label
+	var members [][]overlay.PeerID
 	for p := 0; p < n; p++ {
-		members[labels[p]] = append(members[labels[p]], overlay.PeerID(p))
-	}
-	type region struct {
-		label int32
-		hash  ring.ID
-	}
-	regions := make([]region, 0, len(members))
-	for l := range members {
-		regions = append(regions, region{l, ring.HashUint64(uint64(uint32(l)))})
-	}
-	sort.Slice(regions, func(i, j int) bool {
-		if regions[i].hash != regions[j].hash {
-			return regions[i].hash < regions[j].hash
+		l := labels[p]
+		d := denseOf[l]
+		if d < 0 {
+			d = int32(len(members))
+			denseOf[l] = d
+			regionLabel = append(regionLabel, l)
+			members = append(members, nil)
 		}
-		return regions[i].label < regions[j].label
+		members[d] = append(members[d], overlay.PeerID(p))
+	}
+	order := make([]int32, len(members))
+	hash := make([]ring.ID, len(members))
+	for d := range members {
+		order[d] = int32(d)
+		hash[d] = ring.HashUint64(uint64(uint32(regionLabel[d])))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := order[i], order[j]
+		if hash[di] != hash[dj] {
+			return hash[di] < hash[dj]
+		}
+		return regionLabel[di] < regionLabel[dj]
 	})
 	var start float64
-	for _, r := range regions {
-		ms := members[r.label]
+	for _, d := range order {
+		ms := members[d]
 		width := float64(len(ms)) / float64(n)
 		for i, p := range ms {
 			// Even spread with a deterministic sub-slot jitter keeps
@@ -244,8 +278,8 @@ func (o *Overlay) placeByRegions(labels []int32) {
 func (o *Overlay) topTieFriends(p overlay.PeerID) (best, second overlay.PeerID) {
 	best, second = -1, -1
 	var bs, ss float64 = -1, -1
-	for _, v := range o.g.Neighbors(p) {
-		s := o.tieStrength(p, v)
+	for i, v := range o.g.Neighbors(p) {
+		s := o.tie[p][i]
 		switch {
 		case s > bs:
 			second, ss = best, bs
@@ -302,26 +336,86 @@ func (o *Overlay) syncBaseLinks() {
 	}
 }
 
-// bitmapFor builds the friendship bitmap of friend u from p's perspective
-// (Algorithm 4, constructFriendshipBitmap): bit j is set when u maintains
-// a long-range link to the j-th member of C_p.
-func (o *Overlay) bitmapFor(p, u overlay.PeerID) *bitset.Set {
-	idx := o.friendIdx[p]
-	bm := bitset.New(len(idx))
-	// Self bit: u trivially reaches itself. Without it, every bitmap is
-	// all-zero in the first round (no long links exist yet), the LSH hashes
-	// the whole neighborhood into a single bucket, and only one link can
-	// ever bootstrap. With it, distinct friends spread over the K buckets
-	// immediately while similar link sets still collide once links exist.
-	if j, ok := idx[u]; ok {
-		bm.Set(j)
+// linkScratch is the reusable working set of the Algorithm-5 LSH pass.
+// One gossip round used to allocate a fresh bitmap per (peer, friend),
+// a hash table and two maps per peer; the scratch turns that into zero
+// steady-state allocations. The gossip mutates one overlay from one
+// goroutine, so a single scratch per overlay suffices.
+type linkScratch struct {
+	bm      *bitset.Set // friendship bitmap, reshaped to |C_p| per peer
+	bmBits  []int       // bits currently set in bm, for O(popcount) clearing
+	conn    []int       // conn[i]: bitmap popcount of friend C_p[i]
+	buckets [][]int32   // LSH buckets holding friend indices into C_p
+	linked  []int32     // bucket members already long-linked
+	pick    []int32     // picker sort scratch
+	uncov   []int32     // friends not covered by any current link
+	pos     []int32     // pos[q]: 1+index of q in C_p, 0 when q ∉ C_p
+}
+
+// indexFriends rebuilds p's Algorithm-5 LSH view into the scratch: each
+// friend's friendship bitmap (Algorithm 4, constructFriendshipBitmap —
+// bit j set when the friend long-links the j-th member of C_p) is hashed
+// to one of the K buckets, and its popcount recorded as the friend's
+// connection count. A friend's own bitmap coordinate is just its index in
+// the sorted C_p; long-link coordinates resolve through sc.pos, an
+// n-sized index filled with C_p on entry and zeroed again on exit — 2|C_p|
+// writes in place of one binary search per long link, which was the
+// single hottest operation of the construction profile.
+func (o *Overlay) indexFriends(p overlay.PeerID, friends []overlay.PeerID) {
+	sc := &o.scratch
+	if len(sc.pos) < o.N() {
+		sc.pos = make([]int32, o.N())
 	}
-	for _, l := range o.longLinks[u] {
-		if j, ok := idx[l]; ok {
-			bm.Set(j)
+	for i, f := range friends {
+		sc.pos[f] = int32(i + 1)
+	}
+	defer func() {
+		for _, f := range friends {
+			sc.pos[f] = 0
 		}
+	}()
+	h := o.hashers[p]
+	nb := h.NumBuckets()
+	if cap(sc.buckets) < nb {
+		sc.buckets = make([][]int32, nb)
 	}
-	return bm
+	sc.buckets = sc.buckets[:nb]
+	for b := range sc.buckets {
+		sc.buckets[b] = sc.buckets[b][:0]
+	}
+	if cap(sc.conn) < len(friends) {
+		sc.conn = make([]int, len(friends))
+	}
+	sc.conn = sc.conn[:len(friends)]
+	if sc.bm == nil {
+		sc.bm = bitset.New(len(friends))
+	} else {
+		sc.bm.Reshape(len(friends))
+	}
+	for i, u := range friends {
+		bits := sc.bmBits[:0]
+		// Self bit: u trivially reaches itself. Without it, every bitmap is
+		// all-zero in the first round (no long links exist yet), the LSH
+		// hashes the whole neighborhood into a single bucket, and only one
+		// link can ever bootstrap. With it, distinct friends spread over
+		// the K buckets immediately while similar link sets still collide
+		// once links exist.
+		sc.bm.Set(i)
+		bits = append(bits, i)
+		for _, l := range o.longLinks[u] {
+			if j := int(sc.pos[l]) - 1; j >= 0 && !sc.bm.Test(j) {
+				sc.bm.Set(j)
+				bits = append(bits, j)
+			}
+		}
+		sc.conn[i] = len(bits)
+		b := h.Bucket(sc.bm)
+		sc.buckets[b] = append(sc.buckets[b], int32(i))
+		for _, j := range bits {
+			sc.bm.Clear(j)
+		}
+		sc.bmBits = bits[:0]
+	}
 }
 
 // createLinks is Algorithm 5: index the friends' bitmaps into the K LSH
@@ -336,16 +430,11 @@ func (o *Overlay) createLinks(p overlay.PeerID) bool {
 	if o.cfg.RandomLinks {
 		return o.createRandomLinks(p, friends)
 	}
-	table := lsh.NewTable(o.hashers[p])
-	conn := make(map[overlay.PeerID]int, len(friends)) // candidate -> link count
-	for _, u := range friends {
-		bm := o.bitmapFor(p, u)
-		table.Insert(u, bm)
-		conn[u] = bm.Count()
-	}
+	o.indexFriends(p, friends)
+	sc := &o.scratch
 	changed := false
-	for b := 0; b < table.NumBuckets(); b++ {
-		bucket := table.Bucket(b)
+	for b := range sc.buckets {
+		bucket := sc.buckets[b]
 		if len(bucket) == 0 {
 			continue
 		}
@@ -353,24 +442,25 @@ func (o *Overlay) createLinks(p overlay.PeerID) bool {
 		// picker-best among them instead of re-picking from scratch — the
 		// paper's recovery rationale ("not create a chain of connections
 		// reassignment", §III-F) applied to steady-state maintenance.
-		var linked []overlay.PeerID
-		for _, v := range bucket {
-			if o.hasLong(p, v) {
-				linked = append(linked, v)
+		linked := sc.linked[:0]
+		for _, i := range bucket {
+			if o.hasLong(p, friends[i]) {
+				linked = append(linked, i)
 			}
 		}
+		sc.linked = linked[:0]
 		keep := overlay.PeerID(-1)
 		switch len(linked) {
 		case 0:
-			pick := o.picker(bucket, conn)
+			pick := friends[o.pickIdx(bucket, friends)]
 			if o.establish(p, pick) {
 				changed = true
 				keep = pick
 			}
 		case 1:
-			keep = linked[0]
+			keep = friends[linked[0]]
 		default:
-			keep = o.picker(linked, conn)
+			keep = friends[o.pickIdx(linked, friends)]
 		}
 		if keep < 0 {
 			continue
@@ -381,7 +471,8 @@ func (o *Overlay) createLinks(p overlay.PeerID) bool {
 		// through the representative in one hop). Friends with empty
 		// bitmaps hash together without being mutually reachable; dropping
 		// those would silently disconnect them from the routing tree.
-		for _, v := range bucket {
+		for _, i := range bucket {
+			v := friends[i]
 			if v != keep && o.hasLong(p, v) && o.hasLong(keep, v) {
 				o.dropLong(p, v)
 				changed = true
@@ -402,20 +493,22 @@ func (o *Overlay) createLinks(p overlay.PeerID) bool {
 	// them is what keeps "the maximum number of each social user's
 	// neighborhood" within 1–2 hops (§III-A).
 	if len(o.longLinks[p]) < o.cfg.K {
-		var uncovered []overlay.PeerID
-		for _, u := range friends {
+		uncovered := sc.uncov[:0]
+		for i, u := range friends {
 			if !o.hasLong(p, u) && !o.coveredBy(p, u) {
-				uncovered = append(uncovered, u)
+				uncovered = append(uncovered, int32(i))
 			}
 		}
-		sort.Slice(uncovered, func(i, j int) bool {
-			si, sj := o.tieStrength(p, uncovered[i]), o.tieStrength(p, uncovered[j])
+		row := o.tie[p]
+		sort.Slice(uncovered, func(a, b int) bool {
+			si, sj := row[uncovered[a]], row[uncovered[b]]
 			if si != sj {
 				return si < sj
 			}
-			return uncovered[i] < uncovered[j]
+			return uncovered[a] < uncovered[b]
 		})
-		for _, u := range uncovered {
+		for _, i := range uncovered {
+			u := friends[i]
 			if len(o.longLinks[p]) >= o.cfg.K {
 				// At budget: a redundant link (one whose peer another link
 				// already covers) may be evicted in favor of the lone
@@ -431,6 +524,7 @@ func (o *Overlay) createLinks(p overlay.PeerID) bool {
 				changed = true
 			}
 		}
+		sc.uncov = uncovered[:0]
 	}
 	return changed
 }
@@ -508,26 +602,33 @@ func (o *Overlay) createRandomLinks(p overlay.PeerID, friends []overlay.PeerID) 
 	return changed
 }
 
-// picker is Algorithm 6: sort the bucket by connection count (descending —
-// "the maximum number of social connections"), and when the runner-up has
-// strictly better bandwidth than the leader, prefer the runner-up.
-func (o *Overlay) picker(bucket []overlay.PeerID, conn map[overlay.PeerID]int) overlay.PeerID {
-	sorted := append([]overlay.PeerID(nil), bucket...)
-	sort.Slice(sorted, func(i, j int) bool {
-		ci, cj := conn[sorted[i]], conn[sorted[j]]
-		if ci != cj {
-			return ci > cj
+// pickIdx is Algorithm 6 over friend indices: sort the bucket by
+// connection count (descending — "the maximum number of social
+// connections"), and when the runner-up has strictly better bandwidth
+// than the leader, prefer the runner-up. C_p is sorted, so ascending
+// index order is ascending PeerID order and tie-breaks match the
+// PeerID-based picker exactly.
+func (o *Overlay) pickIdx(cand []int32, friends []overlay.PeerID) int32 {
+	sc := &o.scratch
+	sorted := append(sc.pick[:0], cand...)
+	sort.Slice(sorted, func(a, b int) bool {
+		i, j := sorted[a], sorted[b]
+		if sc.conn[i] != sc.conn[j] {
+			return sc.conn[i] > sc.conn[j]
 		}
-		if o.bw[sorted[i]] != o.bw[sorted[j]] {
-			return o.bw[sorted[i]] > o.bw[sorted[j]]
+		bi, bj := o.bw[friends[i]], o.bw[friends[j]]
+		if bi != bj {
+			return bi > bj
 		}
-		return sorted[i] < sorted[j]
+		return i < j
 	})
+	best := sorted[0]
 	if !o.cfg.PickerIgnoresBandwidth &&
-		len(sorted) > 1 && o.bw[sorted[0]] < o.bw[sorted[1]] {
-		return sorted[1]
+		len(sorted) > 1 && o.bw[friends[sorted[0]]] < o.bw[friends[sorted[1]]] {
+		best = sorted[1]
 	}
-	return sorted[0]
+	sc.pick = sorted[:0]
+	return best
 }
 
 func (o *Overlay) hasLong(p, u overlay.PeerID) bool {

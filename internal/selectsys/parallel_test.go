@@ -1,0 +1,79 @@
+package selectsys
+
+// Determinism of the intra-trial parallelism: the LPA superstep, the
+// strength-cache pass and the kernel-index build are sharded across
+// par workers, and the sharding contract (contiguous spans, per-index
+// writes, shard-ordered merges) promises bit-identical output for any
+// worker count. These tests construct the same seeded overlay under
+// worker counts 1, 2 and 8 — run under -race they also certify the
+// shards never touch shared state.
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/datasets"
+	"selectps/internal/overlay"
+	"selectps/internal/par"
+)
+
+// buildWithWorkers constructs a fresh overlay (own graph instance, so the
+// kernel-index build is also exercised at this worker count) from fixed
+// seeds.
+func buildWithWorkers(workers int) *Overlay {
+	par.SetWorkers(workers)
+	g := datasets.Facebook.Generate(600, 21)
+	return New(g, Config{}, rand.New(rand.NewSource(22)))
+}
+
+func TestParallelSuperstepDeterminism(t *testing.T) {
+	defer par.SetWorkers(0)
+	seq := buildWithWorkers(1)
+	for _, workers := range []int{2, 8} {
+		par2 := buildWithWorkers(workers)
+		if seq.Iterations() != par2.Iterations() {
+			t.Fatalf("workers=%d: iterations %d != sequential %d",
+				workers, par2.Iterations(), seq.Iterations())
+		}
+		for p := 0; p < seq.N(); p++ {
+			pid := overlay.PeerID(p)
+			if seq.Position(pid) != par2.Position(pid) {
+				t.Fatalf("workers=%d: position of peer %d differs: %v != %v",
+					workers, p, par2.Position(pid), seq.Position(pid))
+			}
+			a, b := seq.LongLinks(pid), par2.LongLinks(pid)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d: peer %d long-link count %d != %d",
+					workers, p, len(b), len(a))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("workers=%d: peer %d long links differ: %v != %v",
+						workers, p, b, a)
+				}
+			}
+		}
+	}
+}
+
+// TestStrengthCacheParallelDeterminism pins the precomputation pass alone:
+// the cached tie rows must be bit-identical (float equality, not epsilon)
+// across worker counts.
+func TestStrengthCacheParallelDeterminism(t *testing.T) {
+	defer par.SetWorkers(0)
+	seq := buildWithWorkers(1)
+	par8 := buildWithWorkers(8)
+	for p := 0; p < seq.N(); p++ {
+		pid := overlay.PeerID(p)
+		a, b := seq.tieRow(pid), par8.tieRow(pid)
+		if len(a) != len(b) {
+			t.Fatalf("peer %d: tie row length %d != %d", p, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("peer %d: tie[%d] = %v (parallel) != %v (sequential)",
+					p, i, b[i], a[i])
+			}
+		}
+	}
+}

@@ -1,9 +1,9 @@
 package selectsys
 
 import (
+	"slices"
 	"sort"
 
-	"selectps/internal/lsh"
 	"selectps/internal/overlay"
 )
 
@@ -65,27 +65,29 @@ func (o *Overlay) bucketAlternative(p, dead overlay.PeerID) (overlay.PeerID, boo
 	if len(friends) == 0 {
 		return -1, false
 	}
-	table := lsh.NewTable(o.hashers[p])
-	conn := make(map[overlay.PeerID]int, len(friends))
-	for _, u := range friends {
-		bm := o.bitmapFor(p, u)
-		table.Insert(u, bm)
-		conn[u] = bm.Count()
-	}
-	b := table.BucketOf(dead)
-	if b < 0 {
+	deadIdx, ok := slices.BinarySearch(friends, dead)
+	if !ok {
 		return -1, false
 	}
-	var candidates []overlay.PeerID
-	for _, u := range table.Bucket(b) {
-		if u != dead && u != p && o.Online(u) && !o.hasLong(p, u) {
-			candidates = append(candidates, u)
+	o.indexFriends(p, friends)
+	sc := &o.scratch
+	var candidates []int32
+	for _, bucket := range sc.buckets {
+		if !slices.Contains(bucket, int32(deadIdx)) {
+			continue
 		}
+		for _, i := range bucket {
+			u := friends[i]
+			if u != dead && u != p && o.Online(u) && !o.hasLong(p, u) {
+				candidates = append(candidates, i)
+			}
+		}
+		break
 	}
 	if len(candidates) == 0 {
 		return -1, false
 	}
-	return o.picker(candidates, conn), true
+	return friends[o.pickIdx(candidates, friends)], true
 }
 
 // patchRing points every online peer's short-range links at its nearest

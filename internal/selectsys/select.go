@@ -112,11 +112,18 @@ type Overlay struct {
 
 	bw []float64 // per-peer upload bandwidth (picker input)
 
-	// friendIdx[p] maps a friend's PeerID to its index in C_p, the bitmap
-	// coordinate space of Algorithm 5.
-	friendIdx []map[overlay.PeerID]int
-	// hashers[p] is the per-peer LSH hasher over |C_p|-bit bitmaps.
+	// hashers[p] is the per-peer LSH hasher over |C_p|-bit bitmaps. The
+	// bitmap coordinate space of Algorithm 5 is the sorted friend list
+	// C_p itself: a friend's coordinate is its index in g.Neighbors(p).
 	hashers []*lsh.Hasher
+
+	// tie[p][i] caches the symmetric tie strength of the friendship edge
+	// (p, C_p[i]), aligned with g.Neighbors(p) — computed once per trial
+	// (strength.go); the graph is immutable for the overlay's lifetime.
+	tie [][]float64
+
+	// scratch is the reusable Algorithm-5 working set (gossip.go).
+	scratch linkScratch
 
 	// longLinks[p] is R_p^l: the K long-range links (subset of Base links;
 	// Base also holds the two ring links R_p^s).
@@ -151,7 +158,6 @@ func NewFromSchedule(g *socialgraph.Graph, sched growth.Schedule, cfg Config, rn
 		g:            g,
 		cfg:          cfg,
 		rng:          rng,
-		friendIdx:    make([]map[overlay.PeerID]int, n),
 		hashers:      make([]*lsh.Hasher, n),
 		longLinks:    make([][]overlay.PeerID, n),
 		incomingFrom: make([][]overlay.PeerID, n),
@@ -166,18 +172,13 @@ func NewFromSchedule(g *socialgraph.Graph, sched growth.Schedule, cfg Config, rn
 	}
 	for p := 0; p < n; p++ {
 		pid := overlay.PeerID(p)
-		friends := g.Neighbors(pid)
-		idx := make(map[overlay.PeerID]int, len(friends))
-		for i, f := range friends {
-			idx[f] = i
-		}
-		o.friendIdx[p] = idx
 		buckets := cfg.K
 		if buckets < 1 {
 			buckets = 1
 		}
-		o.hashers[p] = lsh.NewHasher(len(friends), buckets, 0, rng)
+		o.hashers[p] = lsh.NewHasher(g.Degree(pid), buckets, 0, rng)
 	}
+	o.buildStrengthCache()
 	o.project(sched)
 	o.runGossip()
 	return o

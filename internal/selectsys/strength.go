@@ -1,0 +1,72 @@
+package selectsys
+
+import (
+	"slices"
+
+	"selectps/internal/overlay"
+	"selectps/internal/par"
+)
+
+// The symmetric tie strength of a friendship edge depends only on the
+// social graph, and the graph is immutable for the lifetime of an overlay
+// — yet the gossip queries it O(rounds × Σ deg) times: every label-
+// propagation vote, every link-budget eviction and every uncovered-friend
+// sort recomputes the same |C_p ∩ C_v| intersection. buildStrengthCache
+// computes each value exactly once per directed edge into a CSR-aligned
+// cache: tie[p][i] is the strength of the edge (p, C_p[i]), aligned with
+// g.Neighbors(p), so iteration-order consumers index directly and point
+// queries pay one binary search instead of an O(d_p + d_v) merge.
+
+// buildStrengthCache fills o.tie. The pass is sharded across par workers;
+// each (p, i) entry is independent and written by exactly one worker, so
+// the result is bit-identical to the sequential pass.
+func (o *Overlay) buildStrengthCache() {
+	n := o.N()
+	o.tie = make([][]float64, n)
+	par.For(n, func(_, lo, hi int) {
+		for p := lo; p < hi; p++ {
+			pid := overlay.PeerID(p)
+			friends := o.g.Neighbors(pid)
+			if len(friends) == 0 {
+				continue
+			}
+			row := make([]float64, len(friends))
+			for i, v := range friends {
+				row[i] = o.computeTieStrength(pid, v)
+			}
+			o.tie[p] = row
+		}
+	})
+}
+
+// tieStrength is the symmetric strength of the (p,v) friendship: common
+// friends over the union of the two neighborhoods. Eq. 2's one-sided
+// normalization |C_p∩C_u|/|C_p| would make every low-degree peer's
+// strongest friends the global hubs; the symmetric form keeps the
+// common-friend signal of §III-A ("the number of common friends that the
+// two nodes share") while anchoring peers to their own community.
+//
+// Friendship edges are answered from the CSR-aligned cache; non-edges
+// (possible for ablation or future callers) fall back to computing.
+func (o *Overlay) tieStrength(p, v overlay.PeerID) float64 {
+	if i, ok := slices.BinarySearch(o.g.Neighbors(p), v); ok {
+		return o.tie[p][i]
+	}
+	return o.computeTieStrength(p, v)
+}
+
+// tieRow returns p's cached strengths aligned with g.Neighbors(p) (shared
+// slice; do not mutate). Nil when p has no friends.
+func (o *Overlay) tieRow(p overlay.PeerID) []float64 { return o.tie[p] }
+
+// computeTieStrength evaluates the strength formula directly.
+func (o *Overlay) computeTieStrength(p, v overlay.PeerID) float64 {
+	common := o.g.CommonNeighbors(p, v)
+	union := o.g.Degree(p) + o.g.Degree(v) - common
+	if union <= 0 {
+		return 0
+	}
+	// The +1 keeps the friendship edge itself worth something even with no
+	// common friends.
+	return (float64(common) + 1) / float64(union+1)
+}

@@ -3,15 +3,19 @@
 // neighborhood and common-friend queries SELECT's gossip protocol relies on.
 //
 // The representation is a sorted adjacency list per node (CSR-like in
-// spirit), chosen for cache-friendly iteration, O(log d) edge tests and
-// O(d_u + d_v) common-neighbor counting — the hot operation behind the
-// social-strength measure of Eq. 2.
+// spirit), chosen for cache-friendly iteration and O(log d) edge tests.
+// Common-neighbor counting — the hot operation behind the social-strength
+// measure of Eq. 2 — dispatches adaptively between a sorted merge, a
+// galloping search, and word-parallel bitset kernels (kernels.go).
 package socialgraph
 
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID indexes a social user. Users are dense 0..N-1 integers; the paper
@@ -19,10 +23,20 @@ import (
 // these indexes as peer identities.
 type NodeID = int32
 
-// Graph is an immutable undirected social graph.
+// Graph is an immutable undirected social graph. It must be used by
+// pointer (it embeds synchronization state for the lazily built kernel
+// index); all query methods are safe for concurrent use.
 type Graph struct {
 	adj   [][]NodeID // sorted neighbor lists
 	edges int        // undirected edge count (each edge counted once)
+
+	// Acceleration index (kernels.go): per-node neighbor bitsets for
+	// high-degree nodes, built on the first common-neighbor query. kern
+	// duplicates the kernOnce-guarded value as an atomic so cheap queries
+	// (HasEdge) can opportunistically use the index without forcing its
+	// construction.
+	kernOnce sync.Once
+	kern     atomic.Pointer[kernelIndex]
 }
 
 // Builder accumulates edges and produces an immutable Graph. Duplicate and
@@ -62,7 +76,7 @@ func (b *Builder) Build() *Graph {
 	edges := 0
 	for u := range b.adj {
 		l := b.adj[u]
-		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		slices.Sort(l)
 		// dedupe in place
 		w := 0
 		for i, v := range l {
@@ -88,12 +102,26 @@ func (g *Graph) NumEdges() int { return g.edges }
 // Degree returns the number of social friends of u (|C_u| in the paper).
 func (g *Graph) Degree(u NodeID) int { return len(g.adj[u]) }
 
-// Neighbors returns u's sorted friend list. The slice is shared with the
-// graph; callers must not mutate it.
+// Neighbors returns u's sorted friend list.
+//
+// Aliasing contract: the returned slice is the graph's own storage, shared
+// by every caller and by the acceleration index — it is never copied.
+// Callers must treat it as immutable (no element writes, no append through
+// it) and may hold it indefinitely: the graph never mutates adjacency
+// after Build, so the slice is stable and safe to read from concurrent
+// goroutines. Code that needs a mutable copy must clone explicitly.
 func (g *Graph) Neighbors(u NodeID) []NodeID { return g.adj[u] }
 
 // HasEdge reports whether (u,v) ∈ E.
 func (g *Graph) HasEdge(u, v NodeID) bool {
+	// When the kernel index already exists and u is a hub, its bitset
+	// answers in O(1); otherwise binary-search the sorted list. The index
+	// is not built for this — O(log d) is already cheap.
+	if ki := g.kern.Load(); ki != nil {
+		if bu := ki.bits[u]; bu != nil {
+			return bu.Test(int(v))
+		}
+	}
 	l := g.adj[u]
 	i := sort.Search(len(l), func(i int) bool { return l[i] >= v })
 	return i < len(l) && l[i] == v
@@ -118,23 +146,10 @@ func (g *Graph) MaxDegree() int {
 	return m
 }
 
-// CommonNeighbors returns |C_u ∩ C_v| by merging the two sorted lists.
+// CommonNeighbors returns |C_u ∩ C_v|, dispatching to the cheapest exact
+// intersection kernel for the pair's degree shape (kernels.go).
 func (g *Graph) CommonNeighbors(u, v NodeID) int {
-	a, b := g.adj[u], g.adj[v]
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return g.countCommon(u, v)
 }
 
 // SocialStrength returns s(p,u) = |C_p ∩ C_u| / |C_p| (Eq. 2). A node with

@@ -1,0 +1,152 @@
+// Adaptive intersection kernels for the common-neighbor query, the hot
+// operation behind the social-strength measure (Eq. 2). The sorted-merge
+// reference is exact but costs O(d_u + d_v) per query, which the gossip
+// re-executes for every friend edge in every round; at social-network
+// degree skew (a few hubs with thousands of friends, a long tail with a
+// handful) most of that work touches list entries that cannot match.
+//
+// Three strategies, picked per query pair by size and skew:
+//
+//   - merge: the linear sorted-merge, best when the two lists are small
+//     and of similar size.
+//   - galloping: binary-search each element of the smaller list in the
+//     larger, O(d_small · log d_large), best when the lists are skewed
+//     (leaf × hub) but the hub has no bitset.
+//   - bitset: nodes with degree ≥ bitsetMinDegree materialize their
+//     neighborhood as an n-bit set once; hub × hub intersections become
+//     word-parallel popcounts (bitset.AndCount) and leaf × hub becomes
+//     d_small constant-time membership tests.
+//
+// All three return exactly |C_u ∩ C_v|, so strategy selection never
+// changes results — kernels_test.go holds the cross-strategy property
+// test. The index is built lazily (first common-neighbor query) under a
+// sync.Once, so graphs that never intersect neighborhoods pay nothing,
+// and concurrent queries from parallel gossip supersteps are safe.
+package socialgraph
+
+import (
+	"sort"
+
+	"selectps/internal/bitset"
+	"selectps/internal/par"
+)
+
+const (
+	// bitsetMinDegree is the degree at which a node's neighborhood is
+	// materialized as a bitset. Below it the bitset rarely wins: a leaf ×
+	// leaf merge touches fewer than 2·bitsetMinDegree entries, while the
+	// set costs n/8 bytes to build and cache.
+	bitsetMinDegree = 96
+	// gallopRatio is the skew at which binary-searching the smaller list
+	// beats the merge: with d_large > gallopRatio · d_small the merge
+	// spends almost all its steps advancing through the large list.
+	gallopRatio = 16
+	// andCountDivisor gates hub × hub word intersection: AndCount scans
+	// n/64 words regardless of degrees, so it only beats the d_small
+	// membership tests once d_small ≥ n/andCountDivisor.
+	andCountDivisor = 128
+)
+
+// kernelIndex holds the per-node neighbor bitsets of the high-degree nodes.
+type kernelIndex struct {
+	bits []*bitset.Set // nil for nodes below bitsetMinDegree
+	// andCountAt is the smaller-degree threshold above which a hub × hub
+	// query uses word-parallel AndCount instead of per-element tests.
+	andCountAt int
+}
+
+// kernels returns the lazily built acceleration index.
+func (g *Graph) kernels() *kernelIndex {
+	g.kernOnce.Do(func() {
+		n := len(g.adj)
+		ki := &kernelIndex{bits: make([]*bitset.Set, n), andCountAt: n / andCountDivisor}
+		par.For(n, func(_, lo, hi int) {
+			for u := lo; u < hi; u++ {
+				l := g.adj[u]
+				if len(l) < bitsetMinDegree {
+					continue
+				}
+				s := bitset.New(n)
+				for _, v := range l {
+					s.Set(int(v))
+				}
+				ki.bits[u] = s
+			}
+		})
+		g.kern.Store(ki)
+	})
+	return g.kern.Load()
+}
+
+// countCommon dispatches the common-neighbor query to the cheapest exact
+// kernel for the (d_u, d_v) shape.
+func (g *Graph) countCommon(u, v NodeID) int {
+	a, b := g.adj[u], g.adj[v]
+	if len(a) > len(b) {
+		a, b, u, v = b, a, v, u
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	ki := g.kernels()
+	if bv := ki.bits[v]; bv != nil {
+		if bu := ki.bits[u]; bu != nil && len(a) >= ki.andCountAt {
+			return bitset.AndCount(bu, bv)
+		}
+		return intersectBitset(a, bv)
+	}
+	if len(b) > gallopRatio*len(a) {
+		return intersectGallop(a, b)
+	}
+	return intersectMerge(a, b)
+}
+
+// intersectMerge is the sorted-merge reference kernel: |a ∩ b| in
+// O(len(a) + len(b)).
+func intersectMerge(a, b []NodeID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// intersectGallop binary-searches each element of the smaller sorted list
+// in the larger one, narrowing the search window as both advance:
+// O(d_small · log d_large).
+func intersectGallop(small, large []NodeID) int {
+	n := 0
+	for _, x := range small {
+		i := sort.Search(len(large), func(i int) bool { return large[i] >= x })
+		if i == len(large) {
+			break
+		}
+		if large[i] == x {
+			n++
+			i++
+		}
+		large = large[i:]
+	}
+	return n
+}
+
+// intersectBitset counts the members of the sorted list present in the
+// bitset: d_small constant-time membership tests.
+func intersectBitset(small []NodeID, bs *bitset.Set) int {
+	n := 0
+	for _, x := range small {
+		if bs.Test(int(x)) {
+			n++
+		}
+	}
+	return n
+}

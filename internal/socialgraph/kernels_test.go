@@ -1,0 +1,209 @@
+package socialgraph
+
+import (
+	"math/rand"
+	"testing"
+
+	"selectps/internal/bitset"
+)
+
+// referenceCommon is the plain sorted-merge count, kept independent of the
+// production kernels as ground truth.
+func referenceCommon(g *Graph, u, v NodeID) int {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// skewedGraph builds a seeded random graph with deliberate hub/leaf skew:
+// a few hubs whose degree crosses bitsetMinDegree, a long tail of leaves,
+// and uniform background edges. This shape forces every kernel and both
+// selection thresholds to fire.
+func skewedGraph(n, hubs, background int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for h := 0; h < hubs; h++ {
+		// Hub degree well above bitsetMinDegree.
+		deg := bitsetMinDegree + 32 + rng.Intn(n/2)
+		for i := 0; i < deg; i++ {
+			b.AddEdge(NodeID(h), NodeID(rng.Intn(n)))
+		}
+		// Mid-degree node: skewed against leaves (gallop) but below the
+		// bitset threshold.
+		mid := NodeID(hubs + h)
+		for i := 0; i < bitsetMinDegree/2; i++ {
+			b.AddEdge(mid, NodeID(rng.Intn(n)))
+		}
+	}
+	for e := 0; e < background; e++ {
+		b.AddEdge(NodeID(rng.Intn(n)), NodeID(rng.Intn(n)))
+	}
+	return b.Build()
+}
+
+// TestKernelEquivalenceProperty checks that CommonNeighbors — whichever
+// kernel the dispatcher picks — agrees exactly with the merge reference on
+// seeded random graphs, over every sampled pair and every hub × hub,
+// hub × leaf and leaf × leaf combination.
+func TestKernelEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g := skewedGraph(600, 4, 1500, seed)
+		ki := g.kernels()
+		strategies := map[string]bool{}
+		rng := rand.New(rand.NewSource(seed * 31))
+		check := func(u, v NodeID) {
+			want := referenceCommon(g, u, v)
+			if got := g.CommonNeighbors(u, v); got != want {
+				t.Fatalf("seed %d: CommonNeighbors(%d,%d) = %d, reference = %d (deg %d, %d)",
+					seed, u, v, got, want, g.Degree(u), g.Degree(v))
+			}
+			strategies[strategyFor(g, ki, u, v)] = true
+			if s := g.SocialStrength(u, v); g.Degree(u) > 0 {
+				wantS := float64(want) / float64(g.Degree(u))
+				if s != wantS {
+					t.Fatalf("seed %d: SocialStrength(%d,%d) = %v, want %v", seed, u, v, s, wantS)
+				}
+			}
+		}
+		// Hubs and mid-degree nodes against everything (bitset, AndCount
+		// and gallop paths).
+		for h := NodeID(0); h < 8; h++ {
+			for i := 0; i < 200; i++ {
+				check(h, NodeID(rng.Intn(g.NumNodes())))
+				check(NodeID(rng.Intn(g.NumNodes())), h) // argument order must not matter
+			}
+			for h2 := NodeID(0); h2 < 8; h2++ {
+				check(h, h2)
+			}
+		}
+		// Random pairs (merge and galloping paths).
+		for i := 0; i < 2000; i++ {
+			check(NodeID(rng.Intn(g.NumNodes())), NodeID(rng.Intn(g.NumNodes())))
+		}
+		for _, want := range []string{"merge", "gallop", "bitset", "andcount"} {
+			if !strategies[want] {
+				t.Errorf("seed %d: strategy %q never exercised (got %v)", seed, want, strategies)
+			}
+		}
+	}
+}
+
+// strategyFor mirrors the dispatcher's selection logic so the test can
+// assert coverage of every path and pin the threshold rules.
+func strategyFor(g *Graph, ki *kernelIndex, u, v NodeID) string {
+	a, b := g.Neighbors(u), g.Neighbors(v)
+	if len(a) > len(b) {
+		a, b, u, v = b, a, v, u
+	}
+	switch {
+	case len(a) == 0:
+		return "empty"
+	case ki.bits[v] != nil && ki.bits[u] != nil && len(a) >= ki.andCountAt:
+		return "andcount"
+	case ki.bits[v] != nil:
+		return "bitset"
+	case len(b) > gallopRatio*len(a):
+		return "gallop"
+	default:
+		return "merge"
+	}
+}
+
+// TestKernelSelectionThresholds pins the strategy-selection rules: which
+// kernel runs is decided by bitsetMinDegree (bitset materialization),
+// andCountAt (word-parallel hub × hub) and gallopRatio (skewed search).
+func TestKernelSelectionThresholds(t *testing.T) {
+	const n = 4000
+	b := NewBuilder(n)
+	// Node 0: hub with degree ≥ bitsetMinDegree (gets a bitset).
+	for i := 1; i <= bitsetMinDegree; i++ {
+		b.AddEdge(0, NodeID(i))
+	}
+	// Node 1: degree just below the bitset threshold, but large enough
+	// that a degree-2 probe is gallop-skewed.
+	for i := 2; i <= bitsetMinDegree-2; i++ {
+		b.AddEdge(1, NodeID(i))
+	}
+	// Node 2: second hub for the AndCount pair.
+	for i := 3; i <= bitsetMinDegree+1; i++ {
+		b.AddEdge(2, NodeID(i))
+	}
+	// Node 3: leaf with two friends.
+	b.AddEdge(3, 0)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	ki := g.kernels()
+
+	if ki.bits[0] == nil || ki.bits[2] == nil {
+		t.Fatalf("hub nodes (deg %d, %d) did not materialize bitsets at threshold %d",
+			g.Degree(0), g.Degree(2), bitsetMinDegree)
+	}
+	if ki.bits[1] != nil {
+		t.Fatalf("node below bitsetMinDegree (deg %d) materialized a bitset", g.Degree(1))
+	}
+	cases := []struct {
+		u, v NodeID
+		want string
+	}{
+		{0, 2, "andcount"}, // hub × hub, both ≥ andCountAt (n/128 = 31 < deg)
+		{3, 0, "bitset"},   // leaf × hub with bitset
+		{3, 1, "gallop"},   // deg 2 × deg ~94, no bitset, ratio > gallopRatio
+		{1, 2, "bitset"},   // near-hub × hub: bitset membership tests
+		{3, 4, "merge"},    // leaf × leaf
+	}
+	for _, c := range cases {
+		if got := strategyFor(g, ki, c.u, c.v); got != c.want {
+			t.Errorf("strategyFor(%d,%d) = %q, want %q (deg %d, %d)",
+				c.u, c.v, got, c.want, g.Degree(c.u), g.Degree(c.v))
+		}
+		if got, want := g.CommonNeighbors(c.u, c.v), referenceCommon(g, c.u, c.v); got != want {
+			t.Errorf("CommonNeighbors(%d,%d) = %d, want %d", c.u, c.v, got, want)
+		}
+	}
+}
+
+// TestKernelPrimitives drives the standalone kernels directly on hand-built
+// inputs, including window-narrowing and early-exit edges of the gallop.
+func TestKernelPrimitives(t *testing.T) {
+	mk := func(xs ...NodeID) []NodeID { return xs }
+	cases := []struct {
+		a, b []NodeID
+		want int
+	}{
+		{mk(), mk(1, 2, 3), 0},
+		{mk(1, 2, 3), mk(1, 2, 3), 3},
+		{mk(1, 5, 9), mk(2, 3, 4, 5, 6, 7, 8, 9, 10), 2},
+		{mk(10, 20), mk(1, 2, 3), 0},     // disjoint, small above large
+		{mk(1, 100), mk(1, 2, 3, 99), 1}, // gallop early exit past end
+		{mk(3), mk(1, 2, 3, 4, 5, 6), 1}, // single element hit
+		{mk(7), mk(1, 2, 3, 4, 5, 6), 0}, // single element miss (past end)
+		{mk(0), mk(1, 2, 3, 4, 5, 6), 0}, // single element miss (before)
+	}
+	for _, c := range cases {
+		if got := intersectMerge(c.a, c.b); got != c.want {
+			t.Errorf("intersectMerge(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := intersectGallop(c.a, c.b); got != c.want {
+			t.Errorf("intersectGallop(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		bs := bitset.New(128)
+		for _, x := range c.b {
+			bs.Set(int(x))
+		}
+		if got := intersectBitset(c.a, bs); got != c.want {
+			t.Errorf("intersectBitset(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
