@@ -1,0 +1,227 @@
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"selectps/internal/churn"
+)
+
+// EventKind discriminates scheduled fault events.
+type EventKind uint8
+
+// Scheduled event kinds.
+const (
+	// EvCrash takes a peer offline: every message to or from it is dropped
+	// until the matching EvRestart.
+	EvCrash EventKind = iota + 1
+	// EvRestart brings a crashed peer back.
+	EvRestart
+	// EvPartitionStart opens a bidirectional network partition: messages
+	// crossing the cut are dropped until the matching EvPartitionHeal.
+	EvPartitionStart
+	// EvPartitionHeal closes a partition.
+	EvPartitionHeal
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvCrash:
+		return "crash"
+	case EvRestart:
+		return "restart"
+	case EvPartitionStart:
+		return "partition"
+	case EvPartitionHeal:
+		return "heal"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	// Step is the schedule step at which the event takes effect.
+	Step int
+	Kind EventKind
+	// Peer is the crashing/restarting peer (crash/restart only, else -1).
+	Peer int32
+	// Part identifies the partition (start/heal only, else -1).
+	Part int
+	// Side lists the minority side of the cut (partition start only),
+	// sorted ascending; the majority side is the complement.
+	Side []int32
+}
+
+// Schedule is a fully precomputed fault timeline. It is a pure function
+// of (n, config, seed): building it twice with the same inputs yields an
+// identical event list — that is the determinism contract every replay
+// and every reproducibility test leans on.
+type Schedule struct {
+	N     int
+	Steps int
+	Ev    []Event
+}
+
+// BuildSchedule generates the deterministic fault timeline for n peers
+// over cfg.Steps steps from the given seed. Crash/restart events follow
+// the log-normal session model in cfg.Churn (nil disables them);
+// partitions open every cfg.PartitionEvery steps for cfg.PartitionFor
+// steps, cutting off a random cfg.PartitionFrac fraction of peers.
+func BuildSchedule(n int, cfg Config, seed int64) *Schedule {
+	s := &Schedule{N: n, Steps: cfg.Steps}
+	if cfg.Steps <= 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Churn != nil {
+		st := churn.NewState(n, *cfg.Churn, rng)
+		for step := 1; step <= cfg.Steps; step++ {
+			off, on := st.Step(step)
+			for _, u := range off {
+				s.Ev = append(s.Ev, Event{Step: step, Kind: EvCrash, Peer: int32(u), Part: -1})
+			}
+			for _, u := range on {
+				s.Ev = append(s.Ev, Event{Step: step, Kind: EvRestart, Peer: int32(u), Part: -1})
+			}
+		}
+	}
+	if cfg.PartitionEvery > 0 && cfg.PartitionFor > 0 {
+		frac := cfg.PartitionFrac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.3
+		}
+		part := 0
+		for t := cfg.PartitionEvery; t < cfg.Steps; t += cfg.PartitionEvery {
+			k := int(frac * float64(n))
+			if k < 1 {
+				k = 1
+			}
+			perm := rng.Perm(n)[:k]
+			side := make([]int32, k)
+			for i, p := range perm {
+				side[i] = int32(p)
+			}
+			sort.Slice(side, func(i, j int) bool { return side[i] < side[j] })
+			heal := t + cfg.PartitionFor
+			if heal > cfg.Steps {
+				heal = cfg.Steps
+			}
+			s.Ev = append(s.Ev,
+				Event{Step: t, Kind: EvPartitionStart, Peer: -1, Part: part, Side: side},
+				Event{Step: heal, Kind: EvPartitionHeal, Peer: -1, Part: part})
+			part++
+		}
+	}
+	// Canonical order: by step, then kind, then peer/part — so the trace
+	// is diffable across runs regardless of generation order.
+	sort.SliceStable(s.Ev, func(i, j int) bool {
+		a, b := s.Ev[i], s.Ev[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Peer != b.Peer {
+			return a.Peer < b.Peer
+		}
+		return a.Part < b.Part
+	})
+	return s
+}
+
+// Trace renders the schedule as canonical text, one event per line —
+// the artifact reproducibility tests diff between same-seed runs.
+func (s *Schedule) Trace() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule n=%d steps=%d events=%d\n", s.N, s.Steps, len(s.Ev))
+	for _, e := range s.Ev {
+		switch e.Kind {
+		case EvCrash, EvRestart:
+			fmt.Fprintf(&b, "step=%d %s peer=%d\n", e.Step, e.Kind, e.Peer)
+		case EvPartitionStart:
+			fmt.Fprintf(&b, "step=%d %s id=%d side=%v\n", e.Step, e.Kind, e.Part, e.Side)
+		case EvPartitionHeal:
+			fmt.Fprintf(&b, "step=%d %s id=%d\n", e.Step, e.Kind, e.Part)
+		}
+	}
+	return b.String()
+}
+
+// window is a half-open step interval [start, end).
+type window struct{ start, end int }
+
+func (w window) contains(step int) bool { return step >= w.start && step < w.end }
+
+// partWindow is an active partition interval with its minority side.
+type partWindow struct {
+	window
+	side map[int32]bool
+}
+
+// compiled is the schedule lowered to per-peer crash windows and
+// partition windows for O(windows-per-peer) lookup on the send path.
+type compiled struct {
+	crash map[int32][]window
+	parts []partWindow
+}
+
+func (s *Schedule) compile() compiled {
+	c := compiled{crash: make(map[int32][]window)}
+	open := make(map[int32]int) // peer -> crash start
+	partOpen := make(map[int]partWindow)
+	for _, e := range s.Ev {
+		switch e.Kind {
+		case EvCrash:
+			open[e.Peer] = e.Step
+		case EvRestart:
+			if start, ok := open[e.Peer]; ok {
+				c.crash[e.Peer] = append(c.crash[e.Peer], window{start, e.Step})
+				delete(open, e.Peer)
+			}
+		case EvPartitionStart:
+			side := make(map[int32]bool, len(e.Side))
+			for _, p := range e.Side {
+				side[p] = true
+			}
+			partOpen[e.Part] = partWindow{window{e.Step, s.Steps}, side}
+		case EvPartitionHeal:
+			if pw, ok := partOpen[e.Part]; ok {
+				pw.end = e.Step
+				c.parts = append(c.parts, pw)
+				delete(partOpen, e.Part)
+			}
+		}
+	}
+	// Crashes and partitions still open at the horizon stay in effect
+	// until the end of the schedule.
+	for peer, start := range open {
+		c.crash[peer] = append(c.crash[peer], window{start, s.Steps})
+	}
+	for _, pw := range partOpen {
+		c.parts = append(c.parts, pw)
+	}
+	return c
+}
+
+func (c *compiled) crashedAt(step int, peer int32) bool {
+	for _, w := range c.crash[peer] {
+		if w.contains(step) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compiled) partitionedAt(step int, a, b int32) bool {
+	for _, pw := range c.parts {
+		if pw.contains(step) && pw.side[a] != pw.side[b] {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"selectps/internal/churn"
+	"selectps/internal/obs"
 	"selectps/internal/overlay"
 	"selectps/internal/ring"
 	"selectps/internal/socialgraph"
@@ -41,6 +42,9 @@ type Config struct {
 	GossipEvery time.Duration
 	// TTL bounds forwarding hops (default 32).
 	TTL uint8
+	// Obs, when set, receives runtime counters, hop histograms and trace
+	// events from every node of the cluster (nil = no instrumentation).
+	Obs *obs.Metrics
 }
 
 func (c *Config) fill() {
@@ -153,6 +157,7 @@ func (n *Node) handle(m *wire.Message) {
 		reply := &wire.Message{Kind: wire.KindPong, From: int32(n.id), To: m.From, Seq: m.Seq}
 		_ = n.tr.Send(m.From, reply)
 	case wire.KindPong:
+		n.cfg.Obs.Inc(obs.CPongReceived)
 		n.mu.Lock()
 		if target, ok := n.pendingPings[m.Seq]; ok && target == overlay.PeerID(m.From) {
 			delete(n.pendingPings, m.Seq)
@@ -161,12 +166,14 @@ func (n *Node) handle(m *wire.Message) {
 			// Late pong (already counted as a miss at the last heartbeat
 			// tick): the peer evidently is alive — record the recovery so
 			// slow links do not read as dead ones.
+			n.cfg.Obs.Inc(obs.CLatePongRecover)
 			n.observe(overlay.PeerID(m.From), true)
 		}
 		n.mu.Unlock()
 	case wire.KindExchangeRT:
 		n.handleExchange(m)
 	case wire.KindExchangeReply:
+		n.cfg.Obs.Inc(obs.CGossipReply)
 		n.mu.Lock()
 		n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
 		n.exchanges++
@@ -220,6 +227,7 @@ func (n *Node) sendExchange() {
 	if !ok {
 		return
 	}
+	n.cfg.Obs.Inc(obs.CGossipSent)
 	m := &wire.Message{
 		Kind: wire.KindExchangeRT, From: int32(n.id), To: int32(f), Seq: n.nextSeq(),
 		Neighborhood: peersToInt32s(n.g.Neighbors(n.id)),
@@ -232,6 +240,7 @@ func (n *Node) sendExchange() {
 // round count as offline observations (§III-F probes).
 func (n *Node) sendHeartbeats() {
 	n.mu.Lock()
+	n.cfg.Obs.Addn(obs.CHeartbeatMiss, int64(len(n.pendingPings)))
 	for _, target := range n.pendingPings {
 		n.observe(target, false)
 	}
@@ -244,6 +253,7 @@ func (n *Node) sendHeartbeats() {
 		n.pendingPings[s] = q
 	}
 	n.mu.Unlock()
+	n.cfg.Obs.Addn(obs.CHeartbeatSent, int64(len(seqs)))
 	for s, q := range seqs {
 		_ = n.tr.Send(int32(q), &wire.Message{Kind: wire.KindPing, From: int32(n.id), To: int32(q), Seq: s})
 	}
@@ -265,10 +275,18 @@ func (n *Node) handlePublish(m *wire.Message) {
 	id := msgID{m.Publisher, m.Seq}
 	if overlay.PeerID(m.To) == n.id {
 		n.mu.Lock()
-		if _, dup := n.received[id]; !dup {
+		_, dup := n.received[id]
+		if !dup {
 			n.received[id] = m.HopCount
 		}
 		n.mu.Unlock()
+		if dup {
+			n.cfg.Obs.Inc(obs.CPublishDuplicate)
+		} else {
+			n.cfg.Obs.Inc(obs.CPublishDelivered)
+			n.cfg.Obs.ObserveHops(float64(m.HopCount))
+			n.cfg.Obs.TraceEvent("deliver", int32(n.id), m.Seq)
+		}
 		// Ack back to the publisher (directed).
 		if overlay.PeerID(m.Publisher) != n.id {
 			ack := &wire.Message{
@@ -280,10 +298,13 @@ func (n *Node) handlePublish(m *wire.Message) {
 		return
 	}
 	if m.TTL == 0 {
+		n.cfg.Obs.Inc(obs.CPublishTTLDrop)
+		n.cfg.Obs.TraceEvent("ttl_drop", int32(n.id), m.Seq)
 		return
 	}
 	m.TTL--
 	m.HopCount++
+	n.cfg.Obs.Inc(obs.CPublishForwarded)
 	n.forward(m, overlay.PeerID(m.To))
 }
 
@@ -300,6 +321,7 @@ func (n *Node) routeOrConsumeAck(m *wire.Message) {
 		}
 		set[m.From] = true
 		n.mu.Unlock()
+		n.cfg.Obs.Inc(obs.CAckReceived)
 		return
 	}
 	if m.TTL == 0 {
@@ -315,7 +337,10 @@ func (n *Node) routeOrConsumeAck(m *wire.Message) {
 func (n *Node) forward(m *wire.Message, target overlay.PeerID) {
 	next, ok := n.nextHop(target)
 	if !ok {
-		return // dead end; the publisher's ack accounting will notice
+		// Dead end; the publisher's ack accounting will notice.
+		n.cfg.Obs.Inc(obs.CPublishDeadEnd)
+		n.cfg.Obs.TraceEvent("dead_end", int32(n.id), m.Seq)
+		return
 	}
 	_ = n.tr.Send(int32(next), m)
 }
@@ -353,8 +378,13 @@ func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
 		}
 	}
 	n.mu.Unlock()
-	if via >= 0 && alive(via) {
-		return via, true
+	if via >= 0 {
+		if alive(via) {
+			return via, true
+		}
+		// §III-F recovery in action: the lookahead route exists but its
+		// relay looks dead — fall through to the greedy live links.
+		n.cfg.Obs.Inc(obs.CCMADeadSkip)
 	}
 	// Greedy on the ring, avoiding links the CMA marks dead.
 	best := overlay.PeerID(-1)
@@ -362,6 +392,7 @@ func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
 	var aliveLinks []overlay.PeerID
 	for _, q := range links {
 		if !alive(q) {
+			n.cfg.Obs.Inc(obs.CCMADeadSkip)
 			continue
 		}
 		aliveLinks = append(aliveLinks, q)
@@ -376,6 +407,7 @@ func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
 	// a TTL-bounded random walk that escapes the dead region; retries then
 	// explore different paths.
 	if len(aliveLinks) > 0 {
+		n.cfg.Obs.Inc(obs.CCMARandomWalk)
 		n.mu.Lock()
 		q := aliveLinks[n.rng.Intn(len(aliveLinks))]
 		n.mu.Unlock()
@@ -404,6 +436,7 @@ func (n *Node) RetryMissing(seq uint32) int {
 		}
 	}
 	n.mu.Unlock()
+	n.cfg.Obs.Addn(obs.CRetrySent, int64(len(missing)))
 	for _, s := range missing {
 		m := &wire.Message{
 			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
@@ -422,7 +455,10 @@ func (n *Node) Publish(payloadSize uint32) uint32 {
 	id := msgID{int32(n.id), seq}
 	n.received[id] = 0 // the publisher trivially has its own message
 	n.mu.Unlock()
-	for _, s := range n.g.Neighbors(n.id) {
+	subs := n.g.Neighbors(n.id)
+	n.cfg.Obs.Addn(obs.CPublishSent, int64(len(subs)))
+	n.cfg.Obs.TraceEvent("publish", int32(n.id), seq)
+	for _, s := range subs {
 		m := &wire.Message{
 			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
 			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,

@@ -1,0 +1,367 @@
+// Package obs is the runtime observability layer of the live deployment:
+// allocation-disciplined atomic counters for every hot-path event the node
+// runtime and the transports emit, lock-free latency/hop histograms that
+// export through internal/metrics, and an optional bounded structured
+// event trace for post-mortem analysis of a soak run.
+//
+// Every method is safe on a nil *Metrics — un-instrumented code paths pay
+// a single nil check — and safe for concurrent use, so one Metrics can be
+// shared by a whole cluster (nodes, transport, fault injector) without
+// coordination.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"selectps/internal/metrics"
+)
+
+// Counter indexes one well-known event counter. The fixed enumeration
+// keeps increments at a single atomic add into a flat array — no map
+// lookups, no allocation — which matters on the publish/forward path.
+type Counter uint8
+
+// Well-known counters. Grouped by emitter.
+const (
+	// node: publication path (§III-E directed forwarding).
+	CPublishSent      Counter = iota // directed copies sent by publishers
+	CPublishForwarded                // copies relayed by intermediate nodes
+	CPublishDelivered                // first-time local deliveries
+	CPublishDuplicate                // dedup hits (copy already delivered)
+	CPublishTTLDrop                  // copies expired by TTL
+	CPublishDeadEnd                  // copies stranded with no live next hop
+	CRetrySent                       // publisher-driven retransmissions
+	CAckReceived                     // acks consumed by publishers
+
+	// node: peer sampling + heartbeats (Algorithms 3–4, §III-F).
+	CGossipSent      // Algorithm-3 exchanges initiated
+	CGossipReply     // exchange replies consumed
+	CHeartbeatSent   // pings sent
+	CPongReceived    // pongs received
+	CHeartbeatMiss   // pings unanswered by the next heartbeat tick
+	CCMADeadSkip     // forwarding skipped a link the CMA marks dead (§III-F recovery)
+	CCMARandomWalk   // local-minimum fallback onto a random live link
+	CLatePongRecover // late pong healed a link previously counted as a miss
+
+	// transport: delivery accounting (both implementations).
+	CTransportSend   // messages handed to a transport
+	CDropFullMailbox // dropped: receiver mailbox full (congestion)
+	CDropClosed      // dropped: transport already closed / closing race
+
+	// transport: TCP connection lifecycle.
+	CTCPDial       // fresh connections dialed
+	CTCPRedial     // re-dials after a previous write failure evicted the conn
+	CTCPWriteError // failed writes (connection evicted)
+
+	// faultnet: injected faults.
+	CFaultDrop          // messages dropped by the loss schedule
+	CFaultDuplicate     // messages duplicated
+	CFaultDelayed       // messages delayed (incl. reorder delays)
+	CFaultCrashDrop     // messages dropped at a crashed endpoint
+	CFaultPartitionDrop // messages dropped crossing an active partition
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CPublishSent:      "publish_sent",
+	CPublishForwarded: "publish_forwarded",
+	CPublishDelivered: "publish_delivered",
+	CPublishDuplicate: "publish_duplicate",
+	CPublishTTLDrop:   "publish_ttl_drop",
+	CPublishDeadEnd:   "publish_dead_end",
+	CRetrySent:        "retry_sent",
+	CAckReceived:      "ack_received",
+
+	CGossipSent:      "gossip_sent",
+	CGossipReply:     "gossip_reply",
+	CHeartbeatSent:   "heartbeat_sent",
+	CPongReceived:    "pong_received",
+	CHeartbeatMiss:   "heartbeat_miss",
+	CCMADeadSkip:     "cma_dead_skip",
+	CCMARandomWalk:   "cma_random_walk",
+	CLatePongRecover: "late_pong_recover",
+
+	CTransportSend:   "transport_send",
+	CDropFullMailbox: "drop_full_mailbox",
+	CDropClosed:      "drop_closed",
+
+	CTCPDial:       "tcp_dial",
+	CTCPRedial:     "tcp_redial",
+	CTCPWriteError: "tcp_write_error",
+
+	CFaultDrop:          "fault_drop",
+	CFaultDuplicate:     "fault_duplicate",
+	CFaultDelayed:       "fault_delayed",
+	CFaultCrashDrop:     "fault_crash_drop",
+	CFaultPartitionDrop: "fault_partition_drop",
+}
+
+// String returns the counter's export name.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("counter(%d)", uint8(c))
+}
+
+// Hist is a fixed-bin histogram with atomic bins: concurrent Add with no
+// locks, snapshot through internal/metrics for quantiles and printing.
+type Hist struct {
+	min, max float64
+	bins     []atomic.Int64
+}
+
+// NewHist returns a histogram over [min,max) with the given bin count;
+// out-of-range observations clamp to the edge bins (same contract as
+// metrics.Histogram).
+func NewHist(min, max float64, bins int) *Hist {
+	if bins <= 0 || max <= min {
+		panic(fmt.Sprintf("obs: bad histogram [%v,%v) x%d", min, max, bins))
+	}
+	return &Hist{min: min, max: max, bins: make([]atomic.Int64, bins)}
+}
+
+// Add records one observation. Safe for concurrent use; nil-safe.
+func (h *Hist) Add(x float64) {
+	if h == nil {
+		return
+	}
+	i := int((x - h.min) / (h.max - h.min) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i].Add(1)
+}
+
+// Snapshot copies the current bins into a metrics.Histogram, reusing its
+// Total/Fractions/printing plumbing.
+func (h *Hist) Snapshot() *metrics.Histogram {
+	if h == nil {
+		return nil
+	}
+	out := metrics.NewHistogram(h.min, h.max, len(h.bins))
+	for i := range h.bins {
+		out.Bins[i] = h.bins[i].Load()
+	}
+	return out
+}
+
+// Event is one entry of the bounded structured trace.
+type Event struct {
+	Kind string `json:"kind"`
+	Peer int32  `json:"peer"`
+	Seq  uint32 `json:"seq"`
+}
+
+// Metrics is one shared observability sink. The zero value is NOT ready:
+// use New. A nil *Metrics is a valid no-op sink.
+type Metrics struct {
+	counters [numCounters]atomic.Int64
+
+	// Hops records overlay hop counts of first-time deliveries; Latency
+	// records end-to-end delivery latency in milliseconds (recorded by the
+	// soak harness, which owns the wall clock).
+	Hops    *Hist
+	Latency *Hist
+
+	// trace is a bounded ring; nil until EnableTrace.
+	traceMu  sync.Mutex
+	trace    []Event
+	traceCap int
+	traceLen int // total events ever recorded (ring may have wrapped)
+	traceOff int // ring write cursor
+}
+
+// New returns an empty Metrics with standard hop and latency histograms
+// (hops 0..16, latency 0..5000 ms in 10 ms bins).
+func New() *Metrics {
+	return &Metrics{
+		Hops:    NewHist(0, 16, 16),
+		Latency: NewHist(0, 5000, 500),
+	}
+}
+
+// Inc adds 1 to counter c. Nil-safe, allocation-free.
+func (m *Metrics) Inc(c Counter) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(1)
+}
+
+// Addn adds n to counter c. Nil-safe.
+func (m *Metrics) Addn(c Counter, n int64) {
+	if m == nil {
+		return
+	}
+	m.counters[c].Add(n)
+}
+
+// Get returns the current value of counter c (0 on nil).
+func (m *Metrics) Get(c Counter) int64 {
+	if m == nil {
+		return 0
+	}
+	return m.counters[c].Load()
+}
+
+// ObserveHops records a delivery hop count. Nil-safe.
+func (m *Metrics) ObserveHops(h float64) {
+	if m == nil {
+		return
+	}
+	m.Hops.Add(h)
+}
+
+// ObserveLatencyMS records an end-to-end delivery latency. Nil-safe.
+func (m *Metrics) ObserveLatencyMS(ms float64) {
+	if m == nil {
+		return
+	}
+	m.Latency.Add(ms)
+}
+
+// EnableTrace turns on the bounded structured event trace, keeping the
+// most recent cap events. Call before the cluster starts; nil-safe.
+func (m *Metrics) EnableTrace(cap int) {
+	if m == nil || cap <= 0 {
+		return
+	}
+	m.traceMu.Lock()
+	m.trace = make([]Event, cap)
+	m.traceCap = cap
+	m.traceLen = 0
+	m.traceOff = 0
+	m.traceMu.Unlock()
+}
+
+// TraceEvent appends one event to the trace if tracing is enabled. The
+// ring overwrites the oldest entries when full; nil-safe and free when
+// tracing is off (one mutex acquisition when on).
+func (m *Metrics) TraceEvent(kind string, peer int32, seq uint32) {
+	if m == nil || m.traceCap == 0 {
+		return
+	}
+	m.traceMu.Lock()
+	if m.traceCap > 0 {
+		m.trace[m.traceOff] = Event{Kind: kind, Peer: peer, Seq: seq}
+		m.traceOff = (m.traceOff + 1) % m.traceCap
+		m.traceLen++
+	}
+	m.traceMu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every counter, histogram, and the
+// trace tail, suitable for JSON encoding.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	// HopFractions is the share of deliveries per hop count (index = hops).
+	HopFractions []float64 `json:"hop_fractions,omitempty"`
+	// LatencyMS holds selected latency quantiles estimated from the
+	// histogram (keys "p50", "p90", "p99").
+	LatencyMS map[string]float64 `json:"latency_ms,omitempty"`
+	// Trace is the retained tail of the structured event trace, oldest
+	// first, with TraceDropped counting evicted older events.
+	Trace        []Event `json:"trace,omitempty"`
+	TraceDropped int     `json:"trace_dropped,omitempty"`
+}
+
+// Snapshot captures the current state. Counters at zero are omitted so
+// the export stays readable. Nil-safe (returns an empty snapshot).
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}}
+	if m == nil {
+		return s
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		if v := m.counters[c].Load(); v != 0 {
+			s.Counters[c.String()] = v
+		}
+	}
+	if h := m.Hops.Snapshot(); h != nil && h.Total() > 0 {
+		s.HopFractions = h.Fractions()
+	}
+	if h := m.Latency.Snapshot(); h != nil && h.Total() > 0 {
+		s.LatencyMS = map[string]float64{
+			"p50": histQuantile(h, 0.5),
+			"p90": histQuantile(h, 0.9),
+			"p99": histQuantile(h, 0.99),
+		}
+	}
+	m.traceMu.Lock()
+	if m.traceCap > 0 {
+		kept := m.traceLen
+		if kept > m.traceCap {
+			kept = m.traceCap
+			s.TraceDropped = m.traceLen - m.traceCap
+		}
+		s.Trace = make([]Event, 0, kept)
+		start := 0
+		if m.traceLen > m.traceCap {
+			start = m.traceOff // oldest surviving entry
+		}
+		for i := 0; i < kept; i++ {
+			s.Trace = append(s.Trace, m.trace[(start+i)%m.traceCap])
+		}
+	}
+	m.traceMu.Unlock()
+	return s
+}
+
+// histQuantile estimates quantile q from histogram bin midpoints.
+func histQuantile(h *metrics.Histogram, q float64) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	var cum int64
+	width := (h.Max - h.Min) / float64(len(h.Bins))
+	for i, b := range h.Bins {
+		cum += b
+		if cum > target {
+			return h.Min + (float64(i)+0.5)*width
+		}
+	}
+	return h.Max
+}
+
+// String renders the snapshot as aligned text, counters sorted by name.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-22s %12d\n", k, s.Counters[k])
+	}
+	if s.LatencyMS != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "delivery_latency",
+			s.LatencyMS["p50"], s.LatencyMS["p90"], s.LatencyMS["p99"])
+	}
+	for h, f := range s.HopFractions {
+		if f > 0.001 {
+			fmt.Fprintf(&b, "hops=%-17d %11.1f%%\n", h, f*100)
+		}
+	}
+	if len(s.Trace) > 0 {
+		fmt.Fprintf(&b, "trace: %d events retained (%d dropped)\n", len(s.Trace), s.TraceDropped)
+	}
+	return b.String()
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsIsNoOp(t *testing.T) {
+	var m *Metrics
+	m.Inc(CPublishSent)
+	m.Addn(CFaultDrop, 5)
+	m.ObserveHops(3)
+	m.ObserveLatencyMS(12)
+	m.TraceEvent("x", 1, 2)
+	m.EnableTrace(8)
+	if m.Get(CPublishSent) != 0 {
+		t.Fatal("nil metrics returned nonzero counter")
+	}
+	s := m.Snapshot()
+	if len(s.Counters) != 0 || s.Trace != nil {
+		t.Fatalf("nil snapshot not empty: %+v", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Inc(CTransportSend)
+				m.ObserveHops(float64(i % 8))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Get(CTransportSend); got != 8000 {
+		t.Fatalf("transport_send = %d, want 8000", got)
+	}
+	if total := m.Hops.Snapshot().Total(); total != 8000 {
+		t.Fatalf("hop histogram total = %d, want 8000", total)
+	}
+}
+
+func TestSnapshotOmitsZeroCounters(t *testing.T) {
+	m := New()
+	m.Inc(CPublishDelivered)
+	s := m.Snapshot()
+	if len(s.Counters) != 1 || s.Counters["publish_delivered"] != 1 {
+		t.Fatalf("snapshot counters = %v", s.Counters)
+	}
+}
+
+func TestTraceBoundedRing(t *testing.T) {
+	m := New()
+	m.EnableTrace(4)
+	for i := uint32(0); i < 10; i++ {
+		m.TraceEvent("publish", int32(i), i)
+	}
+	s := m.Snapshot()
+	if len(s.Trace) != 4 {
+		t.Fatalf("trace kept %d events, want 4", len(s.Trace))
+	}
+	if s.TraceDropped != 6 {
+		t.Fatalf("trace dropped %d, want 6", s.TraceDropped)
+	}
+	// Oldest-first tail: events 6,7,8,9.
+	for i, e := range s.Trace {
+		if e.Seq != uint32(6+i) {
+			t.Fatalf("trace[%d] = %+v, want seq %d", i, e, 6+i)
+		}
+	}
+}
+
+func TestLatencyQuantiles(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		m.ObserveLatencyMS(float64(i)) // uniform 0..99 ms
+	}
+	s := m.Snapshot()
+	p50 := s.LatencyMS["p50"]
+	if p50 < 30 || p50 > 70 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+	if p99 := s.LatencyMS["p99"]; p99 < p50 {
+		t.Fatalf("p99 %v < p50 %v", p99, p50)
+	}
+}
+
+func TestExportTextAndJSON(t *testing.T) {
+	m := New()
+	m.Inc(CFaultDrop)
+	m.ObserveHops(2)
+	s := m.Snapshot()
+	txt := s.String()
+	if !strings.Contains(txt, "fault_drop") {
+		t.Fatalf("text export missing counter:\n%s", txt)
+	}
+	raw, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["fault_drop"] != 1 {
+		t.Fatalf("JSON roundtrip lost counter: %v", back.Counters)
+	}
+}
+
+func TestCounterNamesComplete(t *testing.T) {
+	for c := Counter(0); c < numCounters; c++ {
+		if counterNames[c] == "" {
+			t.Fatalf("counter %d has no name", c)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package soak drives the live node runtime through a fault-injected
+// transport for a sustained churn + publication workload and measures
+// what the paper's Fig. 6 claims for the simulator — notification
+// availability under log-normal churn with CMA-driven link recovery — on
+// real message passing.
+//
+// A soak run is reproducible end to end: the social graph, the overlay,
+// the publication workload, and the entire fault timeline all derive
+// from Config.Seed, and Report.FaultTrace is the canonical rendering of
+// the injected schedule, so two runs with the same seed can be diffed
+// event for event (DESIGN.md §7).
+package soak
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"selectps/internal/churn"
+	"selectps/internal/datasets"
+	"selectps/internal/faultnet"
+	"selectps/internal/metrics"
+	"selectps/internal/node"
+	"selectps/internal/obs"
+	"selectps/internal/overlay"
+	"selectps/internal/pubsub"
+	"selectps/internal/transport"
+)
+
+// Config parameterizes one soak run. The zero value is not runnable; use
+// Default for a CI-sized chaos run and override from there.
+type Config struct {
+	// N is the cluster size; Seed drives graph, overlay, workload and
+	// fault schedule alike.
+	N    int
+	Seed int64
+	// Dataset names the social-graph generator (datasets.ByName).
+	Dataset string
+	// TCP switches the base transport from the in-memory switchboard to
+	// real loopback sockets.
+	TCP bool
+	// Posts is the number of publications to drive.
+	Posts int
+	// PayloadSize is the notification payload in bytes (the paper's
+	// 1.2 MB fragments by default).
+	PayloadSize uint32
+
+	// Fault is the failure model injected between the cluster and the
+	// base transport. Tick/Steps default to cover the whole run.
+	Fault faultnet.Config
+
+	// Recovery enables SELECT's robustness machinery: heartbeats feeding
+	// the per-link CMA (§III-F) and publisher-driven retries. Disabling
+	// it is the ablation arm of the live Fig. 6.
+	Recovery bool
+	// HeartbeatEvery/GossipEvery are the node protocol periods when
+	// Recovery is on.
+	HeartbeatEvery time.Duration
+	GossipEvery    time.Duration
+	// RetryEvery is the publisher repair period; DeliverTimeout bounds
+	// how long each publication may take before it is scored as is.
+	RetryEvery     time.Duration
+	DeliverTimeout time.Duration
+
+	// TraceCap bounds the structured obs event trace (0 = off).
+	TraceCap int
+}
+
+// Default returns a CI-sized chaos soak: 100 peers, 20 posts, 10% loss,
+// churn-driven crashes, periodic partitions, recovery on.
+func Default() Config {
+	m := churn.DefaultModel()
+	return Config{
+		N: 100, Seed: 1, Dataset: "facebook", Posts: 20, PayloadSize: 1_200_000,
+		Fault: faultnet.Config{
+			DropProb: 0.10, DupProb: 0.02, ReorderProb: 0.02,
+			DelayMin: 0, DelayMax: 2 * time.Millisecond,
+			Tick: 20 * time.Millisecond, Steps: 3000,
+			Churn:          &m,
+			PartitionEvery: 400, PartitionFor: 50, PartitionFrac: 0.2,
+		},
+		Recovery:       true,
+		HeartbeatEvery: 25 * time.Millisecond,
+		GossipEvery:    50 * time.Millisecond,
+		RetryEvery:     20 * time.Millisecond,
+		DeliverTimeout: 3 * time.Second,
+	}
+}
+
+// Report is the outcome of one soak run.
+type Report struct {
+	Config ConfigSummary `json:"config"`
+
+	// Posts is the number of publications driven; Wanted/Delivered count
+	// subscriber notifications (the availability of Fig. 6 is
+	// Delivered/Wanted over eligible subscribers).
+	Posts     int `json:"posts"`
+	Wanted    int `json:"wanted"`
+	Delivered int `json:"delivered"`
+	// EligibleWanted/EligibleDelivered exclude subscribers that were
+	// inside a crash window when their publication was scored — a crashed
+	// phone cannot display a notification in any design.
+	EligibleWanted    int `json:"eligible_wanted"`
+	EligibleDelivered int `json:"eligible_delivered"`
+
+	// DeliveryRate is EligibleDelivered/EligibleWanted; RawRate counts
+	// every subscriber.
+	DeliveryRate float64 `json:"delivery_rate"`
+	RawRate      float64 `json:"raw_rate"`
+
+	// Duplicates is the number of redundant arrivals absorbed by dedup;
+	// DuplicateRate is per wanted notification.
+	Duplicates    int64   `json:"duplicates"`
+	DuplicateRate float64 `json:"duplicate_rate"`
+
+	// LatencyMSP50/90/99 are per-publication completion latencies.
+	LatencyMSP50 float64 `json:"latency_ms_p50"`
+	LatencyMSP90 float64 `json:"latency_ms_p90"`
+	LatencyMSP99 float64 `json:"latency_ms_p99"`
+	// HopFractions is the distribution of delivery hop counts.
+	HopFractions []float64 `json:"hop_fractions,omitempty"`
+
+	// RecoveryActions aggregates CMA-driven routing decisions (dead-link
+	// skips + random-walk escapes) and publisher retries.
+	RecoveryActions int64 `json:"recovery_actions"`
+	Retries         int64 `json:"retries"`
+
+	// FaultTrace is the canonical injected-fault schedule; identical for
+	// identical seeds. FaultEvents is its event count.
+	FaultEvents int    `json:"fault_events"`
+	FaultTrace  string `json:"-"`
+
+	// Obs is the full counter/histogram snapshot.
+	Obs obs.Snapshot `json:"obs"`
+}
+
+// ConfigSummary is the part of the config echoed into the report.
+type ConfigSummary struct {
+	N        int     `json:"n"`
+	Seed     int64   `json:"seed"`
+	Dataset  string  `json:"dataset"`
+	TCP      bool    `json:"tcp"`
+	Posts    int     `json:"posts"`
+	Drop     float64 `json:"drop"`
+	Recovery bool    `json:"recovery"`
+}
+
+// String renders the report like the repo's other experiment harnesses.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soak: n=%d seed=%d dataset=%s tcp=%v recovery=%v drop=%.2f\n",
+		r.Config.N, r.Config.Seed, r.Config.Dataset, r.Config.TCP, r.Config.Recovery, r.Config.Drop)
+	fmt.Fprintf(&b, "publications: %d   notifications: %d/%d (%.2f%% raw)\n",
+		r.Posts, r.Delivered, r.Wanted, 100*r.RawRate)
+	fmt.Fprintf(&b, "availability (eligible subscribers): %d/%d = %.2f%%\n",
+		r.EligibleDelivered, r.EligibleWanted, 100*r.DeliveryRate)
+	fmt.Fprintf(&b, "duplicates absorbed: %d (%.3f per notification)\n", r.Duplicates, r.DuplicateRate)
+	fmt.Fprintf(&b, "publication latency: p50=%.0fms p90=%.0fms p99=%.0fms\n",
+		r.LatencyMSP50, r.LatencyMSP90, r.LatencyMSP99)
+	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d retries\n", r.RecoveryActions, r.Retries)
+	fmt.Fprintf(&b, "injected fault events: %d\n", r.FaultEvents)
+	b.WriteString(r.Obs.String())
+	return b.String()
+}
+
+// Run executes one soak and returns its report.
+func Run(cfg Config) (*Report, error) {
+	if cfg.N <= 0 || cfg.Posts <= 0 {
+		return nil, fmt.Errorf("soak: need positive N and Posts")
+	}
+	if cfg.Dataset == "" {
+		cfg.Dataset = "facebook"
+	}
+	if cfg.DeliverTimeout == 0 {
+		cfg.DeliverTimeout = 3 * time.Second
+	}
+	if cfg.RetryEvery == 0 {
+		cfg.RetryEvery = 20 * time.Millisecond
+	}
+	spec, err := datasets.ByName(cfg.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	g := spec.Generate(cfg.N, cfg.Seed)
+	ov, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	met := obs.New()
+	if cfg.TraceCap > 0 {
+		met.EnableTrace(cfg.TraceCap)
+	}
+	var base transport.Transport
+	if cfg.TCP {
+		t, err := transport.NewTCP(cfg.N, 4096)
+		if err != nil {
+			return nil, err
+		}
+		t.Obs = met
+		base = t
+	} else {
+		sw := transport.NewSwitchboard(cfg.N, 4096)
+		sw.Obs = met
+		base = sw
+	}
+	fn := faultnet.Wrap(base, cfg.N, cfg.Fault, cfg.Seed+faultSeedOffset)
+	fn.Obs = met
+
+	ncfg := node.Config{Obs: met}
+	if cfg.Recovery {
+		ncfg.HeartbeatEvery = cfg.HeartbeatEvery
+		ncfg.GossipEvery = cfg.GossipEvery
+	}
+	cluster := node.StartCluster(g, ov, fn, ncfg, cfg.Seed)
+	defer cluster.Stop()
+
+	// Workload: seeded random publishers with at least one subscriber.
+	wrng := rand.New(rand.NewSource(cfg.Seed + workloadSeedOffset))
+	var latencies []float64
+	wanted, delivered := 0, 0
+	eligibleWanted, eligibleDelivered := 0, 0
+	for post := 0; post < cfg.Posts; post++ {
+		var pub overlay.PeerID
+		for attempt := 0; ; attempt++ {
+			pub = overlay.PeerID(wrng.Intn(cfg.N))
+			if g.Degree(pub) == 0 {
+				continue
+			}
+			// Prefer a currently-live publisher; after enough tries take
+			// any (churn floors keep at least half the network online, so
+			// this is a formality).
+			if attempt > 10*cfg.N || !fn.CrashedAt(fn.Step(), int32(pub)) {
+				break
+			}
+		}
+		subs := g.Neighbors(pub)
+		start := time.Now()
+		seq := cluster.Nodes[pub].Publish(cfg.PayloadSize)
+		deadline := start.Add(cfg.DeliverTimeout)
+		for {
+			done := 0
+			for _, s := range subs {
+				if _, ok := cluster.Nodes[s].Received(pub, seq); ok {
+					done++
+				}
+			}
+			if done == len(subs) || time.Now().After(deadline) {
+				break
+			}
+			if cfg.Recovery {
+				cluster.Nodes[pub].RetryMissing(seq)
+			}
+			time.Sleep(cfg.RetryEvery)
+		}
+		lat := float64(time.Since(start).Milliseconds())
+		latencies = append(latencies, lat)
+		met.ObserveLatencyMS(lat)
+		scoreStep := fn.Step()
+		for _, s := range subs {
+			_, got := cluster.Nodes[s].Received(pub, seq)
+			wanted++
+			if got {
+				delivered++
+			}
+			// A subscriber crashed at scoring time is not eligible: no
+			// protocol can notify a dead phone. (Fig. 6 measures the
+			// availability of the notification service, not of handsets.)
+			if !fn.CrashedAt(scoreStep, int32(s)) {
+				eligibleWanted++
+				if got {
+					eligibleDelivered++
+				}
+			}
+		}
+	}
+
+	snap := met.Snapshot()
+	r := &Report{
+		Config: ConfigSummary{
+			N: cfg.N, Seed: cfg.Seed, Dataset: cfg.Dataset, TCP: cfg.TCP,
+			Posts: cfg.Posts, Drop: cfg.Fault.DropProb, Recovery: cfg.Recovery,
+		},
+		Posts: cfg.Posts, Wanted: wanted, Delivered: delivered,
+		EligibleWanted: eligibleWanted, EligibleDelivered: eligibleDelivered,
+		Duplicates:      met.Get(obs.CPublishDuplicate),
+		LatencyMSP50:    metrics.Quantile(latencies, 0.5),
+		LatencyMSP90:    metrics.Quantile(latencies, 0.9),
+		LatencyMSP99:    metrics.Quantile(latencies, 0.99),
+		HopFractions:    snap.HopFractions,
+		RecoveryActions: met.Get(obs.CCMADeadSkip) + met.Get(obs.CCMARandomWalk),
+		Retries:         met.Get(obs.CRetrySent),
+		Obs:             snap,
+	}
+	if wanted > 0 {
+		r.RawRate = float64(delivered) / float64(wanted)
+		r.DuplicateRate = float64(r.Duplicates) / float64(wanted)
+	}
+	if eligibleWanted > 0 {
+		r.DeliveryRate = float64(eligibleDelivered) / float64(eligibleWanted)
+	}
+	if s := fn.Schedule(); s != nil {
+		r.FaultEvents = len(s.Ev)
+		r.FaultTrace = s.Trace()
+	}
+	return r, nil
+}
+
+// Seed offsets keep the workload and fault streams independent of the
+// graph/overlay stream while remaining pure functions of Config.Seed.
+const (
+	faultSeedOffset    = 1_000_003
+	workloadSeedOffset = 2_000_003
+)

@@ -1,0 +1,177 @@
+package soak
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"selectps/internal/churn"
+	"selectps/internal/faultnet"
+)
+
+// ciConfig is a seconds-scale chaos soak used by the CI smoke tests:
+// drop/dup faults on every link, no timed faults, so delivery scoring is
+// purely about loss recovery.
+func ciConfig(seed int64, recovery bool) Config {
+	return Config{
+		N: 80, Seed: seed, Dataset: "facebook", Posts: 10, PayloadSize: 1000,
+		Fault: faultnet.Config{
+			DropProb: 0.20,
+			DupProb:  0.03,
+		},
+		Recovery:       recovery,
+		HeartbeatEvery: 20 * time.Millisecond,
+		GossipEvery:    50 * time.Millisecond,
+		RetryEvery:     15 * time.Millisecond,
+		DeliverTimeout: 800 * time.Millisecond,
+	}
+}
+
+// chaosConfig adds the full timed-fault schedule (churn crashes +
+// partitions) on top of the probabilistic faults.
+func chaosConfig(seed int64) Config {
+	m := churn.DefaultModel()
+	cfg := ciConfig(seed, true)
+	cfg.N = 60
+	cfg.Posts = 6
+	cfg.Fault.DropProb = 0.05
+	cfg.Fault.Tick = 10 * time.Millisecond
+	cfg.Fault.Steps = 2000
+	cfg.Fault.Churn = &m
+	cfg.Fault.PartitionEvery = 150
+	cfg.Fault.PartitionFor = 20
+	cfg.Fault.PartitionFrac = 0.2
+	cfg.DeliverTimeout = 1500 * time.Millisecond
+	return cfg
+}
+
+// TestSoakFaultTraceReproducible is the determinism acceptance test: two
+// soak runs with the same seed must record byte-identical injected-fault
+// traces; a different seed must not.
+func TestSoakFaultTraceReproducible(t *testing.T) {
+	cfg := chaosConfig(7)
+	cfg.Posts = 2 // trace identity does not need a long workload
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultTrace == "" {
+		t.Fatal("soak with timed faults recorded no fault trace")
+	}
+	if a.FaultTrace != b.FaultTrace {
+		t.Fatalf("same seed produced different fault traces:\n--- run 1\n%s\n--- run 2\n%s", a.FaultTrace, b.FaultTrace)
+	}
+	cfg2 := cfg
+	cfg2.Seed = 8
+	c, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FaultTrace == a.FaultTrace {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+// TestSoakRecoveryBeatsNoRecovery is the live Fig. 6: under the same
+// seeded drop schedule, CMA recovery + publisher retries hold
+// availability at >=99% while the ablated system measurably degrades.
+func TestSoakRecoveryBeatsNoRecovery(t *testing.T) {
+	on, err := Run(ciConfig(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(ciConfig(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovery on:  %.4f (%d/%d), retries=%d", on.DeliveryRate, on.EligibleDelivered, on.EligibleWanted, on.Retries)
+	t.Logf("recovery off: %.4f (%d/%d)", off.DeliveryRate, off.EligibleDelivered, off.EligibleWanted)
+	if on.DeliveryRate < 0.99 {
+		t.Errorf("availability with recovery = %.4f, want >= 0.99", on.DeliveryRate)
+	}
+	if off.DeliveryRate >= on.DeliveryRate {
+		t.Errorf("no-recovery availability %.4f not below recovery %.4f", off.DeliveryRate, on.DeliveryRate)
+	}
+	if off.DeliveryRate > 0.97 {
+		t.Errorf("no-recovery availability %.4f suspiciously high for 20%% loss — are faults being injected?", off.DeliveryRate)
+	}
+	if on.Retries == 0 {
+		t.Error("recovery arm performed no retries under 20% loss")
+	}
+	if off.Retries != 0 {
+		t.Errorf("ablated arm performed %d retries", off.Retries)
+	}
+}
+
+// TestSoakSmokeChaos runs the full failure model — loss, duplication,
+// churn crashes, partitions — and checks the service stays available to
+// eligible (non-crashed) subscribers with recovery on.
+func TestSoakSmokeChaos(t *testing.T) {
+	r, err := Run(chaosConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("chaos soak: eligible %.4f raw %.4f, %d fault events, %d recovery actions, %d retries",
+		r.DeliveryRate, r.RawRate, r.FaultEvents, r.RecoveryActions, r.Retries)
+	if r.FaultEvents == 0 {
+		t.Fatal("chaos config scheduled no fault events")
+	}
+	if r.DeliveryRate < 0.9 {
+		t.Errorf("eligible availability %.4f under chaos, want >= 0.9", r.DeliveryRate)
+	}
+	if r.Obs.Counters["publish_delivered"] == 0 {
+		t.Error("obs snapshot recorded no deliveries")
+	}
+}
+
+// TestSoakOverTCP exercises the same harness over real loopback sockets:
+// faultnet composes over the TCP transport unchanged.
+func TestSoakOverTCP(t *testing.T) {
+	cfg := ciConfig(9, true)
+	cfg.N = 30
+	cfg.Posts = 4
+	cfg.TCP = true
+	// The race detector slows the socket path by ~10x; give the protocol
+	// room so the assertion stays about recovery, not about wall clock.
+	cfg.HeartbeatEvery = 50 * time.Millisecond
+	cfg.DeliverTimeout = 4 * time.Second
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DeliveryRate < 0.99 {
+		t.Errorf("TCP soak availability %.4f, want >= 0.99", r.DeliveryRate)
+	}
+	if r.Obs.Counters["tcp_dial"] == 0 {
+		t.Error("TCP soak dialed no connections")
+	}
+}
+
+// TestSoakReportExports sanity-checks the text and JSON renderings.
+func TestSoakReportExports(t *testing.T) {
+	cfg := ciConfig(11, true)
+	cfg.N = 40
+	cfg.Posts = 3
+	cfg.TraceCap = 64
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt := r.String()
+	for _, want := range []string{"availability", "duplicates absorbed", "recovery actions"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("report text missing %q:\n%s", want, txt)
+		}
+	}
+	raw, err := r.Obs.JSON()
+	if err != nil || len(raw) == 0 {
+		t.Fatalf("obs JSON export: %v", err)
+	}
+	if len(r.Obs.Trace) == 0 {
+		t.Error("structured trace enabled but empty")
+	}
+}

@@ -6,21 +6,37 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"selectps/internal/obs"
 	"selectps/internal/wire"
 )
 
+// defaultWriteTimeout bounds how long a Send may block on a wedged
+// connection before it is evicted and retried.
+const defaultWriteTimeout = 5 * time.Second
+
 // TCP is a loopback TCP transport: every peer listens on its own port and
 // frames wire messages with the 4-byte length prefix wire.Marshal emits.
-// Connections are opened lazily per (sender, receiver) pair and reused.
+// Connections are opened lazily per (sender, receiver) pair and reused; a
+// failed or timed-out write evicts the cached connection so the next send
+// redials instead of poisoning the pair forever, and Send itself retries
+// once on a fresh connection before reporting failure.
 type TCP struct {
 	mu        sync.Mutex
 	addrs     map[int32]string
 	conns     map[connKey]net.Conn
+	evicted   map[connKey]bool // keys whose cached conn died (next dial is a redial)
 	boxes     map[int32]chan Envelope
 	listeners []net.Listener
 	closed    bool
 	wg        sync.WaitGroup
+
+	// WriteTimeout bounds each frame write (default 5s; negative disables).
+	WriteTimeout time.Duration
+	// Obs, when set before traffic starts, receives send/drop/redial
+	// counters.
+	Obs *obs.Metrics
 }
 
 type connKey struct{ from, to int32 }
@@ -29,9 +45,10 @@ type connKey struct{ from, to int32 }
 // transport. Close releases all sockets.
 func NewTCP(n, buffer int) (*TCP, error) {
 	t := &TCP{
-		addrs: make(map[int32]string, n),
-		conns: make(map[connKey]net.Conn),
-		boxes: make(map[int32]chan Envelope, n),
+		addrs:   make(map[int32]string, n),
+		conns:   make(map[connKey]net.Conn),
+		evicted: make(map[connKey]bool),
+		boxes:   make(map[int32]chan Envelope, n),
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -80,24 +97,71 @@ func (t *TCP) readLoop(conn net.Conn, owner int32) {
 		if err != nil {
 			return
 		}
+		// Boxes are closed only after wg.Wait in Close, and this loop is
+		// wg-registered, so the channel send below can never hit a closed
+		// channel; the closed flag is checked for accounting only.
 		t.mu.Lock()
 		box, ok := t.boxes[owner]
 		closed := t.closed
 		t.mu.Unlock()
 		if !ok || closed {
+			t.Obs.Inc(obs.CDropClosed)
 			return
 		}
-		func() {
-			defer func() { _ = recover() }() // race with Close: drop
-			select {
-			case box <- Envelope{Msg: m}:
-			default: // congested: drop
-			}
-		}()
+		select {
+		case box <- Envelope{Msg: m}:
+		default: // congested: drop, counted
+			t.Obs.Inc(obs.CDropFullMailbox)
+		}
 	}
 }
 
-// Send implements Transport.
+// dial opens a connection for key, counting it as a redial when the
+// previous cached connection for this pair was evicted after a failure.
+// It caches the winner when two sends race to dial the same pair.
+func (t *TCP) dial(key connKey, addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %d: %w", key.to, err)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("transport: tcp closed")
+	}
+	if t.evicted[key] {
+		delete(t.evicted, key)
+		t.Obs.Inc(obs.CTCPRedial)
+	} else {
+		t.Obs.Inc(obs.CTCPDial)
+	}
+	if existing := t.conns[key]; existing != nil {
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[key] = conn
+	t.mu.Unlock()
+	return conn, nil
+}
+
+// evict removes a dead connection from the cache so the next send for
+// this pair redials instead of reusing the poisoned socket.
+func (t *TCP) evict(key connKey, conn net.Conn) {
+	t.mu.Lock()
+	if t.conns[key] == conn {
+		delete(t.conns, key)
+		t.evicted[key] = true
+	}
+	t.mu.Unlock()
+	conn.Close()
+	t.Obs.Inc(obs.CTCPWriteError)
+}
+
+// Send implements Transport. A failed write evicts the cached connection
+// and retries once on a freshly dialed one; writes carry a deadline so a
+// wedged peer cannot block the sender forever.
 func (t *TCP) Send(to int32, m *wire.Message) error {
 	t.mu.Lock()
 	if t.closed {
@@ -113,30 +177,40 @@ func (t *TCP) Send(to int32, m *wire.Message) error {
 	conn := t.conns[key]
 	t.mu.Unlock()
 
-	if conn == nil {
-		var err error
-		conn, err = net.Dial("tcp", addr)
-		if err != nil {
-			return fmt.Errorf("transport: dial %d: %w", to, err)
+	t.Obs.Inc(obs.CTransportSend)
+	data := wire.Marshal(m)
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if conn == nil {
+			var err error
+			conn, err = t.dial(key, addr)
+			if err != nil {
+				return err
+			}
 		}
-		t.mu.Lock()
-		if existing := t.conns[key]; existing != nil {
-			t.mu.Unlock()
-			conn.Close()
-			conn = existing
-		} else {
-			t.conns[key] = conn
-			t.mu.Unlock()
+		if wt := t.writeTimeout(); wt > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
 		}
+		_, err := conn.Write(data)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		t.evict(key, conn)
+		conn = nil
 	}
-	if _, err := conn.Write(wire.Marshal(m)); err != nil {
-		t.mu.Lock()
-		delete(t.conns, key)
-		t.mu.Unlock()
-		conn.Close()
-		return fmt.Errorf("transport: write to %d: %w", to, err)
+	return fmt.Errorf("transport: write to %d: %w", to, lastErr)
+}
+
+func (t *TCP) writeTimeout() time.Duration {
+	switch {
+	case t.WriteTimeout < 0:
+		return 0
+	case t.WriteTimeout == 0:
+		return defaultWriteTimeout
+	default:
+		return t.WriteTimeout
 	}
-	return nil
 }
 
 // Inbox implements Transport.

@@ -4,6 +4,10 @@
 // (the default for experiments — deterministic and fast), and real TCP
 // sockets on the loopback interface (demonstrating that the node runtime
 // speaks an actual network protocol).
+//
+// Both implementations publish their drop/redial accounting through an
+// optional obs.Metrics sink, and both compose under faultnet.Wrap for
+// chaos testing (DESIGN.md §7).
 package transport
 
 import (
@@ -11,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"selectps/internal/obs"
 	"selectps/internal/wire"
 )
 
@@ -21,15 +26,24 @@ type Envelope struct {
 
 // Transport delivers messages between peers. Implementations must be safe
 // for concurrent use.
+//
+// Drop semantics: Send is best-effort and asynchronous. A non-nil error
+// means the message was definitely not sent (unknown peer, transport
+// closed, connection failure after retry). A nil error means the message
+// was accepted by the network, NOT that it was delivered: implementations
+// silently drop messages when the receiver's mailbox is full (congestion)
+// or when delivery races a Close. Every silent drop is accounted in the
+// implementation's obs.Metrics sink (CDropFullMailbox, CDropClosed) when
+// one is attached — there are no unobservable losses.
 type Transport interface {
-	// Send delivers m to peer `to` asynchronously. Errors are best-effort:
-	// a send to a closed or unknown peer reports failure, but delivery is
-	// not guaranteed even on nil error (the network may drop it).
+	// Send delivers m to peer `to` asynchronously. See the interface
+	// comment for the error and drop contract.
 	Send(to int32, m *wire.Message) error
 	// Inbox returns the receive channel for peer `owner`. The channel is
 	// closed when the transport shuts down.
 	Inbox(owner int32) <-chan Envelope
-	// Close shuts the transport down and closes all inboxes.
+	// Close shuts the transport down and closes all inboxes. Messages
+	// still in flight (e.g. on a latency timer) are dropped and counted.
 	Close()
 }
 
@@ -42,7 +56,9 @@ type Switchboard struct {
 	// Latency, when set, returns the delivery delay for a message from →
 	// to; delivery happens on a timer goroutine.
 	Latency func(from, to int32) time.Duration
-	wg      sync.WaitGroup
+	// Obs, when set before traffic starts, receives send/drop counters.
+	Obs *obs.Metrics
+	wg  sync.WaitGroup
 }
 
 // NewSwitchboard creates mailboxes for peers 0..n-1 with the given buffer
@@ -55,6 +71,28 @@ func NewSwitchboard(n, buffer int) *Switchboard {
 	return s
 }
 
+// deliver pushes m into box, counting instead of panicking when it loses
+// the race with Close or finds the mailbox full. The mutex (not a
+// recover) is what makes the closed-channel send impossible: boxes are
+// only closed under mu with closed=true, and deliver never touches a box
+// once closed is set.
+func (s *Switchboard) deliver(box chan Envelope, m *wire.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		// Lost the race with Close: a dropped packet, not a crash — real
+		// networks drop packets too. Counted, never silent.
+		s.Obs.Inc(obs.CDropClosed)
+		return
+	}
+	select {
+	case box <- Envelope{Msg: m}:
+	default:
+		// Mailbox full: drop, like a congested link.
+		s.Obs.Inc(obs.CDropFullMailbox)
+	}
+}
+
 // Send implements Transport.
 func (s *Switchboard) Send(to int32, m *wire.Message) error {
 	s.mu.Lock()
@@ -63,32 +101,25 @@ func (s *Switchboard) Send(to int32, m *wire.Message) error {
 		return fmt.Errorf("transport: switchboard closed")
 	}
 	box, ok := s.boxes[to]
+	if ok && s.Latency != nil {
+		// Register the timer while still holding the lock so Close's
+		// wg.Wait cannot start between the closed check and the Add.
+		s.wg.Add(1)
+	}
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("transport: unknown peer %d", to)
 	}
-	deliver := func() {
-		defer func() {
-			// A concurrently closed mailbox is a dropped packet, not a
-			// crash — real networks drop packets too.
-			_ = recover()
-		}()
-		select {
-		case box <- Envelope{Msg: m}:
-		default:
-			// Mailbox full: drop, like a congested link.
-		}
-	}
+	s.Obs.Inc(obs.CTransportSend)
 	if s.Latency != nil {
 		d := s.Latency(m.From, to)
-		s.wg.Add(1)
 		time.AfterFunc(d, func() {
 			defer s.wg.Done()
-			deliver()
+			s.deliver(box, m)
 		})
 		return nil
 	}
-	deliver()
+	s.deliver(box, m)
 	return nil
 }
 
@@ -99,7 +130,8 @@ func (s *Switchboard) Inbox(owner int32) <-chan Envelope {
 	return s.boxes[owner]
 }
 
-// Close implements Transport.
+// Close implements Transport. Delayed messages still on their latency
+// timer are dropped and counted as closed drops.
 func (s *Switchboard) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -107,10 +139,11 @@ func (s *Switchboard) Close() {
 		return
 	}
 	s.closed = true
-	boxes := s.boxes
 	s.mu.Unlock()
-	s.wg.Wait() // let in-flight delayed deliveries finish or drop
-	for _, b := range boxes {
+	s.wg.Wait() // in-flight timers fire, see closed, and count their drop
+	s.mu.Lock()
+	for _, b := range s.boxes {
 		close(b)
 	}
+	s.mu.Unlock()
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"selectps/internal/obs"
 	"selectps/internal/wire"
 )
 
@@ -160,4 +161,93 @@ func TestTCPUnknownPeerAndClose(t *testing.T) {
 		t.Error("send after close accepted")
 	}
 	tr.Close() // idempotent
+}
+
+func TestSwitchboardDropAccounting(t *testing.T) {
+	s := NewSwitchboard(1, 1)
+	s.Obs = obs.New()
+	if err := s.Send(0, &wire.Message{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Mailbox (size 1) is full: this drop must be counted.
+	if err := s.Send(0, &wire.Message{Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Obs.Get(obs.CDropFullMailbox); got != 1 {
+		t.Fatalf("full-mailbox drops = %d, want 1", got)
+	}
+	if got := s.Obs.Get(obs.CTransportSend); got != 2 {
+		t.Fatalf("sends = %d, want 2", got)
+	}
+	s.Close()
+}
+
+func TestSwitchboardCloseDropsDelayedCounted(t *testing.T) {
+	s := NewSwitchboard(2, 4)
+	s.Obs = obs.New()
+	s.Latency = func(from, to int32) time.Duration { return 50 * time.Millisecond }
+	if err := s.Send(1, &wire.Message{From: 0, Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close() // timer still pending: the message drops and is counted
+	if got := s.Obs.Get(obs.CDropClosed); got != 1 {
+		t.Fatalf("closed drops = %d, want 1", got)
+	}
+}
+
+func TestTCPEvictsAndRedialsAfterWriteFailure(t *testing.T) {
+	tr, err := NewTCP(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	tr.Obs = obs.New()
+	if err := tr.Send(1, &wire.Message{Kind: wire.KindPing, From: 0, Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, tr.Inbox(1))
+	// Kill the cached connection out from under the sender: the next send
+	// must fail its first write, evict, redial, and still deliver.
+	key := connKey{0, 1}
+	tr.mu.Lock()
+	dead := tr.conns[key]
+	tr.mu.Unlock()
+	if dead == nil {
+		t.Fatal("no cached connection after first send")
+	}
+	dead.Close()
+	if err := tr.Send(1, &wire.Message{Kind: wire.KindPing, From: 0, Seq: 2}); err != nil {
+		t.Fatalf("send after dead conn: %v", err)
+	}
+	if got := recvOne(t, tr.Inbox(1)); got.Seq != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got := tr.Obs.Get(obs.CTCPWriteError); got < 1 {
+		t.Fatalf("write errors = %d, want >= 1", got)
+	}
+	if got := tr.Obs.Get(obs.CTCPRedial); got < 1 {
+		t.Fatalf("redials = %d, want >= 1", got)
+	}
+	if got := tr.Obs.Get(obs.CTCPDial); got != 1 {
+		t.Fatalf("fresh dials = %d, want 1", got)
+	}
+}
+
+func TestTCPWriteDeadlineConfigured(t *testing.T) {
+	tr, err := NewTCP(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if wt := tr.writeTimeout(); wt != defaultWriteTimeout {
+		t.Fatalf("default write timeout = %v", wt)
+	}
+	tr.WriteTimeout = time.Second
+	if wt := tr.writeTimeout(); wt != time.Second {
+		t.Fatalf("write timeout = %v", wt)
+	}
+	tr.WriteTimeout = -1
+	if wt := tr.writeTimeout(); wt != 0 {
+		t.Fatalf("disabled write timeout = %v", wt)
+	}
 }

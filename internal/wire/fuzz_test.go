@@ -1,0 +1,93 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeeds are valid messages of every kind, marshaled to seed the
+// corpus; the fuzzer mutates from there into truncations, corrupted
+// length prefixes and oversized claims.
+func fuzzSeeds() []*Message {
+	return []*Message{
+		{Kind: KindPing, From: 1, To: 2, Seq: 3},
+		{Kind: KindPong, From: 2, To: 1, Seq: 3},
+		{
+			Kind: KindExchangeRT, From: 4, To: 5, Seq: 6,
+			Neighborhood: []int32{1, 2, 3, 9},
+			RoutingTable: []int32{7, 8},
+		},
+		{
+			Kind: KindExchangeReply, From: 5, To: 4, Seq: 6,
+			NMutual: 2, Bitmap: []uint64{0xDEADBEEF, 1},
+			RoutingTable: []int32{11},
+		},
+		{
+			Kind: KindPublish, From: 9, To: 10, Seq: 11,
+			Publisher: 9, TTL: 32, PayloadSize: 1_200_000, HopCount: 2,
+		},
+		{Kind: KindAck, From: 10, To: 9, Seq: 11, Publisher: 9, TTL: 31},
+	}
+}
+
+// FuzzUnmarshal asserts Unmarshal never panics and never allocates more
+// than the input can justify, and that accepted frames roundtrip
+// byte-identically (the encoding is canonical).
+func FuzzUnmarshal(f *testing.F) {
+	for _, m := range fuzzSeeds() {
+		frame := Marshal(m)[4:] // strip the length prefix, as readLoop does
+		f.Add(frame)
+		// Truncated variant.
+		if len(frame) > 3 {
+			f.Add(frame[:len(frame)-3])
+		}
+		// Corrupted slice-length claim: overwrite the neighborhood length
+		// field with an enormous value.
+		if len(frame) >= 17 {
+			bad := append([]byte(nil), frame...)
+			binary.LittleEndian.PutUint32(bad[13:], 1<<30)
+			f.Add(bad)
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := Unmarshal(b)
+		if err != nil {
+			if m != nil {
+				t.Fatal("error return carried a non-nil message")
+			}
+			return
+		}
+		// Decoded slices can only hold what the frame physically carried:
+		// a tiny frame must never produce a huge message (over-allocation
+		// guard — the length claims are validated against len(b) before
+		// any make).
+		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap)
+		if claimed > len(b) {
+			t.Fatalf("decoded %d bytes of slices from a %d-byte frame", claimed, len(b))
+		}
+		out := Marshal(m)[4:]
+		if !bytes.Equal(out, b) {
+			t.Fatalf("roundtrip mismatch:\n in: %x\nout: %x", b, out)
+		}
+	})
+}
+
+// TestUnmarshalOversizedClaimCheap pins the over-allocation fix: a
+// 17-byte frame claiming a million-entry neighborhood must fail fast
+// without allocating the claimed 4 MB.
+func TestUnmarshalOversizedClaimCheap(t *testing.T) {
+	frame := make([]byte, 17)
+	frame[0] = byte(KindExchangeRT)
+	binary.LittleEndian.PutUint32(frame[13:], maxSliceLen) // within the claim bound, way past the frame
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := Unmarshal(frame); err == nil {
+			t.Fatal("oversized claim accepted")
+		}
+	})
+	// Error path cost: the message struct and the error — not a 4 MB slice.
+	if allocs > 8 {
+		t.Fatalf("oversized claim cost %.0f allocations", allocs)
+	}
+}

@@ -85,6 +85,23 @@ type Message struct {
 
 const maxSliceLen = 1 << 20 // defensive decode bound
 
+// Clone returns a deep copy of m. Receivers mutate TTL and HopCount in
+// place, so any component that fans one message out to several inboxes
+// (e.g. faultnet duplication) must hand each receiver its own copy.
+func (m *Message) Clone() *Message {
+	c := *m
+	if m.Neighborhood != nil {
+		c.Neighborhood = append([]int32(nil), m.Neighborhood...)
+	}
+	if m.RoutingTable != nil {
+		c.RoutingTable = append([]int32(nil), m.RoutingTable...)
+	}
+	if m.Bitmap != nil {
+		c.Bitmap = append([]uint64(nil), m.Bitmap...)
+	}
+	return &c
+}
+
 // Marshal encodes m into a self-delimited frame (4-byte length prefix).
 func Marshal(m *Message) []byte {
 	// size: fixed header + slices
@@ -182,6 +199,12 @@ func Unmarshal(b []byte) (*Message, error) {
 		return nil, fmt.Errorf("wire: neighborhood length %d too large", nl)
 	}
 	if nl > 0 {
+		// Check the claimed length against the bytes actually present
+		// BEFORE allocating: a truncated frame must never cost more memory
+		// than its own size.
+		if err := need(4 * int(nl)); err != nil {
+			return nil, err
+		}
 		m.Neighborhood = make([]int32, nl)
 		for i := range m.Neighborhood {
 			if m.Neighborhood[i], err = get32(); err != nil {
@@ -197,6 +220,9 @@ func Unmarshal(b []byte) (*Message, error) {
 		return nil, fmt.Errorf("wire: routing table length %d too large", rl)
 	}
 	if rl > 0 {
+		if err := need(4 * int(rl)); err != nil {
+			return nil, err
+		}
 		m.RoutingTable = make([]int32, rl)
 		for i := range m.RoutingTable {
 			if m.RoutingTable[i], err = get32(); err != nil {
