@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -67,11 +68,21 @@ func main() {
 		}
 		tr = sw
 	}
-	cluster := node.StartCluster(g, ov, tr, node.Config{
+	cluster, err := node.Start(node.Options{
+		Graph: g, Overlay: ov, Transport: tr, Seed: *seed,
 		HeartbeatEvery: 200 * time.Millisecond,
 		GossipEvery:    200 * time.Millisecond,
-	}, *seed)
-	defer cluster.Stop()
+		MaintainEvery:  200 * time.Millisecond,
+		Bandwidths:     bw,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		cluster.Shutdown(ctx)
+	}()
 	kind := "in-memory+latency"
 	if *useTCP {
 		kind = "tcp"
@@ -90,8 +101,10 @@ func main() {
 			}
 			subs := g.Neighbors(b)
 			start := time.Now()
-			seq := cluster.Nodes[b].Publish(1_200_000)
-			got, _ := cluster.AwaitDelivery(b, seq, subs, *timeout)
+			seq := cluster.Nodes[b].PublishSize(1_200_000)
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			got, _ := cluster.AwaitDelivery(ctx, b, seq, subs)
+			cancel()
 			latencies = append(latencies, time.Since(start).Seconds())
 			wanted += len(subs)
 			delivered += got

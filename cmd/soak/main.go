@@ -47,6 +47,10 @@ func main() {
 		recovery = flag.Bool("recovery", true, "CMA heartbeats + publisher retries (the Fig. 6 mechanism)")
 		timeout  = flag.Duration("timeout", 3*time.Second, "per-publication delivery deadline")
 
+		bootFrac   = flag.Float64("bootstrap-frac", 0, "fraction of peers bootstrapped from the converged overlay; the rest join live (0 or 1 = everyone)")
+		liveRejoin = flag.Bool("live-rejoin", false, "churn crashes destroy overlay state; peers re-join through the live join protocol")
+		postPosts  = flag.Int("post-churn-posts", 0, "extra publications measured after the fault schedule ends (overlay-quality convergence)")
+
 		compare  = flag.Bool("compare", false, "run recovery on AND off over the same fault schedule")
 		asJSON   = flag.Bool("json", false, "emit the obs snapshot as JSON")
 		trace    = flag.Bool("trace", false, "print the injected fault schedule")
@@ -66,9 +70,13 @@ func main() {
 		Recovery:       *recovery,
 		HeartbeatEvery: 25 * time.Millisecond,
 		GossipEvery:    50 * time.Millisecond,
+		MaintainEvery:  25 * time.Millisecond,
 		RetryEvery:     20 * time.Millisecond,
 		DeliverTimeout: *timeout,
 		TraceCap:       *traceCap,
+		BootstrapFrac:  *bootFrac,
+		LiveRejoin:     *liveRejoin,
+		PostChurnPosts: *postPosts,
 	}
 	if *churnOn {
 		m := churn.DefaultModel()

@@ -1,16 +1,20 @@
 // Livecluster: the "realistic experiment" mode — every peer is a live
 // goroutine speaking the wire protocol, optionally over real TCP loopback
-// sockets. A publisher's notification travels hop by hop through actual
-// messages; the example reports delivery, hop counts and acks.
+// sockets. A publisher's notification payload travels hop by hop through
+// actual messages and lands in each subscriber's OnDeliver handler; one
+// late peer then joins the running ring through the live join protocol
+// and receives traffic too.
 //
 //	go run ./examples/livecluster            # in-memory transport
 //	go run ./examples/livecluster -tcp       # real TCP sockets
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"selectps/internal/datasets"
@@ -44,13 +48,32 @@ func main() {
 		fmt.Printf("started %d live peers on the in-memory switchboard\n", *n)
 	}
 
-	cluster := node.StartCluster(g, ov, tr, node.Config{
+	// Hold one peer out of the ring: it will join live later.
+	late := overlay.PeerID(*n - 1)
+	var bootstrap []overlay.PeerID
+	for p := overlay.PeerID(0); p < overlay.PeerID(*n); p++ {
+		if p != late {
+			bootstrap = append(bootstrap, p)
+		}
+	}
+	cluster, err := node.Start(node.Options{
+		Graph: g, Overlay: ov, Transport: tr, Seed: 21,
 		HeartbeatEvery: 50 * time.Millisecond,
 		GossipEvery:    50 * time.Millisecond,
-	}, 21)
-	defer cluster.Stop()
+		MaintainEvery:  50 * time.Millisecond,
+		Bootstrap:      bootstrap,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		cluster.Shutdown(ctx)
+	}()
 
-	// Publisher: the best-connected user.
+	// Publisher: the best-connected user. Subscribers get the payload
+	// pushed into their OnDeliver handler — no polling.
 	var pub overlay.PeerID
 	for p := overlay.PeerID(0); p < overlay.PeerID(*n); p++ {
 		if g.Degree(p) > g.Degree(pub) {
@@ -58,13 +81,23 @@ func main() {
 		}
 	}
 	subs := g.Neighbors(pub)
-	fmt.Printf("publisher %d notifies %d friends (1.2MB payload)\n", pub, len(subs))
+	var pushed atomic.Int64
+	for _, s := range subs {
+		cluster.Nodes[s].OnDeliver(func(from overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+			pushed.Add(1)
+		})
+	}
+	body := []byte("notification fragment: " + time.Now().Format(time.RFC3339))
+	fmt.Printf("publisher %d notifies %d friends (%d-byte payload)\n", pub, len(subs), len(body))
 
 	start := time.Now()
-	seq := cluster.Nodes[pub].Publish(1_200_000)
-	delivered, ok := cluster.AwaitDelivery(pub, seq, subs, 10*time.Second)
+	seq := cluster.Nodes[pub].Publish(body)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	delivered, ok := cluster.AwaitDelivery(ctx, pub, seq, subs)
+	cancel()
 	elapsed := time.Since(start)
-	fmt.Printf("delivered %d/%d in %s (complete=%v)\n", delivered, len(subs), elapsed.Round(time.Millisecond), ok)
+	fmt.Printf("delivered %d/%d in %s (complete=%v, handler pushes=%d)\n",
+		delivered, len(subs), elapsed.Round(time.Millisecond), ok, pushed.Load())
 
 	// Hop distribution of the live deliveries.
 	hist := map[uint8]int{}
@@ -86,4 +119,21 @@ func main() {
 		time.Sleep(5 * time.Millisecond)
 	}
 	fmt.Printf("acks received by publisher: %d/%d\n", cluster.Nodes[pub].Acked(seq), len(subs))
+
+	// Live join: the held-out peer asks into the running ring (Algorithm 1
+	// at runtime) and is publishable immediately after.
+	jctx, jcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	err = cluster.Join(jctx, late, -1)
+	jcancel()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("peer %d joined live at ring position %.4f\n", late, cluster.Nodes[late].Position())
+	if g.Degree(late) > 0 {
+		seq := cluster.Nodes[late].Publish([]byte("first post after joining"))
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		got, _ := cluster.AwaitDelivery(ctx, late, seq, g.Neighbors(late))
+		cancel()
+		fmt.Printf("its first publication reached %d/%d subscribers\n", got, g.Degree(late))
+	}
 }

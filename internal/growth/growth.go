@@ -164,6 +164,23 @@ func (s Schedule) InvitedFraction() float64 {
 	return float64(inv) / float64(len(s.Events))
 }
 
+// InviterIndex returns inviter[user] for every user in the schedule (-1
+// for independent joins), so a live cluster can replay the same invitation
+// tree the simulator projected: each joining node asks the inviter the
+// schedule assigned it. Users missing from the schedule are -1.
+func (s Schedule) InviterIndex(n int) []socialgraph.NodeID {
+	out := make([]socialgraph.NodeID, n)
+	for i := range out {
+		out[i] = -1
+	}
+	for _, e := range s.Events {
+		if int(e.User) < n {
+			out[e.User] = e.Inviter
+		}
+	}
+	return out
+}
+
 // JoinsPerStep returns how many users joined at each step; the shape should
 // rise quickly and decay, mirroring the exponential model of [19].
 func (s Schedule) JoinsPerStep() []int {

@@ -1,0 +1,268 @@
+package node
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"selectps/internal/obs"
+	"selectps/internal/overlay"
+	"selectps/internal/socialgraph"
+	"selectps/internal/transport"
+)
+
+// Options configures a live cluster. Graph, Overlay and Transport are
+// required; everything else has working defaults.
+type Options struct {
+	// Graph is the social graph (subscription relation, §III-A).
+	Graph *socialgraph.Graph
+	// Overlay provides the converged positions (and, when it is a SELECT
+	// overlay, long links and bandwidths) that seed the bootstrap members.
+	Overlay overlay.Overlay
+	// Transport carries the wire protocol (switchboard or TCP).
+	Transport transport.Transport
+	// Seed derives every per-node RNG and LSH hasher; two clusters started
+	// from the same Options make the same protocol decisions.
+	Seed int64
+
+	// HeartbeatEvery is the ping interval (0 disables heartbeats).
+	HeartbeatEvery time.Duration
+	// GossipEvery is the Algorithm-3 exchange interval (0 disables).
+	GossipEvery time.Duration
+	// MaintainEvery is the live maintenance interval — join retries,
+	// short-link refresh, Algorithm-2 identifier moves and Algorithm-5/6
+	// link reassignment (0 disables maintenance: a frozen cluster).
+	MaintainEvery time.Duration
+
+	// TTL bounds forwarding hops (default 32).
+	TTL uint8
+	// K is the long-link budget and incoming cap (default: the overlay's
+	// own K when it exposes one, else ~log2(N)).
+	K int
+	// MoveEps is the minimum ring distance an Algorithm-2 move must cover
+	// to be worth announcing (default 0.002).
+	MoveEps float64
+
+	// Obs receives runtime counters, histograms and trace events from
+	// every node (nil = no instrumentation).
+	Obs *obs.Metrics
+
+	// Bootstrap lists the peers that start as converged ring members
+	// seeded from Overlay. Nil means every peer bootstraps (the
+	// pre-converged cluster of earlier revisions); non-nil leaves the
+	// remaining peers outside the ring until Cluster.Join admits them
+	// live via JoinRequest.
+	Bootstrap []overlay.PeerID
+
+	// Bandwidths models per-peer upload capacity for the Algorithm-6
+	// picker and incoming-link eviction (default: the overlay's modeled
+	// bandwidths when exposed, else a deterministic synthetic draw).
+	Bandwidths []float64
+}
+
+func (o *Options) fill() {
+	if o.TTL == 0 {
+		o.TTL = 32
+	}
+	if o.MoveEps == 0 {
+		o.MoveEps = 0.002
+	}
+	if o.K == 0 {
+		if kp, ok := o.Overlay.(interface{ K() int }); ok {
+			o.K = kp.K()
+		} else {
+			o.K = 2
+			for n := o.Overlay.N(); n > 4; n /= 2 {
+				o.K++
+			}
+		}
+	}
+}
+
+// Cluster runs one node per peer of an overlay.
+type Cluster struct {
+	Nodes []*Node
+	dir   *directory
+	tr    transport.Transport
+}
+
+// Start spawns a node goroutine per peer. Bootstrap members begin with
+// converged routing state copied from opts.Overlay; everyone else starts
+// outside the ring and is admitted live through Cluster.Join.
+func Start(opts Options) (*Cluster, error) {
+	if opts.Graph == nil || opts.Overlay == nil || opts.Transport == nil {
+		return nil, fmt.Errorf("node: Options requires Graph, Overlay and Transport")
+	}
+	opts.fill()
+	n := opts.Overlay.N()
+	dir := newDirectory(n)
+	for p := 0; p < n; p++ {
+		dir.pos[p] = opts.Overlay.Position(overlay.PeerID(p))
+	}
+	if opts.Bootstrap == nil {
+		for p := range dir.member {
+			dir.member[p] = true
+		}
+	} else {
+		for _, p := range opts.Bootstrap {
+			dir.member[p] = true
+		}
+	}
+	bw := opts.Bandwidths
+	if bw == nil {
+		if bp, ok := opts.Overlay.(interface{ Bandwidth(overlay.PeerID) float64 }); ok {
+			bw = make([]float64, n)
+			for p := 0; p < n; p++ {
+				bw[p] = bp.Bandwidth(overlay.PeerID(p))
+			}
+		} else {
+			rng := rand.New(rand.NewSource(opts.Seed ^ 0x6277))
+			bw = make([]float64, n)
+			for p := range bw {
+				bw[p] = 1 + 9*rng.Float64()
+			}
+		}
+	}
+
+	c := &Cluster{dir: dir, tr: opts.Transport}
+	for p := 0; p < n; p++ {
+		c.Nodes = append(c.Nodes, newNode(overlay.PeerID(p), dir, bw, opts, opts.Seed+int64(p)))
+	}
+	// Seed the bootstrap members' routing state from the converged
+	// overlay: long links (and their inverses) when the overlay exposes
+	// them, its full link set otherwise, always pruned to members.
+	type longLinker interface {
+		LongLinks(overlay.PeerID) []overlay.PeerID
+	}
+	ll, hasLong := opts.Overlay.(longLinker)
+	for p := 0; p < n; p++ {
+		pid := overlay.PeerID(p)
+		if !dir.member[p] {
+			continue
+		}
+		node := c.Nodes[p]
+		node.joined = true
+		var out []overlay.PeerID
+		if hasLong {
+			out = ll.LongLinks(pid)
+		} else {
+			out = opts.Overlay.Links(pid)
+		}
+		for _, q := range out {
+			if dir.member[q] && q != pid {
+				node.longOut = append(node.longOut, q)
+			}
+		}
+	}
+	if hasLong {
+		for p := 0; p < n; p++ {
+			if !dir.member[p] {
+				continue
+			}
+			for _, q := range c.Nodes[p].longOut {
+				c.Nodes[q].longIn = append(c.Nodes[q].longIn, overlay.PeerID(p))
+			}
+		}
+	}
+	for p := 0; p < n; p++ {
+		if dir.member[p] {
+			c.Nodes[p].shortSucc, c.Nodes[p].shortPred = dir.ringNeighbors(overlay.PeerID(p))
+		}
+	}
+	for _, nd := range c.Nodes {
+		nd.wg.Add(1)
+		go nd.run()
+	}
+	return c, nil
+}
+
+// Join admits peer p into the running ring: the node sends a JoinRequest
+// to inviter (or, when inviter is -1, to its first member friend, then
+// any member), receives its Algorithm-1 position and seed contacts, and
+// announces itself. Join blocks until the node is a member or ctx ends;
+// the maintenance ticker keeps retrying lost requests in between.
+func (c *Cluster) Join(ctx context.Context, p, inviter overlay.PeerID) error {
+	n := c.Nodes[p]
+	if n.Joined() {
+		return nil
+	}
+	n.requestJoin(inviter)
+	for {
+		if n.Joined() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("node: join of %d: %w", p, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Crash fails peer p abruptly: it stops responding and loses all learned
+// overlay state (links, lookahead, availability history), as a killed
+// process would — no Leave is sent. The delivered-feed record survives,
+// standing in for persistent storage. Rejoin brings the peer back.
+func (c *Cluster) Crash(p overlay.PeerID) {
+	n := c.Nodes[p]
+	n.paused.Store(true)
+	c.dir.setMember(p, false)
+	n.mu.Lock()
+	n.resetVolatileLocked()
+	n.mu.Unlock()
+}
+
+// Rejoin restarts a crashed peer and walks it through the live join
+// protocol again.
+func (c *Cluster) Rejoin(ctx context.Context, p, inviter overlay.PeerID) error {
+	c.Nodes[p].paused.Store(false)
+	return c.Join(ctx, p, inviter)
+}
+
+// AwaitDelivery polls until every subscriber of (publisher, seq) received
+// the publication or ctx ends; it returns the delivered count and whether
+// delivery completed.
+func (c *Cluster) AwaitDelivery(ctx context.Context, publisher overlay.PeerID, seq uint32, subs []overlay.PeerID) (int, bool) {
+	for {
+		delivered := 0
+		for _, s := range subs {
+			if _, ok := c.Nodes[s].Received(publisher, seq); ok {
+				delivered++
+			}
+		}
+		if delivered == len(subs) {
+			return delivered, true
+		}
+		select {
+		case <-ctx.Done():
+			return delivered, false
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Shutdown terminates all nodes with a bounded drain: it waits for every
+// node goroutine to exit until ctx expires, then closes the transport
+// either way. Idempotent; returns ctx's error when the drain was cut
+// short.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	for _, n := range c.Nodes {
+		n.stopOnce.Do(func() { close(n.stop) })
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, n := range c.Nodes {
+			n.wg.Wait()
+		}
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	c.tr.Close()
+	return err
+}

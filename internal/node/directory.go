@@ -1,0 +1,107 @@
+package node
+
+import (
+	"sync"
+
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+// directory is the cluster-shared registry of ring positions and
+// membership. It stands in for the converged position knowledge every
+// peer of a running SELECT deployment has accumulated (the same realism
+// level as the frozen overlay the runtime used to read): a node writes
+// through its own entry when it joins, leaves, or moves its identifier,
+// and the IDAnnounce/Leave wire messages are the protocol actions that
+// would carry those writes peer-to-peer (DESIGN.md §8).
+type directory struct {
+	mu     sync.RWMutex
+	pos    []ring.ID
+	member []bool
+}
+
+func newDirectory(n int) *directory {
+	return &directory{pos: make([]ring.ID, n), member: make([]bool, n)}
+}
+
+func (d *directory) position(p overlay.PeerID) ring.ID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.pos[p]
+}
+
+func (d *directory) setPosition(p overlay.PeerID, id ring.ID) {
+	d.mu.Lock()
+	d.pos[p] = id
+	d.mu.Unlock()
+}
+
+func (d *directory) isMember(p overlay.PeerID) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.member[p]
+}
+
+func (d *directory) setMember(p overlay.PeerID, m bool) {
+	d.mu.Lock()
+	d.member[p] = m
+	d.mu.Unlock()
+}
+
+func (d *directory) memberCount() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := 0
+	for _, m := range d.member {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// firstMember returns the lowest-id member other than p (-1 when the
+// ring is empty) — the deterministic contact of last resort for a joiner
+// with no member friends.
+func (d *directory) firstMember(p overlay.PeerID) overlay.PeerID {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	for q, m := range d.member {
+		if m && overlay.PeerID(q) != p {
+			return overlay.PeerID(q)
+		}
+	}
+	return -1
+}
+
+// ringNeighbors returns p's nearest member in the clockwise (succ) and
+// counter-clockwise (pred) direction — the short-range links. A zero arc
+// (position collision) counts as a full loop so colliding peers still
+// link somewhere.
+func (d *directory) ringNeighbors(p overlay.PeerID) (succ, pred overlay.PeerID) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	succ, pred = -1, -1
+	my := d.pos[p]
+	ds, dp := 2.0, 2.0
+	for q, m := range d.member {
+		if !m || overlay.PeerID(q) == p {
+			continue
+		}
+		cw := ring.Clockwise(my, d.pos[q])
+		if cw <= 0 {
+			cw += 1
+		}
+		if cw < ds {
+			ds, succ = cw, overlay.PeerID(q)
+		}
+		ccw := ring.Clockwise(d.pos[q], my)
+		if ccw <= 0 {
+			ccw += 1
+		}
+		if ccw < dp {
+			dp, pred = ccw, overlay.PeerID(q)
+		}
+	}
+	return succ, pred
+}

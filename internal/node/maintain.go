@@ -1,0 +1,578 @@
+package node
+
+import (
+	"math"
+	"sort"
+
+	"selectps/internal/churn"
+	"selectps/internal/obs"
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/selectcore"
+	"selectps/internal/wire"
+)
+
+// This file is the live SELECT maintenance loop (DESIGN.md §8): the join
+// protocol (Algorithm 1 at runtime), periodic identifier reassignment
+// (Algorithm 2 over strengths learned from exchange replies) and LSH
+// link reassignment (Algorithms 5–6 over learned link bitmaps), with the
+// K-incoming cap and bandwidth eviction of §III-D. Every decision rule
+// is a selectcore call — the same code the offline simulator converges
+// with; only the inputs arrive over the wire here.
+
+// requestJoin marks the node as wanting in (preferring the given inviter,
+// -1 for automatic choice) and fires the first JoinRequest; the
+// maintenance ticker retries until a JoinReply lands.
+func (n *Node) requestJoin(inviter overlay.PeerID) {
+	n.mu.Lock()
+	n.wantJoin = true
+	n.inviterPref = inviter
+	n.mu.Unlock()
+	n.sendJoinRequest()
+}
+
+// sendJoinRequest picks the contact — the preferred inviter when it is a
+// member, else the node's first member friend (the social inviter of
+// Algorithm 1), else any member (an independent join) — and asks it for
+// admission.
+func (n *Node) sendJoinRequest() {
+	n.mu.Lock()
+	pref := n.inviterPref
+	seq := n.nextSeq()
+	n.mu.Unlock()
+	target := overlay.PeerID(-1)
+	if pref >= 0 && n.dir.isMember(pref) {
+		target = pref
+	} else {
+		for _, f := range n.g.Neighbors(n.id) {
+			if n.dir.isMember(f) {
+				target = f
+				break
+			}
+		}
+	}
+	if target < 0 {
+		target = n.dir.firstMember(n.id)
+	}
+	if target < 0 {
+		return // nobody to join through yet; the ticker retries
+	}
+	_ = n.tr.Send(int32(target), &wire.Message{
+		Kind: wire.KindJoinRequest, From: int32(n.id), To: int32(target), Seq: seq,
+	})
+}
+
+// handleJoinRequest serves an admission: a member places the requester
+// per Algorithm 1 — a social friend lands inside the free clockwise arc
+// next to this inviter, anyone else at its uniform hash position — and
+// replies with the position and this node's links as seed contacts.
+func (n *Node) handleJoinRequest(m *wire.Message) {
+	if !n.dir.isMember(n.id) {
+		return // not in the ring ourselves; the joiner will retry
+	}
+	n.cfg.Obs.Inc(obs.CJoinRequest)
+	q := overlay.PeerID(m.From)
+	var pos ring.ID
+	if n.g.HasEdge(n.id, q) {
+		myPos := n.dir.position(n.id)
+		gap := 0.0
+		if succ, _ := n.dir.ringNeighbors(n.id); succ >= 0 {
+			gap = ring.Clockwise(myPos, n.dir.position(succ))
+		}
+		n.mu.Lock()
+		u := n.rng.Float64()
+		n.mu.Unlock()
+		pos = selectcore.PlaceJoin(myPos, gap, 1/float64(n.dir.memberCount()+1), u)
+	} else {
+		pos = selectcore.PlaceIndependent(uint64(q))
+	}
+	n.cfg.Obs.Inc(obs.CJoinReply)
+	_ = n.tr.Send(m.From, &wire.Message{
+		Kind: wire.KindJoinReply, From: int32(n.id), To: m.From, Seq: m.Seq,
+		Pos:          math.Float64bits(float64(pos)),
+		RoutingTable: peersToInt32s(n.linksSnapshot()),
+	})
+}
+
+// handleJoinReply completes the join: adopt the assigned position, enter
+// the ring, take the inviter's links as lookahead seed, and announce the
+// new identifier to member friends and seed contacts.
+func (n *Node) handleJoinReply(m *wire.Message) {
+	if n.dir.isMember(n.id) {
+		return // duplicate reply from a retried request
+	}
+	from := overlay.PeerID(m.From)
+	pos := ring.ID(math.Float64frombits(m.Pos))
+	n.dir.setPosition(n.id, pos)
+	n.dir.setMember(n.id, true)
+	contacts := int32sToPeers(m.RoutingTable)
+	n.mu.Lock()
+	n.joined = true
+	n.wantJoin = false
+	n.lookahead[from] = contacts
+	n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	announce := make(map[overlay.PeerID]bool)
+	for _, f := range n.g.Neighbors(n.id) {
+		if n.dir.isMember(f) {
+			announce[f] = true
+		}
+	}
+	for _, q := range contacts {
+		if q != n.id && n.dir.isMember(q) {
+			announce[q] = true
+		}
+	}
+	seqA := n.nextSeq()
+	seqX := n.nextSeq()
+	n.mu.Unlock()
+	n.cfg.Obs.TraceEvent("join", int32(n.id), m.Seq)
+	posBits := math.Float64bits(float64(pos))
+	for q := range announce {
+		_ = n.tr.Send(int32(q), &wire.Message{
+			Kind: wire.KindIDAnnounce, From: int32(n.id), To: int32(q), Seq: seqA, Pos: posBits,
+		})
+	}
+	// Start learning immediately: exchange with the inviter rather than
+	// waiting out a gossip period, so strengths and bitmaps (and with
+	// them Algorithm 2 and 5) arrive one round-trip after admission.
+	if n.g.HasEdge(n.id, from) {
+		_ = n.tr.Send(m.From, &wire.Message{
+			Kind: wire.KindExchangeRT, From: int32(n.id), To: m.From, Seq: seqX,
+			Neighborhood: peersToInt32s(n.g.Neighbors(n.id)),
+			RoutingTable: peersToInt32s(n.linksSnapshot()),
+		})
+	}
+}
+
+// maintainTick runs one round of the live maintenance loop.
+func (n *Node) maintainTick() {
+	if !n.dir.isMember(n.id) {
+		n.mu.Lock()
+		want := n.wantJoin
+		n.mu.Unlock()
+		if want {
+			n.sendJoinRequest()
+		}
+		return
+	}
+	var out []outMsg
+	n.mu.Lock()
+	n.pruneGoneLocked()
+	n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	out = n.reassignLocked(out)
+	out = n.relinkLocked(out)
+	n.mu.Unlock()
+	for _, o := range out {
+		_ = n.tr.Send(o.to, o.m)
+	}
+}
+
+// pruneGoneLocked forgets links to peers that left the ring (crashed or
+// departed); their state is rebuilt through the join protocol if they
+// come back.
+func (n *Node) pruneGoneLocked() {
+	keep := func(links []overlay.PeerID) []overlay.PeerID {
+		out := links[:0]
+		for _, q := range links {
+			if n.dir.isMember(q) {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+	n.longOut = keep(n.longOut)
+	n.longIn = keep(n.longIn)
+	for q := range n.pendingOut {
+		if !n.dir.isMember(q) {
+			delete(n.pendingOut, q)
+		}
+	}
+}
+
+// reassignLocked is Algorithm 2 live: move the identifier to the ring
+// midpoint of the two strongest friends — strengths learned from
+// exchange replies, never read from the graph — when the move covers
+// more than MoveEps, and announce the new identifier to links and member
+// friends.
+func (n *Node) reassignLocked(out []outMsg) []outMsg {
+	friends := n.g.Neighbors(n.id)
+	if len(friends) < 2 {
+		return out
+	}
+	// Mask out friends whose strength is unknown or who are not in the
+	// ring: anchoring on them would place us next to nobody.
+	row := make([]float64, len(friends))
+	for i, f := range friends {
+		row[i] = n.strength[i]
+		if !n.dir.isMember(f) {
+			row[i] = -1
+		}
+	}
+	best, second := selectcore.Top2(friends, row)
+	if best < 0 || second < 0 {
+		return out
+	}
+	target := selectcore.ReassignTarget(n.dir.position(best), n.dir.position(second))
+	if ring.Distance(n.dir.position(n.id), target) <= n.cfg.MoveEps {
+		return out
+	}
+	n.dir.setPosition(n.id, target)
+	n.cfg.Obs.Inc(obs.CIDReassign)
+	n.cfg.Obs.TraceEvent("reassign", int32(n.id), 0)
+	n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	announce := make(map[overlay.PeerID]bool)
+	for _, q := range n.linksLocked() {
+		announce[q] = true
+	}
+	for _, f := range friends {
+		if n.dir.isMember(f) {
+			announce[f] = true
+		}
+	}
+	seq := n.nextSeq()
+	posBits := math.Float64bits(float64(target))
+	for q := range announce {
+		out = append(out, outMsg{int32(q), &wire.Message{
+			Kind: wire.KindIDAnnounce, From: int32(n.id), To: int32(q), Seq: seq, Pos: posBits,
+		}})
+	}
+	return out
+}
+
+func (n *Node) inLongOutLocked(q overlay.PeerID) bool {
+	for _, x := range n.longOut {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) inLongInLocked(q overlay.PeerID) bool {
+	for _, x := range n.longIn {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+func (n *Node) removeLongOutLocked(q overlay.PeerID) {
+	for i, x := range n.longOut {
+		if x == q {
+			n.longOut = append(n.longOut[:i], n.longOut[i+1:]...)
+			return
+		}
+	}
+}
+
+func (n *Node) removeLongInLocked(q overlay.PeerID) {
+	for i, x := range n.longIn {
+		if x == q {
+			n.longIn = append(n.longIn[:i], n.longIn[i+1:]...)
+			return
+		}
+	}
+}
+
+// bitmapHas reports whether bit i is set in bm.
+func bitmapHas(bm []uint64, i int) bool {
+	return i/64 < len(bm) && bm[i/64]&(1<<(i%64)) != 0
+}
+
+// coveredLocked reports whether friend index i is reachable in one
+// forward through an existing long link (the link's learned bitmap has
+// the friend's bit).
+func (n *Node) coveredLocked(i int) bool {
+	for _, l := range n.longOut {
+		if bitmapHas(n.bitmaps[l], i) {
+			return true
+		}
+	}
+	return false
+}
+
+// relinkLocked is Algorithms 5–6 live: index member friends' learned
+// link bitmaps into the K LSH buckets, keep or propose one picker-chosen
+// representative per bucket, drop covered same-bucket links, enforce the
+// K budget, and spend leftover budget on uncovered friends weakest-tie
+// first — structurally the simulator's createLinks, with LinkProposal/
+// LinkAccept/LinkDrop messages in place of direct establishment.
+func (n *Node) relinkLocked(out []outMsg) []outMsg {
+	friends := n.g.Neighbors(n.id)
+	if len(friends) == 0 {
+		return out
+	}
+	n.idx.Begin(n.hasher, len(friends))
+	indexed := false
+	for i, f := range friends {
+		bm, ok := n.bitmaps[f]
+		if !ok || !n.dir.isMember(f) {
+			continue
+		}
+		coords := append(n.coords[:0], i) // self bit
+		for j := range friends {
+			if j != i && bitmapHas(bm, j) {
+				coords = append(coords, j)
+			}
+		}
+		n.idx.Add(int32(i), coords)
+		n.coords = coords[:0]
+		indexed = true
+	}
+	if !indexed {
+		return out
+	}
+	budget := n.cfg.K - len(n.longOut) - len(n.pendingOut)
+	bwOf := func(i int32) float64 { return n.bw[friends[i]] }
+	for _, bucket := range n.idx.Buckets {
+		if len(bucket) == 0 {
+			continue
+		}
+		// Hysteresis: when the bucket already holds linked peers, keep the
+		// picker-best among them instead of re-picking from scratch (the
+		// §III-F "no chain of reassignments" rationale).
+		var linked []int32
+		for _, i := range bucket {
+			if n.inLongOutLocked(friends[i]) {
+				linked = append(linked, i)
+			}
+		}
+		var keep overlay.PeerID = -1
+		switch len(linked) {
+		case 0:
+			if budget <= 0 {
+				continue
+			}
+			best, sc := selectcore.Pick(bucket, n.idx.Conn, bwOf, false, n.pickScratch)
+			n.pickScratch = sc
+			u := friends[best]
+			if u == n.id || n.pendingOut[u] {
+				continue
+			}
+			n.pendingOut[u] = true
+			budget--
+			out = append(out, outMsg{int32(u), &wire.Message{
+				Kind: wire.KindLinkProposal, From: int32(n.id), To: int32(u), Seq: n.nextSeq(),
+			}})
+		case 1:
+			keep = friends[linked[0]]
+		default:
+			best, sc := selectcore.Pick(linked, n.idx.Conn, bwOf, false, n.pickScratch)
+			n.pickScratch = sc
+			keep = friends[best]
+		}
+		if keep < 0 {
+			continue
+		}
+		// Drop redundant same-bucket links the representative covers.
+		keepBM := n.bitmaps[keep]
+		for _, i := range bucket {
+			v := friends[i]
+			if v != keep && n.inLongOutLocked(v) && bitmapHas(keepBM, int(i)) {
+				n.removeLongOutLocked(v)
+				n.cfg.Obs.Inc(obs.CLinkDrop)
+				out = append(out, outMsg{int32(v), &wire.Message{
+					Kind: wire.KindLinkDrop, From: int32(n.id), To: int32(v), Seq: n.nextSeq(),
+				}})
+			}
+		}
+	}
+	// Enforce the K budget: shed the weakest ties.
+	for len(n.longOut) > n.cfg.K {
+		victim, vi := overlay.PeerID(-1), -1.0
+		for _, q := range n.longOut {
+			s := 0.0
+			if i, ok := n.fidx[q]; ok {
+				s = n.strength[i]
+			}
+			if victim < 0 || s < vi {
+				victim, vi = q, s
+			}
+		}
+		n.removeLongOutLocked(victim)
+		n.cfg.Obs.Inc(obs.CLinkDrop)
+		out = append(out, outMsg{int32(victim), &wire.Message{
+			Kind: wire.KindLinkDrop, From: int32(n.id), To: int32(victim), Seq: n.nextSeq(),
+		}})
+	}
+	// Spend remaining budget on friends no current link reaches in one
+	// forward, weakest ties first (strong ties stay reachable through the
+	// ring; weak cross-community ties have no alternative path).
+	if budget > 0 {
+		var uncovered []int32
+		for i, f := range friends {
+			if _, ok := n.bitmaps[f]; !ok || !n.dir.isMember(f) {
+				continue
+			}
+			if !n.inLongOutLocked(f) && !n.pendingOut[f] && !n.coveredLocked(i) {
+				uncovered = append(uncovered, int32(i))
+			}
+		}
+		sort.Slice(uncovered, func(a, b int) bool {
+			si, sj := n.strength[uncovered[a]], n.strength[uncovered[b]]
+			if si != sj {
+				return si < sj
+			}
+			return uncovered[a] < uncovered[b]
+		})
+		for _, i := range uncovered {
+			if budget <= 0 {
+				break
+			}
+			u := friends[i]
+			n.pendingOut[u] = true
+			budget--
+			out = append(out, outMsg{int32(u), &wire.Message{
+				Kind: wire.KindLinkProposal, From: int32(n.id), To: int32(u), Seq: n.nextSeq(),
+			}})
+		}
+	}
+	return out
+}
+
+// handleLinkProposal enforces the K-incoming cap of §III-D: accept while
+// below the cap, evict the worst-bandwidth incoming link for a
+// better-bandwidth proposer (telling the victim), reject otherwise.
+func (n *Node) handleLinkProposal(m *wire.Message) {
+	n.cfg.Obs.Inc(obs.CLinkProposal)
+	from := overlay.PeerID(m.From)
+	var replies []outMsg
+	n.mu.Lock()
+	switch {
+	case n.inLongInLocked(from):
+		// Duplicate proposal (retry or crossed wires): re-accept.
+		n.cfg.Obs.Inc(obs.CLinkAccept)
+		replies = append(replies, outMsg{m.From, &wire.Message{
+			Kind: wire.KindLinkAccept, From: int32(n.id), To: m.From, Seq: m.Seq,
+		}})
+	case len(n.longIn) < n.cfg.K:
+		n.longIn = append(n.longIn, from)
+		n.cfg.Obs.Inc(obs.CLinkAccept)
+		replies = append(replies, outMsg{m.From, &wire.Message{
+			Kind: wire.KindLinkAccept, From: int32(n.id), To: m.From, Seq: m.Seq,
+		}})
+	default:
+		worst := overlay.PeerID(-1)
+		for _, q := range n.longIn {
+			if worst < 0 || n.bw[q] < n.bw[worst] {
+				worst = q
+			}
+		}
+		if worst >= 0 && n.bw[from] > n.bw[worst] {
+			n.removeLongInLocked(worst)
+			n.cfg.Obs.Inc(obs.CLinkEvict)
+			n.cfg.Obs.Inc(obs.CLinkDrop)
+			replies = append(replies, outMsg{int32(worst), &wire.Message{
+				Kind: wire.KindLinkDrop, From: int32(n.id), To: int32(worst), Seq: n.nextSeq(),
+			}})
+			n.longIn = append(n.longIn, from)
+			n.cfg.Obs.Inc(obs.CLinkAccept)
+			replies = append(replies, outMsg{m.From, &wire.Message{
+				Kind: wire.KindLinkAccept, From: int32(n.id), To: m.From, Seq: m.Seq,
+			}})
+		} else {
+			n.cfg.Obs.Inc(obs.CLinkDrop)
+			replies = append(replies, outMsg{m.From, &wire.Message{
+				Kind: wire.KindLinkDrop, From: int32(n.id), To: m.From, Seq: m.Seq,
+			}})
+		}
+	}
+	n.mu.Unlock()
+	for _, r := range replies {
+		_ = n.tr.Send(r.to, r.m)
+	}
+}
+
+// handleLinkAccept completes an establishment this node proposed.
+func (n *Node) handleLinkAccept(m *wire.Message) {
+	from := overlay.PeerID(m.From)
+	var over bool
+	n.mu.Lock()
+	delete(n.pendingOut, from)
+	if !n.inLongOutLocked(from) {
+		if len(n.longOut) < n.cfg.K {
+			n.longOut = append(n.longOut, from)
+		} else {
+			over = true // budget filled while the proposal was in flight
+		}
+	}
+	n.mu.Unlock()
+	if over {
+		n.cfg.Obs.Inc(obs.CLinkDrop)
+		n.mu.Lock()
+		seq := n.nextSeq()
+		n.mu.Unlock()
+		_ = n.tr.Send(m.From, &wire.Message{
+			Kind: wire.KindLinkDrop, From: int32(n.id), To: m.From, Seq: seq,
+		})
+	}
+}
+
+// handleLinkDrop tears the link to the sender down in both directions —
+// long links are connections, so a drop by either endpoint closes both
+// roles at once (reject, eviction and shedding all arrive here).
+func (n *Node) handleLinkDrop(m *wire.Message) {
+	n.cfg.Obs.Inc(obs.CLinkDrop)
+	from := overlay.PeerID(m.From)
+	n.mu.Lock()
+	n.removeLongOutLocked(from)
+	n.removeLongInLocked(from)
+	delete(n.pendingOut, from)
+	n.mu.Unlock()
+}
+
+// handleLeave unlinks a gracefully departing peer immediately, without
+// waiting for its CMA to decay.
+func (n *Node) handleLeave(m *wire.Message) {
+	n.cfg.Obs.Inc(obs.CLeave)
+	from := overlay.PeerID(m.From)
+	n.mu.Lock()
+	n.removeLongOutLocked(from)
+	n.removeLongInLocked(from)
+	delete(n.pendingOut, from)
+	delete(n.lookahead, from)
+	delete(n.cma, from)
+	if n.shortSucc == from || n.shortPred == from {
+		n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	}
+	n.mu.Unlock()
+}
+
+// Leave departs the ring gracefully: every link gets a Leave message so
+// it can unlink at once, then the node's routing state is cleared. The
+// node keeps running and can rejoin through the join protocol.
+func (n *Node) Leave() {
+	n.dir.setMember(n.id, false)
+	n.mu.Lock()
+	links := n.linksLocked()
+	seq := n.nextSeq()
+	n.resetVolatileLocked()
+	n.mu.Unlock()
+	for _, q := range links {
+		_ = n.tr.Send(int32(q), &wire.Message{
+			Kind: wire.KindLeave, From: int32(n.id), To: int32(q), Seq: seq,
+		})
+	}
+}
+
+// resetVolatileLocked clears everything a process restart would lose:
+// ring membership, links, learned strengths/bitmaps, lookahead and
+// availability history. The delivered feed (received, acked) survives as
+// persistent storage; seq keeps rising so publication ids never repeat.
+func (n *Node) resetVolatileLocked() {
+	n.joined = false
+	n.wantJoin = false
+	n.inviterPref = -1
+	n.shortSucc, n.shortPred = -1, -1
+	n.longOut = nil
+	n.longIn = nil
+	n.pendingOut = make(map[overlay.PeerID]bool)
+	for i := range n.strength {
+		n.strength[i] = -1
+	}
+	n.bitmaps = make(map[overlay.PeerID][]uint64)
+	n.lookahead = make(map[overlay.PeerID][]overlay.PeerID)
+	n.cma = make(map[overlay.PeerID]*churn.CMA)
+	n.pendingPings = make(map[uint32]overlay.PeerID)
+}

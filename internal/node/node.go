@@ -4,17 +4,23 @@
 // the paper's "realistic experiments" runtime (§IV-D), where the simulator
 // is replaced by actual message passing.
 //
-// The overlay construction (projection, reassignment, LSH links) converges
-// in internal/selectsys; the node runtime takes the converged routing
-// state and runs the live protocols on top of it:
+// Unlike earlier revisions, the runtime is no longer handed a frozen
+// overlay: each node owns its routing state and maintains it live with
+// the same decision rules the simulator converges with (selectcore):
 //
 //   - directed publication forwarding (§III-E): the publisher unicasts to
 //     every subscriber; intermediate nodes forward greedily using only
 //     their own links and their cached lookahead;
 //   - the peer-sampling exchange (Algorithms 3–4): nodes periodically send
 //     their neighborhood and routing table to a random friend and receive
-//     the mutual-friend count and friendship bitmap — which also fills the
-//     lookahead cache;
+//     the mutual-friend count — from which they learn social strength —
+//     and the friend's link bitmap over their neighborhood, which feeds
+//     the LSH link reassignment;
+//   - live maintenance (Algorithms 1–2, 5–6): joins are placed next to
+//     their inviter, identifiers periodically move to the midpoint of the
+//     two strongest friends, and long-range links are rebuilt from LSH
+//     buckets over the learned bitmaps, with incoming-degree capping and
+//     bandwidth eviction (maintain.go);
 //   - heartbeats feeding per-link CMA availability (§III-F).
 package node
 
@@ -25,33 +31,15 @@ import (
 	"time"
 
 	"selectps/internal/churn"
+	"selectps/internal/lsh"
 	"selectps/internal/obs"
 	"selectps/internal/overlay"
 	"selectps/internal/ring"
+	"selectps/internal/selectcore"
 	"selectps/internal/socialgraph"
 	"selectps/internal/transport"
 	"selectps/internal/wire"
 )
-
-// Config tunes the live protocols.
-type Config struct {
-	// HeartbeatEvery is the ping interval (0 disables heartbeats).
-	HeartbeatEvery time.Duration
-	// GossipEvery is the Algorithm-3 exchange interval (0 disables; the
-	// paper suggests ~10 s, tests use milliseconds).
-	GossipEvery time.Duration
-	// TTL bounds forwarding hops (default 32).
-	TTL uint8
-	// Obs, when set, receives runtime counters, hop histograms and trace
-	// events from every node of the cluster (nil = no instrumentation).
-	Obs *obs.Metrics
-}
-
-func (c *Config) fill() {
-	if c.TTL == 0 {
-		c.TTL = 32
-	}
-}
 
 // msgID identifies a publication.
 type msgID struct {
@@ -59,16 +47,42 @@ type msgID struct {
 	Seq       uint32
 }
 
+// DeliverFunc is the push handler for first-time publication deliveries.
+type DeliverFunc func(pub overlay.PeerID, seq uint32, hops uint8, payload []byte)
+
+// outMsg is a message staged under n.mu and sent after unlock (the
+// transport must never be entered while holding the node lock).
+type outMsg struct {
+	to int32
+	m  *wire.Message
+}
+
 // Node is one live peer.
 type Node struct {
-	id  overlay.PeerID
-	g   *socialgraph.Graph
-	ov  overlay.Overlay
-	tr  transport.Transport
-	cfg Config
-	rng *rand.Rand
+	id     overlay.PeerID
+	g      *socialgraph.Graph
+	dir    *directory
+	tr     transport.Transport
+	cfg    Options
+	rng    *rand.Rand
+	hasher *lsh.Hasher
+	bw     []float64 // shared, read-only
 
 	mu sync.Mutex
+	// Live routing state: ring membership, short-range ring neighbors and
+	// the two directed long-link sets (R_p = short ∪ longOut ∪ longIn).
+	joined               bool
+	wantJoin             bool
+	inviterPref          overlay.PeerID
+	shortSucc, shortPred overlay.PeerID
+	longOut, longIn      []overlay.PeerID
+	pendingOut           map[overlay.PeerID]bool
+	// Learned social state (Algorithm 3–4): strength[i] is the tie to
+	// C_p[i], -1 until an exchange reply carried its mutual count;
+	// bitmaps[f] is f's link bitmap over C_p from the latest reply.
+	strength []float64
+	bitmaps  map[overlay.PeerID][]uint64
+	fidx     map[overlay.PeerID]int
 	// seen dedups directed copies passing through; received records local
 	// deliveries with their hop count.
 	seen     map[msgID]bool
@@ -84,20 +98,40 @@ type Node struct {
 	// exchanges counts completed Algorithm-3 rounds (active side).
 	exchanges int
 	seq       uint32
+	onDeliver DeliverFunc
+	// Algorithm-5 scratch (maintain.go).
+	idx         selectcore.Indexer
+	coords      []int
+	pickScratch []int32
 
 	// paused simulates an unresponsive peer (churn): incoming messages are
 	// consumed and dropped, nothing is sent.
 	paused atomic.Bool
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // newNode wires a node; run() starts its loop.
-func newNode(id overlay.PeerID, g *socialgraph.Graph, ov overlay.Overlay, tr transport.Transport, cfg Config, seed int64) *Node {
-	return &Node{
-		id: id, g: g, ov: ov, tr: tr, cfg: cfg,
+func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed int64) *Node {
+	friends := cfg.Graph.Neighbors(id)
+	buckets := cfg.K
+	if buckets < 1 {
+		buckets = 1
+	}
+	n := &Node{
+		id: id, g: cfg.Graph, dir: dir, tr: cfg.Transport, cfg: cfg,
 		rng:          rand.New(rand.NewSource(seed)),
+		hasher:       lsh.NewHasher(len(friends), buckets, 0, rand.New(rand.NewSource(seed^0x15b))),
+		bw:           bw,
+		inviterPref:  -1,
+		shortSucc:    -1,
+		shortPred:    -1,
+		pendingOut:   make(map[overlay.PeerID]bool),
+		strength:     make([]float64, len(friends)),
+		bitmaps:      make(map[overlay.PeerID][]uint64),
+		fidx:         make(map[overlay.PeerID]int, len(friends)),
 		seen:         make(map[msgID]bool),
 		received:     make(map[msgID]uint8),
 		lookahead:    make(map[overlay.PeerID][]overlay.PeerID),
@@ -106,12 +140,19 @@ func newNode(id overlay.PeerID, g *socialgraph.Graph, ov overlay.Overlay, tr tra
 		acked:        make(map[msgID]map[int32]bool),
 		stop:         make(chan struct{}),
 	}
+	for i := range n.strength {
+		n.strength[i] = -1
+	}
+	for i, f := range friends {
+		n.fidx[f] = i
+	}
+	return n
 }
 
 func (n *Node) run() {
 	defer n.wg.Done()
 	inbox := n.tr.Inbox(int32(n.id))
-	var heartbeat, gossip <-chan time.Time
+	var heartbeat, gossip, maintain <-chan time.Time
 	if n.cfg.HeartbeatEvery > 0 {
 		t := time.NewTicker(n.cfg.HeartbeatEvery)
 		defer t.Stop()
@@ -121,6 +162,11 @@ func (n *Node) run() {
 		t := time.NewTicker(n.cfg.GossipEvery)
 		defer t.Stop()
 		gossip = t.C
+	}
+	if n.cfg.MaintainEvery > 0 {
+		t := time.NewTicker(n.cfg.MaintainEvery)
+		defer t.Stop()
+		maintain = t.C
 	}
 	for {
 		select {
@@ -141,6 +187,10 @@ func (n *Node) run() {
 		case <-gossip:
 			if !n.paused.Load() {
 				n.sendExchange()
+			}
+		case <-maintain:
+			if !n.paused.Load() {
+				n.maintainTick()
 			}
 		}
 	}
@@ -173,30 +223,77 @@ func (n *Node) handle(m *wire.Message) {
 	case wire.KindExchangeRT:
 		n.handleExchange(m)
 	case wire.KindExchangeReply:
-		n.cfg.Obs.Inc(obs.CGossipReply)
-		n.mu.Lock()
-		n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
-		n.exchanges++
-		n.mu.Unlock()
+		n.handleExchangeReply(m)
 	case wire.KindPublish:
 		n.handlePublish(m)
 	case wire.KindAck:
 		n.routeOrConsumeAck(m)
+	case wire.KindJoinRequest:
+		n.handleJoinRequest(m)
+	case wire.KindJoinReply:
+		n.handleJoinReply(m)
+	case wire.KindIDAnnounce:
+		n.cfg.Obs.Inc(obs.CIDAnnounce)
+	case wire.KindLinkProposal:
+		n.handleLinkProposal(m)
+	case wire.KindLinkAccept:
+		n.handleLinkAccept(m)
+	case wire.KindLinkDrop:
+		n.handleLinkDrop(m)
+	case wire.KindLeave:
+		n.handleLeave(m)
 	}
+}
+
+// linksLocked returns R_p (short ∪ longOut ∪ longIn, deduplicated).
+// Callers hold n.mu; the returned slice is freshly allocated.
+func (n *Node) linksLocked() []overlay.PeerID {
+	out := make([]overlay.PeerID, 0, 2+len(n.longOut)+len(n.longIn))
+	add := func(q overlay.PeerID) {
+		if q < 0 || q == n.id {
+			return
+		}
+		for _, x := range out {
+			if x == q {
+				return
+			}
+		}
+		out = append(out, q)
+	}
+	add(n.shortSucc)
+	add(n.shortPred)
+	for _, q := range n.longOut {
+		add(q)
+	}
+	for _, q := range n.longIn {
+		add(q)
+	}
+	return out
+}
+
+// linksSnapshot is linksLocked with locking.
+func (n *Node) linksSnapshot() []overlay.PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.linksLocked()
 }
 
 // handleExchange is the passive thread of Algorithm 4: compare the
 // received neighborhood with the local one, return the mutual count and
-// the friendship bitmap, and cache the sender's routing table as
-// lookahead.
+// the friendship bitmap over the sender's neighborhood, and cache the
+// sender's routing table as lookahead.
 func (n *Node) handleExchange(m *wire.Message) {
 	mine := n.g.Neighbors(n.id)
 	theirs := int32sToPeers(m.Neighborhood)
 	mutual := countMutualSorted(mine, theirs)
+	n.mu.Lock()
+	links := n.linksLocked()
+	n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
+	n.mu.Unlock()
 	// Friendship bitmap over the SENDER's neighborhood: bit i set when
 	// their i-th friend is in our routing table.
-	inRT := make(map[overlay.PeerID]bool, len(n.ov.Links(n.id)))
-	for _, q := range n.ov.Links(n.id) {
+	inRT := make(map[overlay.PeerID]bool, len(links))
+	for _, q := range links {
 		inRT[q] = true
 	}
 	words := (len(theirs) + 63) / 64
@@ -206,16 +303,32 @@ func (n *Node) handleExchange(m *wire.Message) {
 			bitmap[i/64] |= 1 << (i % 64)
 		}
 	}
-	n.mu.Lock()
-	n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
-	n.mu.Unlock()
 	reply := &wire.Message{
 		Kind: wire.KindExchangeReply, From: int32(n.id), To: m.From, Seq: m.Seq,
 		NMutual:      int32(mutual),
 		Bitmap:       bitmap,
-		RoutingTable: peersToInt32s(n.ov.Links(n.id)),
+		RoutingTable: peersToInt32s(links),
 	}
 	_ = n.tr.Send(m.From, reply)
+}
+
+// handleExchangeReply is the active thread's learning step: the mutual
+// count yields the tie strength (selectcore.StrengthFromCounts — the
+// same formula the simulator evaluates from graph reads), the bitmap
+// feeds the Algorithm-5 link pass, and the routing table becomes
+// lookahead.
+func (n *Node) handleExchangeReply(m *wire.Message) {
+	n.cfg.Obs.Inc(obs.CGossipReply)
+	from := overlay.PeerID(m.From)
+	n.mu.Lock()
+	n.lookahead[from] = int32sToPeers(m.RoutingTable)
+	if i, ok := n.fidx[from]; ok {
+		n.strength[i] = selectcore.StrengthFromCounts(
+			n.g.Degree(n.id), n.g.Degree(from), int(m.NMutual))
+		n.bitmaps[from] = m.Bitmap
+	}
+	n.exchanges++
+	n.mu.Unlock()
 }
 
 // sendExchange is the active thread of Algorithm 3: pick a random social
@@ -223,15 +336,17 @@ func (n *Node) handleExchange(m *wire.Message) {
 func (n *Node) sendExchange() {
 	n.mu.Lock()
 	f, ok := n.g.RandomFriend(n.id, n.rng)
+	links := n.linksLocked()
+	seq := n.nextSeq()
 	n.mu.Unlock()
 	if !ok {
 		return
 	}
 	n.cfg.Obs.Inc(obs.CGossipSent)
 	m := &wire.Message{
-		Kind: wire.KindExchangeRT, From: int32(n.id), To: int32(f), Seq: n.nextSeq(),
+		Kind: wire.KindExchangeRT, From: int32(n.id), To: int32(f), Seq: seq,
 		Neighborhood: peersToInt32s(n.g.Neighbors(n.id)),
-		RoutingTable: peersToInt32s(n.ov.Links(n.id)),
+		RoutingTable: peersToInt32s(links),
 	}
 	_ = n.tr.Send(int32(f), m)
 }
@@ -245,7 +360,7 @@ func (n *Node) sendHeartbeats() {
 		n.observe(target, false)
 	}
 	n.pendingPings = make(map[uint32]overlay.PeerID)
-	links := append([]overlay.PeerID(nil), n.ov.Links(n.id)...)
+	links := n.linksLocked()
 	seqs := make(map[uint32]overlay.PeerID, len(links))
 	for _, q := range links {
 		s := n.nextSeq()
@@ -279,6 +394,7 @@ func (n *Node) handlePublish(m *wire.Message) {
 		if !dup {
 			n.received[id] = m.HopCount
 		}
+		handler := n.onDeliver
 		n.mu.Unlock()
 		if dup {
 			n.cfg.Obs.Inc(obs.CPublishDuplicate)
@@ -286,6 +402,9 @@ func (n *Node) handlePublish(m *wire.Message) {
 			n.cfg.Obs.Inc(obs.CPublishDelivered)
 			n.cfg.Obs.ObserveHops(float64(m.HopCount))
 			n.cfg.Obs.TraceEvent("deliver", int32(n.id), m.Seq)
+			if handler != nil {
+				handler(overlay.PeerID(m.Publisher), m.Seq, m.HopCount, m.Payload)
+			}
 		}
 		// Ack back to the publisher (directed).
 		if overlay.PeerID(m.Publisher) != n.id {
@@ -346,7 +465,7 @@ func (n *Node) forward(m *wire.Message, target overlay.PeerID) {
 }
 
 func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
-	links := n.ov.Links(n.id)
+	links := n.linksSnapshot()
 	// CMA-informed liveness (§III-F): links whose heartbeat history says
 	// the peer is mostly offline are avoided as intermediate hops — but a
 	// direct link to the target itself is always tried (the message can
@@ -388,7 +507,7 @@ func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
 	}
 	// Greedy on the ring, avoiding links the CMA marks dead.
 	best := overlay.PeerID(-1)
-	bestD := ring.Distance(n.ov.Position(n.id), n.ov.Position(target))
+	bestD := ring.Distance(n.dir.position(n.id), n.dir.position(target))
 	var aliveLinks []overlay.PeerID
 	for _, q := range links {
 		if !alive(q) {
@@ -396,7 +515,7 @@ func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
 			continue
 		}
 		aliveLinks = append(aliveLinks, q)
-		if d := ring.Distance(n.ov.Position(q), n.ov.Position(target)); d < bestD {
+		if d := ring.Distance(n.dir.position(q), n.dir.position(target)); d < bestD {
 			best, bestD = q, d
 		}
 	}
@@ -447,9 +566,31 @@ func (n *Node) RetryMissing(seq uint32) int {
 	return len(missing)
 }
 
-// Publish unicasts a publication to every subscriber (the node's social
-// friends) and returns the sequence number identifying it.
-func (n *Node) Publish(payloadSize uint32) uint32 {
+// OnDeliver registers the push handler called once per first-time
+// publication delivery, outside the node lock. Register before traffic
+// starts; a nil handler disables the callback.
+func (n *Node) OnDeliver(fn DeliverFunc) {
+	n.mu.Lock()
+	n.onDeliver = fn
+	n.mu.Unlock()
+}
+
+// Publish unicasts a publication carrying payload to every subscriber
+// (the node's social friends) and returns the sequence number
+// identifying it.
+func (n *Node) Publish(payload []byte) uint32 {
+	return n.publish(payload, uint32(len(payload)))
+}
+
+// PublishSize publishes a body-less publication that models a payload of
+// the given size — the benchmark shim for the paper's 1.2 MB fragments,
+// where only accounting matters and materializing bodies would swamp the
+// harness.
+func (n *Node) PublishSize(size uint32) uint32 {
+	return n.publish(nil, size)
+}
+
+func (n *Node) publish(payload []byte, size uint32) uint32 {
 	n.mu.Lock()
 	seq := n.nextSeq()
 	id := msgID{int32(n.id), seq}
@@ -462,7 +603,7 @@ func (n *Node) Publish(payloadSize uint32) uint32 {
 		m := &wire.Message{
 			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
 			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
-			PayloadSize: payloadSize,
+			PayloadSize: size, Payload: payload,
 		}
 		n.forward(m, s)
 	}
@@ -513,58 +654,41 @@ func (n *Node) Lookahead(q overlay.PeerID) []overlay.PeerID {
 // ID returns the node's peer id.
 func (n *Node) ID() overlay.PeerID { return n.id }
 
-// Cluster runs one node per peer of an overlay.
-type Cluster struct {
-	Nodes []*Node
-	tr    transport.Transport
+// Joined reports whether the node is currently a ring member.
+func (n *Node) Joined() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.joined
 }
 
-// StartCluster spawns a node goroutine per peer over the given transport.
-func StartCluster(g *socialgraph.Graph, ov overlay.Overlay, tr transport.Transport, cfg Config, seed int64) *Cluster {
-	cfg.fill()
-	c := &Cluster{tr: tr}
-	for p := 0; p < ov.N(); p++ {
-		n := newNode(overlay.PeerID(p), g, ov, tr, cfg, seed+int64(p))
-		c.Nodes = append(c.Nodes, n)
-	}
-	for _, n := range c.Nodes {
-		n.wg.Add(1)
-		go n.run()
-	}
-	return c
-}
+// Links returns the node's current routing table R_p.
+func (n *Node) Links() []overlay.PeerID { return n.linksSnapshot() }
 
-// AwaitDelivery polls until every subscriber of (publisher, seq) received
-// the publication or the timeout elapses; it returns the delivered count
-// and whether delivery completed.
-func (c *Cluster) AwaitDelivery(publisher overlay.PeerID, seq uint32, subs []overlay.PeerID, timeout time.Duration) (int, bool) {
-	deadline := time.Now().Add(timeout)
-	for {
-		delivered := 0
-		for _, s := range subs {
-			if _, ok := c.Nodes[s].Received(publisher, seq); ok {
-				delivered++
-			}
-		}
-		if delivered == len(subs) {
-			return delivered, true
-		}
-		if time.Now().After(deadline) {
-			return delivered, false
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-}
+// Position returns the node's current ring identifier.
+func (n *Node) Position() ring.ID { return n.dir.position(n.id) }
 
-// Stop terminates all nodes and closes the transport.
-func (c *Cluster) Stop() {
-	for _, n := range c.Nodes {
-		close(n.stop)
+// LinkCoverage reports the fraction of this node's member friends that
+// are one forward away: directly long-linked, or long-linked by one of
+// our long links (known through the learned bitmaps). It is the live
+// overlay-quality metric the soak's churn arm watches converge.
+func (n *Node) LinkCoverage() float64 {
+	friends := n.g.Neighbors(n.id)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	members, covered := 0, 0
+	for i, f := range friends {
+		if !n.dir.isMember(f) {
+			continue
+		}
+		members++
+		if n.inLongOutLocked(f) || n.coveredLocked(i) {
+			covered++
+		}
 	}
-	for _, n := range c.Nodes {
-		n.wg.Wait()
+	if members == 0 {
+		return 1
 	}
-	c.tr.Close()
+	return float64(covered) / float64(members)
 }
 
 func peersToInt32s(ps []overlay.PeerID) []int32 {

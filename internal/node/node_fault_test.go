@@ -37,8 +37,14 @@ func TestPublishUnderSeededDrops(t *testing.T) {
 		Kinds:    []wire.Kind{wire.KindPublish},
 	}, seed)
 	fn.Obs = met
-	c := StartCluster(g, ov, fn, Config{HeartbeatEvery: 20 * time.Millisecond, Obs: met}, seed)
-	defer c.Stop()
+	c, err := Start(Options{
+		Graph: g, Overlay: ov, Transport: fn, Seed: seed,
+		HeartbeatEvery: 20 * time.Millisecond, Obs: met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, c)
 
 	var pub overlay.PeerID
 	for p := overlay.PeerID(0); p < n; p++ {
@@ -47,7 +53,7 @@ func TestPublishUnderSeededDrops(t *testing.T) {
 		}
 	}
 	subs := g.Neighbors(pub)
-	seq := c.Nodes[pub].Publish(1000)
+	seq := c.Nodes[pub].PublishSize(1000)
 
 	// Retry horizon: the publisher repairs missing deliveries until every
 	// subscriber has the publication or the deadline passes.
@@ -107,8 +113,11 @@ func TestRetriesSurviveDroppedAcks(t *testing.T) {
 		Kinds:    []wire.Kind{wire.KindPublish, wire.KindAck},
 	}, seed)
 	fn.Obs = met
-	c := StartCluster(g, ov, fn, Config{Obs: met}, seed)
-	defer c.Stop()
+	c, err := Start(Options{Graph: g, Overlay: ov, Transport: fn, Seed: seed, Obs: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, c)
 
 	var pub overlay.PeerID = -1
 	for p := overlay.PeerID(0); p < n; p++ {
@@ -121,7 +130,7 @@ func TestRetriesSurviveDroppedAcks(t *testing.T) {
 		t.Skip("no publisher with enough friends")
 	}
 	subs := g.Neighbors(pub)
-	seq := c.Nodes[pub].Publish(100)
+	seq := c.Nodes[pub].PublishSize(100)
 	deadline := time.Now().Add(10 * time.Second)
 	delivered := 0
 	for time.Now().Before(deadline) {

@@ -1,7 +1,10 @@
 package node
 
 import (
+	"bytes"
+	"context"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -13,38 +16,104 @@ import (
 )
 
 // buildCluster constructs a SELECT overlay over a small graph and starts a
-// live in-memory cluster on it.
-func buildCluster(t *testing.T, n int, seed int64, cfg Config) (*socialgraph.Graph, *Cluster) {
+// live in-memory cluster on it. The caller fills only the tuning fields of
+// opts; graph, overlay, transport and seed are provided here.
+func buildCluster(t *testing.T, n int, seed int64, opts Options) (*socialgraph.Graph, *Cluster) {
 	t.Helper()
 	g := datasets.Facebook.Generate(n, seed)
 	ov, err := pubsub.Build(pubsub.Select, g, pubsub.BuildOptions{}, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := transport.NewSwitchboard(n, 1024)
-	return g, StartCluster(g, ov, tr, cfg, seed)
+	opts.Graph = g
+	opts.Overlay = ov
+	opts.Transport = transport.NewSwitchboard(n, 1024)
+	opts.Seed = seed
+	c, err := Start(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, c
 }
 
-func TestPublishReachesAllSubscribers(t *testing.T) {
-	g, c := buildCluster(t, 150, 1, Config{})
-	defer c.Stop()
+func shutdown(t *testing.T, c *Cluster) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// await wraps AwaitDelivery with a timeout context.
+func await(c *Cluster, pub overlay.PeerID, seq uint32, subs []overlay.PeerID, d time.Duration) (int, bool) {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.AwaitDelivery(ctx, pub, seq, subs)
+}
+
+func topDegree(g *socialgraph.Graph) overlay.PeerID {
 	var pub overlay.PeerID
-	for p := overlay.PeerID(0); p < 150; p++ {
+	for p := overlay.PeerID(0); p < overlay.PeerID(g.NumNodes()); p++ {
 		if g.Degree(p) > g.Degree(pub) {
 			pub = p
 		}
 	}
-	seq := c.Nodes[pub].Publish(1_200_000)
+	return pub
+}
+
+func TestPublishReachesAllSubscribers(t *testing.T) {
+	g, c := buildCluster(t, 150, 1, Options{})
+	defer shutdown(t, c)
+	pub := topDegree(g)
+	seq := c.Nodes[pub].PublishSize(1_200_000)
 	subs := g.Neighbors(pub)
-	delivered, ok := c.AwaitDelivery(pub, seq, subs, 5*time.Second)
+	delivered, ok := await(c, pub, seq, subs, 5*time.Second)
 	if !ok {
 		t.Fatalf("only %d/%d subscribers delivered", delivered, len(subs))
 	}
 }
 
+func TestPublishPayloadAndHandler(t *testing.T) {
+	// The api_redesign satellite end to end: Publish carries real bytes,
+	// OnDeliver pushes them to every subscriber without polling.
+	g, c := buildCluster(t, 100, 13, Options{})
+	defer shutdown(t, c)
+	pub := topDegree(g)
+	subs := g.Neighbors(pub)
+	body := []byte("hello from the publisher: payload bytes travel end to end")
+
+	var mu sync.Mutex
+	got := make(map[overlay.PeerID][]byte)
+	calls := 0
+	for _, s := range subs {
+		s := s
+		c.Nodes[s].OnDeliver(func(p overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+			mu.Lock()
+			got[s] = payload
+			calls++
+			mu.Unlock()
+		})
+	}
+	seq := c.Nodes[pub].Publish(body)
+	if _, ok := await(c, pub, seq, subs, 5*time.Second); !ok {
+		t.Fatal("delivery incomplete")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != len(subs) {
+		t.Fatalf("handler called %d times, want %d (once per first delivery)", calls, len(subs))
+	}
+	for _, s := range subs {
+		if !bytes.Equal(got[s], body) {
+			t.Fatalf("subscriber %d payload = %q, want %q", s, got[s], body)
+		}
+	}
+}
+
 func TestPublishAcksFlowBack(t *testing.T) {
-	g, c := buildCluster(t, 120, 2, Config{})
-	defer c.Stop()
+	g, c := buildCluster(t, 120, 2, Options{})
+	defer shutdown(t, c)
 	var pub overlay.PeerID = -1
 	for p := overlay.PeerID(0); p < 120; p++ {
 		if g.Degree(p) >= 5 {
@@ -55,9 +124,9 @@ func TestPublishAcksFlowBack(t *testing.T) {
 	if pub < 0 {
 		t.Skip("no publisher with enough friends")
 	}
-	seq := c.Nodes[pub].Publish(1000)
+	seq := c.Nodes[pub].PublishSize(1000)
 	subs := g.Neighbors(pub)
-	if _, ok := c.AwaitDelivery(pub, seq, subs, 5*time.Second); !ok {
+	if _, ok := await(c, pub, seq, subs, 5*time.Second); !ok {
 		t.Fatal("delivery incomplete")
 	}
 	// Acks travel back to the publisher; allow a moment for the reverse
@@ -72,8 +141,8 @@ func TestPublishAcksFlowBack(t *testing.T) {
 }
 
 func TestMultiplePublishersConcurrently(t *testing.T) {
-	g, c := buildCluster(t, 150, 3, Config{})
-	defer c.Stop()
+	g, c := buildCluster(t, 150, 3, Options{})
+	defer shutdown(t, c)
 	type pubRec struct {
 		p   overlay.PeerID
 		seq uint32
@@ -83,28 +152,23 @@ func TestMultiplePublishersConcurrently(t *testing.T) {
 		if g.Degree(p) == 0 {
 			continue
 		}
-		pubs = append(pubs, pubRec{p, c.Nodes[p].Publish(500)})
+		pubs = append(pubs, pubRec{p, c.Nodes[p].PublishSize(500)})
 	}
 	for _, pr := range pubs {
 		subs := g.Neighbors(pr.p)
-		if delivered, ok := c.AwaitDelivery(pr.p, pr.seq, subs, 5*time.Second); !ok {
+		if delivered, ok := await(c, pr.p, pr.seq, subs, 5*time.Second); !ok {
 			t.Fatalf("publisher %d: %d/%d delivered", pr.p, delivered, len(subs))
 		}
 	}
 }
 
 func TestHopCountsAreSmall(t *testing.T) {
-	g, c := buildCluster(t, 200, 4, Config{})
-	defer c.Stop()
-	var pub overlay.PeerID
-	for p := overlay.PeerID(0); p < 200; p++ {
-		if g.Degree(p) > g.Degree(pub) {
-			pub = p
-		}
-	}
-	seq := c.Nodes[pub].Publish(100)
+	g, c := buildCluster(t, 200, 4, Options{})
+	defer shutdown(t, c)
+	pub := topDegree(g)
+	seq := c.Nodes[pub].PublishSize(100)
 	subs := g.Neighbors(pub)
-	if _, ok := c.AwaitDelivery(pub, seq, subs, 5*time.Second); !ok {
+	if _, ok := await(c, pub, seq, subs, 5*time.Second); !ok {
 		t.Fatal("delivery incomplete")
 	}
 	total, count := 0, 0
@@ -120,8 +184,8 @@ func TestHopCountsAreSmall(t *testing.T) {
 }
 
 func TestGossipExchangeFillsLookahead(t *testing.T) {
-	g, c := buildCluster(t, 80, 5, Config{GossipEvery: 5 * time.Millisecond})
-	defer c.Stop()
+	g, c := buildCluster(t, 80, 5, Options{GossipEvery: 5 * time.Millisecond})
+	defer shutdown(t, c)
 	deadline := time.Now().Add(5 * time.Second)
 	done := 0
 	for time.Now().Before(deadline) {
@@ -157,14 +221,14 @@ func TestGossipExchangeFillsLookahead(t *testing.T) {
 }
 
 func TestHeartbeatsBuildCMA(t *testing.T) {
-	_, c := buildCluster(t, 60, 6, Config{HeartbeatEvery: 25 * time.Millisecond})
-	defer c.Stop()
+	_, c := buildCluster(t, 60, 6, Options{HeartbeatEvery: 25 * time.Millisecond})
+	defer shutdown(t, c)
 	time.Sleep(400 * time.Millisecond)
 	// All nodes alive: availability estimates should be high for probed
 	// links.
 	probed, lowAvail := 0, 0
 	for _, n := range c.Nodes {
-		for _, q := range n.ov.Links(n.ID()) {
+		for _, q := range n.Links() {
 			// value 1 could mean "never probed"; count explicitly probed
 			// links via the cma map, reading under the node's mutex.
 			n.mu.Lock()
@@ -216,17 +280,15 @@ func TestClusterOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := StartCluster(g, ov, tr, Config{}, 9)
-	defer c.Stop()
-	var pub overlay.PeerID
-	for p := overlay.PeerID(0); p < n; p++ {
-		if g.Degree(p) > g.Degree(pub) {
-			pub = p
-		}
+	c, err := Start(Options{Graph: g, Overlay: ov, Transport: tr, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
 	}
-	seq := c.Nodes[pub].Publish(1_200_000)
+	defer shutdown(t, c)
+	pub := topDegree(g)
+	seq := c.Nodes[pub].PublishSize(1_200_000)
 	subs := g.Neighbors(pub)
-	delivered, ok := c.AwaitDelivery(pub, seq, subs, 10*time.Second)
+	delivered, ok := await(c, pub, seq, subs, 10*time.Second)
 	if !ok {
 		t.Fatalf("TCP cluster delivered %d/%d", delivered, len(subs))
 	}
@@ -242,16 +304,14 @@ func TestLatencyAwareSwitchboard(t *testing.T) {
 	}
 	tr := transport.NewSwitchboard(n, 1024)
 	tr.Latency = func(from, to int32) time.Duration { return time.Millisecond }
-	c := StartCluster(g, ov, tr, Config{}, 10)
-	defer c.Stop()
-	var pub overlay.PeerID
-	for p := overlay.PeerID(0); p < n; p++ {
-		if g.Degree(p) > g.Degree(pub) {
-			pub = p
-		}
+	c, err := Start(Options{Graph: g, Overlay: ov, Transport: tr, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
 	}
-	seq := c.Nodes[pub].Publish(100)
-	if _, ok := c.AwaitDelivery(pub, seq, g.Neighbors(pub), 10*time.Second); !ok {
+	defer shutdown(t, c)
+	pub := topDegree(g)
+	seq := c.Nodes[pub].PublishSize(100)
+	if _, ok := await(c, pub, seq, g.Neighbors(pub), 10*time.Second); !ok {
 		t.Fatal("latency cluster delivery incomplete")
 	}
 }
@@ -260,14 +320,9 @@ func TestLiveChurnRecovery(t *testing.T) {
 	// Pause a set of non-subscriber peers (potential relays), let
 	// heartbeats learn their unavailability, and verify that
 	// publisher-driven retries deliver to every online subscriber.
-	g, c := buildCluster(t, 150, 11, Config{HeartbeatEvery: 10 * time.Millisecond})
-	defer c.Stop()
-	var pub overlay.PeerID
-	for p := overlay.PeerID(0); p < 150; p++ {
-		if g.Degree(p) > g.Degree(pub) {
-			pub = p
-		}
-	}
+	g, c := buildCluster(t, 150, 11, Options{HeartbeatEvery: 10 * time.Millisecond})
+	defer shutdown(t, c)
+	pub := topDegree(g)
 	subs := g.Neighbors(pub)
 	isSub := make(map[overlay.PeerID]bool, len(subs))
 	for _, s := range subs {
@@ -285,7 +340,7 @@ func TestLiveChurnRecovery(t *testing.T) {
 	// Give heartbeats time to mark the paused peers dead.
 	time.Sleep(150 * time.Millisecond)
 
-	seq := c.Nodes[pub].Publish(1000)
+	seq := c.Nodes[pub].PublishSize(1000)
 	deadline := time.Now().Add(8 * time.Second)
 	delivered := 0
 	for time.Now().Before(deadline) {
@@ -307,8 +362,8 @@ func TestLiveChurnRecovery(t *testing.T) {
 }
 
 func TestPausedNodeDropsEverything(t *testing.T) {
-	g, c := buildCluster(t, 60, 12, Config{})
-	defer c.Stop()
+	g, c := buildCluster(t, 60, 12, Options{})
+	defer shutdown(t, c)
 	var pub overlay.PeerID = -1
 	for p := overlay.PeerID(0); p < 60; p++ {
 		if g.Degree(p) >= 3 {
@@ -321,7 +376,7 @@ func TestPausedNodeDropsEverything(t *testing.T) {
 	}
 	victim := g.Neighbors(pub)[0]
 	c.Nodes[victim].Pause()
-	seq := c.Nodes[pub].Publish(100)
+	seq := c.Nodes[pub].PublishSize(100)
 	time.Sleep(100 * time.Millisecond)
 	if _, ok := c.Nodes[victim].Received(pub, seq); ok {
 		t.Error("paused subscriber received a publication")

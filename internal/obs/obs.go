@@ -65,6 +65,17 @@ const (
 	CFaultCrashDrop     // messages dropped at a crashed endpoint
 	CFaultPartitionDrop // messages dropped crossing an active partition
 
+	// node: live maintenance protocol (Algorithms 1–2, 5–6 at runtime).
+	CJoinRequest  // join requests received by inviters
+	CJoinReply    // join admissions granted
+	CIDAnnounce   // identifier announcements received
+	CIDReassign   // Algorithm-2 identifier moves performed
+	CLinkProposal // long-link proposals received
+	CLinkAccept   // long-link proposals accepted
+	CLinkDrop     // long-link teardowns (reject, eviction, budget shed)
+	CLinkEvict    // incoming links evicted for a better-bandwidth proposer
+	CLeave        // graceful departures observed
+
 	numCounters
 )
 
@@ -100,6 +111,16 @@ var counterNames = [numCounters]string{
 	CFaultDelayed:       "fault_delayed",
 	CFaultCrashDrop:     "fault_crash_drop",
 	CFaultPartitionDrop: "fault_partition_drop",
+
+	CJoinRequest:  "join_request",
+	CJoinReply:    "join_reply",
+	CIDAnnounce:   "id_announce",
+	CIDReassign:   "id_reassign",
+	CLinkProposal: "link_proposal",
+	CLinkAccept:   "link_accept",
+	CLinkDrop:     "link_drop",
+	CLinkEvict:    "link_evict",
+	CLeave:        "leave",
 }
 
 // String returns the counter's export name.

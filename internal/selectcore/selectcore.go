@@ -1,0 +1,117 @@
+// Package selectcore holds the SELECT protocol decisions shared between
+// the offline construction simulator (internal/selectsys) and the live
+// node runtime (internal/node): the symmetric social tie-strength formula
+// (§III-A), the Algorithm-1 projection placement for invited and
+// independent joins, the Algorithm-2 identifier-reassignment target, the
+// Algorithm-5 LSH bucket index over friendship bitmaps, and the
+// Algorithm-6 bucket picker.
+//
+// Both consumers call exactly these functions, so the overlay a cluster
+// converges to live is produced by the same decision rules the simulator
+// was validated against (DESIGN.md §8) — the difference between the two
+// is only *how* each peer learns its inputs (direct graph reads in the
+// simulator, Algorithm-3/4 exchange messages live), never *what* it does
+// with them.
+package selectcore
+
+import (
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/socialgraph"
+)
+
+// StrengthFromCounts is the symmetric tie strength of a friendship edge
+// given the two degrees and the common-neighbor count |C_p ∩ C_v|:
+// common friends over the union of the two neighborhoods, with +1 keeping
+// the friendship edge itself worth something even with no common friends.
+// Eq. 2's one-sided normalization |C_p∩C_u|/|C_p| would make every
+// low-degree peer's strongest friends the global hubs; the symmetric form
+// keeps the common-friend signal of §III-A while anchoring peers to their
+// own community.
+//
+// The live runtime evaluates this from the NMutual field of an
+// Algorithm-4 exchange reply; the simulator from a direct
+// CommonNeighbors query. Same counts, same strength.
+func StrengthFromCounts(degP, degV, common int) float64 {
+	union := degP + degV - common
+	if union <= 0 {
+		return 0
+	}
+	return (float64(common) + 1) / float64(union+1)
+}
+
+// Strength evaluates StrengthFromCounts against the graph directly.
+func Strength(g *socialgraph.Graph, p, v overlay.PeerID) float64 {
+	return StrengthFromCounts(g.Degree(p), g.Degree(v), g.CommonNeighbors(p, v))
+}
+
+// StrengthRow fills row[i] with Strength(g, p, C_p[i]) aligned with
+// g.Neighbors(p), reusing row when it has capacity. Nil when p has no
+// friends.
+func StrengthRow(g *socialgraph.Graph, p overlay.PeerID, row []float64) []float64 {
+	friends := g.Neighbors(p)
+	if len(friends) == 0 {
+		return nil
+	}
+	if cap(row) < len(friends) {
+		row = make([]float64, len(friends))
+	}
+	row = row[:len(friends)]
+	for i, v := range friends {
+		row[i] = Strength(g, p, v)
+	}
+	return row
+}
+
+// Top2 returns the two friends with the strongest ties (-1 when absent),
+// ties broken by list order — the anchor pair of Algorithm 2's "midpoint
+// of the two strongest friends". strength is aligned with friends;
+// entries with strength < 0 are skipped (the live runtime marks friends
+// it has not exchanged with yet that way).
+func Top2(friends []overlay.PeerID, strength []float64) (best, second overlay.PeerID) {
+	best, second = -1, -1
+	var bs, ss float64 = -1, -1
+	for i, v := range friends {
+		s := strength[i]
+		if s < 0 {
+			continue
+		}
+		switch {
+		case s > bs:
+			second, ss = best, bs
+			best, bs = v, s
+		case s > ss:
+			second, ss = v, s
+		}
+	}
+	return best, second
+}
+
+// ReassignTarget is the Algorithm-2 identifier target: the ring midpoint
+// of the two strongest friends' positions. With only one known friend the
+// target is that friend's neighborhood itself.
+func ReassignTarget(a, b ring.ID) ring.ID { return ring.Midpoint(a, b) }
+
+// PlaceJoin is the Algorithm-1 placement of an invited peer: it lands
+// inside the inviter's currently free clockwise arc (between the inviter
+// and its ring successor), so the invitee becomes the inviter's closest
+// ring neighbor and invitation subtrees grow into contiguous regions —
+// the Fig. 8 picture of "small groups within regions without losing
+// connectivity between regions". (A fixed tiny offset instead would
+// collapse the whole network onto the first seed's position.)
+//
+// gap is the free clockwise arc ring.Clockwise(inviter, successor);
+// callers pass fallbackGap (e.g. 1/(members+1)) for the degenerate
+// single-member ring where the arc is zero. u ∈ [0,1) is the caller's
+// deterministic jitter draw.
+func PlaceJoin(inviter ring.ID, gap, fallbackGap, u float64) ring.ID {
+	if gap <= 0 {
+		gap = fallbackGap
+	}
+	return ring.Perturb(inviter, gap*(0.3+0.4*u))
+}
+
+// PlaceIndependent is the Algorithm-1 placement of a peer subscribing
+// independently (no registered friend to invite it): a uniform hash of
+// its identity.
+func PlaceIndependent(user uint64) ring.ID { return ring.HashUint64(user) }

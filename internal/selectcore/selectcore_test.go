@@ -1,0 +1,147 @@
+package selectcore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"selectps/internal/lsh"
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/socialgraph"
+)
+
+func TestStrengthFromCounts(t *testing.T) {
+	// No common friends: the friendship edge alone is still worth 1/(union+1).
+	if got := StrengthFromCounts(3, 4, 0); got != 1.0/8.0 {
+		t.Fatalf("no-common strength = %v, want 1/8", got)
+	}
+	// Symmetric in the two degrees.
+	if StrengthFromCounts(3, 7, 2) != StrengthFromCounts(7, 3, 2) {
+		t.Fatal("strength not symmetric")
+	}
+	// More common friends → strictly stronger tie.
+	if !(StrengthFromCounts(5, 5, 3) > StrengthFromCounts(5, 5, 1)) {
+		t.Fatal("strength not monotone in common count")
+	}
+	// Degenerate inputs do not divide by zero.
+	if got := StrengthFromCounts(0, 0, 0); got != 0 {
+		t.Fatalf("degenerate strength = %v, want 0", got)
+	}
+}
+
+func TestStrengthMatchesGraphCounts(t *testing.T) {
+	b := socialgraph.NewBuilder(5)
+	for _, e := range [][2]socialgraph.NodeID{
+		{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}, {3, 4},
+	} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	for p := overlay.PeerID(0); p < 5; p++ {
+		row := StrengthRow(g, p, nil)
+		for i, v := range g.Neighbors(p) {
+			want := StrengthFromCounts(g.Degree(p), g.Degree(v), g.CommonNeighbors(p, v))
+			if row[i] != want || Strength(g, p, v) != want {
+				t.Fatalf("strength(%d,%d) mismatch: row=%v direct=%v want=%v",
+					p, v, row[i], Strength(g, p, v), want)
+			}
+		}
+	}
+}
+
+func TestTop2(t *testing.T) {
+	friends := []overlay.PeerID{10, 20, 30, 40}
+	best, second := Top2(friends, []float64{0.1, 0.9, 0.4, 0.2})
+	if best != 20 || second != 30 {
+		t.Fatalf("Top2 = (%d,%d), want (20,30)", best, second)
+	}
+	// Negative strengths mark friends not yet learned; they are skipped.
+	best, second = Top2(friends, []float64{-1, 0.9, -1, -1})
+	if best != 20 || second != -1 {
+		t.Fatalf("Top2 with unknowns = (%d,%d), want (20,-1)", best, second)
+	}
+	best, second = Top2(nil, nil)
+	if best != -1 || second != -1 {
+		t.Fatalf("Top2 empty = (%d,%d), want (-1,-1)", best, second)
+	}
+}
+
+func TestPlacement(t *testing.T) {
+	inv := ring.ID(0.25)
+	// The invitee lands inside the inviter's clockwise arc.
+	pos := PlaceJoin(inv, 0.1, 0.5, 0.5)
+	if d := ring.Clockwise(inv, pos); d <= 0 || d >= 0.1 {
+		t.Fatalf("PlaceJoin landed outside the free arc: clockwise=%v", d)
+	}
+	// Zero arc falls back to the caller's gap.
+	pos = PlaceJoin(inv, 0, 0.2, 0)
+	if d := ring.Clockwise(inv, pos); math.Abs(d-0.06) > 1e-12 {
+		t.Fatalf("PlaceJoin fallback arc wrong: clockwise=%v want 0.06", d)
+	}
+	if !PlaceIndependent(42).Valid() {
+		t.Fatal("PlaceIndependent out of ring range")
+	}
+	if PlaceIndependent(42) != ring.HashUint64(42) {
+		t.Fatal("PlaceIndependent must be the uniform identity hash")
+	}
+	mid := ReassignTarget(0.9, 0.1)
+	if mid != ring.Midpoint(0.9, 0.1) {
+		t.Fatalf("ReassignTarget = %v, want ring midpoint", mid)
+	}
+}
+
+func TestIndexerGroupsIdenticalBitmaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := lsh.NewHasher(8, 4, 0, rng)
+	var x Indexer
+	x.Begin(h, 8)
+	// Two friends with identical link bitmaps must collide in one bucket;
+	// Conn counts distinct coordinates only.
+	b0 := x.Add(0, []int{0, 3, 5})
+	b1 := x.Add(1, []int{1, 3, 5, 3})
+	b2 := x.Add(2, []int{1, 3, 5})
+	if b1 != b2 {
+		t.Fatalf("identical bitmaps landed in different buckets: %d vs %d", b1, b2)
+	}
+	if x.Conn[1] != 3 || x.Conn[2] != 3 {
+		t.Fatalf("Conn with duplicate coords = %v, want 3s", x.Conn[1:3])
+	}
+	_ = b0
+	total := 0
+	for _, b := range x.Buckets {
+		total += len(b)
+	}
+	if total != 3 {
+		t.Fatalf("indexed %d friends, want 3", total)
+	}
+	// Begin resets for the next peer: stale buckets must not leak.
+	x.Begin(h, 4)
+	for b, members := range x.Buckets {
+		if len(members) != 0 {
+			t.Fatalf("bucket %d not reset: %v", b, members)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	conn := []int{1, 5, 5, 2}
+	bwv := []float64{9, 1, 3, 9}
+	bw := func(i int32) float64 { return bwv[i] }
+	// Highest conn wins; among equals, higher bandwidth.
+	best, scratch := Pick([]int32{0, 1, 2, 3}, conn, bw, false, nil)
+	if best != 2 {
+		t.Fatalf("Pick = %d, want 2 (max conn, better bw)", best)
+	}
+	// Runner-up upgrade: leader on conn but starved on bandwidth loses to
+	// the second-ranked candidate with strictly better bandwidth.
+	best, scratch = Pick([]int32{1, 3}, conn, bw, false, scratch)
+	if best != 3 {
+		t.Fatalf("Pick = %d, want runner-up 3", best)
+	}
+	// Ablation: ignoreBandwidth keeps the conn leader.
+	best, _ = Pick([]int32{1, 3}, conn, bw, true, scratch)
+	if best != 1 {
+		t.Fatalf("Pick(ignoreBandwidth) = %d, want 1", best)
+	}
+}

@@ -3,10 +3,10 @@ package selectsys
 import (
 	"sort"
 
-	"selectps/internal/bitset"
 	"selectps/internal/overlay"
 	"selectps/internal/par"
 	"selectps/internal/ring"
+	"selectps/internal/selectcore"
 )
 
 // runGossip executes the construction gossip (the vertex-centric model of
@@ -274,21 +274,10 @@ func (o *Overlay) placeByRegions(labels []int32) {
 }
 
 // topTieFriends returns p's two friends with the strongest symmetric ties
-// (used by the Algorithm-2 anchor choice and by tests).
+// (used by the Algorithm-2 anchor choice and by tests) — the shared
+// selectcore.Top2 over the cached strength row.
 func (o *Overlay) topTieFriends(p overlay.PeerID) (best, second overlay.PeerID) {
-	best, second = -1, -1
-	var bs, ss float64 = -1, -1
-	for i, v := range o.g.Neighbors(p) {
-		s := o.tie[p][i]
-		switch {
-		case s > bs:
-			second, ss = best, bs
-			best, bs = v, s
-		case s > ss:
-			second, ss = v, s
-		}
-	}
-	return best, second
+	return selectcore.Top2(o.g.Neighbors(p), o.tie[p])
 }
 
 // rewireRing refreshes the two short-range links R_p^s (successor and
@@ -340,16 +329,16 @@ func (o *Overlay) syncBaseLinks() {
 // One gossip round used to allocate a fresh bitmap per (peer, friend),
 // a hash table and two maps per peer; the scratch turns that into zero
 // steady-state allocations. The gossip mutates one overlay from one
-// goroutine, so a single scratch per overlay suffices.
+// goroutine, so a single scratch per overlay suffices. The bucket index
+// itself is the shared selectcore.Indexer, so the live runtime hashes
+// friendship bitmaps with exactly this code.
 type linkScratch struct {
-	bm      *bitset.Set // friendship bitmap, reshaped to |C_p| per peer
-	bmBits  []int       // bits currently set in bm, for O(popcount) clearing
-	conn    []int       // conn[i]: bitmap popcount of friend C_p[i]
-	buckets [][]int32   // LSH buckets holding friend indices into C_p
-	linked  []int32     // bucket members already long-linked
-	pick    []int32     // picker sort scratch
-	uncov   []int32     // friends not covered by any current link
-	pos     []int32     // pos[q]: 1+index of q in C_p, 0 when q ∉ C_p
+	idx    selectcore.Indexer
+	coords []int   // bitmap coordinate scratch per friend
+	linked []int32 // bucket members already long-linked
+	pick   []int32 // picker sort scratch
+	uncov  []int32 // friends not covered by any current link
+	pos    []int32 // pos[q]: 1+index of q in C_p, 0 when q ∉ C_p
 }
 
 // indexFriends rebuilds p's Algorithm-5 LSH view into the scratch: each
@@ -357,10 +346,12 @@ type linkScratch struct {
 // bit j set when the friend long-links the j-th member of C_p) is hashed
 // to one of the K buckets, and its popcount recorded as the friend's
 // connection count. A friend's own bitmap coordinate is just its index in
-// the sorted C_p; long-link coordinates resolve through sc.pos, an
-// n-sized index filled with C_p on entry and zeroed again on exit — 2|C_p|
-// writes in place of one binary search per long link, which was the
-// single hottest operation of the construction profile.
+// the sorted C_p (the self bit: without it every first-round bitmap is
+// all-zero and the whole neighborhood hashes into one bucket); long-link
+// coordinates resolve through sc.pos, an n-sized index filled with C_p on
+// entry and zeroed again on exit — 2|C_p| writes in place of one binary
+// search per long link, which was the single hottest operation of the
+// construction profile.
 func (o *Overlay) indexFriends(p overlay.PeerID, friends []overlay.PeerID) {
 	sc := &o.scratch
 	if len(sc.pos) < o.N() {
@@ -374,47 +365,16 @@ func (o *Overlay) indexFriends(p overlay.PeerID, friends []overlay.PeerID) {
 			sc.pos[f] = 0
 		}
 	}()
-	h := o.hashers[p]
-	nb := h.NumBuckets()
-	if cap(sc.buckets) < nb {
-		sc.buckets = make([][]int32, nb)
-	}
-	sc.buckets = sc.buckets[:nb]
-	for b := range sc.buckets {
-		sc.buckets[b] = sc.buckets[b][:0]
-	}
-	if cap(sc.conn) < len(friends) {
-		sc.conn = make([]int, len(friends))
-	}
-	sc.conn = sc.conn[:len(friends)]
-	if sc.bm == nil {
-		sc.bm = bitset.New(len(friends))
-	} else {
-		sc.bm.Reshape(len(friends))
-	}
+	sc.idx.Begin(o.hashers[p], len(friends))
 	for i, u := range friends {
-		bits := sc.bmBits[:0]
-		// Self bit: u trivially reaches itself. Without it, every bitmap is
-		// all-zero in the first round (no long links exist yet), the LSH
-		// hashes the whole neighborhood into a single bucket, and only one
-		// link can ever bootstrap. With it, distinct friends spread over
-		// the K buckets immediately while similar link sets still collide
-		// once links exist.
-		sc.bm.Set(i)
-		bits = append(bits, i)
+		coords := append(sc.coords[:0], i) // self bit
 		for _, l := range o.longLinks[u] {
-			if j := int(sc.pos[l]) - 1; j >= 0 && !sc.bm.Test(j) {
-				sc.bm.Set(j)
-				bits = append(bits, j)
+			if j := int(sc.pos[l]) - 1; j >= 0 {
+				coords = append(coords, j)
 			}
 		}
-		sc.conn[i] = len(bits)
-		b := h.Bucket(sc.bm)
-		sc.buckets[b] = append(sc.buckets[b], int32(i))
-		for _, j := range bits {
-			sc.bm.Clear(j)
-		}
-		sc.bmBits = bits[:0]
+		sc.idx.Add(int32(i), coords)
+		sc.coords = coords[:0]
 	}
 }
 
@@ -433,8 +393,8 @@ func (o *Overlay) createLinks(p overlay.PeerID) bool {
 	o.indexFriends(p, friends)
 	sc := &o.scratch
 	changed := false
-	for b := range sc.buckets {
-		bucket := sc.buckets[b]
+	for b := range sc.idx.Buckets {
+		bucket := sc.idx.Buckets[b]
 		if len(bucket) == 0 {
 			continue
 		}
@@ -602,32 +562,16 @@ func (o *Overlay) createRandomLinks(p overlay.PeerID, friends []overlay.PeerID) 
 	return changed
 }
 
-// pickIdx is Algorithm 6 over friend indices: sort the bucket by
-// connection count (descending — "the maximum number of social
-// connections"), and when the runner-up has strictly better bandwidth
-// than the leader, prefer the runner-up. C_p is sorted, so ascending
-// index order is ascending PeerID order and tie-breaks match the
-// PeerID-based picker exactly.
+// pickIdx is Algorithm 6 over friend indices — the shared selectcore.Pick
+// (connection count descending, bandwidth runner-up upgrade). C_p is
+// sorted, so ascending index order is ascending PeerID order and
+// tie-breaks match the PeerID-based picker exactly.
 func (o *Overlay) pickIdx(cand []int32, friends []overlay.PeerID) int32 {
 	sc := &o.scratch
-	sorted := append(sc.pick[:0], cand...)
-	sort.Slice(sorted, func(a, b int) bool {
-		i, j := sorted[a], sorted[b]
-		if sc.conn[i] != sc.conn[j] {
-			return sc.conn[i] > sc.conn[j]
-		}
-		bi, bj := o.bw[friends[i]], o.bw[friends[j]]
-		if bi != bj {
-			return bi > bj
-		}
-		return i < j
-	})
-	best := sorted[0]
-	if !o.cfg.PickerIgnoresBandwidth &&
-		len(sorted) > 1 && o.bw[friends[sorted[0]]] < o.bw[friends[sorted[1]]] {
-		best = sorted[1]
-	}
-	sc.pick = sorted[:0]
+	best, scratch := selectcore.Pick(cand, sc.idx.Conn,
+		func(i int32) float64 { return o.bw[friends[i]] },
+		o.cfg.PickerIgnoresBandwidth, sc.pick)
+	sc.pick = scratch
 	return best
 }
 

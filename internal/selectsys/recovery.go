@@ -72,7 +72,7 @@ func (o *Overlay) bucketAlternative(p, dead overlay.PeerID) (overlay.PeerID, boo
 	o.indexFriends(p, friends)
 	sc := &o.scratch
 	var candidates []int32
-	for _, bucket := range sc.buckets {
+	for _, bucket := range sc.idx.Buckets {
 		if !slices.Contains(bucket, int32(deadIdx)) {
 			continue
 		}

@@ -33,6 +33,7 @@ import (
 	"selectps/internal/lsh"
 	"selectps/internal/overlay"
 	"selectps/internal/ring"
+	"selectps/internal/selectcore"
 	"selectps/internal/socialgraph"
 )
 
@@ -209,13 +210,10 @@ func (o *Overlay) project(sched growth.Schedule) {
 		if e.Inviter >= 0 && placed[e.Inviter] && len(occupied) > 1 {
 			inv := o.Position(e.Inviter)
 			succ := occupied[ring.Successor(occupied, inv)]
-			gap := ring.Clockwise(inv, succ)
-			if gap <= 0 {
-				gap = 1.0 / float64(len(occupied)+1)
-			}
-			pos = ring.Perturb(inv, gap*(0.3+0.4*o.rng.Float64()))
+			pos = selectcore.PlaceJoin(inv, ring.Clockwise(inv, succ),
+				1.0/float64(len(occupied)+1), o.rng.Float64())
 		} else {
-			pos = ring.HashUint64(uint64(e.User))
+			pos = selectcore.PlaceIndependent(uint64(e.User))
 		}
 		o.SetPosition(e.User, pos)
 		placed[e.User] = true
@@ -224,7 +222,7 @@ func (o *Overlay) project(sched growth.Schedule) {
 	// Any user missing from the schedule (defensive) gets a uniform hash.
 	for p := 0; p < o.N(); p++ {
 		if !placed[p] {
-			o.SetPosition(overlay.PeerID(p), ring.HashUint64(uint64(p)))
+			o.SetPosition(overlay.PeerID(p), selectcore.PlaceIndependent(uint64(p)))
 		}
 	}
 }

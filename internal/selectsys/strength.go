@@ -5,6 +5,7 @@ import (
 
 	"selectps/internal/overlay"
 	"selectps/internal/par"
+	"selectps/internal/selectcore"
 )
 
 // The symmetric tie strength of a friendship edge depends only on the
@@ -39,12 +40,9 @@ func (o *Overlay) buildStrengthCache() {
 	})
 }
 
-// tieStrength is the symmetric strength of the (p,v) friendship: common
-// friends over the union of the two neighborhoods. Eq. 2's one-sided
-// normalization |C_p∩C_u|/|C_p| would make every low-degree peer's
-// strongest friends the global hubs; the symmetric form keeps the
-// common-friend signal of §III-A ("the number of common friends that the
-// two nodes share") while anchoring peers to their own community.
+// tieStrength is the symmetric strength of the (p,v) friendship — the
+// shared formula selectcore.StrengthFromCounts; see its comment for the
+// rationale against Eq. 2's one-sided normalization.
 //
 // Friendship edges are answered from the CSR-aligned cache; non-edges
 // (possible for ablation or future callers) fall back to computing.
@@ -59,14 +57,9 @@ func (o *Overlay) tieStrength(p, v overlay.PeerID) float64 {
 // slice; do not mutate). Nil when p has no friends.
 func (o *Overlay) tieRow(p overlay.PeerID) []float64 { return o.tie[p] }
 
-// computeTieStrength evaluates the strength formula directly.
+// computeTieStrength evaluates the shared strength formula directly; the
+// live runtime evaluates the same formula from exchange-reply mutual
+// counts (selectcore.StrengthFromCounts — one definition, two learners).
 func (o *Overlay) computeTieStrength(p, v overlay.PeerID) float64 {
-	common := o.g.CommonNeighbors(p, v)
-	union := o.g.Degree(p) + o.g.Degree(v) - common
-	if union <= 0 {
-		return 0
-	}
-	// The +1 keeps the friendship edge itself worth something even with no
-	// common friends.
-	return (float64(common) + 1) / float64(union+1)
+	return selectcore.Strength(o.g, p, v)
 }

@@ -12,14 +12,17 @@
 package soak
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"time"
 
 	"selectps/internal/churn"
 	"selectps/internal/datasets"
 	"selectps/internal/faultnet"
+	"selectps/internal/growth"
 	"selectps/internal/metrics"
 	"selectps/internal/node"
 	"selectps/internal/obs"
@@ -54,10 +57,30 @@ type Config struct {
 	// the per-link CMA (§III-F) and publisher-driven retries. Disabling
 	// it is the ablation arm of the live Fig. 6.
 	Recovery bool
-	// HeartbeatEvery/GossipEvery are the node protocol periods when
-	// Recovery is on.
+	// HeartbeatEvery/GossipEvery/MaintainEvery are the node protocol
+	// periods when Recovery is on (MaintainEvery drives join retries,
+	// Algorithm-2 identifier moves and Algorithm-5/6 link reassignment).
 	HeartbeatEvery time.Duration
 	GossipEvery    time.Duration
+	MaintainEvery  time.Duration
+
+	// BootstrapFrac, when in (0,1), starts only that fraction of peers
+	// (growth-schedule join order) as converged ring members; the rest
+	// join live through the join protocol before the workload starts.
+	BootstrapFrac float64
+	// LiveRejoin makes churn crashes real for the overlay: a peer
+	// entering a crash window loses its volatile routing state
+	// (Cluster.Crash) and walks the live join protocol again when the
+	// window ends (Cluster.Rejoin). Requires a timed fault schedule.
+	LiveRejoin bool
+	// PostChurnPosts drives this many extra publications after the timed
+	// fault schedule has run out and every peer has re-joined, measuring
+	// the overlay quality the maintenance loop converged back to
+	// (Report.PostChurnMeanHops). Zero skips the phase. PostChurnSettle
+	// is how long to let gossip and maintenance re-converge the late
+	// re-joiners before measuring (default 1s).
+	PostChurnPosts  int
+	PostChurnSettle time.Duration
 	// RetryEvery is the publisher repair period; DeliverTimeout bounds
 	// how long each publication may take before it is scored as is.
 	RetryEvery     time.Duration
@@ -83,6 +106,7 @@ func Default() Config {
 		Recovery:       true,
 		HeartbeatEvery: 25 * time.Millisecond,
 		GossipEvery:    50 * time.Millisecond,
+		MaintainEvery:  25 * time.Millisecond,
 		RetryEvery:     20 * time.Millisecond,
 		DeliverTimeout: 3 * time.Second,
 	}
@@ -126,6 +150,29 @@ type Report struct {
 	RecoveryActions int64 `json:"recovery_actions"`
 	Retries         int64 `json:"retries"`
 
+	// LiveJoins counts peers admitted through the join protocol during
+	// the bootstrap phase (BootstrapFrac < 1); Rejoins counts crashed
+	// peers that completed the join protocol again (LiveRejoin).
+	LiveJoins int `json:"live_joins,omitempty"`
+	Rejoins   int `json:"rejoins,omitempty"`
+	// RejoinedWanted/Delivered score notifications for subscribers that
+	// had crashed and rejoined live by the time their publication was
+	// scored; RejoinAvailability is their ratio — the churn-arm
+	// acceptance metric.
+	RejoinedWanted     int     `json:"rejoined_wanted,omitempty"`
+	RejoinedDelivered  int     `json:"rejoined_delivered,omitempty"`
+	RejoinAvailability float64 `json:"rejoin_availability,omitempty"`
+	// MeanHops is the mean delivered hop count; MeanLinkCoverage is the
+	// mean link-bucket coverage over ring members at the end of the run.
+	// Together they are the overlay-quality signals the churn and
+	// live-join arms watch converge back to the pre-churn baseline.
+	MeanHops         float64 `json:"mean_hops"`
+	MeanLinkCoverage float64 `json:"mean_link_coverage"`
+	// PostChurnMeanHops is MeanHops over the publications driven after
+	// the fault schedule expired and every peer re-joined (PostChurnPosts
+	// > 0) — the converged-back overlay quality.
+	PostChurnMeanHops float64 `json:"post_churn_mean_hops,omitempty"`
+
 	// FaultTrace is the canonical injected-fault schedule; identical for
 	// identical seeds. FaultEvents is its event count.
 	FaultEvents int    `json:"fault_events"`
@@ -137,13 +184,15 @@ type Report struct {
 
 // ConfigSummary is the part of the config echoed into the report.
 type ConfigSummary struct {
-	N        int     `json:"n"`
-	Seed     int64   `json:"seed"`
-	Dataset  string  `json:"dataset"`
-	TCP      bool    `json:"tcp"`
-	Posts    int     `json:"posts"`
-	Drop     float64 `json:"drop"`
-	Recovery bool    `json:"recovery"`
+	N             int     `json:"n"`
+	Seed          int64   `json:"seed"`
+	Dataset       string  `json:"dataset"`
+	TCP           bool    `json:"tcp"`
+	Posts         int     `json:"posts"`
+	Drop          float64 `json:"drop"`
+	Recovery      bool    `json:"recovery"`
+	BootstrapFrac float64 `json:"bootstrap_frac,omitempty"`
+	LiveRejoin    bool    `json:"live_rejoin,omitempty"`
 }
 
 // String renders the report like the repo's other experiment harnesses.
@@ -159,6 +208,11 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "publication latency: p50=%.0fms p90=%.0fms p99=%.0fms\n",
 		r.LatencyMSP50, r.LatencyMSP90, r.LatencyMSP99)
 	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d retries\n", r.RecoveryActions, r.Retries)
+	if r.LiveJoins > 0 || r.Rejoins > 0 {
+		fmt.Fprintf(&b, "live joins: %d   rejoins: %d   rejoined availability: %d/%d = %.2f%%\n",
+			r.LiveJoins, r.Rejoins, r.RejoinedDelivered, r.RejoinedWanted, 100*r.RejoinAvailability)
+	}
+	fmt.Fprintf(&b, "overlay quality: mean hops %.2f, link-bucket coverage %.2f\n", r.MeanHops, r.MeanLinkCoverage)
 	fmt.Fprintf(&b, "injected fault events: %d\n", r.FaultEvents)
 	b.WriteString(r.Obs.String())
 	return b.String()
@@ -208,19 +262,108 @@ func Run(cfg Config) (*Report, error) {
 	fn := faultnet.Wrap(base, cfg.N, cfg.Fault, cfg.Seed+faultSeedOffset)
 	fn.Obs = met
 
-	ncfg := node.Config{Obs: met}
+	nopts := node.Options{Graph: g, Overlay: ov, Transport: fn, Seed: cfg.Seed, Obs: met}
 	if cfg.Recovery {
-		ncfg.HeartbeatEvery = cfg.HeartbeatEvery
-		ncfg.GossipEvery = cfg.GossipEvery
+		nopts.HeartbeatEvery = cfg.HeartbeatEvery
+		nopts.GossipEvery = cfg.GossipEvery
+		nopts.MaintainEvery = cfg.MaintainEvery
+		if nopts.MaintainEvery == 0 {
+			nopts.MaintainEvery = 25 * time.Millisecond
+		}
 	}
-	cluster := node.StartCluster(g, ov, fn, ncfg, cfg.Seed)
-	defer cluster.Stop()
+	// Live-join bootstrap arm: only the first BootstrapFrac of the growth
+	// schedule's join order starts converged; everyone else joins live.
+	var joiners []growth.Event
+	if cfg.BootstrapFrac > 0 && cfg.BootstrapFrac < 1 {
+		sched := growth.DefaultModel().Schedule(g, rand.New(rand.NewSource(cfg.Seed^0x9e37)))
+		nBoot := int(float64(cfg.N) * cfg.BootstrapFrac)
+		if nBoot < 2 {
+			nBoot = 2
+		}
+		for _, e := range sched.Prefix(nBoot) {
+			nopts.Bootstrap = append(nopts.Bootstrap, overlay.PeerID(e.User))
+		}
+		joiners = sched.Events[len(nopts.Bootstrap):]
+	}
+	cluster, err := node.Start(nopts)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = cluster.Shutdown(ctx)
+	}()
+
+	liveJoins := 0
+	for _, e := range joiners {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err := cluster.Join(ctx, overlay.PeerID(e.User), overlay.PeerID(e.Inviter))
+		cancel()
+		if err != nil {
+			return nil, fmt.Errorf("soak: live join of %d: %w", e.User, err)
+		}
+		liveJoins++
+	}
+
+	// Live-rejoin churn driver: mirror the faultnet crash schedule onto
+	// the overlay itself — a crash window really destroys the peer's
+	// volatile routing state, and the end of the window walks it through
+	// the join protocol again.
+	var rj rejoinTracker
+	rj.rejoined = make(map[overlay.PeerID]bool)
+	stopDriver := make(chan struct{})
+	driverCtx, driverCancel := context.WithCancel(context.Background())
+	defer driverCancel()
+	var driverWG sync.WaitGroup
+	if cfg.LiveRejoin && fn.Schedule() != nil && cfg.Fault.Tick > 0 {
+		driverWG.Add(1)
+		go func() {
+			defer driverWG.Done()
+			crashed := make([]bool, cfg.N)
+			tick := time.NewTicker(cfg.Fault.Tick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopDriver:
+					return
+				case <-tick.C:
+				}
+				step := fn.Step()
+				for p := 0; p < cfg.N; p++ {
+					now := fn.CrashedAt(step, int32(p))
+					switch {
+					case now && !crashed[p]:
+						crashed[p] = true
+						cluster.Crash(overlay.PeerID(p))
+					case !now && crashed[p]:
+						crashed[p] = false
+						pid := overlay.PeerID(p)
+						driverWG.Add(1)
+						go func() {
+							defer driverWG.Done()
+							ctx, cancel := context.WithTimeout(driverCtx, 15*time.Second)
+							defer cancel()
+							if cluster.Rejoin(ctx, pid, -1) == nil {
+								rj.mu.Lock()
+								rj.rejoined[pid] = true
+								rj.rejoins++
+								rj.mu.Unlock()
+							}
+						}()
+					}
+				}
+			}
+		}()
+	}
 
 	// Workload: seeded random publishers with at least one subscriber.
 	wrng := rand.New(rand.NewSource(cfg.Seed + workloadSeedOffset))
 	var latencies []float64
 	wanted, delivered := 0, 0
 	eligibleWanted, eligibleDelivered := 0, 0
+	rejoinedWanted, rejoinedDelivered := 0, 0
+	hopTotal, hopCount := 0, 0
 	for post := 0; post < cfg.Posts; post++ {
 		var pub overlay.PeerID
 		for attempt := 0; ; attempt++ {
@@ -237,7 +380,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 		subs := g.Neighbors(pub)
 		start := time.Now()
-		seq := cluster.Nodes[pub].Publish(cfg.PayloadSize)
+		seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
 		deadline := start.Add(cfg.DeliverTimeout)
 		for {
 			done := 0
@@ -259,10 +402,12 @@ func Run(cfg Config) (*Report, error) {
 		met.ObserveLatencyMS(lat)
 		scoreStep := fn.Step()
 		for _, s := range subs {
-			_, got := cluster.Nodes[s].Received(pub, seq)
+			hops, got := cluster.Nodes[s].Received(pub, seq)
 			wanted++
 			if got {
 				delivered++
+				hopTotal += int(hops)
+				hopCount++
 			}
 			// A subscriber crashed at scoring time is not eligible: no
 			// protocol can notify a dead phone. (Fig. 6 measures the
@@ -272,8 +417,102 @@ func Run(cfg Config) (*Report, error) {
 				if got {
 					eligibleDelivered++
 				}
+				rj.mu.Lock()
+				wasRejoined := rj.rejoined[s]
+				rj.mu.Unlock()
+				// The churn-arm acceptance metric: notifications owed to
+				// subscribers that crashed, lost their overlay state, and
+				// came back through the live join protocol.
+				if wasRejoined {
+					rejoinedWanted++
+					if got {
+						rejoinedDelivered++
+					}
+				}
 			}
 		}
+	}
+
+	// Post-churn phase: wait out the fault schedule (and, with LiveRejoin,
+	// the last stragglers' re-joins), then measure what hop counts the
+	// maintenance loop converged back to on a clean network.
+	postHopTotal, postHopCount := 0, 0
+	if cfg.PostChurnPosts > 0 && cfg.Fault.Tick > 0 && cfg.Fault.Steps > 0 {
+		settle := time.Now().Add(30 * time.Second)
+		for time.Now().Before(settle) {
+			if fn.Step() >= cfg.Fault.Steps {
+				joined := 0
+				for _, nd := range cluster.Nodes {
+					if nd.Joined() {
+						joined++
+					}
+				}
+				if !cfg.LiveRejoin || joined == cfg.N {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		// Late re-joiners came back with empty strength tables and no
+		// learned bitmaps; give the exchange and maintenance loops time to
+		// rebuild their long links before judging overlay quality.
+		if cfg.PostChurnSettle == 0 {
+			cfg.PostChurnSettle = time.Second
+		}
+		time.Sleep(cfg.PostChurnSettle)
+		for post := 0; post < cfg.PostChurnPosts; post++ {
+			var pub overlay.PeerID
+			for {
+				pub = overlay.PeerID(wrng.Intn(cfg.N))
+				if g.Degree(pub) > 0 {
+					break
+				}
+			}
+			subs := g.Neighbors(pub)
+			seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
+			deadline := time.Now().Add(cfg.DeliverTimeout)
+			for {
+				done := 0
+				for _, s := range subs {
+					if _, ok := cluster.Nodes[s].Received(pub, seq); ok {
+						done++
+					}
+				}
+				if done == len(subs) || time.Now().After(deadline) {
+					break
+				}
+				if cfg.Recovery {
+					cluster.Nodes[pub].RetryMissing(seq)
+				}
+				time.Sleep(cfg.RetryEvery)
+			}
+			for _, s := range subs {
+				if hops, ok := cluster.Nodes[s].Received(pub, seq); ok {
+					postHopTotal += int(hops)
+					postHopCount++
+				}
+			}
+		}
+	}
+
+	close(stopDriver)
+	driverCancel()
+	driverWG.Wait()
+	rj.mu.Lock()
+	rejoins := rj.rejoins
+	rj.mu.Unlock()
+
+	// Overlay quality at the end of the run: mean link-bucket coverage
+	// over peers currently in the ring.
+	coverage, covered := 0.0, 0
+	for _, nd := range cluster.Nodes {
+		if nd.Joined() {
+			coverage += nd.LinkCoverage()
+			covered++
+		}
+	}
+	if covered > 0 {
+		coverage /= float64(covered)
 	}
 
 	snap := met.Snapshot()
@@ -281,17 +520,21 @@ func Run(cfg Config) (*Report, error) {
 		Config: ConfigSummary{
 			N: cfg.N, Seed: cfg.Seed, Dataset: cfg.Dataset, TCP: cfg.TCP,
 			Posts: cfg.Posts, Drop: cfg.Fault.DropProb, Recovery: cfg.Recovery,
+			BootstrapFrac: cfg.BootstrapFrac, LiveRejoin: cfg.LiveRejoin,
 		},
 		Posts: cfg.Posts, Wanted: wanted, Delivered: delivered,
 		EligibleWanted: eligibleWanted, EligibleDelivered: eligibleDelivered,
-		Duplicates:      met.Get(obs.CPublishDuplicate),
-		LatencyMSP50:    metrics.Quantile(latencies, 0.5),
-		LatencyMSP90:    metrics.Quantile(latencies, 0.9),
-		LatencyMSP99:    metrics.Quantile(latencies, 0.99),
-		HopFractions:    snap.HopFractions,
-		RecoveryActions: met.Get(obs.CCMADeadSkip) + met.Get(obs.CCMARandomWalk),
-		Retries:         met.Get(obs.CRetrySent),
-		Obs:             snap,
+		LiveJoins: liveJoins, Rejoins: rejoins,
+		RejoinedWanted: rejoinedWanted, RejoinedDelivered: rejoinedDelivered,
+		MeanLinkCoverage: coverage,
+		Duplicates:       met.Get(obs.CPublishDuplicate),
+		LatencyMSP50:     metrics.Quantile(latencies, 0.5),
+		LatencyMSP90:     metrics.Quantile(latencies, 0.9),
+		LatencyMSP99:     metrics.Quantile(latencies, 0.99),
+		HopFractions:     snap.HopFractions,
+		RecoveryActions:  met.Get(obs.CCMADeadSkip) + met.Get(obs.CCMARandomWalk),
+		Retries:          met.Get(obs.CRetrySent),
+		Obs:              snap,
 	}
 	if wanted > 0 {
 		r.RawRate = float64(delivered) / float64(wanted)
@@ -300,11 +543,29 @@ func Run(cfg Config) (*Report, error) {
 	if eligibleWanted > 0 {
 		r.DeliveryRate = float64(eligibleDelivered) / float64(eligibleWanted)
 	}
+	if rejoinedWanted > 0 {
+		r.RejoinAvailability = float64(rejoinedDelivered) / float64(rejoinedWanted)
+	}
+	if hopCount > 0 {
+		r.MeanHops = float64(hopTotal) / float64(hopCount)
+	}
+	if postHopCount > 0 {
+		r.PostChurnMeanHops = float64(postHopTotal) / float64(postHopCount)
+	}
 	if s := fn.Schedule(); s != nil {
 		r.FaultEvents = len(s.Ev)
 		r.FaultTrace = s.Trace()
 	}
 	return r, nil
+}
+
+// rejoinTracker records which peers completed the live join protocol
+// again after a churn crash; shared between the churn driver's rejoin
+// goroutines and the scoring loop.
+type rejoinTracker struct {
+	mu       sync.Mutex
+	rejoined map[overlay.PeerID]bool
+	rejoins  int
 }
 
 // Seed offsets keep the workload and fault streams independent of the

@@ -128,6 +128,91 @@ func TestSoakSmokeChaos(t *testing.T) {
 	}
 }
 
+// TestSoakLiveJoinBootstrap bootstraps only a quarter of the peers from
+// the converged overlay; the rest join the running cluster through the
+// live join protocol before the workload, and availability must match
+// the fully-bootstrapped arm.
+func TestSoakLiveJoinBootstrap(t *testing.T) {
+	cfg := ciConfig(13, true)
+	cfg.N = 60
+	cfg.Posts = 6
+	cfg.GossipEvery = 15 * time.Millisecond
+	cfg.MaintainEvery = 20 * time.Millisecond
+	cfg.BootstrapFrac = 0.25
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("live-join soak: joins=%d availability=%.4f mean hops=%.2f coverage=%.2f",
+		r.LiveJoins, r.DeliveryRate, r.MeanHops, r.MeanLinkCoverage)
+	if want := cfg.N - cfg.N/4; r.LiveJoins < want-2 {
+		t.Errorf("only %d live joins, want ~%d", r.LiveJoins, want)
+	}
+	if r.DeliveryRate < 0.99 {
+		t.Errorf("live-join availability %.4f, want >= 0.99", r.DeliveryRate)
+	}
+	if r.MeanLinkCoverage == 0 {
+		t.Error("link-bucket coverage never left zero: the live Algorithm-5 pass built no links")
+	}
+}
+
+// TestSoakChurnRejoinAvailability is the churn-arm acceptance test:
+// crashed peers lose their overlay state, re-join live when their churn
+// window ends, and the notifications owed to those re-joined subscribers
+// regain >=99% availability; overlay quality (hop counts, link-bucket
+// coverage) stays near the pre-churn baseline from the same seed.
+func TestSoakChurnRejoinAvailability(t *testing.T) {
+	// Pre-churn baseline: same seed and faults minus the churn schedule.
+	base := ciConfig(17, true)
+	base.N = 60
+	base.Posts = 6
+	base.MaintainEvery = 20 * time.Millisecond
+	base.Fault.DropProb = 0.05
+	base.DeliverTimeout = 1500 * time.Millisecond
+	r0, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := churn.DefaultModel()
+	cfg := base
+	cfg.Posts = 10
+	cfg.Fault.Tick = 10 * time.Millisecond
+	cfg.Fault.Steps = 300 // the schedule runs out mid-test: churn, then calm
+	cfg.Fault.Churn = &m
+	cfg.LiveRejoin = true
+	cfg.PostChurnPosts = 5
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("churn arm: rejoins=%d rejoined availability=%.4f (%d/%d)",
+		r.Rejoins, r.RejoinAvailability, r.RejoinedDelivered, r.RejoinedWanted)
+	t.Logf("overlay quality: during-churn hops %.2f, post-churn hops %.2f vs baseline %.2f, coverage %.2f vs baseline %.2f",
+		r.MeanHops, r.PostChurnMeanHops, r0.MeanHops, r.MeanLinkCoverage, r0.MeanLinkCoverage)
+	if r.Rejoins == 0 {
+		t.Fatal("churn schedule produced no live rejoins")
+	}
+	if r.RejoinedWanted == 0 {
+		t.Fatal("no notifications were scored for re-joined subscribers")
+	}
+	if r.RejoinAvailability < 0.99 {
+		t.Errorf("re-joined subscriber availability %.4f, want >= 0.99", r.RejoinAvailability)
+	}
+	// Overlay quality converges back toward the pre-churn baseline once
+	// the schedule runs out: hop counts within 50% (plus a half-hop
+	// floor), coverage within 0.25.
+	if r.PostChurnMeanHops == 0 {
+		t.Fatal("post-churn phase measured no deliveries")
+	}
+	if r.PostChurnMeanHops > r0.MeanHops*1.5+0.5 {
+		t.Errorf("post-churn mean hops %.2f far above baseline %.2f", r.PostChurnMeanHops, r0.MeanHops)
+	}
+	if r.MeanLinkCoverage < r0.MeanLinkCoverage-0.25 {
+		t.Errorf("churn-arm link coverage %.2f far below baseline %.2f", r.MeanLinkCoverage, r0.MeanLinkCoverage)
+	}
+}
+
 // TestSoakOverTCP exercises the same harness over real loopback sockets:
 // faultnet composes over the TCP transport unchanged.
 func TestSoakOverTCP(t *testing.T) {

@@ -27,7 +27,22 @@ func fuzzSeeds() []*Message {
 			Kind: KindPublish, From: 9, To: 10, Seq: 11,
 			Publisher: 9, TTL: 32, PayloadSize: 1_200_000, HopCount: 2,
 		},
+		{
+			Kind: KindPublish, From: 9, To: 10, Seq: 12,
+			Publisher: 9, TTL: 32, PayloadSize: 4, HopCount: 1,
+			Payload: []byte("body"),
+		},
 		{Kind: KindAck, From: 10, To: 9, Seq: 11, Publisher: 9, TTL: 31},
+		{Kind: KindJoinRequest, From: 12, To: 13, Seq: 1},
+		{
+			Kind: KindJoinReply, From: 13, To: 12, Seq: 1,
+			Pos: 0x3FD5555555555555, RoutingTable: []int32{2, 5, 9},
+		},
+		{Kind: KindIDAnnounce, From: 12, To: 5, Seq: 2, Pos: 0x3FC999999999999A},
+		{Kind: KindLinkProposal, From: 12, To: 9, Seq: 3},
+		{Kind: KindLinkAccept, From: 9, To: 12, Seq: 3},
+		{Kind: KindLinkDrop, From: 9, To: 2, Seq: 4},
+		{Kind: KindLeave, From: 12, To: 9, Seq: 5},
 	}
 }
 
@@ -63,7 +78,7 @@ func FuzzUnmarshal(f *testing.F) {
 		// a tiny frame must never produce a huge message (over-allocation
 		// guard — the length claims are validated against len(b) before
 		// any make).
-		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap)
+		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap) + len(m.Payload)
 		if claimed > len(b) {
 			t.Fatalf("decoded %d bytes of slices from a %d-byte frame", claimed, len(b))
 		}

@@ -33,6 +33,28 @@ const (
 	KindPublish
 	// KindAck confirms a publication reached a subscriber.
 	KindAck
+	// KindJoinRequest asks a running member to admit the sender: the
+	// inviter computes the joiner's Algorithm-1 position inside its free
+	// clockwise arc (or a uniform hash position for independent joins).
+	KindJoinRequest
+	// KindJoinReply admits a joiner: Pos carries the assigned ring
+	// identifier, RoutingTable the inviter's links as seed contacts.
+	KindJoinReply
+	// KindIDAnnounce broadcasts the sender's current ring identifier (Pos)
+	// after a join or an Algorithm-2 reassignment.
+	KindIDAnnounce
+	// KindLinkProposal asks the receiver to accept a long-range link from
+	// the sender (Algorithm 5 establishment).
+	KindLinkProposal
+	// KindLinkAccept confirms a proposed long-range link.
+	KindLinkAccept
+	// KindLinkDrop tears a long-range link down in both directions:
+	// proposal rejected (K-incoming cap), eviction of a worse-bandwidth
+	// incoming link, or budget shedding by the link's owner.
+	KindLinkDrop
+	// KindLeave announces a graceful departure; receivers unlink the
+	// sender immediately instead of waiting for the CMA to decay.
+	KindLeave
 )
 
 // String implements fmt.Stringer.
@@ -50,6 +72,20 @@ func (k Kind) String() string {
 		return "publish"
 	case KindAck:
 		return "ack"
+	case KindJoinRequest:
+		return "join-request"
+	case KindJoinReply:
+		return "join-reply"
+	case KindIDAnnounce:
+		return "id-announce"
+	case KindLinkProposal:
+		return "link-proposal"
+	case KindLinkAccept:
+		return "link-accept"
+	case KindLinkDrop:
+		return "link-drop"
+	case KindLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -74,13 +110,21 @@ type Message struct {
 	Bitmap  []uint64
 
 	// Publish: the originating publisher, remaining TTL, and the payload
-	// size in bytes (the paper's 1.2 MB fragments; the body itself is not
-	// materialized).
+	// size in bytes. Size-only workloads (the paper's 1.2 MB fragments)
+	// set PayloadSize without materializing a body; Publish(payload)
+	// carries the body in Payload and keeps PayloadSize = len(Payload).
 	Publisher   int32
 	TTL         uint8
 	PayloadSize uint32
 	// HopCount accumulates the overlay hops this copy has traveled.
 	HopCount uint8
+
+	// Payload is the publication body (may be empty for size-only
+	// workloads and non-publish kinds).
+	Payload []byte
+	// Pos carries a ring identifier (math.Float64bits) for JoinReply and
+	// IDAnnounce.
+	Pos uint64
 }
 
 const maxSliceLen = 1 << 20 // defensive decode bound
@@ -99,6 +143,9 @@ func (m *Message) Clone() *Message {
 	if m.Bitmap != nil {
 		c.Bitmap = append([]uint64(nil), m.Bitmap...)
 	}
+	if m.Payload != nil {
+		c.Payload = append([]byte(nil), m.Payload...)
+	}
 	return &c
 }
 
@@ -110,7 +157,9 @@ func Marshal(m *Message) []byte {
 		4 + 4*len(m.RoutingTable) +
 		4 + // nmutual
 		4 + 8*len(m.Bitmap) +
-		4 + 1 + 4 + 1 // publisher, ttl, payload, hopcount
+		4 + 1 + 4 + 1 + // publisher, ttl, payloadsize, hopcount
+		4 + len(m.Payload) + // payload body
+		8 // pos
 	buf := make([]byte, 4+size)
 	binary.LittleEndian.PutUint32(buf, uint32(size))
 	b := buf[4:]
@@ -147,6 +196,10 @@ func Marshal(m *Message) []byte {
 	putU32(m.PayloadSize)
 	b[off] = m.HopCount
 	off++
+	putU32(uint32(len(m.Payload)))
+	off += copy(b[off:], m.Payload)
+	binary.LittleEndian.PutUint64(b[off:], m.Pos)
+	off += 8
 	return buf[:4+off]
 }
 
@@ -266,6 +319,25 @@ func Unmarshal(b []byte) (*Message, error) {
 	}
 	m.HopCount = b[off]
 	off++
+	pl, err := getU32()
+	if err != nil {
+		return nil, err
+	}
+	if pl > maxSliceLen {
+		return nil, fmt.Errorf("wire: payload length %d too large", pl)
+	}
+	if pl > 0 {
+		if err := need(int(pl)); err != nil {
+			return nil, err
+		}
+		m.Payload = append([]byte(nil), b[off:off+int(pl)]...)
+		off += int(pl)
+	}
+	if err := need(8); err != nil {
+		return nil, err
+	}
+	m.Pos = binary.LittleEndian.Uint64(b[off:])
+	off += 8
 	if off != len(b) {
 		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-off)
 	}

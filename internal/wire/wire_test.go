@@ -12,7 +12,11 @@ func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		KindPing: "ping", KindPong: "pong", KindExchangeRT: "exchange-rt",
 		KindExchangeReply: "exchange-reply", KindPublish: "publish", KindAck: "ack",
-		Kind(99): "kind(99)",
+		KindJoinRequest: "join-request", KindJoinReply: "join-reply",
+		KindIDAnnounce: "id-announce", KindLinkProposal: "link-proposal",
+		KindLinkAccept: "link-accept", KindLinkDrop: "link-drop",
+		KindLeave: "leave",
+		Kind(99):  "kind(99)",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
@@ -34,6 +38,8 @@ func TestRoundTripAllFields(t *testing.T) {
 		TTL:          7,
 		PayloadSize:  1_200_000,
 		HopCount:     3,
+		Payload:      []byte("notification body"),
+		Pos:          0x3FE0000000000000, // 0.5
 	}
 	frame := Marshal(m)
 	length := binary.LittleEndian.Uint32(frame)
@@ -87,7 +93,7 @@ func TestRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := &Message{
-			Kind:        Kind(1 + rng.Intn(6)),
+			Kind:        Kind(1 + rng.Intn(13)),
 			From:        int32(rng.Intn(1 << 20)),
 			To:          int32(rng.Intn(1 << 20)),
 			Seq:         rng.Uint32(),
@@ -115,6 +121,11 @@ func TestRoundTripProperty(t *testing.T) {
 				m.Bitmap[i] = rng.Uint64()
 			}
 		}
+		if n := rng.Intn(64); n > 0 {
+			m.Payload = make([]byte, n)
+			rng.Read(m.Payload)
+		}
+		m.Pos = rng.Uint64()
 		got, err := Unmarshal(Marshal(m)[4:])
 		return err == nil && reflect.DeepEqual(m, got)
 	}
