@@ -166,6 +166,9 @@ func (t *Tracker) Observe(u socialgraph.NodeID, online bool) {
 // Value returns peer u's average availability.
 func (t *Tracker) Value(u socialgraph.NodeID) float64 { return t.cmas[u].Value() }
 
+// Samples returns how many observations peer u's CMA has folded in.
+func (t *Tracker) Samples(u socialgraph.NodeID) int { return t.cmas[u].Samples() }
+
 // ObserveAll folds the current online state of every peer into the tracker,
 // emulating the periodic liveness probes of §III-F.
 func (t *Tracker) ObserveAll(s *State) {

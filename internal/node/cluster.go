@@ -8,6 +8,7 @@ import (
 
 	"selectps/internal/obs"
 	"selectps/internal/overlay"
+	"selectps/internal/selectcore"
 	"selectps/internal/socialgraph"
 	"selectps/internal/transport"
 )
@@ -44,6 +45,30 @@ type Options struct {
 	// to be worth announcing (default 0.002).
 	MoveEps float64
 
+	// RetryBase is the delivery-repair engine's base backoff: the first
+	// re-send to unacked subscribers fires about one RetryBase after the
+	// publication, doubling (with ±25% seeded jitter) up to RetryMax.
+	// 0 disables autonomous repair — the ablation arm.
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay (default 10×RetryBase).
+	RetryMax time.Duration
+	// RetryBudget is how many retry rounds a publication gets before it is
+	// dead-lettered (default 12).
+	RetryBudget int
+	// SuccListLen is r, the successor/predecessor list depth backing ring
+	// repair (default 4).
+	SuccListLen int
+	// DedupWindow bounds each node's delivery-dedup record; a duplicate
+	// copy arriving after its record aged out re-delivers (at-least-once,
+	// default 8192).
+	DedupWindow int
+	// PubHistory bounds the publisher-side ack records kept after a
+	// publication resolves or dead-letters (default 1024).
+	PubHistory int
+	// Detector holds the accrual failure-detection thresholds shared with
+	// the simulator (zero value = selectcore.DefaultFailureDetector).
+	Detector selectcore.FailureDetector
+
 	// Obs receives runtime counters, histograms and trace events from
 	// every node (nil = no instrumentation).
 	Obs *obs.Metrics
@@ -67,6 +92,21 @@ func (o *Options) fill() {
 	}
 	if o.MoveEps == 0 {
 		o.MoveEps = 0.002
+	}
+	if o.RetryMax == 0 && o.RetryBase > 0 {
+		o.RetryMax = 10 * o.RetryBase
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 12
+	}
+	if o.SuccListLen == 0 {
+		o.SuccListLen = 4
+	}
+	if o.DedupWindow == 0 {
+		o.DedupWindow = 8192
+	}
+	if o.PubHistory == 0 {
+		o.PubHistory = 1024
 	}
 	if o.K == 0 {
 		if kp, ok := o.Overlay.(interface{ K() int }); ok {
@@ -165,10 +205,23 @@ func Start(opts Options) (*Cluster, error) {
 			}
 		}
 	}
+	// Seed the bootstrap members' successor/predecessor lists from the
+	// directory — its only remaining ring role (bootstrap-only): from here
+	// on, ring views evolve through join replies, pong piggybacks and
+	// identifier announcements, and repair splices locally.
 	for p := 0; p < n; p++ {
-		if dir.member[p] {
-			c.Nodes[p].shortSucc, c.Nodes[p].shortPred = dir.ringNeighbors(overlay.PeerID(p))
+		if !dir.member[p] {
+			continue
 		}
+		nd := c.Nodes[p]
+		own := dir.pos[p]
+		for q := 0; q < n; q++ {
+			if q != p && dir.member[q] {
+				nd.rview.learn(own, nd.id, overlay.PeerID(q), dir.pos[q])
+			}
+		}
+		nd.shortSucc, nd.shortPred = dir.ringNeighbors(overlay.PeerID(p))
+		close(nd.joinedCh)
 	}
 	for _, nd := range c.Nodes {
 		nd.wg.Add(1)
@@ -180,30 +233,32 @@ func Start(opts Options) (*Cluster, error) {
 // Join admits peer p into the running ring: the node sends a JoinRequest
 // to inviter (or, when inviter is -1, to its first member friend, then
 // any member), receives its Algorithm-1 position and seed contacts, and
-// announces itself. Join blocks until the node is a member or ctx ends;
-// the maintenance ticker keeps retrying lost requests in between.
+// announces itself. Join blocks — without polling — until the node is a
+// member or ctx ends; lost requests are resent by the node's own repair
+// scheduler on its seeded backoff.
 func (c *Cluster) Join(ctx context.Context, p, inviter overlay.PeerID) error {
 	n := c.Nodes[p]
-	if n.Joined() {
+	n.mu.Lock()
+	joined, ch := n.joined, n.joinedCh
+	n.mu.Unlock()
+	if joined {
 		return nil
 	}
 	n.requestJoin(inviter)
-	for {
-		if n.Joined() {
-			return nil
-		}
-		select {
-		case <-ctx.Done():
-			return fmt.Errorf("node: join of %d: %w", p, ctx.Err())
-		case <-time.After(2 * time.Millisecond):
-		}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("node: join of %d: %w", p, ctx.Err())
 	}
 }
 
 // Crash fails peer p abruptly: it stops responding and loses all learned
 // overlay state (links, lookahead, availability history), as a killed
-// process would — no Leave is sent. The delivered-feed record survives,
-// standing in for persistent storage. Rejoin brings the peer back.
+// process would — no Leave is sent. The feed state survives, standing in
+// for persistent storage: the delivered record on the subscriber side and
+// the repair outbox on the publisher side, so a crashed publisher resumes
+// re-sending unacked publications once Rejoin brings the peer back.
 func (c *Cluster) Crash(p overlay.PeerID) {
 	n := c.Nodes[p]
 	n.paused.Store(true)

@@ -14,6 +14,11 @@ import (
 // through its own entry when it joins, leaves, or moves its identifier,
 // and the IDAnnounce/Leave wire messages are the protocol actions that
 // would carry those writes peer-to-peer (DESIGN.md §8).
+//
+// Since the successor-list work (DESIGN.md §9) its ring role is
+// bootstrap-only: ringNeighbors seeds the initial members' views in
+// Cluster.Start and nothing else — live ring repair splices from each
+// node's own successor/predecessor lists.
 type directory struct {
 	mu     sync.RWMutex
 	pos    []ring.ID
@@ -77,7 +82,8 @@ func (d *directory) firstMember(p overlay.PeerID) overlay.PeerID {
 // ringNeighbors returns p's nearest member in the clockwise (succ) and
 // counter-clockwise (pred) direction — the short-range links. A zero arc
 // (position collision) counts as a full loop so colliding peers still
-// link somewhere.
+// link somewhere. Bootstrap-only: the live runtime derives these from
+// successor lists (ringlist.go); only Cluster.Start may call this.
 func (d *directory) ringNeighbors(p overlay.PeerID) (succ, pred overlay.PeerID) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()

@@ -39,6 +39,8 @@ func liveJoinFixture(t *testing.T, n int, seed int64, bootFrac float64, met *obs
 		HeartbeatEvery: 50 * time.Millisecond,
 		GossipEvery:    10 * time.Millisecond,
 		MaintainEvery:  15 * time.Millisecond,
+		RetryBase:      10 * time.Millisecond,
+		RetryBudget:    100,
 		Bootstrap:      bootstrap,
 		Obs:            met,
 	})
@@ -61,26 +63,13 @@ func admit(t *testing.T, c *Cluster, joiners []growth.Event) {
 	}
 }
 
-// publishAndSettle publishes from p and drives publisher retries until
-// every subscriber delivered or the deadline passes; it returns the
-// delivered count.
+// publishAndSettle publishes from p and waits — repair is the
+// publisher's own job now — until every subscriber delivered or the
+// deadline passes; it returns the delivered count.
 func publishAndSettle(c *Cluster, g *socialgraph.Graph, p overlay.PeerID, horizon time.Duration) (seq uint32, delivered int, total int) {
 	subs := g.Neighbors(p)
 	seq = c.Nodes[p].PublishSize(200)
-	deadline := time.Now().Add(horizon)
-	for time.Now().Before(deadline) {
-		delivered = 0
-		for _, s := range subs {
-			if _, ok := c.Nodes[s].Received(p, seq); ok {
-				delivered++
-			}
-		}
-		if delivered == len(subs) {
-			break
-		}
-		c.Nodes[p].RetryMissing(seq)
-		time.Sleep(10 * time.Millisecond)
-	}
+	delivered, _ = await(c, p, seq, subs, horizon)
 	return seq, delivered, len(subs)
 }
 
@@ -186,6 +175,8 @@ func TestLiveJoinHopConvergence(t *testing.T) {
 		HeartbeatEvery: 50 * time.Millisecond,
 		GossipEvery:    10 * time.Millisecond,
 		MaintainEvery:  15 * time.Millisecond,
+		RetryBase:      10 * time.Millisecond,
+		RetryBudget:    100,
 	})
 	time.Sleep(300 * time.Millisecond) // let gossip warm the lookahead caches
 	baseline, ok := measure(cA, gA)

@@ -3,6 +3,7 @@ package node
 import (
 	"math"
 	"sort"
+	"time"
 
 	"selectps/internal/churn"
 	"selectps/internal/obs"
@@ -21,14 +22,17 @@ import (
 // with; only the inputs arrive over the wire here.
 
 // requestJoin marks the node as wanting in (preferring the given inviter,
-// -1 for automatic choice) and fires the first JoinRequest; the
-// maintenance ticker retries until a JoinReply lands.
+// -1 for automatic choice) and fires the first JoinRequest; resends ride
+// the repair scheduler (repair.go) until a JoinReply lands.
 func (n *Node) requestJoin(inviter overlay.PeerID) {
 	n.mu.Lock()
 	n.wantJoin = true
 	n.inviterPref = inviter
+	n.joinAttempt = 0
+	n.scheduleJoinResendLocked(time.Now())
 	n.mu.Unlock()
 	n.sendJoinRequest()
+	n.kickRetry()
 }
 
 // sendJoinRequest picks the contact — the preferred inviter when it is a
@@ -65,38 +69,47 @@ func (n *Node) sendJoinRequest() {
 // handleJoinRequest serves an admission: a member places the requester
 // per Algorithm 1 — a social friend lands inside the free clockwise arc
 // next to this inviter, anyone else at its uniform hash position — and
-// replies with the position and this node's links as seed contacts.
+// replies with the position, this node's links as seed contacts, and this
+// node's successor/predecessor lists so the joiner starts with a ring
+// view. The free arc comes from the local successor list, not the
+// directory (bootstrap-only).
 func (n *Node) handleJoinRequest(m *wire.Message) {
 	if !n.dir.isMember(n.id) {
 		return // not in the ring ourselves; the joiner will retry
 	}
 	n.cfg.Obs.Inc(obs.CJoinRequest)
 	q := overlay.PeerID(m.From)
+	myPos := n.dir.position(n.id)
+	n.mu.Lock()
 	var pos ring.ID
 	if n.g.HasEdge(n.id, q) {
-		myPos := n.dir.position(n.id)
 		gap := 0.0
-		if succ, _ := n.dir.ringNeighbors(n.id); succ >= 0 {
-			gap = ring.Clockwise(myPos, n.dir.position(succ))
+		if succ, _ := n.rview.heads(n.dir.isMember); succ >= 0 {
+			if sp, ok := n.rview.posOf(succ); ok {
+				gap = ring.Clockwise(myPos, sp)
+			}
 		}
-		n.mu.Lock()
-		u := n.rng.Float64()
-		n.mu.Unlock()
-		pos = selectcore.PlaceJoin(myPos, gap, 1/float64(n.dir.memberCount()+1), u)
+		pos = selectcore.PlaceJoin(myPos, gap, 1/float64(n.dir.memberCount()+1), n.rng.Float64())
 	} else {
 		pos = selectcore.PlaceIndependent(uint64(q))
 	}
+	succs, succPos, preds, predPos := n.rview.wireFields(n.id, myPos)
+	links := n.linksLocked()
+	n.mu.Unlock()
 	n.cfg.Obs.Inc(obs.CJoinReply)
 	_ = n.tr.Send(m.From, &wire.Message{
 		Kind: wire.KindJoinReply, From: int32(n.id), To: m.From, Seq: m.Seq,
 		Pos:          math.Float64bits(float64(pos)),
-		RoutingTable: peersToInt32s(n.linksSnapshot()),
+		RoutingTable: peersToInt32s(links),
+		Succs:        succs, SuccPos: succPos, Preds: preds, PredPos: predPos,
 	})
 }
 
 // handleJoinReply completes the join: adopt the assigned position, enter
-// the ring, take the inviter's links as lookahead seed, and announce the
-// new identifier to member friends and seed contacts.
+// the ring, seed the ring view from the inviter's successor/predecessor
+// lists (the inviter prepends itself, so at minimum the view holds it),
+// take the inviter's links as lookahead seed, and announce the new
+// identifier to member friends and seed contacts.
 func (n *Node) handleJoinReply(m *wire.Message) {
 	if n.dir.isMember(n.id) {
 		return // duplicate reply from a retried request
@@ -109,8 +122,13 @@ func (n *Node) handleJoinReply(m *wire.Message) {
 	n.mu.Lock()
 	n.joined = true
 	n.wantJoin = false
+	n.joinNext = time.Time{}
+	n.joinAttempt = 0
 	n.lookahead[from] = contacts
-	n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	n.learnRingLocked(pos, m.Succs, m.SuccPos)
+	n.learnRingLocked(pos, m.Preds, m.PredPos)
+	n.refreshHeadsLocked()
+	close(n.joinedCh)
 	announce := make(map[overlay.PeerID]bool)
 	for _, f := range n.g.Neighbors(n.id) {
 		if n.dir.isMember(f) {
@@ -144,27 +162,35 @@ func (n *Node) handleJoinReply(m *wire.Message) {
 	}
 }
 
-// maintainTick runs one round of the live maintenance loop.
+// maintainTick runs one round of the live maintenance loop. Join resends
+// ride the repair scheduler now (repair.go), and the short-range links
+// come from the node's own successor lists — the directory's ring scan is
+// bootstrap-only.
 func (n *Node) maintainTick() {
 	if !n.dir.isMember(n.id) {
-		n.mu.Lock()
-		want := n.wantJoin
-		n.mu.Unlock()
-		if want {
-			n.sendJoinRequest()
-		}
 		return
 	}
 	var out []outMsg
 	n.mu.Lock()
 	n.pruneGoneLocked()
-	n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	n.refreshHeadsLocked()
 	out = n.reassignLocked(out)
 	out = n.relinkLocked(out)
 	n.mu.Unlock()
 	for _, o := range out {
 		_ = n.tr.Send(o.to, o.m)
 	}
+}
+
+// refreshHeadsLocked re-derives the short-range ring links from the
+// successor/predecessor lists: the nearest entry in each direction that
+// is still a member. This is the local splice — when the old head died or
+// left, the next list entry takes over without consulting anyone.
+func (n *Node) refreshHeadsLocked() {
+	if !n.joined {
+		return
+	}
+	n.shortSucc, n.shortPred = n.rview.heads(n.dir.isMember)
 }
 
 // pruneGoneLocked forgets links to peers that left the ring (crashed or
@@ -187,6 +213,7 @@ func (n *Node) pruneGoneLocked() {
 			delete(n.pendingOut, q)
 		}
 	}
+	n.rview.prune(n.dir.isMember)
 }
 
 // reassignLocked is Algorithm 2 live: move the identifier to the ring
@@ -219,7 +246,8 @@ func (n *Node) reassignLocked(out []outMsg) []outMsg {
 	n.dir.setPosition(n.id, target)
 	n.cfg.Obs.Inc(obs.CIDReassign)
 	n.cfg.Obs.TraceEvent("reassign", int32(n.id), 0)
-	n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	n.rview.rebase(target)
+	n.refreshHeadsLocked()
 	announce := make(map[overlay.PeerID]bool)
 	for _, q := range n.linksLocked() {
 		announce[q] = true
@@ -305,9 +333,10 @@ func (n *Node) relinkLocked(out []outMsg) []outMsg {
 	}
 	n.idx.Begin(n.hasher, len(friends))
 	indexed := false
+	now := time.Now()
 	for i, f := range friends {
 		bm, ok := n.bitmaps[f]
-		if !ok || !n.dir.isMember(f) {
+		if !ok || !n.dir.isMember(f) || n.quarantinedLocked(f, now) {
 			continue
 		}
 		coords := append(n.coords[:0], i) // self bit
@@ -484,7 +513,9 @@ func (n *Node) handleLinkProposal(m *wire.Message) {
 	}
 }
 
-// handleLinkAccept completes an establishment this node proposed.
+// handleLinkAccept completes an establishment this node proposed. When a
+// dead-link eviction is awaiting its replacement, the accept closes the
+// repair and feeds the time-to-repair histogram (suspicion → new link).
 func (n *Node) handleLinkAccept(m *wire.Message) {
 	from := overlay.PeerID(m.From)
 	var over bool
@@ -493,6 +524,11 @@ func (n *Node) handleLinkAccept(m *wire.Message) {
 	if !n.inLongOutLocked(from) {
 		if len(n.longOut) < n.cfg.K {
 			n.longOut = append(n.longOut, from)
+			if len(n.linkRepairStart) > 0 {
+				since := n.linkRepairStart[0]
+				n.linkRepairStart = n.linkRepairStart[1:]
+				n.cfg.Obs.ObserveRepairLinkMS(float64(time.Since(since).Milliseconds()))
+			}
 		} else {
 			over = true // budget filled while the proposal was in flight
 		}
@@ -533,8 +569,14 @@ func (n *Node) handleLeave(m *wire.Message) {
 	delete(n.pendingOut, from)
 	delete(n.lookahead, from)
 	delete(n.cma, from)
-	if n.shortSucc == from || n.shortPred == from {
-		n.shortSucc, n.shortPred = n.dir.ringNeighbors(n.id)
+	delete(n.miss, from)
+	delete(n.suspectAt, from)
+	wasRing := n.shortSucc == from || n.shortPred == from
+	n.rview.remove(from)
+	if wasRing {
+		// Graceful splice: the next successor-list entry takes over.
+		n.refreshHeadsLocked()
+		n.cfg.Obs.Inc(obs.CRingSplice)
 	}
 	n.mu.Unlock()
 }
@@ -574,5 +616,19 @@ func (n *Node) resetVolatileLocked() {
 	n.bitmaps = make(map[overlay.PeerID][]uint64)
 	n.lookahead = make(map[overlay.PeerID][]overlay.PeerID)
 	n.cma = make(map[overlay.PeerID]*churn.CMA)
+	n.miss = make(map[overlay.PeerID]int)
+	n.suspectAt = make(map[overlay.PeerID]time.Time)
+	n.deadUntil = make(map[overlay.PeerID]time.Time)
+	n.linkRepairStart = nil
 	n.pendingPings = make(map[uint32]overlay.PeerID)
+	// The ring view and join machinery are volatile; a fresh joinedCh
+	// lets the next Join wait on this incarnation. The repair outbox
+	// (pubs) survives alongside received/acked — it is the same
+	// persistent feed, seen from the publisher's side — so a crashed
+	// publisher resumes re-sending its unacked publications after it
+	// re-joins (§III-F: the publisher repairs when it comes back).
+	n.rview.succ, n.rview.pred = nil, nil
+	n.joinNext = time.Time{}
+	n.joinAttempt = 0
+	n.joinedCh = make(chan struct{})
 }

@@ -25,6 +25,7 @@
 package node
 
 import (
+	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -83,18 +84,48 @@ type Node struct {
 	strength []float64
 	bitmaps  map[overlay.PeerID][]uint64
 	fidx     map[overlay.PeerID]int
+	// rview is the decentralized r-deep successor/predecessor view the
+	// ring links come from (ringlist.go); the directory's ringNeighbors
+	// scan is bootstrap-only.
+	rview ringView
 	// seen dedups directed copies passing through; received records local
-	// deliveries with their hop count.
-	seen     map[msgID]bool
-	received map[msgID]uint8
+	// deliveries with their hop count, bounded FIFO by recvOrder
+	// (DedupWindow).
+	seen      map[msgID]bool
+	received  map[msgID]uint8
+	recvOrder []msgID
 	// lookahead caches neighbors' routing tables learned via ExchangeRT.
 	lookahead map[overlay.PeerID][]overlay.PeerID
-	// cma tracks per-link availability from heartbeats.
-	cma map[overlay.PeerID]*churn.CMA
+	// cma tracks per-link availability from heartbeats; miss is the
+	// consecutive-miss streak and suspectAt when suspicion started — the
+	// accrual failure detector's evidence (repair.go).
+	cma       map[overlay.PeerID]*churn.CMA
+	miss      map[overlay.PeerID]int
+	suspectAt map[overlay.PeerID]time.Time
+	// deadUntil quarantines evicted-dead peers: piggybacked successor
+	// lists and ID announcements from third parties must not resurrect a
+	// peer this node just declared dead. First-person evidence (a pong or
+	// the peer's own announcement) clears it.
+	deadUntil map[overlay.PeerID]time.Time
+	// linkRepairStart queues eviction times of dead long links awaiting a
+	// replacement LinkAccept, feeding the time-to-repair histogram.
+	linkRepairStart []time.Time
 	// pendingPings: seq -> target of pings not yet answered.
 	pendingPings map[uint32]overlay.PeerID
-	// acked records publication acks seen by this node (publisher role).
-	acked map[msgID]map[int32]bool
+	// acked records publication acks seen by this node (publisher role),
+	// bounded FIFO by ackOrder (PubHistory).
+	acked    map[msgID]map[int32]bool
+	ackOrder []msgID
+	// pubs is the delivery-repair engine's per-publication state; kick
+	// wakes the run loop to re-arm its timer (repair.go).
+	pubs        map[uint32]*pubState
+	deadLetters []DeadLetter
+	kick        chan struct{}
+	// joinNext/joinAttempt schedule join-request resends on the repair
+	// timer; joinedCh closes when the node becomes a ring member.
+	joinNext    time.Time
+	joinAttempt int
+	joinedCh    chan struct{}
 	// exchanges counts completed Algorithm-3 rounds (active side).
 	exchanges int
 	seq       uint32
@@ -128,6 +159,7 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 		inviterPref:  -1,
 		shortSucc:    -1,
 		shortPred:    -1,
+		rview:        ringView{r: cfg.SuccListLen},
 		pendingOut:   make(map[overlay.PeerID]bool),
 		strength:     make([]float64, len(friends)),
 		bitmaps:      make(map[overlay.PeerID][]uint64),
@@ -136,8 +168,14 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 		received:     make(map[msgID]uint8),
 		lookahead:    make(map[overlay.PeerID][]overlay.PeerID),
 		cma:          make(map[overlay.PeerID]*churn.CMA),
+		miss:         make(map[overlay.PeerID]int),
+		suspectAt:    make(map[overlay.PeerID]time.Time),
+		deadUntil:    make(map[overlay.PeerID]time.Time),
 		pendingPings: make(map[uint32]overlay.PeerID),
 		acked:        make(map[msgID]map[int32]bool),
+		pubs:         make(map[uint32]*pubState),
+		kick:         make(chan struct{}, 1),
+		joinedCh:     make(chan struct{}),
 		stop:         make(chan struct{}),
 	}
 	for i := range n.strength {
@@ -168,6 +206,10 @@ func (n *Node) run() {
 		defer t.Stop()
 		maintain = t.C
 	}
+	// The repair timer sleeps until the earliest pending retry/join
+	// deadline; kick re-arms it when a deadline appears or moves.
+	retry := time.NewTimer(time.Hour)
+	defer retry.Stop()
 	for {
 		select {
 		case <-n.stop:
@@ -192,6 +234,11 @@ func (n *Node) run() {
 			if !n.paused.Load() {
 				n.maintainTick()
 			}
+		case <-n.kick:
+			n.rearmRetry(retry, false)
+		case <-retry.C:
+			n.repairTick()
+			n.rearmRetry(retry, true)
 		}
 	}
 }
@@ -204,7 +251,16 @@ func (n *Node) nextSeq() uint32 {
 func (n *Node) handle(m *wire.Message) {
 	switch m.Kind {
 	case wire.KindPing:
+		// Pongs piggyback the responder's successor/predecessor lists —
+		// the anti-entropy channel that keeps every heartbeating pair's
+		// ring views converging without extra messages.
 		reply := &wire.Message{Kind: wire.KindPong, From: int32(n.id), To: m.From, Seq: m.Seq}
+		n.mu.Lock()
+		if n.joined {
+			reply.Succs, reply.SuccPos, reply.Preds, reply.PredPos =
+				n.rview.wireFields(n.id, n.dir.position(n.id))
+		}
+		n.mu.Unlock()
 		_ = n.tr.Send(m.From, reply)
 	case wire.KindPong:
 		n.cfg.Obs.Inc(obs.CPongReceived)
@@ -218,6 +274,12 @@ func (n *Node) handle(m *wire.Message) {
 			// slow links do not read as dead ones.
 			n.cfg.Obs.Inc(obs.CLatePongRecover)
 			n.observe(overlay.PeerID(m.From), true)
+		}
+		if n.joined && len(m.Succs) > 0 {
+			own := n.dir.position(n.id)
+			n.learnRingLocked(own, m.Succs, m.SuccPos)
+			n.learnRingLocked(own, m.Preds, m.PredPos)
+			n.refreshHeadsLocked()
 		}
 		n.mu.Unlock()
 	case wire.KindExchangeRT:
@@ -234,6 +296,18 @@ func (n *Node) handle(m *wire.Message) {
 		n.handleJoinReply(m)
 	case wire.KindIDAnnounce:
 		n.cfg.Obs.Inc(obs.CIDAnnounce)
+		// A joined or moved peer announced its identifier: fold it into
+		// the ring view so successor lists track Algorithm-2 moves.
+		n.mu.Lock()
+		if n.joined {
+			// The announcement comes from the peer itself — first-person
+			// liveness evidence that overrides any dead-quarantine.
+			delete(n.deadUntil, overlay.PeerID(m.From))
+			n.rview.learn(n.dir.position(n.id), n.id,
+				overlay.PeerID(m.From), ring.ID(math.Float64frombits(m.Pos)))
+			n.refreshHeadsLocked()
+		}
+		n.mu.Unlock()
 	case wire.KindLinkProposal:
 		n.handleLinkProposal(m)
 	case wire.KindLinkAccept:
@@ -352,14 +426,19 @@ func (n *Node) sendExchange() {
 }
 
 // sendHeartbeats pings every link; unanswered pings from the previous
-// round count as offline observations (§III-F probes).
+// round count as offline observations (§III-F probes). After folding the
+// round's misses the accrual detector sweep runs: dead links are evicted
+// and repaired before the next pings go out (repair.go).
 func (n *Node) sendHeartbeats() {
+	now := time.Now()
+	var out []outMsg
 	n.mu.Lock()
 	n.cfg.Obs.Addn(obs.CHeartbeatMiss, int64(len(n.pendingPings)))
 	for _, target := range n.pendingPings {
 		n.observe(target, false)
 	}
 	n.pendingPings = make(map[uint32]overlay.PeerID)
+	out = n.detectorSweepLocked(now, out)
 	links := n.linksLocked()
 	seqs := make(map[uint32]overlay.PeerID, len(links))
 	for _, q := range links {
@@ -368,13 +447,18 @@ func (n *Node) sendHeartbeats() {
 		n.pendingPings[s] = q
 	}
 	n.mu.Unlock()
+	for _, o := range out {
+		_ = n.tr.Send(o.to, o.m)
+	}
 	n.cfg.Obs.Addn(obs.CHeartbeatSent, int64(len(seqs)))
 	for s, q := range seqs {
 		_ = n.tr.Send(int32(q), &wire.Message{Kind: wire.KindPing, From: int32(n.id), To: int32(q), Seq: s})
 	}
 }
 
-// observe folds one availability sample for link q. Callers hold n.mu.
+// observe folds one availability sample for link q into the CMA and the
+// consecutive-miss streak the failure detector classifies. Callers hold
+// n.mu.
 func (n *Node) observe(q overlay.PeerID, online bool) {
 	c := n.cma[q]
 	if c == nil {
@@ -382,6 +466,13 @@ func (n *Node) observe(q overlay.PeerID, online bool) {
 		n.cma[q] = c
 	}
 	c.Observe(online)
+	if online {
+		n.miss[q] = 0
+		delete(n.suspectAt, q)
+		delete(n.deadUntil, q)
+	} else {
+		n.miss[q]++
+	}
 }
 
 // handlePublish processes a directed publication copy: deliver locally
@@ -390,10 +481,7 @@ func (n *Node) handlePublish(m *wire.Message) {
 	id := msgID{m.Publisher, m.Seq}
 	if overlay.PeerID(m.To) == n.id {
 		n.mu.Lock()
-		_, dup := n.received[id]
-		if !dup {
-			n.received[id] = m.HopCount
-		}
+		dup := !n.rememberDeliveryLocked(id, m.HopCount)
 		handler := n.onDeliver
 		n.mu.Unlock()
 		if dup {
@@ -433,12 +521,11 @@ func (n *Node) routeOrConsumeAck(m *wire.Message) {
 	if overlay.PeerID(m.To) == n.id {
 		id := msgID{m.Publisher, m.Seq}
 		n.mu.Lock()
-		set := n.acked[id]
-		if set == nil {
-			set = make(map[int32]bool)
-			n.acked[id] = set
-		}
+		set := n.ackedSetLocked(id)
 		set[m.From] = true
+		if m.Publisher == int32(n.id) {
+			n.resolveAckLocked(m.Seq)
+		}
 		n.mu.Unlock()
 		n.cfg.Obs.Inc(obs.CAckReceived)
 		return
@@ -466,15 +553,19 @@ func (n *Node) forward(m *wire.Message, target overlay.PeerID) {
 
 func (n *Node) nextHop(target overlay.PeerID) (overlay.PeerID, bool) {
 	links := n.linksSnapshot()
-	// CMA-informed liveness (§III-F): links whose heartbeat history says
-	// the peer is mostly offline are avoided as intermediate hops — but a
-	// direct link to the target itself is always tried (the message can
-	// only be for that peer).
+	// Accrual liveness (§III-F, selectcore.FailureDetector): links the
+	// detector marks suspect or dead are avoided as intermediate hops — a
+	// responsive peer (no current miss streak) is always usable, whatever
+	// its history, and a direct link to the target itself is always tried
+	// (the message can only be for that peer).
 	alive := func(q overlay.PeerID) bool {
 		n.mu.Lock()
 		defer n.mu.Unlock()
 		c := n.cma[q]
-		return c == nil || c.Samples() < 3 || c.Value() >= 0.5
+		if c == nil {
+			return true
+		}
+		return n.cfg.Detector.Classify(n.miss[q], c.Samples(), c.Value()) == selectcore.LinkAlive
 	}
 	for _, q := range links {
 		if q == target {
@@ -542,9 +633,14 @@ func (n *Node) Pause() { n.paused.Store(true) }
 func (n *Node) Resume() { n.paused.Store(false) }
 
 // RetryMissing re-sends publication seq to every subscriber that has not
-// acked yet — the publisher-driven repair of the live pub/sub (delivery
-// reliability under churn, Fig. 6's regime).
+// acked yet.
+//
+// Deprecated: repair is autonomous now — the in-node engine (repair.go)
+// re-sends on its seeded backoff schedule without any caller driving it.
+// This shim survives for ablation harnesses only; invocations count as
+// manual_retry, separate from the engine's retry_sent.
 func (n *Node) RetryMissing(seq uint32) int {
+	n.cfg.Obs.Inc(obs.CManualRetry)
 	id := msgID{int32(n.id), seq}
 	n.mu.Lock()
 	acked := n.acked[id]
@@ -555,7 +651,6 @@ func (n *Node) RetryMissing(seq uint32) int {
 		}
 	}
 	n.mu.Unlock()
-	n.cfg.Obs.Addn(obs.CRetrySent, int64(len(missing)))
 	for _, s := range missing {
 		m := &wire.Message{
 			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
@@ -591,12 +686,13 @@ func (n *Node) PublishSize(size uint32) uint32 {
 }
 
 func (n *Node) publish(payload []byte, size uint32) uint32 {
+	subs := n.g.Neighbors(n.id)
 	n.mu.Lock()
 	seq := n.nextSeq()
 	id := msgID{int32(n.id), seq}
-	n.received[id] = 0 // the publisher trivially has its own message
+	n.rememberDeliveryLocked(id, 0) // the publisher trivially has its own message
+	n.registerPublishLocked(seq, subs, payload, size, time.Now())
 	n.mu.Unlock()
-	subs := n.g.Neighbors(n.id)
 	n.cfg.Obs.Addn(obs.CPublishSent, int64(len(subs)))
 	n.cfg.Obs.TraceEvent("publish", int32(n.id), seq)
 	for _, s := range subs {
@@ -607,6 +703,7 @@ func (n *Node) publish(payload []byte, size uint32) uint32 {
 		}
 		n.forward(m, s)
 	}
+	n.kickRetry()
 	return seq
 }
 
@@ -663,6 +760,28 @@ func (n *Node) Joined() bool {
 
 // Links returns the node's current routing table R_p.
 func (n *Node) Links() []overlay.PeerID { return n.linksSnapshot() }
+
+// RingNeighbors returns the node's current short-range ring links (-1
+// when a direction has no live entry).
+func (n *Node) RingNeighbors() (succ, pred overlay.PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.shortSucc, n.shortPred
+}
+
+// RingList returns the node's successor and predecessor lists (nearest
+// first), the decentralized state ring repair splices from.
+func (n *Node) RingList() (succs, preds []overlay.PeerID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, e := range n.rview.succ {
+		succs = append(succs, e.peer)
+	}
+	for _, e := range n.rview.pred {
+		preds = append(preds, e.peer)
+	}
+	return succs, preds
+}
 
 // Position returns the node's current ring identifier.
 func (n *Node) Position() ring.ID { return n.dir.position(n.id) }

@@ -16,10 +16,11 @@ import (
 
 // TestPublishUnderSeededDrops runs a live cluster whose transport drops
 // 20% of directed-publish copies (and duplicates a few) from a seeded
-// fault schedule, and asserts the delivery machinery holds up:
-// publisher-driven retries reach every subscriber within the horizon,
-// the dedup map absorbs duplicate arrivals (each subscriber's first-time
-// delivery is counted exactly once), and no copy outlives its TTL.
+// fault schedule, and asserts the delivery machinery holds up: the
+// publisher's autonomous repair engine reaches every subscriber within
+// the horizon, the dedup map absorbs duplicate arrivals (each
+// subscriber's first-time delivery is counted exactly once), and no
+// copy outlives its TTL.
 func TestPublishUnderSeededDrops(t *testing.T) {
 	const n = 120
 	const seed = 21
@@ -40,6 +41,7 @@ func TestPublishUnderSeededDrops(t *testing.T) {
 	c, err := Start(Options{
 		Graph: g, Overlay: ov, Transport: fn, Seed: seed,
 		HeartbeatEvery: 20 * time.Millisecond, Obs: met,
+		RetryBase: 10 * time.Millisecond, RetryBudget: 100,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -55,24 +57,11 @@ func TestPublishUnderSeededDrops(t *testing.T) {
 	subs := g.Neighbors(pub)
 	seq := c.Nodes[pub].PublishSize(1000)
 
-	// Retry horizon: the publisher repairs missing deliveries until every
-	// subscriber has the publication or the deadline passes.
-	deadline := time.Now().Add(10 * time.Second)
-	delivered := 0
-	for time.Now().Before(deadline) {
-		delivered = 0
-		for _, s := range subs {
-			if _, ok := c.Nodes[s].Received(pub, seq); ok {
-				delivered++
-			}
-		}
-		if delivered == len(subs) {
-			break
-		}
-		c.Nodes[pub].RetryMissing(seq)
-		time.Sleep(10 * time.Millisecond)
-	}
-	if delivered != len(subs) {
+	// Repair horizon: the publisher's engine re-sends to unacked
+	// subscribers on its own seeded backoff until every subscriber has
+	// the publication or the deadline passes.
+	delivered, ok := await(c, pub, seq, subs, 10*time.Second)
+	if !ok {
 		t.Fatalf("only %d/%d subscribers delivered under 20%% publish drops", delivered, len(subs))
 	}
 
@@ -96,8 +85,8 @@ func TestPublishUnderSeededDrops(t *testing.T) {
 }
 
 // TestRetriesSurviveDroppedAcks drops acks as well as publications: the
-// publisher over-retries (it cannot see deliveries whose acks died), and
-// dedup at the subscribers keeps the over-delivery invisible.
+// publisher's engine over-retries (it cannot see deliveries whose acks
+// died), and dedup at the subscribers keeps the over-delivery invisible.
 func TestRetriesSurviveDroppedAcks(t *testing.T) {
 	const n = 80
 	const seed = 22
@@ -113,7 +102,10 @@ func TestRetriesSurviveDroppedAcks(t *testing.T) {
 		Kinds:    []wire.Kind{wire.KindPublish, wire.KindAck},
 	}, seed)
 	fn.Obs = met
-	c, err := Start(Options{Graph: g, Overlay: ov, Transport: fn, Seed: seed, Obs: met})
+	c, err := Start(Options{
+		Graph: g, Overlay: ov, Transport: fn, Seed: seed, Obs: met,
+		RetryBase: 10 * time.Millisecond, RetryBudget: 100,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,22 +123,8 @@ func TestRetriesSurviveDroppedAcks(t *testing.T) {
 	}
 	subs := g.Neighbors(pub)
 	seq := c.Nodes[pub].PublishSize(100)
-	deadline := time.Now().Add(10 * time.Second)
-	delivered := 0
-	for time.Now().Before(deadline) {
-		delivered = 0
-		for _, s := range subs {
-			if _, ok := c.Nodes[s].Received(pub, seq); ok {
-				delivered++
-			}
-		}
-		if delivered == len(subs) {
-			break
-		}
-		c.Nodes[pub].RetryMissing(seq)
-		time.Sleep(10 * time.Millisecond)
-	}
-	if delivered != len(subs) {
+	delivered, ok := await(c, pub, seq, subs, 10*time.Second)
+	if !ok {
 		t.Fatalf("only %d/%d delivered with publish+ack drops", delivered, len(subs))
 	}
 	if got := met.Get(obs.CPublishDelivered); got != int64(len(subs)) {

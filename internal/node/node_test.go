@@ -318,9 +318,14 @@ func TestLatencyAwareSwitchboard(t *testing.T) {
 
 func TestLiveChurnRecovery(t *testing.T) {
 	// Pause a set of non-subscriber peers (potential relays), let
-	// heartbeats learn their unavailability, and verify that
-	// publisher-driven retries deliver to every online subscriber.
-	g, c := buildCluster(t, 150, 11, Options{HeartbeatEvery: 10 * time.Millisecond})
+	// heartbeats learn their unavailability, and verify that the node's
+	// own repair engine — no manual retries — delivers to every online
+	// subscriber.
+	g, c := buildCluster(t, 150, 11, Options{
+		HeartbeatEvery: 10 * time.Millisecond,
+		RetryBase:      10 * time.Millisecond,
+		RetryBudget:    100,
+	})
 	defer shutdown(t, c)
 	pub := topDegree(g)
 	subs := g.Neighbors(pub)
@@ -341,28 +346,17 @@ func TestLiveChurnRecovery(t *testing.T) {
 	time.Sleep(150 * time.Millisecond)
 
 	seq := c.Nodes[pub].PublishSize(1000)
-	deadline := time.Now().Add(8 * time.Second)
-	delivered := 0
-	for time.Now().Before(deadline) {
-		delivered = 0
-		for _, s := range subs {
-			if _, ok := c.Nodes[s].Received(pub, seq); ok {
-				delivered++
-			}
-		}
-		if delivered == len(subs) {
-			break
-		}
-		c.Nodes[pub].RetryMissing(seq)
-		time.Sleep(20 * time.Millisecond)
-	}
-	if delivered != len(subs) {
+	delivered, ok := await(c, pub, seq, subs, 8*time.Second)
+	if !ok {
 		t.Fatalf("only %d/%d subscribers delivered under churn", delivered, len(subs))
 	}
 }
 
 func TestPausedNodeDropsEverything(t *testing.T) {
-	g, c := buildCluster(t, 60, 12, Options{})
+	g, c := buildCluster(t, 60, 12, Options{
+		RetryBase:   10 * time.Millisecond,
+		RetryBudget: 100,
+	})
 	defer shutdown(t, c)
 	var pub overlay.PeerID = -1
 	for p := overlay.PeerID(0); p < 60; p++ {
@@ -382,14 +376,14 @@ func TestPausedNodeDropsEverything(t *testing.T) {
 		t.Error("paused subscriber received a publication")
 	}
 	c.Nodes[victim].Resume()
-	// After resume, a retry reaches it.
+	// After resume, the publisher's own repair engine reaches it — the
+	// harness just waits.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		c.Nodes[pub].RetryMissing(seq)
-		time.Sleep(10 * time.Millisecond)
 		if _, ok := c.Nodes[victim].Received(pub, seq); ok {
 			return
 		}
+		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("resumed subscriber never received the publication")
 }

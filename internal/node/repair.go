@@ -1,0 +1,406 @@
+package node
+
+import (
+	"math"
+	"time"
+
+	"selectps/internal/obs"
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+	"selectps/internal/selectcore"
+	"selectps/internal/wire"
+)
+
+// This file is the self-healing layer of the live runtime (DESIGN.md §9):
+//
+//   - the autonomous delivery-repair engine: every publication this node
+//     publishes gets a per-(node, seq) state machine that re-sends to
+//     unacked subscribers on a seeded exponential-backoff-with-jitter
+//     schedule (selectcore.Backoff) until every subscriber acked or the
+//     retry budget dead-letters the publication — no caller ever drives
+//     repair by hand;
+//   - join-request resends, riding the same scheduler instead of the
+//     maintenance ticker;
+//   - the accrual failure detector sweep: heartbeat evidence (miss
+//     streaks + CMA history) is classified by selectcore.FailureDetector
+//     into alive → suspect → dead, and a dead link is evicted and
+//     repaired immediately — LSH-bucket refill for long links, local
+//     successor-list splice for ring neighbors;
+//   - the state bounds: dedup windows and publication history are FIFO
+//     garbage-collected so long-running nodes hold bounded maps.
+
+// pubState is the publisher-side record of one in-flight publication.
+type pubState struct {
+	subs    []overlay.PeerID
+	payload []byte
+	size    uint32
+	attempt int       // retries already sent
+	nextAt  time.Time // next retry deadline
+	bseed   uint64    // selectcore.RepairSeed(seed, node, seq)
+}
+
+// DeadLetter records a publication that exhausted its retry budget with
+// subscribers still unacked — the bounded failure record the harness can
+// inspect instead of silently losing deliveries.
+type DeadLetter struct {
+	Seq     uint32
+	Missing []overlay.PeerID
+	Retries int
+}
+
+// maxDeadLetters bounds the per-node dead-letter record.
+const maxDeadLetters = 128
+
+// repairEnabled reports whether the delivery-repair engine runs;
+// RetryBase = 0 disables it (the soak's no-recovery ablation arm).
+func (n *Node) repairEnabled() bool { return n.cfg.RetryBase > 0 }
+
+func (n *Node) backoff() selectcore.Backoff {
+	return selectcore.Backoff{Base: n.cfg.RetryBase, Max: n.cfg.RetryMax, Budget: n.cfg.RetryBudget}
+}
+
+// joinBackoff is the join-resend schedule: same engine, but with a
+// fallback base (joins must retry even when publication repair is off)
+// and no budget — a joiner keeps asking at the capped delay forever.
+func (n *Node) joinBackoff() selectcore.Backoff {
+	b := n.backoff()
+	if b.Base <= 0 {
+		b.Base = 15 * time.Millisecond
+	}
+	return b
+}
+
+// joinSeed is the backoff stream for join resends; seq 0 is never used by
+// publications (nextSeq starts at 1), so it is free as the join stream id.
+func (n *Node) joinSeed() uint64 {
+	return selectcore.RepairSeed(n.cfg.Seed, int32(n.id), 0)
+}
+
+// kickRetry wakes the run loop to re-arm the repair timer after a
+// deadline changed (new publication, new join attempt).
+func (n *Node) kickRetry() {
+	select {
+	case n.kick <- struct{}{}:
+	default:
+	}
+}
+
+// retryDelay computes how long the repair timer should sleep: until the
+// earliest pending deadline, or effectively forever when nothing is
+// in flight. A paused (churned-out) node dozes instead of spinning.
+func (n *Node) retryDelay() time.Duration {
+	n.mu.Lock()
+	var earliest time.Time
+	for _, st := range n.pubs {
+		if earliest.IsZero() || st.nextAt.Before(earliest) {
+			earliest = st.nextAt
+		}
+	}
+	if n.wantJoin && !n.joinNext.IsZero() && (earliest.IsZero() || n.joinNext.Before(earliest)) {
+		earliest = n.joinNext
+	}
+	n.mu.Unlock()
+	if earliest.IsZero() {
+		return time.Hour
+	}
+	d := time.Until(earliest)
+	if d < 0 {
+		d = 0
+	}
+	if n.paused.Load() && d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	return d
+}
+
+// rearmRetry resets the repair timer to the earliest pending deadline.
+// fired says the caller just drained t.C, so Stop/drain is skipped.
+func (n *Node) rearmRetry(t *time.Timer, fired bool) {
+	if !fired && !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	t.Reset(n.retryDelay())
+}
+
+// registerPublishLocked opens the repair state machine for publication
+// seq: the first retry fires one backoff-delay after the initial send.
+func (n *Node) registerPublishLocked(seq uint32, subs []overlay.PeerID, payload []byte, size uint32, now time.Time) {
+	if !n.repairEnabled() {
+		return
+	}
+	bseed := selectcore.RepairSeed(n.cfg.Seed, int32(n.id), seq)
+	n.pubs[seq] = &pubState{
+		subs:    append([]overlay.PeerID(nil), subs...),
+		payload: payload,
+		size:    size,
+		bseed:   bseed,
+		nextAt:  now.Add(n.backoff().Delay(bseed, 0)),
+	}
+}
+
+// resolveAckLocked closes publication seq's state machine once every
+// subscriber acked — the moment its record becomes garbage-collectable.
+func (n *Node) resolveAckLocked(seq uint32) {
+	st := n.pubs[seq]
+	if st == nil {
+		return
+	}
+	acked := n.acked[msgID{int32(n.id), seq}]
+	for _, s := range st.subs {
+		if !acked[int32(s)] {
+			return
+		}
+	}
+	delete(n.pubs, seq)
+	n.cfg.Obs.TraceEvent("pub_resolved", int32(n.id), seq)
+}
+
+// scheduleJoinResendLocked arms the next join-resend deadline from the
+// current attempt count.
+func (n *Node) scheduleJoinResendLocked(now time.Time) {
+	n.joinNext = now.Add(n.joinBackoff().Delay(n.joinSeed(), n.joinAttempt))
+}
+
+// repairTick is the engine's timer body: re-send every due publication to
+// its still-unacked subscribers (dead-lettering past the budget) and
+// re-send a pending join request. Messages are staged under the lock and
+// routed after it (forward takes the lock itself).
+func (n *Node) repairTick() {
+	if n.paused.Load() {
+		return
+	}
+	now := time.Now()
+	bo := n.backoff()
+	budget := bo.Budget
+	if budget <= 0 {
+		budget = 12
+	}
+	var out []outMsg
+	resendJoin := false
+	n.mu.Lock()
+	for seq, st := range n.pubs {
+		if st.nextAt.After(now) {
+			continue
+		}
+		acked := n.acked[msgID{int32(n.id), seq}]
+		var missing []overlay.PeerID
+		for _, s := range st.subs {
+			if !acked[int32(s)] {
+				missing = append(missing, s)
+			}
+		}
+		if len(missing) == 0 {
+			delete(n.pubs, seq)
+			continue
+		}
+		if st.attempt >= budget {
+			n.deadLetterLocked(seq, st, missing)
+			continue
+		}
+		st.attempt++
+		st.nextAt = now.Add(bo.Delay(st.bseed, st.attempt))
+		n.cfg.Obs.Addn(obs.CRetrySent, int64(len(missing)))
+		n.cfg.Obs.TraceEvent("retry", int32(n.id), seq)
+		for _, s := range missing {
+			out = append(out, outMsg{int32(s), &wire.Message{
+				Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
+				Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
+				PayloadSize: st.size, Payload: st.payload,
+			}})
+		}
+	}
+	if n.wantJoin && !n.joinNext.IsZero() && !n.joinNext.After(now) {
+		resendJoin = true
+		n.joinAttempt++
+		n.scheduleJoinResendLocked(now)
+		n.cfg.Obs.Inc(obs.CJoinResend)
+	}
+	n.mu.Unlock()
+	for _, o := range out {
+		n.forward(o.m, overlay.PeerID(o.to))
+	}
+	if resendJoin {
+		n.sendJoinRequest()
+	}
+}
+
+// deadLetterLocked retires publication seq unresolved: budget exhausted
+// with subscribers missing. The record is bounded FIFO.
+func (n *Node) deadLetterLocked(seq uint32, st *pubState, missing []overlay.PeerID) {
+	delete(n.pubs, seq)
+	n.cfg.Obs.Inc(obs.CDeadLetter)
+	n.cfg.Obs.TraceEvent("dead_letter", int32(n.id), seq)
+	n.deadLetters = append(n.deadLetters, DeadLetter{Seq: seq, Missing: missing, Retries: st.attempt})
+	if len(n.deadLetters) > maxDeadLetters {
+		n.deadLetters = n.deadLetters[len(n.deadLetters)-maxDeadLetters:]
+	}
+}
+
+// DeadLetters returns the node's bounded record of publications that
+// exhausted their retry budget.
+func (n *Node) DeadLetters() []DeadLetter {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]DeadLetter(nil), n.deadLetters...)
+}
+
+// PendingRepairs returns how many publications are still in the repair
+// engine (unresolved, not dead-lettered).
+func (n *Node) PendingRepairs() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pubs)
+}
+
+// rememberDeliveryLocked records a first-time delivery in the dedup
+// window, evicting the oldest entry past DedupWindow. Returns false on a
+// duplicate. The window bound is the at-least-once contract: a copy
+// arriving after its record aged out would deliver again.
+func (n *Node) rememberDeliveryLocked(id msgID, hops uint8) bool {
+	if _, dup := n.received[id]; dup {
+		return false
+	}
+	n.received[id] = hops
+	n.recvOrder = append(n.recvOrder, id)
+	w := n.cfg.DedupWindow
+	if w <= 0 {
+		w = 8192
+	}
+	for len(n.recvOrder) > w {
+		delete(n.received, n.recvOrder[0])
+		n.recvOrder = n.recvOrder[1:]
+	}
+	return true
+}
+
+// ackedSetLocked returns (creating if needed) the ack set of publication
+// id, evicting the oldest completed record past PubHistory.
+func (n *Node) ackedSetLocked(id msgID) map[int32]bool {
+	set := n.acked[id]
+	if set == nil {
+		set = make(map[int32]bool)
+		n.acked[id] = set
+		n.ackOrder = append(n.ackOrder, id)
+		h := n.cfg.PubHistory
+		if h <= 0 {
+			h = 1024
+		}
+		for len(n.ackOrder) > h {
+			delete(n.acked, n.ackOrder[0])
+			n.ackOrder = n.ackOrder[1:]
+		}
+	}
+	return set
+}
+
+// quarantineFor is how long an evicted-dead peer stays unlearnable from
+// third-party gossip: long enough for the rest of the protocol to notice
+// the death, short enough that a recovered peer is not shunned for long.
+// First-person evidence (pong, own IDAnnounce) clears it early.
+func (n *Node) quarantineFor() time.Duration {
+	d := 8 * n.cfg.HeartbeatEvery
+	if d < 200*time.Millisecond {
+		d = 200 * time.Millisecond
+	}
+	return d
+}
+
+// quarantinedLocked reports whether q is under dead-quarantine at `now`,
+// expiring stale entries as a side effect.
+func (n *Node) quarantinedLocked(q overlay.PeerID, now time.Time) bool {
+	t, ok := n.deadUntil[q]
+	if !ok {
+		return false
+	}
+	if now.After(t) {
+		delete(n.deadUntil, q)
+		return false
+	}
+	return true
+}
+
+// learnRingLocked folds piggybacked successor/predecessor wire fields
+// into the ring view, skipping self and quarantined peers — gossip from
+// third parties must not resurrect a neighbor this node declared dead.
+func (n *Node) learnRingLocked(own ring.ID, peers []int32, poss []uint64) {
+	k := len(peers)
+	if len(poss) < k {
+		k = len(poss)
+	}
+	now := time.Now()
+	for i := 0; i < k; i++ {
+		q := overlay.PeerID(peers[i])
+		if q == n.id || n.quarantinedLocked(q, now) {
+			continue
+		}
+		n.rview.learn(own, n.id, q, ring.ID(math.Float64frombits(poss[i])))
+	}
+}
+
+// detectorSweepLocked classifies every link's accrued heartbeat evidence
+// (selectcore.FailureDetector) and evicts the dead ones. Called from the
+// heartbeat tick after folding the round's misses; staged repair messages
+// are appended to out.
+func (n *Node) detectorSweepLocked(now time.Time, out []outMsg) []outMsg {
+	det := n.cfg.Detector
+	var dead []overlay.PeerID
+	for _, q := range n.linksLocked() {
+		c := n.cma[q]
+		if c == nil {
+			continue
+		}
+		switch det.Classify(n.miss[q], c.Samples(), c.Value()) {
+		case selectcore.LinkSuspect:
+			if _, ok := n.suspectAt[q]; !ok {
+				n.suspectAt[q] = now
+				n.cfg.Obs.Inc(obs.CLinkSuspect)
+				n.cfg.Obs.TraceEvent("suspect", int32(n.id), uint32(q))
+			}
+		case selectcore.LinkDead:
+			dead = append(dead, q)
+		}
+	}
+	for _, q := range dead {
+		out = n.evictDeadLocked(q, now, out)
+	}
+	return out
+}
+
+// evictDeadLocked removes a dead link from every routing role and repairs
+// immediately: a dead ring neighbor is spliced out of the successor list
+// locally, a dead long link's LSH bucket is re-filled by an Algorithm-5/6
+// pass right now rather than at the next maintenance tick. Time-to-repair
+// is measured from first suspicion.
+func (n *Node) evictDeadLocked(q overlay.PeerID, now time.Time, out []outMsg) []outMsg {
+	since := now
+	if t, ok := n.suspectAt[q]; ok {
+		since = t
+	}
+	wasLong := n.inLongOutLocked(q) || n.inLongInLocked(q)
+	wasRing := n.shortSucc == q || n.shortPred == q
+	n.removeLongOutLocked(q)
+	n.removeLongInLocked(q)
+	delete(n.pendingOut, q)
+	delete(n.lookahead, q)
+	delete(n.cma, q)
+	delete(n.miss, q)
+	delete(n.suspectAt, q)
+	n.deadUntil[q] = now.Add(n.quarantineFor())
+	n.rview.remove(q)
+	n.cfg.Obs.Inc(obs.CLinkDeadEvict)
+	n.cfg.Obs.TraceEvent("dead_evict", int32(n.id), uint32(q))
+	if wasRing {
+		n.refreshHeadsLocked()
+		n.cfg.Obs.Inc(obs.CRingSplice)
+		n.cfg.Obs.ObserveRepairRingMS(float64(now.Sub(since).Milliseconds()))
+		n.cfg.Obs.TraceEvent("ring_splice", int32(n.id), uint32(q))
+	}
+	if wasLong {
+		n.linkRepairStart = append(n.linkRepairStart, since)
+		out = n.relinkLocked(out)
+	}
+	return out
+}

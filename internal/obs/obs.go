@@ -76,6 +76,14 @@ const (
 	CLinkEvict    // incoming links evicted for a better-bandwidth proposer
 	CLeave        // graceful departures observed
 
+	// node: self-healing engine (DESIGN.md §9).
+	CLinkSuspect   // links promoted to suspect by the failure detector
+	CLinkDeadEvict // links declared dead and evicted (long links)
+	CRingSplice    // ring neighbors spliced from the successor list
+	CDeadLetter    // publications dead-lettered after the retry budget
+	CManualRetry   // RetryMissing shim invocations (should stay 0)
+	CJoinResend    // join requests re-sent by the retry scheduler
+
 	numCounters
 )
 
@@ -121,6 +129,13 @@ var counterNames = [numCounters]string{
 	CLinkDrop:     "link_drop",
 	CLinkEvict:    "link_evict",
 	CLeave:        "leave",
+
+	CLinkSuspect:   "link_suspect",
+	CLinkDeadEvict: "link_dead_evict",
+	CRingSplice:    "ring_splice",
+	CDeadLetter:    "dead_letter",
+	CManualRetry:   "manual_retry",
+	CJoinResend:    "join_resend",
 }
 
 // String returns the counter's export name.
@@ -194,6 +209,15 @@ type Metrics struct {
 	Hops    *Hist
 	Latency *Hist
 
+	// RepairLink and RepairRing record time-to-repair in milliseconds:
+	// from the first missed heartbeat of a link later declared dead to
+	// the replacement — a new long link accepted (RepairLink) or the
+	// local successor-list splice (RepairRing). Both are bounded by the
+	// detector thresholds times the heartbeat period plus one
+	// proposal round trip (DESIGN.md §9).
+	RepairLink *Hist
+	RepairRing *Hist
+
 	// trace is a bounded ring; nil until EnableTrace.
 	traceMu  sync.Mutex
 	trace    []Event
@@ -206,8 +230,10 @@ type Metrics struct {
 // (hops 0..16, latency 0..5000 ms in 10 ms bins).
 func New() *Metrics {
 	return &Metrics{
-		Hops:    NewHist(0, 16, 16),
-		Latency: NewHist(0, 5000, 500),
+		Hops:       NewHist(0, 16, 16),
+		Latency:    NewHist(0, 5000, 500),
+		RepairLink: NewHist(0, 2000, 200),
+		RepairRing: NewHist(0, 2000, 200),
 	}
 }
 
@@ -251,6 +277,24 @@ func (m *Metrics) ObserveLatencyMS(ms float64) {
 	m.Latency.Add(ms)
 }
 
+// ObserveRepairLinkMS records the time-to-repair of a dead long link.
+// Nil-safe.
+func (m *Metrics) ObserveRepairLinkMS(ms float64) {
+	if m == nil {
+		return
+	}
+	m.RepairLink.Add(ms)
+}
+
+// ObserveRepairRingMS records the time-to-repair of a dead ring
+// neighbor. Nil-safe.
+func (m *Metrics) ObserveRepairRingMS(ms float64) {
+	if m == nil {
+		return
+	}
+	m.RepairRing.Add(ms)
+}
+
 // EnableTrace turns on the bounded structured event trace, keeping the
 // most recent cap events. Call before the cluster starts; nil-safe.
 func (m *Metrics) EnableTrace(cap int) {
@@ -290,6 +334,10 @@ type Snapshot struct {
 	// LatencyMS holds selected latency quantiles estimated from the
 	// histogram (keys "p50", "p90", "p99").
 	LatencyMS map[string]float64 `json:"latency_ms,omitempty"`
+	// RepairLinkMS/RepairRingMS hold time-to-repair quantiles for dead
+	// long links and dead ring neighbors (keys "p50", "p90", "p99").
+	RepairLinkMS map[string]float64 `json:"repair_link_ms,omitempty"`
+	RepairRingMS map[string]float64 `json:"repair_ring_ms,omitempty"`
 	// Trace is the retained tail of the structured event trace, oldest
 	// first, with TraceDropped counting evicted older events.
 	Trace        []Event `json:"trace,omitempty"`
@@ -311,13 +359,19 @@ func (m *Metrics) Snapshot() Snapshot {
 	if h := m.Hops.Snapshot(); h != nil && h.Total() > 0 {
 		s.HopFractions = h.Fractions()
 	}
-	if h := m.Latency.Snapshot(); h != nil && h.Total() > 0 {
-		s.LatencyMS = map[string]float64{
+	quantiles := func(h *metrics.Histogram) map[string]float64 {
+		if h == nil || h.Total() == 0 {
+			return nil
+		}
+		return map[string]float64{
 			"p50": histQuantile(h, 0.5),
 			"p90": histQuantile(h, 0.9),
 			"p99": histQuantile(h, 0.99),
 		}
 	}
+	s.LatencyMS = quantiles(m.Latency.Snapshot())
+	s.RepairLinkMS = quantiles(m.RepairLink.Snapshot())
+	s.RepairRingMS = quantiles(m.RepairRing.Snapshot())
 	m.traceMu.Lock()
 	if m.traceCap > 0 {
 		kept := m.traceLen
@@ -370,6 +424,14 @@ func (s Snapshot) String() string {
 	if s.LatencyMS != nil {
 		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "delivery_latency",
 			s.LatencyMS["p50"], s.LatencyMS["p90"], s.LatencyMS["p99"])
+	}
+	if s.RepairLinkMS != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "time_to_repair_link",
+			s.RepairLinkMS["p50"], s.RepairLinkMS["p90"], s.RepairLinkMS["p99"])
+	}
+	if s.RepairRingMS != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "time_to_repair_ring",
+			s.RepairRingMS["p50"], s.RepairRingMS["p90"], s.RepairRingMS["p99"])
 	}
 	for h, f := range s.HopFractions {
 		if f > 0.001 {

@@ -1,0 +1,207 @@
+package selectcore
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file holds the self-healing decision rules shared by the offline
+// simulator (internal/selectsys) and the live runtime (internal/node):
+// the accrual failure detector that promotes heartbeat-CMA evidence into
+// a suspect → dead link lifecycle (§III-F), and the seeded
+// exponential-backoff-with-jitter schedule behind publisher-driven
+// delivery repair and join-request resends. Both are pure functions of
+// their inputs, so the same evidence always yields the same verdict and
+// the same (seed, attempt) always yields the same delay — the
+// reproducibility contract of the repair engine (DESIGN.md §9).
+
+// LinkState is the failure detector's verdict on one link.
+type LinkState uint8
+
+// Link lifecycle states.
+const (
+	// LinkAlive: the peer answers probes (or has no history yet).
+	LinkAlive LinkState = iota
+	// LinkSuspect: recent misses, but the availability history says this
+	// may be a temporal failure — keep the link, avoid it as a relay.
+	LinkSuspect
+	// LinkDead: the accrued evidence says the peer is gone — evict the
+	// link and repair (LSH-bucket refill for long links, successor-list
+	// splice for ring neighbors).
+	LinkDead
+)
+
+// String implements fmt.Stringer.
+func (s LinkState) String() string {
+	switch s {
+	case LinkAlive:
+		return "alive"
+	case LinkSuspect:
+		return "suspect"
+	case LinkDead:
+		return "dead"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// FailureDetector turns accrued heartbeat evidence — the consecutive-miss
+// streak and the long-run CMA availability (§III-F) — into a link state.
+// The zero value is not ready; use DefaultFailureDetector or fill every
+// field.
+type FailureDetector struct {
+	// SuspectAfter is the consecutive-miss streak that makes a link
+	// suspect (avoided as a forwarding relay, still probed).
+	SuspectAfter int
+	// DeadAfter is the consecutive-miss streak that declares a link dead
+	// regardless of history: even a good peer that stops answering this
+	// long has effectively churned out.
+	DeadAfter int
+	// DeadCMA is the availability below which a currently-missing peer is
+	// declared dead early (a mostly-offline peer does not get DeadAfter
+	// chances) — the simulator's CMAThreshold replacement rule.
+	DeadCMA float64
+	// MinSamples is how much CMA history the DeadCMA rule needs before it
+	// may fire; young links are judged on streaks alone.
+	MinSamples int
+}
+
+// DefaultFailureDetector matches the repo's heartbeat cadence: suspect at
+// 2 consecutive misses, dead at 4, early-dead below 0.25 availability
+// once 4 samples accrued.
+func DefaultFailureDetector() FailureDetector {
+	return FailureDetector{SuspectAfter: 2, DeadAfter: 4, DeadCMA: 0.25, MinSamples: 4}
+}
+
+// filled returns d with zero fields replaced by defaults, so a partially
+// configured detector behaves sanely.
+func (d FailureDetector) filled() FailureDetector {
+	def := DefaultFailureDetector()
+	if d.SuspectAfter <= 0 {
+		d.SuspectAfter = def.SuspectAfter
+	}
+	if d.DeadAfter <= 0 {
+		d.DeadAfter = def.DeadAfter
+	}
+	if d.DeadCMA <= 0 {
+		d.DeadCMA = def.DeadCMA
+	}
+	if d.MinSamples <= 0 {
+		d.MinSamples = def.MinSamples
+	}
+	return d
+}
+
+// Classify is the accrual verdict: consecMisses is the current unanswered
+// probe streak, samples/cma the link's availability history. A peer that
+// is answering (streak 0) is always alive — history alone never kills a
+// responsive link (§III-F keeps temporal failures).
+func (d FailureDetector) Classify(consecMisses, samples int, cma float64) LinkState {
+	d = d.filled()
+	if consecMisses <= 0 {
+		return LinkAlive
+	}
+	if consecMisses >= d.DeadAfter {
+		return LinkDead
+	}
+	if samples >= d.MinSamples && cma < d.DeadCMA {
+		// Mostly-offline history plus a current miss: dead early.
+		return LinkDead
+	}
+	if consecMisses >= d.SuspectAfter || (samples >= d.MinSamples && cma < 0.5) {
+		return LinkSuspect
+	}
+	return LinkAlive
+}
+
+// KeepOnFailure is the simulator-facing form of the same rule (§III-F
+// "do not create a chain of reassignments"): an unresponsive link is kept
+// when its history is good enough that the failure reads as temporal.
+// Equivalent to Classify with a one-miss streak not reaching LinkDead.
+func (d FailureDetector) KeepOnFailure(samples int, cma float64) bool {
+	return d.Classify(1, samples, cma) != LinkDead
+}
+
+// Backoff is the deterministic exponential-backoff-with-jitter schedule
+// of the delivery-repair engine: attempt k waits min(Base<<k, Max),
+// jittered ±25% by a splitmix64 stream of (seed, attempt). Budget bounds
+// attempts before the publication is dead-lettered.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Budget int
+}
+
+// Delay returns the wait before retry attempt k (k = 0 is the first
+// retry after the initial send). Pure: same (b, seed, attempt) ⇒ same
+// delay, regardless of wall clock or call order.
+func (b Backoff) Delay(seed uint64, attempt int) time.Duration {
+	d := b.Base
+	if d <= 0 {
+		d = 15 * time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 10 * d
+	}
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// ±25% jitter from a splitmix64 draw of (seed, attempt): u in [0,1),
+	// delay scaled by (0.75 + 0.5u). Integer math keeps it exact across
+	// platforms.
+	u := splitmix64(seed + 0x9E3779B97F4A7C15*uint64(attempt+1))
+	frac := u >> 11 // 53 significant bits
+	scaled := float64(d) * (0.75 + 0.5*float64(frac)/(1<<53))
+	return time.Duration(scaled)
+}
+
+// Schedule renders the full retry schedule for one (seed) stream: the
+// Budget delays attempt by attempt. This is the byte-identical repair
+// trace the acceptance tests pin — two runs with the same seed retry on
+// exactly this timeline.
+func (b Backoff) Schedule(seed uint64) []time.Duration {
+	n := b.Budget
+	if n <= 0 {
+		n = 12
+	}
+	out := make([]time.Duration, n)
+	for k := range out {
+		out[k] = b.Delay(seed, k)
+	}
+	return out
+}
+
+// TraceString is the canonical rendering of Schedule, for diffing repair
+// timelines across runs.
+func (b Backoff) TraceString(seed uint64) string {
+	var sb strings.Builder
+	for k, d := range b.Schedule(seed) {
+		fmt.Fprintf(&sb, "retry %2d after %s\n", k, d)
+	}
+	return sb.String()
+}
+
+// RepairSeed derives the per-publication backoff stream from the cluster
+// seed and the publication id (node, seq) — the "(seeded, deterministic
+// per (node, seq))" contract. splitmix64 separates nearby inputs.
+func RepairSeed(seed int64, node int32, seq uint32) uint64 {
+	z := uint64(seed)
+	z = splitmix64(z + 0x9E3779B97F4A7C15*uint64(uint32(node)+1))
+	z = splitmix64(z + 0xBF58476D1CE4E5B9*uint64(seq+1))
+	return z
+}
+
+// splitmix64 is the finalizer used across the repo for seed derivation.
+func splitmix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,118 @@
+package selectcore
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClassifyTable(t *testing.T) {
+	d := DefaultFailureDetector() // suspect@2, dead@4, cma<0.25 after 4 samples
+	cases := []struct {
+		name    string
+		misses  int
+		samples int
+		cma     float64
+		want    LinkState
+	}{
+		{"responsive is alive regardless of history", 0, 100, 0.01, LinkAlive},
+		{"one miss, no history", 1, 0, 1.0, LinkAlive},
+		{"one miss, good history", 1, 50, 0.9, LinkAlive},
+		{"one miss, shaky history", 1, 50, 0.4, LinkSuspect},
+		{"one miss, terrible history but young", 1, 3, 0.1, LinkAlive},
+		{"one miss, terrible history with samples", 1, 4, 0.1, LinkDead},
+		{"streak at suspect threshold", 2, 0, 1.0, LinkSuspect},
+		{"streak below dead threshold", 3, 50, 0.9, LinkSuspect},
+		{"streak at dead threshold", 4, 50, 0.99, LinkDead},
+		{"long streak", 10, 0, 1.0, LinkDead},
+	}
+	for _, tc := range cases {
+		if got := d.Classify(tc.misses, tc.samples, tc.cma); got != tc.want {
+			t.Errorf("%s: Classify(%d, %d, %.2f) = %v, want %v",
+				tc.name, tc.misses, tc.samples, tc.cma, got, tc.want)
+		}
+	}
+}
+
+func TestZeroDetectorUsesDefaults(t *testing.T) {
+	var zero FailureDetector
+	def := DefaultFailureDetector()
+	for misses := 0; misses <= 6; misses++ {
+		for _, cma := range []float64{0.0, 0.3, 0.8, 1.0} {
+			if z, d := zero.Classify(misses, 10, cma), def.Classify(misses, 10, cma); z != d {
+				t.Fatalf("zero detector diverges at misses=%d cma=%.1f: %v vs %v", misses, cma, z, d)
+			}
+		}
+	}
+}
+
+func TestKeepOnFailureMatchesSimulatorRule(t *testing.T) {
+	// The simulator's historical rule: keep an unresponsive link iff its
+	// CMA is at or above the threshold. With MinSamples 1 the detector
+	// must reproduce it exactly for any probed link.
+	det := FailureDetector{DeadCMA: 0.5, MinSamples: 1}
+	for _, tc := range []struct {
+		samples int
+		cma     float64
+		keep    bool
+	}{
+		{1, 0.9, true},
+		{1, 0.5, true},
+		{1, 0.49, false},
+		{10, 0.0, false},
+		{0, 0.0, true}, // never probed: benefit of the doubt
+	} {
+		if got := det.KeepOnFailure(tc.samples, tc.cma); got != tc.keep {
+			t.Errorf("KeepOnFailure(%d, %.2f) = %v, want %v", tc.samples, tc.cma, got, tc.keep)
+		}
+	}
+}
+
+func TestDelayDeterministicAndBounded(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 100 * time.Millisecond}
+	seed := RepairSeed(42, 7, 3)
+	for k := 0; k < 20; k++ {
+		d1, d2 := b.Delay(seed, k), b.Delay(seed, k)
+		if d1 != d2 {
+			t.Fatalf("Delay(seed, %d) not deterministic: %s vs %s", k, d1, d2)
+		}
+		// Jitter is ±25% of the capped exponential delay.
+		base := 10 * time.Millisecond << uint(k)
+		if base > 100*time.Millisecond || base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		lo, hi := time.Duration(float64(base)*0.75), time.Duration(float64(base)*1.25)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("Delay(seed, %d) = %s outside jitter bounds [%s, %s]", k, d1, lo, hi)
+		}
+	}
+}
+
+func TestRepairSeedSeparatesPublications(t *testing.T) {
+	seen := map[uint64]string{}
+	for node := int32(0); node < 8; node++ {
+		for seq := uint32(0); seq < 8; seq++ {
+			s := RepairSeed(99, node, seq)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("RepairSeed collision: (%d,%d) and %s", node, seq, prev)
+			}
+			seen[s] = "" // value unused beyond existence
+		}
+	}
+}
+
+func TestTraceStringPinned(t *testing.T) {
+	// Golden trace: the exact retry timeline for this (seed, node, seq).
+	// Any change to the backoff math or seed derivation shows up here.
+	b := Backoff{Base: 15 * time.Millisecond, Max: 150 * time.Millisecond, Budget: 8}
+	const want = "retry  0 after 14.599328ms\n" +
+		"retry  1 after 28.017362ms\n" +
+		"retry  2 after 64.950949ms\n" +
+		"retry  3 after 125.148276ms\n" +
+		"retry  4 after 184.468584ms\n" +
+		"retry  5 after 143.960192ms\n" +
+		"retry  6 after 163.26643ms\n" +
+		"retry  7 after 175.659042ms\n"
+	if got := b.TraceString(RepairSeed(21, 7, 3)); got != want {
+		t.Fatalf("pinned backoff trace changed:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

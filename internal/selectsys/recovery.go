@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"selectps/internal/overlay"
+	"selectps/internal/selectcore"
 )
 
 // Repair is SELECT's recovery mechanism (§III-F). Each online peer probes
@@ -22,6 +23,12 @@ func (o *Overlay) Repair() {
 	if n == 0 {
 		return
 	}
+	// The keep-vs-replace verdict is the shared accrual rule
+	// (selectcore.FailureDetector), parameterized by this overlay's
+	// CMAThreshold: one probe sample suffices (MinSamples 1), and an
+	// unresponsive link with availability below the threshold is replaced —
+	// exactly the live runtime's early-dead rule, fed by simulator state.
+	det := selectcore.FailureDetector{DeadCMA: o.cfg.CMAThreshold, MinSamples: 1}
 	// Probe phase (Algorithms 3–4 heartbeat): every online peer observes
 	// the liveness of its long-range links.
 	for p := 0; p < n; p++ {
@@ -43,7 +50,7 @@ func (o *Overlay) Repair() {
 			if o.Online(q) {
 				continue
 			}
-			if !o.cfg.NaiveRecovery && o.tracker.Value(q) >= o.cfg.CMAThreshold {
+			if !o.cfg.NaiveRecovery && det.KeepOnFailure(o.tracker.Samples(q), o.tracker.Value(q)) {
 				// Good history: temporal failure, keep the connection.
 				continue
 			}

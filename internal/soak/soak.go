@@ -28,6 +28,7 @@ import (
 	"selectps/internal/obs"
 	"selectps/internal/overlay"
 	"selectps/internal/pubsub"
+	"selectps/internal/selectcore"
 	"selectps/internal/transport"
 )
 
@@ -54,8 +55,9 @@ type Config struct {
 	Fault faultnet.Config
 
 	// Recovery enables SELECT's robustness machinery: heartbeats feeding
-	// the per-link CMA (§III-F) and publisher-driven retries. Disabling
-	// it is the ablation arm of the live Fig. 6.
+	// the accrual failure detector (§III-F) and the in-node autonomous
+	// delivery-repair engine. Disabling it is the ablation arm of the
+	// live Fig. 6 — the harness never drives repair by hand either way.
 	Recovery bool
 	// HeartbeatEvery/GossipEvery/MaintainEvery are the node protocol
 	// periods when Recovery is on (MaintainEvery drives join retries,
@@ -81,8 +83,9 @@ type Config struct {
 	// re-joiners before measuring (default 1s).
 	PostChurnPosts  int
 	PostChurnSettle time.Duration
-	// RetryEvery is the publisher repair period; DeliverTimeout bounds
-	// how long each publication may take before it is scored as is.
+	// RetryEvery is the delivery-repair engine's base backoff (RetryBase
+	// on the nodes when Recovery is on); DeliverTimeout bounds how long
+	// each publication may take before it is scored as is.
 	RetryEvery     time.Duration
 	DeliverTimeout time.Duration
 
@@ -145,10 +148,15 @@ type Report struct {
 	// HopFractions is the distribution of delivery hop counts.
 	HopFractions []float64 `json:"hop_fractions,omitempty"`
 
-	// RecoveryActions aggregates CMA-driven routing decisions (dead-link
-	// skips + random-walk escapes) and publisher retries.
+	// RecoveryActions aggregates detector-driven routing decisions
+	// (dead-link skips + random-walk escapes); Retries counts the repair
+	// engine's autonomous re-sends; ManualRetries counts RetryMissing shim
+	// invocations (must stay 0 — the harness never drives repair);
+	// DeadLetters counts publications that exhausted their retry budget.
 	RecoveryActions int64 `json:"recovery_actions"`
 	Retries         int64 `json:"retries"`
+	ManualRetries   int64 `json:"manual_retries"`
+	DeadLetters     int64 `json:"dead_letters"`
 
 	// LiveJoins counts peers admitted through the join protocol during
 	// the bootstrap phase (BootstrapFrac < 1); Rejoins counts crashed
@@ -207,7 +215,8 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "duplicates absorbed: %d (%.3f per notification)\n", r.Duplicates, r.DuplicateRate)
 	fmt.Fprintf(&b, "publication latency: p50=%.0fms p90=%.0fms p99=%.0fms\n",
 		r.LatencyMSP50, r.LatencyMSP90, r.LatencyMSP99)
-	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d retries\n", r.RecoveryActions, r.Retries)
+	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d engine retries (%d dead-lettered, %d manual)\n",
+		r.RecoveryActions, r.Retries, r.DeadLetters, r.ManualRetries)
 	if r.LiveJoins > 0 || r.Rejoins > 0 {
 		fmt.Fprintf(&b, "live joins: %d   rejoins: %d   rejoined availability: %d/%d = %.2f%%\n",
 			r.LiveJoins, r.Rejoins, r.RejoinedDelivered, r.RejoinedWanted, 100*r.RejoinAvailability)
@@ -269,6 +278,28 @@ func Run(cfg Config) (*Report, error) {
 		nopts.MaintainEvery = cfg.MaintainEvery
 		if nopts.MaintainEvery == 0 {
 			nopts.MaintainEvery = 25 * time.Millisecond
+		}
+		// Autonomous repair: the nodes re-send on their own seeded backoff;
+		// the harness only waits and scores. Cap the backoff tightly — the
+		// soak scores delivery against a deadline, and retry density within
+		// that window is what buys availability while the overlay is still
+		// converging around live joiners — and give the budget enough
+		// rounds to span the deadline: crash/partition windows can swallow
+		// the whole early schedule, and a publication must keep repairing
+		// for as long as the soak is willing to score it.
+		nopts.RetryBase = cfg.RetryEvery
+		nopts.RetryMax = 2 * cfg.RetryEvery
+		nopts.RetryBudget = 16 + 2*int(cfg.DeliverTimeout/cfg.RetryEvery)
+		// A patient failure detector: the soak's job is availability under
+		// heavy injected faults (and the race detector's ~10x slowdown in
+		// CI), where pong latency spikes are routine. Declaring links dead
+		// on a short miss streak here would shred good links and cost far
+		// more availability than slow failover does.
+		nopts.Detector = selectcore.FailureDetector{
+			SuspectAfter: 4,
+			DeadAfter:    16,
+			DeadCMA:      0.10,
+			MinSamples:   16,
 		}
 	}
 	// Live-join bootstrap arm: only the first BootstrapFrac of the growth
@@ -381,22 +412,11 @@ func Run(cfg Config) (*Report, error) {
 		subs := g.Neighbors(pub)
 		start := time.Now()
 		seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
-		deadline := start.Add(cfg.DeliverTimeout)
-		for {
-			done := 0
-			for _, s := range subs {
-				if _, ok := cluster.Nodes[s].Received(pub, seq); ok {
-					done++
-				}
-			}
-			if done == len(subs) || time.Now().After(deadline) {
-				break
-			}
-			if cfg.Recovery {
-				cluster.Nodes[pub].RetryMissing(seq)
-			}
-			time.Sleep(cfg.RetryEvery)
-		}
+		// The harness only waits: repair — if any — is the publisher's own
+		// engine re-sending on its seeded backoff schedule.
+		waitCtx, waitCancel := context.WithDeadline(context.Background(), start.Add(cfg.DeliverTimeout))
+		cluster.AwaitDelivery(waitCtx, pub, seq, subs)
+		waitCancel()
 		lat := float64(time.Since(start).Milliseconds())
 		latencies = append(latencies, lat)
 		met.ObserveLatencyMS(lat)
@@ -470,22 +490,9 @@ func Run(cfg Config) (*Report, error) {
 			}
 			subs := g.Neighbors(pub)
 			seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
-			deadline := time.Now().Add(cfg.DeliverTimeout)
-			for {
-				done := 0
-				for _, s := range subs {
-					if _, ok := cluster.Nodes[s].Received(pub, seq); ok {
-						done++
-					}
-				}
-				if done == len(subs) || time.Now().After(deadline) {
-					break
-				}
-				if cfg.Recovery {
-					cluster.Nodes[pub].RetryMissing(seq)
-				}
-				time.Sleep(cfg.RetryEvery)
-			}
+			waitCtx, waitCancel := context.WithTimeout(context.Background(), cfg.DeliverTimeout)
+			cluster.AwaitDelivery(waitCtx, pub, seq, subs)
+			waitCancel()
 			for _, s := range subs {
 				if hops, ok := cluster.Nodes[s].Received(pub, seq); ok {
 					postHopTotal += int(hops)
@@ -534,6 +541,8 @@ func Run(cfg Config) (*Report, error) {
 		HopFractions:     snap.HopFractions,
 		RecoveryActions:  met.Get(obs.CCMADeadSkip) + met.Get(obs.CCMARandomWalk),
 		Retries:          met.Get(obs.CRetrySent),
+		ManualRetries:    met.Get(obs.CManualRetry),
+		DeadLetters:      met.Get(obs.CDeadLetter),
 		Obs:              snap,
 	}
 	if wanted > 0 {

@@ -105,6 +105,12 @@ func TestSoakRecoveryBeatsNoRecovery(t *testing.T) {
 	if off.Retries != 0 {
 		t.Errorf("ablated arm performed %d retries", off.Retries)
 	}
+	// Repair is the engine's job in both arms: nothing calls the
+	// RetryMissing shim anymore.
+	if on.ManualRetries != 0 || off.ManualRetries != 0 {
+		t.Errorf("manual RetryMissing invoked (on=%d off=%d); repair must be autonomous",
+			on.ManualRetries, off.ManualRetries)
+	}
 }
 
 // TestSoakSmokeChaos runs the full failure model — loss, duplication,
@@ -125,6 +131,15 @@ func TestSoakSmokeChaos(t *testing.T) {
 	}
 	if r.Obs.Counters["publish_delivered"] == 0 {
 		t.Error("obs snapshot recorded no deliveries")
+	}
+	// The churn smoke for the self-healing engine: under crashes and
+	// partitions the harness never reaches for the manual-retry shim, and
+	// the failure detector + ring repair actually fire.
+	if r.ManualRetries != 0 {
+		t.Errorf("chaos soak invoked manual RetryMissing %d times", r.ManualRetries)
+	}
+	if r.Obs.Counters["manual_retry"] != 0 {
+		t.Errorf("manual_retry counter = %d in obs snapshot", r.Obs.Counters["manual_retry"])
 	}
 }
 
@@ -198,6 +213,9 @@ func TestSoakChurnRejoinAvailability(t *testing.T) {
 	}
 	if r.RejoinAvailability < 0.99 {
 		t.Errorf("re-joined subscriber availability %.4f, want >= 0.99", r.RejoinAvailability)
+	}
+	if r.ManualRetries != 0 {
+		t.Errorf("churn+rejoin soak invoked manual RetryMissing %d times", r.ManualRetries)
 	}
 	// Overlay quality converges back toward the pre-churn baseline once
 	// the schedule runs out: hop counts within 50% (plus a half-hop

@@ -37,6 +37,13 @@ func fuzzSeeds() []*Message {
 		{
 			Kind: KindJoinReply, From: 13, To: 12, Seq: 1,
 			Pos: 0x3FD5555555555555, RoutingTable: []int32{2, 5, 9},
+			Succs: []int32{13, 2}, SuccPos: []uint64{0x3FD8000000000000, 0x3FE0000000000000},
+			Preds: []int32{5}, PredPos: []uint64{0x3FC0000000000000},
+		},
+		{
+			Kind: KindPong, From: 2, To: 1, Seq: 4,
+			Succs: []int32{2, 7}, SuccPos: []uint64{1, 2},
+			Preds: []int32{9, 11}, PredPos: []uint64{3, 4},
 		},
 		{Kind: KindIDAnnounce, From: 12, To: 5, Seq: 2, Pos: 0x3FC999999999999A},
 		{Kind: KindLinkProposal, From: 12, To: 9, Seq: 3},
@@ -78,7 +85,8 @@ func FuzzUnmarshal(f *testing.F) {
 		// a tiny frame must never produce a huge message (over-allocation
 		// guard — the length claims are validated against len(b) before
 		// any make).
-		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap) + len(m.Payload)
+		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap) + len(m.Payload) +
+			4*len(m.Succs) + 8*len(m.SuccPos) + 4*len(m.Preds) + 8*len(m.PredPos)
 		if claimed > len(b) {
 			t.Fatalf("decoded %d bytes of slices from a %d-byte frame", claimed, len(b))
 		}

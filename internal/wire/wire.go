@@ -122,9 +122,20 @@ type Message struct {
 	// Payload is the publication body (may be empty for size-only
 	// workloads and non-publish kinds).
 	Payload []byte
-	// Pos carries a ring identifier (math.Float64bits) for JoinReply and
-	// IDAnnounce.
+	// Pos carries a ring identifier (math.Float64bits): the assigned
+	// position in JoinReply, the announced position in IDAnnounce, and
+	// the sender's own position on Pong (for successor-list learning).
 	Pos uint64
+
+	// Succs/Preds carry the sender's r-deep successor/predecessor lists
+	// with parallel ring positions (math.Float64bits), piggybacked on
+	// Pong and JoinReply so every node learns enough ring redundancy to
+	// splice around a dead neighbor locally (DESIGN.md §9). SuccPos[i]
+	// is the position of Succs[i]; likewise for preds.
+	Succs   []int32
+	SuccPos []uint64
+	Preds   []int32
+	PredPos []uint64
 }
 
 const maxSliceLen = 1 << 20 // defensive decode bound
@@ -146,6 +157,18 @@ func (m *Message) Clone() *Message {
 	if m.Payload != nil {
 		c.Payload = append([]byte(nil), m.Payload...)
 	}
+	if m.Succs != nil {
+		c.Succs = append([]int32(nil), m.Succs...)
+	}
+	if m.SuccPos != nil {
+		c.SuccPos = append([]uint64(nil), m.SuccPos...)
+	}
+	if m.Preds != nil {
+		c.Preds = append([]int32(nil), m.Preds...)
+	}
+	if m.PredPos != nil {
+		c.PredPos = append([]uint64(nil), m.PredPos...)
+	}
 	return &c
 }
 
@@ -159,7 +182,9 @@ func Marshal(m *Message) []byte {
 		4 + 8*len(m.Bitmap) +
 		4 + 1 + 4 + 1 + // publisher, ttl, payloadsize, hopcount
 		4 + len(m.Payload) + // payload body
-		8 // pos
+		8 + // pos
+		4 + 4*len(m.Succs) + 4 + 8*len(m.SuccPos) +
+		4 + 4*len(m.Preds) + 4 + 8*len(m.PredPos)
 	buf := make([]byte, 4+size)
 	binary.LittleEndian.PutUint32(buf, uint32(size))
 	b := buf[4:]
@@ -200,6 +225,26 @@ func Marshal(m *Message) []byte {
 	off += copy(b[off:], m.Payload)
 	binary.LittleEndian.PutUint64(b[off:], m.Pos)
 	off += 8
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[off:], v)
+		off += 8
+	}
+	putU32(uint32(len(m.Succs)))
+	for _, v := range m.Succs {
+		put32(v)
+	}
+	putU32(uint32(len(m.SuccPos)))
+	for _, v := range m.SuccPos {
+		put64(v)
+	}
+	putU32(uint32(len(m.Preds)))
+	for _, v := range m.Preds {
+		put32(v)
+	}
+	putU32(uint32(len(m.PredPos)))
+	for _, v := range m.PredPos {
+		put64(v)
+	}
 	return buf[:4+off]
 }
 
@@ -338,6 +383,63 @@ func Unmarshal(b []byte) (*Message, error) {
 	}
 	m.Pos = binary.LittleEndian.Uint64(b[off:])
 	off += 8
+	// Successor-list fields: same length-claim-before-allocation
+	// discipline as the slices above.
+	get32s := func(what string) ([]int32, error) {
+		n, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSliceLen {
+			return nil, fmt.Errorf("wire: %s length %d too large", what, n)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		if err := need(4 * int(n)); err != nil {
+			return nil, err
+		}
+		out := make([]int32, n)
+		for i := range out {
+			if out[i], err = get32(); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	get64s := func(what string) ([]uint64, error) {
+		n, err := getU32()
+		if err != nil {
+			return nil, err
+		}
+		if n > maxSliceLen {
+			return nil, fmt.Errorf("wire: %s length %d too large", what, n)
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		if err := need(8 * int(n)); err != nil {
+			return nil, err
+		}
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = binary.LittleEndian.Uint64(b[off:])
+			off += 8
+		}
+		return out, nil
+	}
+	if m.Succs, err = get32s("succs"); err != nil {
+		return nil, err
+	}
+	if m.SuccPos, err = get64s("succ positions"); err != nil {
+		return nil, err
+	}
+	if m.Preds, err = get32s("preds"); err != nil {
+		return nil, err
+	}
+	if m.PredPos, err = get64s("pred positions"); err != nil {
+		return nil, err
+	}
 	if off != len(b) {
 		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-off)
 	}

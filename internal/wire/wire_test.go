@@ -40,6 +40,10 @@ func TestRoundTripAllFields(t *testing.T) {
 		HopCount:     3,
 		Payload:      []byte("notification body"),
 		Pos:          0x3FE0000000000000, // 0.5
+		Succs:        []int32{4, 5, 6},
+		SuccPos:      []uint64{0x3FE0000000000000, 0x3FD0000000000000, 1},
+		Preds:        []int32{2, 1},
+		PredPos:      []uint64{0x3FC0000000000000, 0},
 	}
 	frame := Marshal(m)
 	length := binary.LittleEndian.Uint32(frame)
@@ -124,6 +128,22 @@ func TestRoundTripProperty(t *testing.T) {
 		if n := rng.Intn(64); n > 0 {
 			m.Payload = make([]byte, n)
 			rng.Read(m.Payload)
+		}
+		if n := rng.Intn(6); n > 0 {
+			m.Succs = make([]int32, n)
+			m.SuccPos = make([]uint64, n)
+			for i := range m.Succs {
+				m.Succs[i] = int32(rng.Intn(1 << 16))
+				m.SuccPos[i] = rng.Uint64()
+			}
+		}
+		if n := rng.Intn(6); n > 0 {
+			m.Preds = make([]int32, n)
+			m.PredPos = make([]uint64, n)
+			for i := range m.Preds {
+				m.Preds[i] = int32(rng.Intn(1 << 16))
+				m.PredPos[i] = rng.Uint64()
+			}
 		}
 		m.Pos = rng.Uint64()
 		got, err := Unmarshal(Marshal(m)[4:])
