@@ -7,14 +7,24 @@
 //
 //	livebench -n 300 -posts 100
 //	livebench -n 100 -posts 40 -tcp
+//
+// With -throughput N the latency experiment is replaced by a sustained
+// data-plane flood: N publications are driven back to back with no
+// per-publication await, and the run reports delivered notifications per
+// second, delivery-latency percentiles, and heap allocations per
+// delivered notification (-json for machine-readable output).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
+	"sync"
 	"time"
 
 	"selectps/internal/datasets"
@@ -23,6 +33,7 @@ import (
 	"selectps/internal/node"
 	"selectps/internal/overlay"
 	"selectps/internal/pubsub"
+	"selectps/internal/socialgraph"
 	"selectps/internal/transport"
 )
 
@@ -34,6 +45,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "seed")
 		useTCP  = flag.Bool("tcp", false, "real TCP loopback sockets instead of in-memory transport")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-publication delivery timeout")
+		thrN    = flag.Int("throughput", 0, "sustained-throughput mode: flood this many publications instead of the latency experiment")
+		jsonOut = flag.Bool("json", false, "emit throughput results as JSON on stdout")
+		buffer  = flag.Int("buffer", 4096, "per-peer transport mailbox depth")
 	)
 	flag.Parse()
 
@@ -54,13 +68,13 @@ func main() {
 
 	var tr transport.Transport
 	if *useTCP {
-		t, err := transport.NewTCP(*n, 4096)
+		t, err := transport.NewTCP(*n, *buffer)
 		if err != nil {
 			fatal(err)
 		}
 		tr = t
 	} else {
-		sw := transport.NewSwitchboard(*n, 4096)
+		sw := transport.NewSwitchboard(*n, *buffer)
 		sw.Latency = func(from, to int32) time.Duration {
 			// Emulated propagation latency, scaled down 10x so runs finish
 			// quickly while preserving relative differences.
@@ -87,8 +101,17 @@ func main() {
 	if *useTCP {
 		kind = "tcp"
 	}
-	fmt.Printf("live cluster: %d peers (%s transport), %s graph, %d friendships\n",
+	banner := os.Stdout
+	if *jsonOut {
+		banner = os.Stderr // keep stdout clean for the JSON document
+	}
+	fmt.Fprintf(banner, "live cluster: %d peers (%s transport), %s graph, %d friendships\n",
 		*n, kind, spec.Name, g.NumEdges())
+
+	if *thrN > 0 {
+		runThroughput(cluster, g, *thrN, kind, *n, *jsonOut)
+		return
+	}
 
 	w := pubsub.NewWorkload(g, 10, rand.New(rand.NewSource(*seed+2)))
 	var latencies []float64
@@ -133,6 +156,145 @@ func main() {
 			fmt.Printf("  %2d hops: %5.1f%%\n", h, f*100)
 		}
 	}
+}
+
+// throughputResult is the machine-readable summary of one -throughput run.
+type throughputResult struct {
+	Mode           string  `json:"mode"`
+	Transport      string  `json:"transport"`
+	Peers          int     `json:"peers"`
+	Publications   int     `json:"publications"`
+	Notifications  int64   `json:"notifications_expected"`
+	Delivered      int64   `json:"notifications_delivered"`
+	DeliveredPct   float64 `json:"delivered_pct"`
+	ElapsedSeconds float64 `json:"elapsed_s"`
+	MsgsPerSec     float64 `json:"msgs_per_sec"`
+	LatencyP50MS   float64 `json:"latency_p50_ms"`
+	LatencyP99MS   float64 `json:"latency_p99_ms"`
+	AllocsPerMsg   float64 `json:"allocs_per_msg"`
+	BytesPerMsg    float64 `json:"bytes_per_msg"`
+}
+
+// runThroughput floods posts publications across the highest-degree
+// publishers with no per-publication await, then waits for deliveries to
+// settle. Throughput is delivered notifications over the whole window
+// (flood + drain), latency is publish-to-OnDeliver wall clock per
+// notification, and allocations are the process-wide heap delta divided
+// by deliveries — an end-to-end number that includes the node runtime,
+// codec, and transport.
+func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind string, peers int, jsonOut bool) {
+	// Publishers: the four best-connected peers, round-robin.
+	ids := make([]overlay.PeerID, 0, peers)
+	for i := 0; i < peers; i++ {
+		if g.Degree(overlay.PeerID(i)) > 0 {
+			ids = append(ids, overlay.PeerID(i))
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return g.Degree(ids[a]) > g.Degree(ids[b]) })
+	if len(ids) > 4 {
+		ids = ids[:4]
+	}
+	if len(ids) == 0 {
+		fatal(fmt.Errorf("graph has no connected peers"))
+	}
+
+	var (
+		mu        sync.Mutex
+		starts    = make(map[uint64]time.Time, posts)
+		latencies []float64
+		delivered int64
+	)
+	const maxSamples = 1 << 18
+	for i := range cluster.Nodes {
+		cluster.Nodes[i].OnDeliver(func(p overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+			now := time.Now()
+			key := uint64(uint32(p))<<32 | uint64(seq)
+			mu.Lock()
+			if t0, ok := starts[key]; ok && len(latencies) < maxSamples {
+				latencies = append(latencies, now.Sub(t0).Seconds()*1000)
+			}
+			delivered++
+			mu.Unlock()
+		})
+	}
+
+	// Closed-loop flood: cap the notifications in flight so the cluster is
+	// saturated but not collapsed — the steady state measures the drain
+	// rate of the data plane, and both deliver close to 100%.
+	const maxOutstanding = 16384
+	var wanted int64
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	for i := 0; i < posts; i++ {
+		b := ids[i%len(ids)]
+		for {
+			mu.Lock()
+			outstanding := wanted - delivered
+			mu.Unlock()
+			if outstanding < maxOutstanding {
+				break
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		wanted += int64(g.Degree(b))
+		// Publish under mu so a delivery can never observe its own key
+		// before the start time is recorded.
+		mu.Lock()
+		seq := cluster.Nodes[b].PublishSize(1_200_000)
+		starts[uint64(uint32(b))<<32|uint64(seq)] = time.Now()
+		mu.Unlock()
+	}
+	// Drain: settled when the delivery count stops moving for a second.
+	var last int64
+	lastChange := time.Now()
+	for time.Since(start) < 120*time.Second {
+		mu.Lock()
+		cur := delivered
+		mu.Unlock()
+		if cur != last {
+			last, lastChange = cur, time.Now()
+		} else if cur >= wanted || time.Since(lastChange) > time.Second {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	elapsed := time.Since(start) - time.Since(lastChange) // stop the clock at the last delivery
+	runtime.ReadMemStats(&m1)
+
+	mu.Lock()
+	res := throughputResult{
+		Mode: "throughput", Transport: kind, Peers: peers,
+		Publications: posts, Notifications: wanted, Delivered: delivered,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if wanted > 0 {
+		res.DeliveredPct = 100 * float64(delivered) / float64(wanted)
+	}
+	if elapsed > 0 {
+		res.MsgsPerSec = float64(delivered) / elapsed.Seconds()
+	}
+	res.LatencyP50MS = metrics.Quantile(latencies, 0.5)
+	res.LatencyP99MS = metrics.Quantile(latencies, 0.99)
+	if delivered > 0 {
+		res.AllocsPerMsg = float64(m1.Mallocs-m0.Mallocs) / float64(delivered)
+		res.BytesPerMsg = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(delivered)
+	}
+	mu.Unlock()
+
+	if jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Printf("\nthroughput: %d publications → %d/%d notifications (%.2f%%) in %.2fs\n",
+		res.Publications, res.Delivered, res.Notifications, res.DeliveredPct, res.ElapsedSeconds)
+	fmt.Printf("sustained: %.0f msgs/sec   latency p50=%.2fms p99=%.2fms   allocs/msg=%.1f (%.0f B)\n",
+		res.MsgsPerSec, res.LatencyP50MS, res.LatencyP99MS, res.AllocsPerMsg, res.BytesPerMsg)
 }
 
 func fatal(err error) {

@@ -61,7 +61,11 @@ func main() {
 		HeartbeatEvery: 50 * time.Millisecond,
 		GossipEvery:    50 * time.Millisecond,
 		MaintainEvery:  50 * time.Millisecond,
-		Bootstrap:      bootstrap,
+		// Delivery repair: publishers re-forward to unacked subscribers so
+		// a notification survives links the failure detector shreds while
+		// the maintenance loop rebuilds the overlay underneath it.
+		RetryBase: 100 * time.Millisecond,
+		Bootstrap: bootstrap,
 	})
 	if err != nil {
 		panic(err)

@@ -60,10 +60,15 @@ type outMsg struct {
 
 // Node is one live peer.
 type Node struct {
-	id     overlay.PeerID
-	g      *socialgraph.Graph
-	dir    *directory
-	tr     transport.Transport
+	id  overlay.PeerID
+	g   *socialgraph.Graph
+	dir *directory
+	tr  transport.Transport
+	// fs is the transport's optional marshal-once fan-out path (TCP): the
+	// publish and heartbeat sweeps encode one frame and patch the To/Seq
+	// fields per destination. Nil on the switchboard and under faultnet,
+	// which keeps those paths byte-deterministic and fault-injectable.
+	fs     transport.FrameSender
 	cfg    Options
 	rng    *rand.Rand
 	hasher *lsh.Hasher
@@ -183,6 +188,9 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 	}
 	for i, f := range friends {
 		n.fidx[f] = i
+	}
+	if fs, ok := cfg.Transport.(transport.FrameSender); ok {
+		n.fs = fs
 	}
 	return n
 }
@@ -451,6 +459,19 @@ func (n *Node) sendHeartbeats() {
 		_ = n.tr.Send(o.to, o.m)
 	}
 	n.cfg.Obs.Addn(obs.CHeartbeatSent, int64(len(seqs)))
+	if n.fs != nil {
+		// Marshal-once fast path: every ping this sweep differs only in To
+		// and Seq — encode the frame once and patch both per target.
+		buf := wire.GetFrame()
+		*buf = wire.MarshalAppend((*buf)[:0], &wire.Message{Kind: wire.KindPing, From: int32(n.id)})
+		for s, q := range seqs {
+			wire.PatchTo(*buf, int32(q))
+			wire.PatchSeq(*buf, s)
+			_ = n.fs.SendFrame(int32(n.id), int32(q), *buf)
+		}
+		wire.PutFrame(buf)
+		return
+	}
 	for s, q := range seqs {
 		_ = n.tr.Send(int32(q), &wire.Message{Kind: wire.KindPing, From: int32(n.id), To: int32(q), Seq: s})
 	}
@@ -695,13 +716,37 @@ func (n *Node) publish(payload []byte, size uint32) uint32 {
 	n.mu.Unlock()
 	n.cfg.Obs.Addn(obs.CPublishSent, int64(len(subs)))
 	n.cfg.Obs.TraceEvent("publish", int32(n.id), seq)
-	for _, s := range subs {
-		m := &wire.Message{
-			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
+	if n.fs != nil {
+		// Marshal-once fast path: the fan-out frame is invariant except
+		// for To — encode it once, patch the destination per subscriber,
+		// and route each copy to its own next hop. Dead-end accounting
+		// mirrors forward().
+		buf := wire.GetFrame()
+		*buf = wire.MarshalAppend((*buf)[:0], &wire.Message{
+			Kind: wire.KindPublish, From: int32(n.id),
 			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
 			PayloadSize: size, Payload: payload,
+		})
+		for _, s := range subs {
+			next, ok := n.nextHop(s)
+			if !ok {
+				n.cfg.Obs.Inc(obs.CPublishDeadEnd)
+				n.cfg.Obs.TraceEvent("dead_end", int32(n.id), seq)
+				continue
+			}
+			wire.PatchTo(*buf, int32(s))
+			_ = n.fs.SendFrame(int32(n.id), int32(next), *buf)
 		}
-		n.forward(m, s)
+		wire.PutFrame(buf)
+	} else {
+		for _, s := range subs {
+			m := &wire.Message{
+				Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
+				Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
+				PayloadSize: size, Payload: payload,
+			}
+			n.forward(m, s)
+		}
 	}
 	n.kickRetry()
 	return seq

@@ -84,6 +84,14 @@ const (
 	CManualRetry   // RetryMissing shim invocations (should stay 0)
 	CJoinResend    // join requests re-sent by the retry scheduler
 
+	// transport: TCP data-plane fast path (DESIGN.md §10).
+	CTCPQueueDrop      // dropped: per-peer send queue full (backpressure)
+	CTCPWriteDrop      // dropped: batch write failed even after the redial retry
+	CTCPFlush          // writer flushes issued
+	CTCPCoalescedFlush // flushes that carried more than one frame
+	CTCPMalformedFrame // frames whose body failed to decode (conn evicted)
+	CTCPOversizeFrame  // frames with a zero or oversize length prefix (conn evicted)
+
 	numCounters
 )
 
@@ -136,6 +144,13 @@ var counterNames = [numCounters]string{
 	CDeadLetter:    "dead_letter",
 	CManualRetry:   "manual_retry",
 	CJoinResend:    "join_resend",
+
+	CTCPQueueDrop:      "tcp_send_queue_drop",
+	CTCPWriteDrop:      "tcp_write_drop",
+	CTCPFlush:          "tcp_flush",
+	CTCPCoalescedFlush: "tcp_coalesced_flush",
+	CTCPMalformedFrame: "tcp_malformed_frame",
+	CTCPOversizeFrame:  "tcp_oversize_frame",
 }
 
 // String returns the counter's export name.
@@ -209,6 +224,12 @@ type Metrics struct {
 	Hops    *Hist
 	Latency *Hist
 
+	// SendQueue records the TCP per-peer send-queue depth observed at each
+	// enqueue; FlushBatch records how many frames each writer flush
+	// coalesced into one syscall (DESIGN.md §10).
+	SendQueue  *Hist
+	FlushBatch *Hist
+
 	// RepairLink and RepairRing record time-to-repair in milliseconds:
 	// from the first missed heartbeat of a link later declared dead to
 	// the replacement — a new long link accepted (RepairLink) or the
@@ -234,6 +255,8 @@ func New() *Metrics {
 		Latency:    NewHist(0, 5000, 500),
 		RepairLink: NewHist(0, 2000, 200),
 		RepairRing: NewHist(0, 2000, 200),
+		SendQueue:  NewHist(0, 512, 64),
+		FlushBatch: NewHist(0, 64, 64),
 	}
 }
 
@@ -275,6 +298,24 @@ func (m *Metrics) ObserveLatencyMS(ms float64) {
 		return
 	}
 	m.Latency.Add(ms)
+}
+
+// ObserveSendQueue records a TCP per-peer send-queue depth sample.
+// Nil-safe.
+func (m *Metrics) ObserveSendQueue(depth float64) {
+	if m == nil {
+		return
+	}
+	m.SendQueue.Add(depth)
+}
+
+// ObserveFlushBatch records how many frames one writer flush coalesced.
+// Nil-safe.
+func (m *Metrics) ObserveFlushBatch(frames float64) {
+	if m == nil {
+		return
+	}
+	m.FlushBatch.Add(frames)
 }
 
 // ObserveRepairLinkMS records the time-to-repair of a dead long link.
@@ -338,6 +379,10 @@ type Snapshot struct {
 	// long links and dead ring neighbors (keys "p50", "p90", "p99").
 	RepairLinkMS map[string]float64 `json:"repair_link_ms,omitempty"`
 	RepairRingMS map[string]float64 `json:"repair_ring_ms,omitempty"`
+	// SendQueueDepth/FlushBatchFrames hold TCP fast-path quantiles: queue
+	// depth at enqueue and frames coalesced per flush.
+	SendQueueDepth   map[string]float64 `json:"send_queue_depth,omitempty"`
+	FlushBatchFrames map[string]float64 `json:"flush_batch_frames,omitempty"`
 	// Trace is the retained tail of the structured event trace, oldest
 	// first, with TraceDropped counting evicted older events.
 	Trace        []Event `json:"trace,omitempty"`
@@ -372,6 +417,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.LatencyMS = quantiles(m.Latency.Snapshot())
 	s.RepairLinkMS = quantiles(m.RepairLink.Snapshot())
 	s.RepairRingMS = quantiles(m.RepairRing.Snapshot())
+	s.SendQueueDepth = quantiles(m.SendQueue.Snapshot())
+	s.FlushBatchFrames = quantiles(m.FlushBatch.Snapshot())
 	m.traceMu.Lock()
 	if m.traceCap > 0 {
 		kept := m.traceLen
@@ -432,6 +479,14 @@ func (s Snapshot) String() string {
 	if s.RepairRingMS != nil {
 		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "time_to_repair_ring",
 			s.RepairRingMS["p50"], s.RepairRingMS["p90"], s.RepairRingMS["p99"])
+	}
+	if s.SendQueueDepth != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0f p90=%.0f p99=%.0f\n", "send_queue_depth",
+			s.SendQueueDepth["p50"], s.SendQueueDepth["p90"], s.SendQueueDepth["p99"])
+	}
+	if s.FlushBatchFrames != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0f p90=%.0f p99=%.0f\n", "flush_batch_frames",
+			s.FlushBatchFrames["p50"], s.FlushBatchFrames["p90"], s.FlushBatchFrames["p99"])
 	}
 	for h, f := range s.HopFractions {
 		if f > 0.001 {

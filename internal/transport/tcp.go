@@ -1,54 +1,114 @@
 package transport
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selectps/internal/obs"
 	"selectps/internal/wire"
 )
 
-// defaultWriteTimeout bounds how long a Send may block on a wedged
+// defaultWriteTimeout bounds how long a writer may block on a wedged
 // connection before it is evicted and retried.
 const defaultWriteTimeout = 5 * time.Second
 
+// defaultSendQueue is the per-peer outbound queue depth when QueueLen is
+// unset. A full queue drops the newest frame (counted, never silent) —
+// the same best-effort congestion contract as a full receive mailbox.
+const defaultSendQueue = 512
+
+// sendBatchMax caps how many queued frames one writer flush coalesces
+// into a single syscall.
+const sendBatchMax = 64
+
+// maxFrameSize bounds a frame body claimed by the length prefix; anything
+// larger (or zero) marks the stream corrupt.
+const maxFrameSize = 1 << 24
+
+// bufIOSize sizes the per-connection bufio reader and writer.
+const bufIOSize = 64 << 10
+
 // TCP is a loopback TCP transport: every peer listens on its own port and
 // frames wire messages with the 4-byte length prefix wire.Marshal emits.
-// Connections are opened lazily per (sender, receiver) pair and reused; a
-// failed or timed-out write evicts the cached connection so the next send
-// redials instead of poisoning the pair forever, and Send itself retries
-// once on a fresh connection before reporting failure.
+//
+// The data plane is asynchronous (DESIGN.md §10): Send marshals into a
+// pooled buffer and enqueues it on a bounded per-(sender,receiver) queue;
+// a dedicated writer goroutine per queue dials lazily, coalesces whatever
+// is queued into one bufio flush, and keeps the evict-and-redial-once
+// contract — a failed write evicts the cached connection, redials once,
+// and retries the batch before dropping it (counted, never silent).
+// Writes carry a deadline so a wedged peer cannot block its writer
+// forever. The reader mirrors it: one bufio.Reader and a reused frame
+// buffer per inbound connection instead of two raw syscalls and a fresh
+// body slice per frame.
 type TCP struct {
 	mu        sync.Mutex
 	addrs     map[int32]string
-	conns     map[connKey]net.Conn
-	evicted   map[connKey]bool // keys whose cached conn died (next dial is a redial)
+	writers   map[connKey]*peerWriter
+	conns     map[connKey]net.Conn // each writer's current conn (registry for eviction)
+	evicted   map[connKey]bool     // keys whose cached conn died (next dial is a redial)
 	boxes     map[int32]chan Envelope
 	listeners []net.Listener
 	closed    bool
+	stop      chan struct{}
 	wg        sync.WaitGroup
 
-	// WriteTimeout bounds each frame write (default 5s; negative disables).
+	// WriteTimeout bounds each batch write (default 5s; negative disables).
 	WriteTimeout time.Duration
+	// QueueLen is the per-peer outbound queue depth (default 512). Set
+	// before traffic starts.
+	QueueLen int
 	// Obs, when set before traffic starts, receives send/drop/redial
-	// counters.
+	// counters and the queue-depth/flush-batch histograms.
 	Obs *obs.Metrics
 }
 
 type connKey struct{ from, to int32 }
+
+// sparseWriteWindow is the inline fast-path threshold: when the queue is
+// empty and nothing was written to this peer within the window, the
+// sender writes synchronously instead of waking the writer goroutine. A
+// scheduler hop per frame is noise under sustained load (the queue is
+// non-empty and the drain loop coalesces), but on a busy single-core
+// machine it adds tail latency to sparse control traffic — exactly what
+// the heartbeat failure detector reads as missed pings.
+const sparseWriteWindow = int64(time.Millisecond)
+
+// peerWriter owns the outbound side of one (sender, receiver) pair: a
+// bounded frame queue, the goroutine that drains it, and the shared
+// socket state both write paths serialize on.
+type peerWriter struct {
+	t     *TCP
+	key   connKey
+	addr  string
+	queue chan *[]byte
+
+	// wmu serializes socket writes between the drain loop and the inline
+	// sparse-traffic fast path; conn/bw are guarded by it.
+	wmu  sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	// lastWrite is the UnixNano of the last completed write, read without
+	// wmu to decide whether traffic is sparse enough for the inline path.
+	lastWrite atomic.Int64
+}
 
 // NewTCP starts one loopback listener per peer 0..n-1 and returns the
 // transport. Close releases all sockets.
 func NewTCP(n, buffer int) (*TCP, error) {
 	t := &TCP{
 		addrs:   make(map[int32]string, n),
+		writers: make(map[connKey]*peerWriter),
 		conns:   make(map[connKey]net.Conn),
 		evicted: make(map[connKey]bool),
 		boxes:   make(map[int32]chan Envelope, n),
+		stop:    make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -80,21 +140,34 @@ func (t *TCP) acceptLoop(ln net.Listener, owner int32) {
 func (t *TCP) readLoop(conn net.Conn, owner int32) {
 	defer t.wg.Done()
 	defer conn.Close()
+	br := bufio.NewReaderSize(conn, bufIOSize)
 	var lenBuf [4]byte
+	var body []byte // reused across frames; decoded Messages never alias it
 	for {
-		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
 		size := binary.LittleEndian.Uint32(lenBuf[:])
-		if size == 0 || size > 1<<24 {
-			return // malformed frame
-		}
-		body := make([]byte, size)
-		if _, err := io.ReadFull(conn, body); err != nil {
+		if size == 0 || size > maxFrameSize {
+			// A corrupt length prefix means framing is lost for good on
+			// this stream. Kill it loudly: count it, and fail the cached
+			// sender-side connection so the next Send redials instead of
+			// writing into a pipe nobody decodes anymore.
+			t.Obs.Inc(obs.CTCPOversizeFrame)
+			t.evictByRemote(conn.RemoteAddr())
 			return
 		}
-		m, err := wire.Unmarshal(body)
-		if err != nil {
+		if cap(body) < int(size) {
+			body = make([]byte, size)
+		}
+		body = body[:size]
+		if _, err := io.ReadFull(br, body); err != nil {
+			return
+		}
+		m := &wire.Message{} // the receiver owns the Message; never reused
+		if err := wire.UnmarshalInto(m, body); err != nil {
+			t.Obs.Inc(obs.CTCPMalformedFrame)
+			t.evictByRemote(conn.RemoteAddr())
 			return
 		}
 		// Boxes are closed only after wg.Wait in Close, and this loop is
@@ -116,9 +189,37 @@ func (t *TCP) readLoop(conn net.Conn, owner int32) {
 	}
 }
 
+// evictByRemote fails the cached sender-side connection whose local
+// address matches remote — the dialing end of a stream a reader just found
+// corrupt. Loopback pairs live in one process, so the reader can reach the
+// writer's cache directly; closing the socket makes the writer's next
+// write fail, evict, and redial.
+func (t *TCP) evictByRemote(remote net.Addr) {
+	if remote == nil {
+		return
+	}
+	want := remote.String()
+	var victim net.Conn
+	t.mu.Lock()
+	for key, c := range t.conns {
+		if la := c.LocalAddr(); la != nil && la.String() == want {
+			delete(t.conns, key)
+			t.evicted[key] = true
+			victim = c
+			break
+		}
+	}
+	t.mu.Unlock()
+	if victim != nil {
+		victim.Close()
+	}
+}
+
 // dial opens a connection for key, counting it as a redial when the
 // previous cached connection for this pair was evicted after a failure.
-// It caches the winner when two sends race to dial the same pair.
+// Only the key's writer goroutine dials, so there is no dial race to
+// resolve anymore; the registry entry is what evictByRemote and tests
+// observe.
 func (t *TCP) dial(key connKey, addr string) (net.Conn, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -136,18 +237,13 @@ func (t *TCP) dial(key connKey, addr string) (net.Conn, error) {
 	} else {
 		t.Obs.Inc(obs.CTCPDial)
 	}
-	if existing := t.conns[key]; existing != nil {
-		t.mu.Unlock()
-		conn.Close()
-		return existing, nil
-	}
 	t.conns[key] = conn
 	t.mu.Unlock()
 	return conn, nil
 }
 
-// evict removes a dead connection from the cache so the next send for
-// this pair redials instead of reusing the poisoned socket.
+// evict removes a dead connection from the cache so the writer redials
+// instead of reusing the poisoned socket.
 func (t *TCP) evict(key connKey, conn net.Conn) {
 	t.mu.Lock()
 	if t.conns[key] == conn {
@@ -159,47 +255,194 @@ func (t *TCP) evict(key connKey, conn net.Conn) {
 	t.Obs.Inc(obs.CTCPWriteError)
 }
 
-// Send implements Transport. A failed write evicts the cached connection
-// and retries once on a freshly dialed one; writes carry a deadline so a
-// wedged peer cannot block the sender forever.
-func (t *TCP) Send(to int32, m *wire.Message) error {
+// dropConn unregisters and closes a writer's connection on loop exit.
+func (t *TCP) dropConn(key connKey, conn net.Conn) {
 	t.mu.Lock()
+	if t.conns[key] == conn {
+		delete(t.conns, key)
+	}
+	t.mu.Unlock()
+	conn.Close()
+}
+
+// writer returns (creating if needed) the peer writer for key.
+func (t *TCP) writer(key connKey, to int32) (*peerWriter, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.closed {
-		t.mu.Unlock()
-		return fmt.Errorf("transport: tcp closed")
+		return nil, fmt.Errorf("transport: tcp closed")
 	}
 	addr, ok := t.addrs[to]
 	if !ok {
-		t.mu.Unlock()
-		return fmt.Errorf("transport: unknown peer %d", to)
+		return nil, fmt.Errorf("transport: unknown peer %d", to)
 	}
-	key := connKey{m.From, to}
-	conn := t.conns[key]
-	t.mu.Unlock()
+	w := t.writers[key]
+	if w == nil {
+		qlen := t.QueueLen
+		if qlen <= 0 {
+			qlen = defaultSendQueue
+		}
+		w = &peerWriter{t: t, key: key, addr: addr, queue: make(chan *[]byte, qlen)}
+		t.writers[key] = w
+		t.wg.Add(1)
+		go w.loop()
+	}
+	return w, nil
+}
 
+// enqueue hands a pooled frame to the writer, dropping (counted) when the
+// bounded queue is full. Sparse traffic takes the inline path: with the
+// queue empty and no recent write, the frame goes straight to the socket
+// under wmu, skipping the writer-goroutine wakeup. The inline frame can
+// overtake a batch the drain loop has popped but not yet locked for — a
+// reorder the protocol already tolerates (faultnet injects far worse).
+func (t *TCP) enqueue(w *peerWriter, buf *[]byte) {
+	if len(w.queue) == 0 && time.Now().UnixNano()-w.lastWrite.Load() > sparseWriteWindow && w.wmu.TryLock() {
+		if len(w.queue) == 0 {
+			frames := [1]*[]byte{buf}
+			w.writeLocked(frames[:])
+			w.wmu.Unlock()
+			wire.PutFrame(buf)
+			return
+		}
+		w.wmu.Unlock()
+	}
+	select {
+	case w.queue <- buf:
+		t.Obs.ObserveSendQueue(float64(len(w.queue)))
+	default:
+		wire.PutFrame(buf)
+		t.Obs.Inc(obs.CTCPQueueDrop)
+	}
+}
+
+// Send implements Transport. It marshals into a pooled buffer and
+// enqueues on the per-peer writer; a non-nil error still means the
+// message was definitely not sent (unknown peer, transport closed), and a
+// nil return means the network accepted it — delivery stays best-effort,
+// with every drop (full queue, failed batch after redial) counted.
+func (t *TCP) Send(to int32, m *wire.Message) error {
+	w, err := t.writer(connKey{m.From, to}, to)
+	if err != nil {
+		return err
+	}
 	t.Obs.Inc(obs.CTransportSend)
-	data := wire.Marshal(m)
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		if conn == nil {
-			var err error
-			conn, err = t.dial(key, addr)
-			if err != nil {
-				return err
+	buf := wire.GetFrame()
+	*buf = wire.MarshalAppend((*buf)[:0], m)
+	t.enqueue(w, buf)
+	return nil
+}
+
+// SendFrame implements FrameSender: frame (a full wire frame with its
+// length prefix) is copied into a pooled buffer and queued as-is — the
+// fan-out fast path marshals once and patches destinations per recipient.
+func (t *TCP) SendFrame(from, to int32, frame []byte) error {
+	w, err := t.writer(connKey{from, to}, to)
+	if err != nil {
+		return err
+	}
+	t.Obs.Inc(obs.CTransportSend)
+	buf := wire.GetFrame()
+	*buf = append((*buf)[:0], frame...)
+	t.enqueue(w, buf)
+	return nil
+}
+
+// loop drains the queue: one blocking receive, then a greedy non-blocking
+// drain up to sendBatchMax, one batch write, one flush. The queue going
+// idle is what bounds latency — the flush happens as soon as nothing more
+// is queued, not on a timer.
+func (w *peerWriter) loop() {
+	t := w.t
+	defer t.wg.Done()
+	defer func() {
+		w.wmu.Lock()
+		if w.conn != nil {
+			t.dropConn(w.key, w.conn)
+			w.conn, w.bw = nil, nil
+		}
+		w.wmu.Unlock()
+	}()
+	batch := make([]*[]byte, 0, sendBatchMax)
+	for {
+		var first *[]byte
+		select {
+		case <-t.stop:
+			// Shutdown: whatever is still queued is lost to the closing
+			// race — a counted drop, like any in-flight message at Close.
+			for {
+				select {
+				case b := <-w.queue:
+					t.Obs.Inc(obs.CDropClosed)
+					wire.PutFrame(b)
+				default:
+					return
+				}
+			}
+		case first = <-w.queue:
+		}
+		batch = append(batch[:0], first)
+	coalesce:
+		for len(batch) < sendBatchMax {
+			select {
+			case b := <-w.queue:
+				batch = append(batch, b)
+			default:
+				break coalesce
 			}
 		}
-		if wt := t.writeTimeout(); wt > 0 {
-			_ = conn.SetWriteDeadline(time.Now().Add(wt))
+		w.wmu.Lock()
+		w.writeLocked(batch)
+		w.wmu.Unlock()
+		for i, b := range batch {
+			wire.PutFrame(b)
+			batch[i] = nil
 		}
-		_, err := conn.Write(data)
-		if err == nil {
-			return nil
-		}
-		lastErr = err
-		t.evict(key, conn)
-		conn = nil
 	}
-	return fmt.Errorf("transport: write to %d: %w", to, lastErr)
+}
+
+// writeLocked writes the batch through one bufio flush, dialing lazily.
+// Caller holds w.wmu. Evict-and-redial-once: a failed write evicts the
+// connection and retries the whole batch on a freshly dialed one before
+// dropping it. Retrying the batch can duplicate frames the first attempt
+// already flushed — the same at-least-once exposure the synchronous
+// retry had, absorbed by the receiver-side dedup.
+func (w *peerWriter) writeLocked(batch []*[]byte) {
+	t := w.t
+	for attempt := 0; attempt < 2; attempt++ {
+		if w.conn == nil {
+			c, err := t.dial(w.key, w.addr)
+			if err != nil {
+				break
+			}
+			w.conn = c
+			w.bw = bufio.NewWriterSize(c, bufIOSize)
+		}
+		if wt := t.writeTimeout(); wt > 0 {
+			_ = w.conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		if err := writeFrames(w.bw, batch); err == nil {
+			w.lastWrite.Store(time.Now().UnixNano())
+			t.Obs.Inc(obs.CTCPFlush)
+			if len(batch) > 1 {
+				t.Obs.Inc(obs.CTCPCoalescedFlush)
+			}
+			t.Obs.ObserveFlushBatch(float64(len(batch)))
+			return
+		}
+		t.evict(w.key, w.conn)
+		w.conn, w.bw = nil, nil
+	}
+	t.Obs.Addn(obs.CTCPWriteDrop, int64(len(batch)))
+}
+
+func writeFrames(bw *bufio.Writer, batch []*[]byte) error {
+	for _, b := range batch {
+		if _, err := bw.Write(*b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func (t *TCP) writeTimeout() time.Duration {
@@ -220,7 +463,8 @@ func (t *TCP) Inbox(owner int32) <-chan Envelope {
 	return t.boxes[owner]
 }
 
-// Close implements Transport.
+// Close implements Transport. Frames still queued on a per-peer writer
+// are dropped and counted; writers flush nothing past the stop signal.
 func (t *TCP) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -229,15 +473,13 @@ func (t *TCP) Close() {
 	}
 	t.closed = true
 	listeners := t.listeners
-	conns := t.conns
-	t.conns = map[connKey]net.Conn{}
 	t.mu.Unlock()
+	close(t.stop)
 	for _, ln := range listeners {
 		ln.Close()
 	}
-	for _, c := range conns {
-		c.Close()
-	}
+	// Writer loops observe stop, drain their queues and close their
+	// connections; readers then hit EOF. Both are wg-registered.
 	t.wg.Wait()
 	t.mu.Lock()
 	for _, b := range t.boxes {
@@ -245,3 +487,5 @@ func (t *TCP) Close() {
 	}
 	t.mu.Unlock()
 }
+
+var _ FrameSender = (*TCP)(nil)

@@ -13,6 +13,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"selectps/internal/obs"
@@ -47,12 +48,44 @@ type Transport interface {
 	Close()
 }
 
-// Switchboard is the in-memory transport: per-peer buffered mailboxes,
-// optional per-message latency, deterministic when Latency is nil.
-type Switchboard struct {
+// FrameSender is the optional fan-out fast path (DESIGN.md §10):
+// transports whose wire format IS the marshaled frame (TCP) accept a
+// pre-encoded frame directly, so a sender fanning one message out to many
+// destinations marshals once and patches the To field per recipient
+// (wire.PatchTo) instead of re-marshaling. The frame must be a full
+// self-delimited wire frame (length prefix included) whose From field is
+// `from`; the transport copies it before returning, so the caller may
+// patch and reuse the buffer immediately.
+//
+// The switchboard deliberately does not implement FrameSender — it hands
+// receivers the *wire.Message pointer itself, each recipient needs its
+// own instance, and Switchboard-based tests stay byte-deterministic.
+// Fault middleware (faultnet) doesn't either, so wrapped transports fall
+// back to the per-message path and every copy stays subject to injection.
+type FrameSender interface {
+	SendFrame(from, to int32, frame []byte) error
+}
+
+// swBox is one peer's mailbox with its own close state: senders to
+// different peers share nothing, so fan-out to distinct receivers no
+// longer serializes on a transport-global mutex.
+type swBox struct {
 	mu     sync.Mutex
-	boxes  map[int32]chan Envelope
+	ch     chan Envelope
 	closed bool
+}
+
+// Switchboard is the in-memory transport: per-peer buffered mailboxes,
+// optional per-message latency, deterministic when Latency is nil. The
+// mailbox set is immutable after construction (peers 0..n-1), so Send
+// reaches a mailbox by slice index and takes only that mailbox's lock.
+type Switchboard struct {
+	boxes  []*swBox
+	closed atomic.Bool
+	// timerMu serializes latency-timer registration against Close's
+	// wg.Wait (the only remaining cross-peer lock, off the synchronous
+	// path entirely).
+	timerMu sync.Mutex
 	// Latency, when set, returns the delivery delay for a message from →
 	// to; delivery happens on a timer goroutine.
 	Latency func(from, to int32) time.Duration
@@ -64,29 +97,31 @@ type Switchboard struct {
 // NewSwitchboard creates mailboxes for peers 0..n-1 with the given buffer
 // size per mailbox.
 func NewSwitchboard(n, buffer int) *Switchboard {
-	s := &Switchboard{boxes: make(map[int32]chan Envelope, n)}
-	for i := 0; i < n; i++ {
-		s.boxes[int32(i)] = make(chan Envelope, buffer)
+	s := &Switchboard{boxes: make([]*swBox, n)}
+	for i := range s.boxes {
+		s.boxes[i] = &swBox{ch: make(chan Envelope, buffer)}
 	}
 	return s
 }
 
 // deliver pushes m into box, counting instead of panicking when it loses
-// the race with Close or finds the mailbox full. The mutex (not a
-// recover) is what makes the closed-channel send impossible: boxes are
-// only closed under mu with closed=true, and deliver never touches a box
-// once closed is set.
-func (s *Switchboard) deliver(box chan Envelope, m *wire.Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		// Lost the race with Close: a dropped packet, not a crash — real
-		// networks drop packets too. Counted, never silent.
+// the race with Close or finds the mailbox full. The per-box mutex (not a
+// recover) is what makes the closed-channel send impossible: a box is
+// only closed under its own lock with closed=true, and deliver never
+// touches the channel once the flag is set.
+func (s *Switchboard) deliver(box *swBox, m *wire.Message) {
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.closed || s.closed.Load() {
+		// Lost the race with Close (the global flag catches latency
+		// timers firing during the drain, before boxes close): a dropped
+		// packet, not a crash — real networks drop packets too. Counted,
+		// never silent.
 		s.Obs.Inc(obs.CDropClosed)
 		return
 	}
 	select {
-	case box <- Envelope{Msg: m}:
+	case box.ch <- Envelope{Msg: m}:
 	default:
 		// Mailbox full: drop, like a congested link.
 		s.Obs.Inc(obs.CDropFullMailbox)
@@ -95,23 +130,24 @@ func (s *Switchboard) deliver(box chan Envelope, m *wire.Message) {
 
 // Send implements Transport.
 func (s *Switchboard) Send(to int32, m *wire.Message) error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Load() {
 		return fmt.Errorf("transport: switchboard closed")
 	}
-	box, ok := s.boxes[to]
-	if ok && s.Latency != nil {
-		// Register the timer while still holding the lock so Close's
-		// wg.Wait cannot start between the closed check and the Add.
-		s.wg.Add(1)
-	}
-	s.mu.Unlock()
-	if !ok {
+	if to < 0 || int(to) >= len(s.boxes) {
 		return fmt.Errorf("transport: unknown peer %d", to)
 	}
+	box := s.boxes[to]
 	s.Obs.Inc(obs.CTransportSend)
 	if s.Latency != nil {
+		// Register the timer while holding timerMu so Close's wg.Wait
+		// cannot start between the closed check and the Add.
+		s.timerMu.Lock()
+		if s.closed.Load() {
+			s.timerMu.Unlock()
+			return fmt.Errorf("transport: switchboard closed")
+		}
+		s.wg.Add(1)
+		s.timerMu.Unlock()
 		d := s.Latency(m.From, to)
 		time.AfterFunc(d, func() {
 			defer s.wg.Done()
@@ -125,25 +161,26 @@ func (s *Switchboard) Send(to int32, m *wire.Message) error {
 
 // Inbox implements Transport.
 func (s *Switchboard) Inbox(owner int32) <-chan Envelope {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.boxes[owner]
+	if owner < 0 || int(owner) >= len(s.boxes) {
+		return nil
+	}
+	return s.boxes[owner].ch
 }
 
 // Close implements Transport. Delayed messages still on their latency
 // timer are dropped and counted as closed drops.
 func (s *Switchboard) Close() {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	s.timerMu.Lock()
+	already := s.closed.Swap(true)
+	s.timerMu.Unlock()
+	if already {
 		return
 	}
-	s.closed = true
-	s.mu.Unlock()
 	s.wg.Wait() // in-flight timers fire, see closed, and count their drop
-	s.mu.Lock()
-	for _, b := range s.boxes {
-		close(b)
+	for _, box := range s.boxes {
+		box.mu.Lock()
+		box.closed = true
+		close(box.ch)
+		box.mu.Unlock()
 	}
-	s.mu.Unlock()
 }

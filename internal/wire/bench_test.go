@@ -29,3 +29,54 @@ func BenchmarkUnmarshal(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkMarshalAppend(b *testing.B) {
+	m := benchMessage()
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = MarshalAppend(buf[:0], m)
+	}
+}
+
+func BenchmarkUnmarshalInto(b *testing.B) {
+	frame := Marshal(benchMessage())[4:]
+	var m Message
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := UnmarshalInto(&m, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMarshalPublishFanout models the publisher's fan-out: one
+// invariant publish frame patched per destination, vs re-marshaling.
+func BenchmarkMarshalPublishFanout(b *testing.B) {
+	m := &Message{
+		Kind: KindPublish, From: 1, Seq: 9, Publisher: 1, TTL: 32,
+		PayloadSize: 256, Payload: make([]byte, 256),
+	}
+	const fanout = 32
+	b.Run("remarshal", func(b *testing.B) {
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for to := int32(0); to < fanout; to++ {
+				m.To = to
+				buf = MarshalAppend(buf[:0], m)
+			}
+		}
+	})
+	b.Run("patchto", func(b *testing.B) {
+		buf := MarshalAppend(make([]byte, 0, 4096), m)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for to := int32(0); to < fanout; to++ {
+				PatchTo(buf, to)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// hotKinds are the steady-state messages of a quiet cluster: heartbeat
+// pings/pongs (with ring-list piggybacks) and publish/ack traffic. The
+// fast-path contract is that marshaling and reused-struct unmarshaling of
+// these kinds never allocates.
+func hotKinds() []*Message {
+	return []*Message{
+		{Kind: KindPing, From: 3, To: 9, Seq: 101},
+		{
+			Kind: KindPong, From: 9, To: 3, Seq: 101, Pos: 0x3FE0000000000000,
+			Succs: []int32{4, 5, 6, 7}, SuccPos: []uint64{1, 2, 3, 4},
+			Preds: []int32{2, 1, 0, 8}, PredPos: []uint64{5, 6, 7, 8},
+		},
+		{
+			Kind: KindPublish, From: 3, To: 9, Seq: 55,
+			Publisher: 3, TTL: 32, PayloadSize: 64, HopCount: 1,
+			Payload: bytes.Repeat([]byte("x"), 64),
+		},
+		{Kind: KindAck, From: 9, To: 3, Seq: 55, Publisher: 3, TTL: 31},
+	}
+}
+
+func TestMarshalAppendMatchesMarshal(t *testing.T) {
+	for _, m := range append(fuzzSeeds(), hotKinds()...) {
+		want := Marshal(m)
+		if got := MarshalAppend(nil, m); !bytes.Equal(got, want) {
+			t.Fatalf("kind %v: MarshalAppend(nil) != Marshal:\n got %x\nwant %x", m.Kind, got, want)
+		}
+		// Appending after existing bytes must leave the prefix intact and
+		// produce the same frame after it.
+		prefix := []byte{0xAA, 0xBB, 0xCC}
+		got := MarshalAppend(append([]byte(nil), prefix...), m)
+		if !bytes.Equal(got[:3], prefix) || !bytes.Equal(got[3:], want) {
+			t.Fatalf("kind %v: append-mode frame corrupted", m.Kind)
+		}
+	}
+}
+
+// TestMarshalAppendZeroAllocHotKinds pins the zero-alloc contract: with a
+// warm reused buffer, marshaling any hot kind costs 0 allocs/op.
+func TestMarshalAppendZeroAllocHotKinds(t *testing.T) {
+	for _, m := range hotKinds() {
+		buf := make([]byte, 0, 4096)
+		if allocs := testing.AllocsPerRun(200, func() {
+			buf = MarshalAppend(buf[:0], m)
+		}); allocs != 0 {
+			t.Errorf("MarshalAppend(%v) = %.1f allocs/op, want 0", m.Kind, allocs)
+		}
+	}
+}
+
+// TestUnmarshalIntoZeroAllocHotKinds pins the decode side: a Message
+// reused across frames of the same shape steady-states at 0 allocs/op.
+func TestUnmarshalIntoZeroAllocHotKinds(t *testing.T) {
+	for _, src := range hotKinds() {
+		frame := Marshal(src)[4:]
+		var m Message
+		if err := UnmarshalInto(&m, frame); err != nil { // warm-up grows the slices
+			t.Fatal(err)
+		}
+		if allocs := testing.AllocsPerRun(200, func() {
+			if err := UnmarshalInto(&m, frame); err != nil {
+				t.Fatal(err)
+			}
+		}); allocs != 0 {
+			t.Errorf("UnmarshalInto(%v) = %.1f allocs/op, want 0", src.Kind, allocs)
+		}
+	}
+}
+
+// TestUnmarshalIntoDirtyReuse decodes frames of very different shapes
+// through one reused Message and checks each decode is indistinguishable
+// from a fresh Unmarshal (stale slices from the previous frame must not
+// leak through).
+func TestUnmarshalIntoDirtyReuse(t *testing.T) {
+	var m Message
+	seeds := fuzzSeeds()
+	// Big → small → big: shrinking reuses capacity, growing reallocates.
+	order := append(append([]*Message{}, seeds...), seeds[0], seeds[8], seeds[0])
+	for _, src := range order {
+		frame := Marshal(src)[4:]
+		if err := UnmarshalInto(&m, frame); err != nil {
+			t.Fatalf("kind %v: %v", src.Kind, err)
+		}
+		if got := Marshal(&m)[4:]; !bytes.Equal(got, frame) {
+			t.Fatalf("kind %v: dirty-reuse roundtrip diverged:\n got %x\nwant %x", src.Kind, got, frame)
+		}
+	}
+}
+
+func TestPatchToAndSeq(t *testing.T) {
+	for _, m := range append(fuzzSeeds(), hotKinds()...) {
+		frame := Marshal(m)
+		patched := *m
+		patched.To = m.To + 1000
+		patched.Seq = m.Seq + 7
+		PatchTo(frame, patched.To)
+		PatchSeq(frame, patched.Seq)
+		// The patched frame must be byte-identical to marshaling the
+		// patched message — the helpers are the codec, not offset guesses.
+		if want := Marshal(&patched); !bytes.Equal(frame, want) {
+			t.Fatalf("kind %v: patched frame != remarshal:\n got %x\nwant %x", m.Kind, frame, want)
+		}
+	}
+}
+
+func TestFramePoolRecycles(t *testing.T) {
+	b := GetFrame()
+	*b = MarshalAppend((*b)[:0], hotKinds()[0])
+	if len(*b) == 0 {
+		t.Fatal("empty frame")
+	}
+	PutFrame(b)
+	c := GetFrame()
+	if len(*c) != 0 {
+		t.Fatalf("pooled buffer not reset: len %d", len(*c))
+	}
+	PutFrame(c)
+	// Oversized buffers are dropped, not pooled.
+	huge := make([]byte, 0, maxPooledFrame+1)
+	PutFrame(&huge) // must not panic; buffer is discarded
+	PutFrame(nil)   // nil-safe
+}

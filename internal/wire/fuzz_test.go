@@ -73,11 +73,19 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 	}
 	f.Add([]byte{})
+	// dirty is a reused Message carrying stale slices from whatever frame
+	// the fuzzer decoded last — the UnmarshalInto contract says those must
+	// never leak into the next decode.
+	dirty := &Message{}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		m, err := Unmarshal(b)
 		if err != nil {
 			if m != nil {
 				t.Fatal("error return carried a non-nil message")
+			}
+			// The reused-struct path must agree on rejection.
+			if UnmarshalInto(dirty, b) == nil {
+				t.Fatal("UnmarshalInto accepted a frame Unmarshal rejected")
 			}
 			return
 		}
@@ -93,6 +101,15 @@ func FuzzUnmarshal(f *testing.F) {
 		out := Marshal(m)[4:]
 		if !bytes.Equal(out, b) {
 			t.Fatalf("roundtrip mismatch:\n in: %x\nout: %x", b, out)
+		}
+		// Decode the same frame into the dirty reused Message (stale
+		// slices from the previous iteration still attached): canonical
+		// roundtrip must hold for it too, byte for byte.
+		if err := UnmarshalInto(dirty, b); err != nil {
+			t.Fatalf("UnmarshalInto rejected a frame Unmarshal accepted: %v", err)
+		}
+		if reused := MarshalAppend(nil, dirty)[4:]; !bytes.Equal(reused, b) {
+			t.Fatalf("dirty-reuse roundtrip mismatch:\n in: %x\nout: %x", b, reused)
 		}
 	})
 }

@@ -12,6 +12,7 @@ package wire
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Kind discriminates message types.
@@ -172,10 +173,20 @@ func (m *Message) Clone() *Message {
 	return &c
 }
 
-// Marshal encodes m into a self-delimited frame (4-byte length prefix).
-func Marshal(m *Message) []byte {
-	// size: fixed header + slices
-	size := 1 + 4 + 4 + 4 + // kind, from, to, seq
+// Frame layout (after the 4-byte little-endian length prefix): kind (1),
+// from (4), to (4), seq (4), then the variable-length fields. The fixed
+// header offsets below are what PatchTo/PatchSeq rely on; they are part of
+// the codec, not an implementation detail — node's fan-out fast path
+// patches destinations into a marshaled frame through them.
+const (
+	frameToOffset  = 4 + 1 + 4 // prefix + kind + from
+	frameSeqOffset = frameToOffset + 4
+)
+
+// frameSize returns the body size (without the length prefix) m encodes
+// to.
+func frameSize(m *Message) int {
+	return 1 + 4 + 4 + 4 + // kind, from, to, seq
 		4 + 4*len(m.Neighborhood) +
 		4 + 4*len(m.RoutingTable) +
 		4 + // nmutual
@@ -185,7 +196,27 @@ func Marshal(m *Message) []byte {
 		8 + // pos
 		4 + 4*len(m.Succs) + 4 + 8*len(m.SuccPos) +
 		4 + 4*len(m.Preds) + 4 + 8*len(m.PredPos)
-	buf := make([]byte, 4+size)
+}
+
+// Marshal encodes m into a self-delimited frame (4-byte length prefix).
+func Marshal(m *Message) []byte {
+	return MarshalAppend(nil, m)
+}
+
+// MarshalAppend appends m's self-delimited frame to dst and returns the
+// extended slice. When dst has enough spare capacity the encode performs
+// zero allocations — pair it with GetFrame/PutFrame (or any caller-owned
+// scratch buffer) to keep steady-state marshaling off the heap.
+func MarshalAppend(dst []byte, m *Message) []byte {
+	size := frameSize(m)
+	start := len(dst)
+	if cap(dst)-start < 4+size {
+		grown := make([]byte, start, start+4+size)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:start+4+size]
+	buf := dst[start:]
 	binary.LittleEndian.PutUint32(buf, uint32(size))
 	b := buf[4:]
 	b[0] = byte(m.Kind)
@@ -245,15 +276,83 @@ func Marshal(m *Message) []byte {
 	for _, v := range m.PredPos {
 		put64(v)
 	}
-	return buf[:4+off]
+	return dst[:start+4+off]
+}
+
+// PatchTo rewrites the To field of a marshaled frame in place. The frame
+// must include its length prefix (as produced by Marshal/MarshalAppend).
+func PatchTo(frame []byte, to int32) {
+	binary.LittleEndian.PutUint32(frame[frameToOffset:], uint32(to))
+}
+
+// PatchSeq rewrites the Seq field of a marshaled frame in place. Like
+// PatchTo it operates on a full frame with its length prefix.
+func PatchSeq(frame []byte, seq uint32) {
+	binary.LittleEndian.PutUint32(frame[frameSeqOffset:], seq)
+}
+
+// maxPooledFrame bounds the capacity PutFrame retains: buffers grown past
+// it (a large publication payload) are dropped instead of pinning that
+// memory in the pool forever.
+const maxPooledFrame = 1 << 16
+
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// GetFrame returns a pooled, zero-length frame buffer for MarshalAppend.
+// Return it with PutFrame once the frame has been written (or copied) out.
+func GetFrame() *[]byte {
+	return framePool.Get().(*[]byte)
+}
+
+// PutFrame recycles a buffer obtained from GetFrame. Buffers that grew
+// past maxPooledFrame are released to the GC instead.
+func PutFrame(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledFrame {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
 }
 
 // Unmarshal decodes one frame produced by Marshal (without the length
 // prefix, i.e. the payload after framing).
 func Unmarshal(b []byte) (*Message, error) {
 	m := &Message{}
+	if err := UnmarshalInto(m, b); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// growI32 resizes s to n entries, reusing its backing array when the
+// capacity allows (the decode overwrites every entry). n == 0 keeps the
+// slice's identity: nil stays nil, a reused slice keeps its capacity.
+func growI32(s []int32, n int) []int32 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+// UnmarshalInto decodes one frame into m, overwriting every field and
+// reusing m's slice capacities — a Message recycled across decodes of hot
+// kinds (Ping/Pong/Publish/Ack) steady-states at zero allocations. Stale
+// slice contents from a previous decode are fully overwritten (every field
+// has a fixed place in the frame), but on error m is left partially
+// filled and must not be used. The decoded Message never aliases b.
+func UnmarshalInto(m *Message, b []byte) error {
 	if len(b) < 1 {
-		return nil, fmt.Errorf("wire: empty frame")
+		return fmt.Errorf("wire: empty frame")
 	}
 	m.Kind = Kind(b[0])
 	off := 1
@@ -279,169 +378,114 @@ func Unmarshal(b []byte) (*Message, error) {
 		off += 4
 		return v, nil
 	}
-	var err error
-	if m.From, err = get32(); err != nil {
-		return nil, err
-	}
-	if m.To, err = get32(); err != nil {
-		return nil, err
-	}
-	if m.Seq, err = getU32(); err != nil {
-		return nil, err
-	}
-	nl, err := getU32()
-	if err != nil {
-		return nil, err
-	}
-	if nl > maxSliceLen {
-		return nil, fmt.Errorf("wire: neighborhood length %d too large", nl)
-	}
-	if nl > 0 {
-		// Check the claimed length against the bytes actually present
-		// BEFORE allocating: a truncated frame must never cost more memory
-		// than its own size.
-		if err := need(4 * int(nl)); err != nil {
+	// Every slice checks its claimed length against the bytes actually
+	// present BEFORE allocating: a truncated frame must never cost more
+	// memory than its own size.
+	get32s := func(s []int32, what string) ([]int32, error) {
+		n, err := getU32()
+		if err != nil {
 			return nil, err
 		}
-		m.Neighborhood = make([]int32, nl)
-		for i := range m.Neighborhood {
-			if m.Neighborhood[i], err = get32(); err != nil {
-				return nil, err
-			}
+		if n > maxSliceLen {
+			return nil, fmt.Errorf("wire: %s length %d too large", what, n)
 		}
-	}
-	rl, err := getU32()
-	if err != nil {
-		return nil, err
-	}
-	if rl > maxSliceLen {
-		return nil, fmt.Errorf("wire: routing table length %d too large", rl)
-	}
-	if rl > 0 {
-		if err := need(4 * int(rl)); err != nil {
+		if err := need(4 * int(n)); err != nil {
 			return nil, err
 		}
-		m.RoutingTable = make([]int32, rl)
-		for i := range m.RoutingTable {
-			if m.RoutingTable[i], err = get32(); err != nil {
-				return nil, err
-			}
+		s = growI32(s, int(n))
+		for i := range s {
+			s[i] = int32(binary.LittleEndian.Uint32(b[off:]))
+			off += 4
 		}
+		return s, nil
 	}
-	if m.NMutual, err = get32(); err != nil {
-		return nil, err
-	}
-	bl, err := getU32()
-	if err != nil {
-		return nil, err
-	}
-	if bl > maxSliceLen {
-		return nil, fmt.Errorf("wire: bitmap length %d too large", bl)
-	}
-	if bl > 0 {
-		if err := need(8 * int(bl)); err != nil {
+	get64s := func(s []uint64, what string) ([]uint64, error) {
+		n, err := getU32()
+		if err != nil {
 			return nil, err
 		}
-		m.Bitmap = make([]uint64, bl)
-		for i := range m.Bitmap {
-			m.Bitmap[i] = binary.LittleEndian.Uint64(b[off:])
+		if n > maxSliceLen {
+			return nil, fmt.Errorf("wire: %s length %d too large", what, n)
+		}
+		if err := need(8 * int(n)); err != nil {
+			return nil, err
+		}
+		s = growU64(s, int(n))
+		for i := range s {
+			s[i] = binary.LittleEndian.Uint64(b[off:])
 			off += 8
 		}
+		return s, nil
+	}
+	var err error
+	if m.From, err = get32(); err != nil {
+		return err
+	}
+	if m.To, err = get32(); err != nil {
+		return err
+	}
+	if m.Seq, err = getU32(); err != nil {
+		return err
+	}
+	if m.Neighborhood, err = get32s(m.Neighborhood, "neighborhood"); err != nil {
+		return err
+	}
+	if m.RoutingTable, err = get32s(m.RoutingTable, "routing table"); err != nil {
+		return err
+	}
+	if m.NMutual, err = get32(); err != nil {
+		return err
+	}
+	if m.Bitmap, err = get64s(m.Bitmap, "bitmap"); err != nil {
+		return err
 	}
 	if m.Publisher, err = get32(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := need(1); err != nil {
-		return nil, err
+		return err
 	}
 	m.TTL = b[off]
 	off++
 	if m.PayloadSize, err = getU32(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := need(1); err != nil {
-		return nil, err
+		return err
 	}
 	m.HopCount = b[off]
 	off++
 	pl, err := getU32()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if pl > maxSliceLen {
-		return nil, fmt.Errorf("wire: payload length %d too large", pl)
+		return fmt.Errorf("wire: payload length %d too large", pl)
 	}
-	if pl > 0 {
-		if err := need(int(pl)); err != nil {
-			return nil, err
-		}
-		m.Payload = append([]byte(nil), b[off:off+int(pl)]...)
-		off += int(pl)
+	if err := need(int(pl)); err != nil {
+		return err
 	}
+	m.Payload = append(m.Payload[:0], b[off:off+int(pl)]...)
+	off += int(pl)
 	if err := need(8); err != nil {
-		return nil, err
+		return err
 	}
 	m.Pos = binary.LittleEndian.Uint64(b[off:])
 	off += 8
-	// Successor-list fields: same length-claim-before-allocation
-	// discipline as the slices above.
-	get32s := func(what string) ([]int32, error) {
-		n, err := getU32()
-		if err != nil {
-			return nil, err
-		}
-		if n > maxSliceLen {
-			return nil, fmt.Errorf("wire: %s length %d too large", what, n)
-		}
-		if n == 0 {
-			return nil, nil
-		}
-		if err := need(4 * int(n)); err != nil {
-			return nil, err
-		}
-		out := make([]int32, n)
-		for i := range out {
-			if out[i], err = get32(); err != nil {
-				return nil, err
-			}
-		}
-		return out, nil
+	if m.Succs, err = get32s(m.Succs, "succs"); err != nil {
+		return err
 	}
-	get64s := func(what string) ([]uint64, error) {
-		n, err := getU32()
-		if err != nil {
-			return nil, err
-		}
-		if n > maxSliceLen {
-			return nil, fmt.Errorf("wire: %s length %d too large", what, n)
-		}
-		if n == 0 {
-			return nil, nil
-		}
-		if err := need(8 * int(n)); err != nil {
-			return nil, err
-		}
-		out := make([]uint64, n)
-		for i := range out {
-			out[i] = binary.LittleEndian.Uint64(b[off:])
-			off += 8
-		}
-		return out, nil
+	if m.SuccPos, err = get64s(m.SuccPos, "succ positions"); err != nil {
+		return err
 	}
-	if m.Succs, err = get32s("succs"); err != nil {
-		return nil, err
+	if m.Preds, err = get32s(m.Preds, "preds"); err != nil {
+		return err
 	}
-	if m.SuccPos, err = get64s("succ positions"); err != nil {
-		return nil, err
-	}
-	if m.Preds, err = get32s("preds"); err != nil {
-		return nil, err
-	}
-	if m.PredPos, err = get64s("pred positions"); err != nil {
-		return nil, err
+	if m.PredPos, err = get64s(m.PredPos, "pred positions"); err != nil {
+		return err
 	}
 	if off != len(b) {
-		return nil, fmt.Errorf("wire: %d trailing bytes", len(b)-off)
+		return fmt.Errorf("wire: %d trailing bytes", len(b)-off)
 	}
-	return m, nil
+	return nil
 }
