@@ -48,6 +48,12 @@ func main() {
 		thrN    = flag.Int("throughput", 0, "sustained-throughput mode: flood this many publications instead of the latency experiment")
 		jsonOut = flag.Bool("json", false, "emit throughput results as JSON on stdout")
 		buffer  = flag.Int("buffer", 4096, "per-peer transport mailbox depth")
+		shards  = flag.Int("shards", 0, "event-loop shards (0 = GOMAXPROCS)")
+		hbEvery = flag.Duration("heartbeat", 200*time.Millisecond, "heartbeat interval")
+		gsEvery = flag.Duration("gossip", 200*time.Millisecond, "gossip exchange interval")
+		mtEvery = flag.Duration("maintain", 200*time.Millisecond, "maintenance interval")
+		gate    = flag.Bool("gate", false, "fail (exit 1) when live goroutines exceed the 4×shards+conns budget after the run")
+		retry   = flag.Duration("retry", 0, "publisher retry backoff base (0 disables autonomous delivery repair)")
 	)
 	flag.Parse()
 
@@ -84,10 +90,17 @@ func main() {
 	}
 	cluster, err := node.Start(node.Options{
 		Graph: g, Overlay: ov, Transport: tr, Seed: *seed,
-		HeartbeatEvery: 200 * time.Millisecond,
-		GossipEvery:    200 * time.Millisecond,
-		MaintainEvery:  200 * time.Millisecond,
+		Shards:         *shards,
+		HeartbeatEvery: *hbEvery,
+		GossipEvery:    *gsEvery,
+		MaintainEvery:  *mtEvery,
+		RetryBase:      *retry,
 		Bandwidths:     bw,
+		// -buffer sizes the shard mailboxes too: the muxed runtime
+		// replaces per-peer inboxes with one shared channel per shard,
+		// so a per-peer depth alone would silently shrink total
+		// buffering by the peers-per-shard factor.
+		ShardMailbox: *buffer,
 	})
 	if err != nil {
 		fatal(err)
@@ -110,6 +123,7 @@ func main() {
 
 	if *thrN > 0 {
 		runThroughput(cluster, g, *thrN, kind, *n, *jsonOut)
+		checkGate(cluster, tr, *gate, banner)
 		return
 	}
 
@@ -156,6 +170,37 @@ func main() {
 			fmt.Printf("  %2d hops: %5.1f%%\n", h, f*100)
 		}
 	}
+	checkGate(cluster, tr, *gate, banner)
+}
+
+// checkGate prints the runtime-scale summary — S shard loops plus
+// per-connection transport goroutines is the whole goroutine budget of
+// the sharded runtime (DESIGN.md §11) — and, with -gate, fails the run
+// when the live count exceeds 4×shards+conns. The 4× slack on the shard
+// term covers the main goroutine, runtime helpers, and transient timer
+// goroutines; a per-node goroutine leak blows through it immediately at
+// any realistic n.
+func checkGate(cluster *node.Cluster, tr transport.Transport, gate bool, banner *os.File) {
+	live := runtime.NumGoroutine()
+	budget := 4 * cluster.Shards()
+	switch t := tr.(type) {
+	case *transport.TCP:
+		budget += t.ConnGoroutines()
+	case *transport.Switchboard:
+		// Emulated latency holds one pending timer per in-flight
+		// message; each becomes a short-lived goroutine at fire time.
+		budget += t.InFlight()
+	}
+	fmt.Fprintf(banner, "runtime: %d shards, %d live goroutines (budget %d)\n",
+		cluster.Shards(), live, budget)
+	if gate && live > budget {
+		fmt.Fprintf(os.Stderr, "livebench: goroutine budget exceeded: %d live > %d (4×%d shards + conns)\n",
+			live, budget, cluster.Shards())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		cluster.Shutdown(ctx)
+		os.Exit(1)
+	}
 }
 
 // throughputResult is the machine-readable summary of one -throughput run.
@@ -173,6 +218,8 @@ type throughputResult struct {
 	LatencyP99MS   float64 `json:"latency_p99_ms"`
 	AllocsPerMsg   float64 `json:"allocs_per_msg"`
 	BytesPerMsg    float64 `json:"bytes_per_msg"`
+	Shards         int     `json:"shards"`
+	Goroutines     int     `json:"goroutines"`
 }
 
 // runThroughput floods posts publications across the highest-degree
@@ -268,6 +315,8 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 		Mode: "throughput", Transport: kind, Peers: peers,
 		Publications: posts, Notifications: wanted, Delivered: delivered,
 		ElapsedSeconds: elapsed.Seconds(),
+		Shards:         cluster.Shards(),
+		Goroutines:     runtime.NumGoroutine(),
 	}
 	if wanted > 0 {
 		res.DeliveredPct = 100 * float64(delivered) / float64(wanted)

@@ -301,6 +301,17 @@ func (f *Net) sendAfter(to int32, m *wire.Message, delay time.Duration) {
 // Inbox implements transport.Transport (pass-through).
 func (f *Net) Inbox(owner int32) <-chan transport.Envelope { return f.inner.Inbox(owner) }
 
+// BindInbox implements transport.InboxMux by forwarding to the inner
+// transport, reporting its capability — wrapping a non-multiplexable
+// transport must not advertise multiplexing, or bound peers would
+// silently never receive.
+func (f *Net) BindInbox(owner int32, ch chan transport.Envelope) bool {
+	if mux, ok := f.inner.(transport.InboxMux); ok {
+		return mux.BindInbox(owner, ch)
+	}
+	return false
+}
+
 // Close implements transport.Transport: it stops injecting, waits for
 // in-flight delayed deliveries, and closes the inner transport.
 func (f *Net) Close() {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"selectps/internal/obs"
@@ -26,6 +28,24 @@ type Options struct {
 	// Seed derives every per-node RNG and LSH hasher; two clusters started
 	// from the same Options make the same protocol decisions.
 	Seed int64
+
+	// Shards is how many event-loop goroutines the cluster runs
+	// (default GOMAXPROCS). Every node is pinned to one shard by hashed
+	// PeerID: its timers fire and its inbound messages are handled on
+	// that shard's goroutine (DESIGN.md §11). Do not raise this past
+	// GOMAXPROCS: shard loops run hot under load, so any loop beyond the
+	// core count is descheduled in whole preemption quanta (~10ms) and
+	// every timer due during that window fires late — measured as tens
+	// of milliseconds of added deadline lag and message sojourn, enough
+	// to starve retry backoffs and trip spurious repair traffic.
+	Shards int
+	// ShardMailbox is each shard's shared inbox depth (default 8192).
+	// The shared mailbox replaces per-node transport inboxes when the
+	// transport supports multiplexing (transport.InboxMux). Keep it
+	// moderate: an overloaded shard sheds load by dropping at the
+	// mailbox (counted), and a deeper queue only trades those drops for
+	// seconds of sojourn latency on every queued message.
+	ShardMailbox int
 
 	// HeartbeatEvery is the ping interval (0 disables heartbeats).
 	HeartbeatEvery time.Duration
@@ -87,6 +107,12 @@ type Options struct {
 }
 
 func (o *Options) fill() {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.ShardMailbox <= 0 {
+		o.ShardMailbox = 8192
+	}
 	if o.TTL == 0 {
 		o.TTL = 32
 	}
@@ -120,14 +146,20 @@ func (o *Options) fill() {
 	}
 }
 
-// Cluster runs one node per peer of an overlay.
+// Cluster runs one node per peer of an overlay on S sharded event loops.
 type Cluster struct {
-	Nodes []*Node
-	dir   *directory
-	tr    transport.Transport
+	Nodes  []*Node
+	dir    *directory
+	tr     transport.Transport
+	shards []*shard
+	// stop ends every shard loop and fallback forwarder; wg tracks them.
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
-// Start spawns a node goroutine per peer. Bootstrap members begin with
+// Start builds the cluster and spawns its shard event loops (Shards
+// goroutines total, not one per peer). Bootstrap members begin with
 // converged routing state copied from opts.Overlay; everyone else starts
 // outside the ring and is admitted live through Cluster.Join.
 func Start(opts Options) (*Cluster, error) {
@@ -223,11 +255,55 @@ func Start(opts Options) (*Cluster, error) {
 		nd.shortSucc, nd.shortPred = dir.ringNeighbors(overlay.PeerID(p))
 		close(nd.joinedCh)
 	}
-	for _, nd := range c.Nodes {
-		nd.wg.Add(1)
-		go nd.run()
+	// The sharded runtime (shard.go): pin every node to a shard, bind its
+	// transport inbox into the shard's shared mailbox (falling back to a
+	// forwarder goroutine when the transport cannot multiplex), arm its
+	// periodic wheel entries, then start the S loops.
+	c.stop = make(chan struct{})
+	c.shards = make([]*shard, opts.Shards)
+	for i := range c.shards {
+		c.shards[i] = newShard(i, c, &opts)
+	}
+	mux, hasMux := opts.Transport.(transport.InboxMux)
+	start := time.Now()
+	for p, nd := range c.Nodes {
+		sh := c.shards[shardOf(int32(p), len(c.shards))]
+		nd.sh = sh
+		if !hasMux || !mux.BindInbox(int32(p), sh.inbox) {
+			c.wg.Add(1)
+			go c.forwardInbox(opts.Transport.Inbox(int32(p)), int32(p), sh.inbox)
+		}
+		sh.scheduleNode(nd, start)
+	}
+	for _, sh := range c.shards {
+		c.wg.Add(1)
+		go sh.run()
 	}
 	return c, nil
+}
+
+// forwardInbox is the compatibility path for transports without
+// multiplexed inbox registration: one goroutine per node copying its
+// private inbox into the shard mailbox, stamping the owner. O(n)
+// goroutines again — but only on transports that already are O(n).
+func (c *Cluster) forwardInbox(in <-chan transport.Envelope, pid int32, out chan<- transport.Envelope) {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case env, ok := <-in:
+			if !ok {
+				return
+			}
+			env.To = pid
+			select {
+			case out <- env:
+			case <-c.stop:
+				return
+			}
+		}
+	}
 }
 
 // Join admits peer p into the running ring: the node sends a JoinRequest
@@ -279,6 +355,11 @@ func (c *Cluster) Rejoin(ctx context.Context, p, inviter overlay.PeerID) error {
 // the publication or ctx ends; it returns the delivered count and whether
 // delivery completed.
 func (c *Cluster) AwaitDelivery(ctx context.Context, publisher overlay.PeerID, seq uint32, subs []overlay.PeerID) (int, bool) {
+	// One reused timer for the whole poll loop — time.After would allocate
+	// a timer per iteration that lives until it fires.
+	const pollEvery = 2 * time.Millisecond
+	timer := time.NewTimer(pollEvery)
+	defer timer.Stop()
 	for {
 		delivered := 0
 		for _, s := range subs {
@@ -292,24 +373,25 @@ func (c *Cluster) AwaitDelivery(ctx context.Context, publisher overlay.PeerID, s
 		select {
 		case <-ctx.Done():
 			return delivered, false
-		case <-time.After(2 * time.Millisecond):
+		case <-timer.C:
+			timer.Reset(pollEvery)
 		}
 	}
 }
 
-// Shutdown terminates all nodes with a bounded drain: it waits for every
-// node goroutine to exit until ctx expires, then closes the transport
-// either way. Idempotent; returns ctx's error when the drain was cut
-// short.
+// Shards reports how many event-loop goroutines the cluster runs —
+// the S in the runtime's O(S + conns) goroutine budget.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shutdown terminates the runtime with a bounded drain: it waits for
+// every shard loop (and fallback forwarder) to exit until ctx expires,
+// then closes the transport either way. Idempotent; returns ctx's error
+// when the drain was cut short.
 func (c *Cluster) Shutdown(ctx context.Context) error {
-	for _, n := range c.Nodes {
-		n.stopOnce.Do(func() { close(n.stop) })
-	}
+	c.stopOnce.Do(func() { close(c.stop) })
 	done := make(chan struct{})
 	go func() {
-		for _, n := range c.Nodes {
-			n.wg.Wait()
-		}
+		c.wg.Wait()
 		close(done)
 	}()
 	var err error

@@ -1,8 +1,11 @@
-// Package node is the live deployment of a SELECT overlay: every peer is
-// a goroutine with a mailbox, speaking the wire protocol over a transport
-// (in-memory switchboard or real TCP loopback sockets). It corresponds to
-// the paper's "realistic experiments" runtime (§IV-D), where the simulator
-// is replaced by actual message passing.
+// Package node is the live deployment of a SELECT overlay: peers speak
+// the wire protocol over a transport (in-memory switchboard or real TCP
+// loopback sockets), scheduled on S sharded event loops — each shard owns
+// a hashed timer wheel and a multiplexed mailbox for all its nodes
+// (shard.go, DESIGN.md §11) — so one process hosts thousands of live
+// peers without one goroutine per peer. It corresponds to the paper's
+// "realistic experiments" runtime (§IV-D), where the simulator is
+// replaced by actual message passing.
 //
 // Unlike earlier revisions, the runtime is no longer handed a frozen
 // overlay: each node owns its routing state and maintains it live with
@@ -121,11 +124,10 @@ type Node struct {
 	// bounded FIFO by ackOrder (PubHistory).
 	acked    map[msgID]map[int32]bool
 	ackOrder []msgID
-	// pubs is the delivery-repair engine's per-publication state; kick
-	// wakes the run loop to re-arm its timer (repair.go).
+	// pubs is the delivery-repair engine's per-publication state
+	// (repair.go); deadline changes re-arm the shard wheel via kickRetry.
 	pubs        map[uint32]*pubState
 	deadLetters []DeadLetter
-	kick        chan struct{}
 	// joinNext/joinAttempt schedule join-request resends on the repair
 	// timer; joinedCh closes when the node becomes a ring member.
 	joinNext    time.Time
@@ -144,12 +146,13 @@ type Node struct {
 	// consumed and dropped, nothing is sent.
 	paused atomic.Bool
 
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	// sh is the event-loop shard this node is pinned to (shard.go): all
+	// its timers fire and all its inbound messages are handled there.
+	sh *shard
 }
 
-// newNode wires a node; run() starts its loop.
+// newNode wires a node; Start pins it to a shard and arms its wheel
+// entries (shard.go).
 func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed int64) *Node {
 	friends := cfg.Graph.Neighbors(id)
 	buckets := cfg.K
@@ -179,9 +182,7 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 		pendingPings: make(map[uint32]overlay.PeerID),
 		acked:        make(map[msgID]map[int32]bool),
 		pubs:         make(map[uint32]*pubState),
-		kick:         make(chan struct{}, 1),
 		joinedCh:     make(chan struct{}),
-		stop:         make(chan struct{}),
 	}
 	for i := range n.strength {
 		n.strength[i] = -1
@@ -193,62 +194,6 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 		n.fs = fs
 	}
 	return n
-}
-
-func (n *Node) run() {
-	defer n.wg.Done()
-	inbox := n.tr.Inbox(int32(n.id))
-	var heartbeat, gossip, maintain <-chan time.Time
-	if n.cfg.HeartbeatEvery > 0 {
-		t := time.NewTicker(n.cfg.HeartbeatEvery)
-		defer t.Stop()
-		heartbeat = t.C
-	}
-	if n.cfg.GossipEvery > 0 {
-		t := time.NewTicker(n.cfg.GossipEvery)
-		defer t.Stop()
-		gossip = t.C
-	}
-	if n.cfg.MaintainEvery > 0 {
-		t := time.NewTicker(n.cfg.MaintainEvery)
-		defer t.Stop()
-		maintain = t.C
-	}
-	// The repair timer sleeps until the earliest pending retry/join
-	// deadline; kick re-arms it when a deadline appears or moves.
-	retry := time.NewTimer(time.Hour)
-	defer retry.Stop()
-	for {
-		select {
-		case <-n.stop:
-			return
-		case env, ok := <-inbox:
-			if !ok {
-				return
-			}
-			if n.paused.Load() {
-				continue // unresponsive peer: drop everything
-			}
-			n.handle(env.Msg)
-		case <-heartbeat:
-			if !n.paused.Load() {
-				n.sendHeartbeats()
-			}
-		case <-gossip:
-			if !n.paused.Load() {
-				n.sendExchange()
-			}
-		case <-maintain:
-			if !n.paused.Load() {
-				n.maintainTick()
-			}
-		case <-n.kick:
-			n.rearmRetry(retry, false)
-		case <-retry.C:
-			n.repairTick()
-			n.rearmRetry(retry, true)
-		}
-	}
 }
 
 func (n *Node) nextSeq() uint32 {

@@ -76,19 +76,18 @@ func (n *Node) joinSeed() uint64 {
 	return selectcore.RepairSeed(n.cfg.Seed, int32(n.id), 0)
 }
 
-// kickRetry wakes the run loop to re-arm the repair timer after a
-// deadline changed (new publication, new join attempt).
+// kickRetry re-arms the shard wheel's repair entry after a deadline
+// changed (new publication, new join attempt). Called outside n.mu.
 func (n *Node) kickRetry() {
-	select {
-	case n.kick <- struct{}{}:
-	default:
+	if n.sh != nil {
+		n.sh.scheduleRepair(n)
 	}
 }
 
-// retryDelay computes how long the repair timer should sleep: until the
-// earliest pending deadline, or effectively forever when nothing is
-// in flight. A paused (churned-out) node dozes instead of spinning.
-func (n *Node) retryDelay() time.Duration {
+// nextRepairAt returns the earliest pending retry/join deadline, or
+// false when nothing is in flight (the wheel entry is dropped). A paused
+// (churned-out) node dozes at ≥50 ms instead of spinning.
+func (n *Node) nextRepairAt() (time.Time, bool) {
 	n.mu.Lock()
 	var earliest time.Time
 	for _, st := range n.pubs {
@@ -101,28 +100,14 @@ func (n *Node) retryDelay() time.Duration {
 	}
 	n.mu.Unlock()
 	if earliest.IsZero() {
-		return time.Hour
+		return time.Time{}, false
 	}
-	d := time.Until(earliest)
-	if d < 0 {
-		d = 0
-	}
-	if n.paused.Load() && d < 50*time.Millisecond {
-		d = 50 * time.Millisecond
-	}
-	return d
-}
-
-// rearmRetry resets the repair timer to the earliest pending deadline.
-// fired says the caller just drained t.C, so Stop/drain is skipped.
-func (n *Node) rearmRetry(t *time.Timer, fired bool) {
-	if !fired && !t.Stop() {
-		select {
-		case <-t.C:
-		default:
+	if n.paused.Load() {
+		if floor := time.Now().Add(50 * time.Millisecond); earliest.Before(floor) {
+			earliest = floor
 		}
 	}
-	t.Reset(n.retryDelay())
+	return earliest, true
 }
 
 // registerPublishLocked opens the repair state machine for publication

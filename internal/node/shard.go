@@ -1,0 +1,440 @@
+package node
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+
+	"selectps/internal/obs"
+	"selectps/internal/sched"
+	"selectps/internal/transport"
+)
+
+// This file is the sharded event-loop runtime (DESIGN.md §11). The old
+// runtime gave every node its own goroutine, three time.Tickers and a
+// retry time.Timer — 5n runtime objects that drown the Go scheduler a
+// couple hundred live peers in. Here the cluster runs S shard goroutines
+// (S ≈ GOMAXPROCS): each shard owns one hashed timer wheel holding every
+// deadline of every node pinned to it, and one shared mailbox all those
+// nodes' transport inboxes multiplex into, drained by a single select.
+//
+// Shard affinity is the concurrency invariant that replaces per-node
+// goroutine confinement: a node's messages are handled and its timers
+// fired only on its shard's goroutine, so protocol handlers stay
+// single-threaded per node exactly as before. (Node state is still
+// mutex-guarded — public API like Publish runs on caller goroutines —
+// so affinity is a scheduling property, not the only safety net.)
+
+// Timer-wheel entry ids encode (peer, kind) in one uint64: pid<<3|kind.
+// tkMonitor is shard-owned (the "pid" is the shard index) and never
+// collides with node entries because nodes only use kinds 0–3.
+const (
+	tkHeartbeat = iota
+	tkGossip
+	tkMaintain
+	tkRepair
+	tkMonitor
+)
+
+func timerID(pid int32, kind uint64) uint64 { return uint64(uint32(pid))<<3 | kind }
+
+// monitorEvery is the cadence of the per-shard runtime-scale gauges.
+const monitorEvery = time.Second
+
+// drainMax bounds how many envelopes one wakeup handles before the loop
+// re-enters its select — a flooded mailbox must not starve the stop and
+// kick channels.
+const drainMax = 256
+
+// ingestCap bounds how many envelopes sit in the shard's internal
+// per-node queues. Past it the loop stops pulling from the mailbox, the
+// mailbox fills, and the transport sheds load by dropping (counted) —
+// the same backpressure point the mailbox alone provided.
+const ingestCap = 8192
+
+// shedBacklog is the queued-envelope level past which a shard skips the
+// bodies of its periodic timer fires (see fire): ~10ms of handler work,
+// i.e. "this loop is saturated", well before ingestCap declares "this
+// loop is drowning".
+const shedBacklog = 256
+
+// splitmix64 is the node→shard hash (and the phase-stagger stream):
+// cheap, stateless, and well-mixed even for the sequential peer ids the
+// cluster assigns.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func shardOf(pid int32, shards int) int {
+	return int(splitmix64(uint64(uint32(pid))) % uint64(shards))
+}
+
+// shard is one event loop: a timer wheel, a shared mailbox, and the
+// goroutine that drains both.
+type shard struct {
+	idx   int
+	c     *Cluster
+	wheel *sched.Wheel
+	inbox chan transport.Envelope
+	// kick wakes the loop to re-arm its sleep after another goroutine
+	// scheduled a possibly-earlier deadline (Publish, requestJoin).
+	kick chan struct{}
+	obs  *obs.Metrics
+
+	// Fair queueing. The old runtime's per-node goroutines gave every
+	// node processor sharing: one node's message backlog never delayed a
+	// shard-mate's acks or pongs. A single FIFO mailbox loses that — a
+	// gossip burst aimed at one node adds its full sojourn to every
+	// other node's latency — so the loop drains the mailbox into
+	// per-node queues and serves them round-robin, one message per turn.
+	// queues is indexed by peer id (only this shard's nodes ever
+	// populate theirs); active is the round-robin ring of node ids with
+	// pending messages; queued is the total across queues, capped at
+	// ingestCap.
+	queues []nodeq
+	active idring
+	queued int
+}
+
+// nodeq is one node's pending-message stack: newest first (adaptive
+// LIFO). Under backlog, serving the freshest message keeps live causal
+// chains — a publish and the ack racing its retry timer — at near-zero
+// sojourn no matter how deep the queue is, which is what breaks the
+// congestion feedback loop (late acks → spurious retries → more load →
+// later acks) that FIFO service falls into once the loop saturates.
+// When the queue is shallow LIFO and FIFO are indistinguishable. The
+// reordering this introduces under backlog is already part of the
+// network model: handlers tolerate duplication and reordering (faultnet
+// injects both), and stale backlog is exactly the traffic whose
+// ordering has stopped mattering.
+type nodeq struct {
+	buf    []transport.Envelope
+	onRing bool
+}
+
+func (q *nodeq) push(e transport.Envelope) { q.buf = append(q.buf, e) }
+
+func (q *nodeq) pop() transport.Envelope {
+	i := len(q.buf) - 1
+	e := q.buf[i]
+	q.buf[i] = transport.Envelope{}
+	q.buf = q.buf[:i]
+	return e
+}
+
+func (q *nodeq) len() int { return len(q.buf) }
+
+// idring is the round-robin ring of node ids awaiting service.
+type idring struct {
+	buf  []int32
+	head int
+}
+
+func (r *idring) push(id int32) { r.buf = append(r.buf, id) }
+
+func (r *idring) pop() (int32, bool) {
+	if r.head == len(r.buf) {
+		return 0, false
+	}
+	id := r.buf[r.head]
+	r.head++
+	if r.head == len(r.buf) {
+		r.buf = r.buf[:0]
+		r.head = 0
+	}
+	return id, true
+}
+
+func newShard(idx int, c *Cluster, opts *Options) *shard {
+	return &shard{
+		idx:    idx,
+		c:      c,
+		wheel:  sched.NewWheel(time.Millisecond, 512, time.Now()),
+		inbox:  make(chan transport.Envelope, opts.ShardMailbox),
+		kick:   make(chan struct{}, 1),
+		obs:    opts.Obs,
+		queues: make([]nodeq, len(c.Nodes)),
+	}
+}
+
+// pull moves every immediately-available mailbox envelope into the
+// per-node queues, stopping at ingestCap so the mailbox (and behind it
+// the transport's counted drops) stays the backpressure point.
+func (s *shard) pull() {
+	for s.queued < ingestCap {
+		select {
+		case env, ok := <-s.inbox:
+			if !ok {
+				return
+			}
+			s.enqueue(env)
+		default:
+			return
+		}
+	}
+}
+
+func (s *shard) enqueue(env transport.Envelope) {
+	if env.Msg == nil || env.To < 0 || int(env.To) >= len(s.queues) {
+		return
+	}
+	q := &s.queues[env.To]
+	q.push(env)
+	s.queued++
+	if !q.onRing {
+		q.onRing = true
+		s.active.push(env.To)
+	}
+}
+
+// serve handles one message from the next node in the round-robin ring.
+func (s *shard) serve() {
+	id, ok := s.active.pop()
+	if !ok {
+		return
+	}
+	q := &s.queues[id]
+	env := q.pop()
+	s.queued--
+	if q.len() > 0 {
+		s.active.push(id)
+	} else {
+		q.onRing = false
+	}
+	s.deliver(env)
+}
+
+// scheduleNode arms the node's periodic wheel entries. The first fire of
+// each kind is staggered deterministically within one interval so
+// thousands of nodes sharing an interval don't all fire on the same tick
+// (the thundering herd the per-node Tickers created at Start).
+func (s *shard) scheduleNode(n *Node, start time.Time) {
+	pid := int32(n.id)
+	arm := func(kind uint64, every time.Duration) {
+		if every <= 0 {
+			return
+		}
+		off := time.Duration(splitmix64(uint64(uint32(pid))<<3|kind) % uint64(every))
+		s.wheel.Schedule(timerID(pid, kind), start.Add(off))
+	}
+	arm(tkHeartbeat, n.cfg.HeartbeatEvery)
+	arm(tkGossip, n.cfg.GossipEvery)
+	arm(tkMaintain, n.cfg.MaintainEvery)
+}
+
+// scheduleRepair upserts (or cancels) the node's repair deadline and
+// kicks the loop so its sleep shortens. Safe from any goroutine.
+func (s *shard) scheduleRepair(n *Node) {
+	id := timerID(int32(n.id), tkRepair)
+	if at, ok := n.nextRepairAt(); ok {
+		s.wheel.Schedule(id, at)
+	} else {
+		s.wheel.Cancel(id)
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the shard loop. One reused timer sleeps until the wheel's
+// earliest deadline; kicks wake it early when another goroutine
+// scheduled a sooner one. The wheel is touched ONLY when a deadline is
+// actually due or a kick arrived — mailbox traffic costs a channel
+// receive, a time.Now comparison, and the handler, which is what keeps
+// a flooded shard from paying an O(slots) scan per message.
+func (s *shard) run() {
+	defer s.c.wg.Done()
+	if s.obs != nil {
+		s.wheel.Schedule(timerID(int32(s.idx), tkMonitor), time.Now().Add(monitorEvery))
+	}
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	var armed time.Time // deadline the timer is currently set for; zero = parked
+	rearm := func() {
+		now := time.Now()
+		for _, f := range s.wheel.Advance(now) {
+			if lag := now.Sub(f.At); lag > 0 {
+				s.obs.ObserveLoopLagMS(float64(lag) / float64(time.Millisecond))
+			}
+			s.fire(f, now)
+		}
+		next, ok := s.wheel.Next()
+		if !ok {
+			next = time.Time{}
+		}
+		if next.Equal(armed) {
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		if ok {
+			// Entries already due (firing took long enough for more to
+			// lapse) re-enter via an immediate timer instead of looping
+			// here, so a backlogged shard still interleaves its mailbox.
+			d := time.Until(next)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+		} else {
+			timer.Reset(time.Hour)
+		}
+		armed = next
+	}
+	// due services timers mid-drain. A saturated mailbox must not starve
+	// due deadlines: the main select picks among ready cases at random,
+	// so under flood the timer would wait O(bursts). Instead every
+	// handled envelope pays one time.Now comparison against the cached
+	// deadline and one channel-length peek at kick — both far cheaper
+	// than a select — bounding timer and re-arm service latency to ONE
+	// handler, not a whole burst (repair deadlines are latency-sensitive;
+	// a 256-message burst of slow handlers would blow them; kicks matter
+	// too because handlers themselves schedule new deadlines, e.g. an ack
+	// re-arms the publisher's retry).
+	due := func() {
+		if len(s.kick) > 0 {
+			select {
+			case <-s.kick:
+			default:
+			}
+			rearm()
+			return
+		}
+		if !armed.IsZero() && !time.Now().Before(armed) {
+			rearm() // rearm stops and drains the expired timer itself
+		}
+	}
+	rearm()
+	for {
+		// Pending queued work: serve it round-robin without blocking,
+		// re-checking stop, fresh arrivals, and due deadlines between
+		// every handled message (drainMax per pass keeps the stop check
+		// frequent under sustained load).
+		if s.queued > 0 {
+			select {
+			case <-s.c.stop:
+				return
+			default:
+			}
+			for i := 0; i < drainMax && s.queued > 0; i++ {
+				s.pull()
+				due()
+				s.serve()
+			}
+			continue
+		}
+		select {
+		case <-s.c.stop:
+			return
+		case env, ok := <-s.inbox:
+			if !ok {
+				return
+			}
+			s.enqueue(env)
+		case <-s.kick:
+			rearm()
+		case <-timer.C:
+			armed = time.Time{} // consumed: force the re-arm comparison
+			rearm()
+		}
+	}
+}
+
+// deliver dispatches one envelope to its owning node's handler.
+func (s *shard) deliver(env transport.Envelope) {
+	if env.Msg == nil || env.To < 0 || int(env.To) >= len(s.c.Nodes) {
+		return
+	}
+	n := s.c.Nodes[env.To]
+	if n.paused.Load() {
+		return // unresponsive peer: drop everything
+	}
+	if s.obs != nil && !env.At.IsZero() {
+		s.obs.ObserveSojournMS(float64(time.Since(env.At)) / float64(time.Millisecond))
+	}
+	n.handle(env.Msg)
+}
+
+// fire runs one due wheel entry. Periodic kinds skip their body while the
+// node is paused but keep their cadence — exactly what the per-node
+// Tickers did — so Resume needs no re-arming. The repair kind re-arms
+// from the engine's own earliest deadline (repair.go).
+func (s *shard) fire(f sched.Fired, now time.Time) {
+	kind := f.ID & 7
+	if kind == tkMonitor {
+		s.monitorTick()
+		s.wheel.Schedule(f.ID, now.Add(monitorEvery))
+		return
+	}
+	pid := int32(uint32(f.ID >> 3))
+	n := s.c.Nodes[pid]
+	periodic := func(every time.Duration) {
+		// Next fire keeps the requested cadence; a shard that fell behind
+		// re-anchors at now instead of burning CPU on catch-up backlog.
+		next := f.At.Add(every)
+		if next.Before(now) {
+			next = now.Add(every)
+		}
+		s.wheel.Schedule(f.ID, next)
+	}
+	// Congestion governor: a backlogged shard skips the BODY of periodic
+	// fires (cadence continues) so control traffic yields to draining the
+	// data queue. Timer fires preempt queue service in this loop — due()
+	// runs before every served envelope — so without shedding, a
+	// saturated shard keeps generating heartbeat/gossip load at full
+	// cadence while acks rot in the backlog, and the spurious retries
+	// those late acks trigger push the loop further over capacity
+	// (measured as full congestion collapse: ~500ms sojourn, mass
+	// mailbox drops). The old per-node runtime shed implicitly — a busy
+	// node's ticker dropped ticks while its goroutine drained the inbox —
+	// and this reproduces that pressure valve explicitly. Skips are
+	// counted (timer_shed): redundant periodic traffic degrades first,
+	// never silently.
+	// Repair fires are exempt: they are the reliability path, already
+	// bounded by the per-publication retry budget and backoff.
+	shed := s.queued >= shedBacklog
+	body := func(run func()) {
+		if shed {
+			s.obs.Inc(obs.CTimerShed)
+			return
+		}
+		if !n.paused.Load() {
+			run()
+		}
+	}
+	switch kind {
+	case tkHeartbeat:
+		body(n.sendHeartbeats)
+		periodic(n.cfg.HeartbeatEvery)
+	case tkGossip:
+		body(n.sendExchange)
+		periodic(n.cfg.GossipEvery)
+	case tkMaintain:
+		body(n.maintainTick)
+		periodic(n.cfg.MaintainEvery)
+	case tkRepair:
+		n.repairTick()
+		if at, ok := n.nextRepairAt(); ok {
+			s.wheel.Schedule(f.ID, at)
+		}
+	}
+}
+
+// monitorTick publishes the runtime-scale gauges: wheel entries per
+// shard, and (from shard 0) the live goroutine count the budget gate
+// watches.
+func (s *shard) monitorTick() {
+	s.obs.SetGauge("wheel_entries_shard_"+strconv.Itoa(s.idx), int64(s.wheel.Len()))
+	if s.idx == 0 {
+		s.obs.SetGauge("goroutines", int64(runtime.NumGoroutine()))
+		s.obs.SetGauge("shards", int64(len(s.c.shards)))
+	}
+}

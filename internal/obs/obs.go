@@ -52,6 +52,7 @@ const (
 	CTransportSend   // messages handed to a transport
 	CDropFullMailbox // dropped: receiver mailbox full (congestion)
 	CDropClosed      // dropped: transport already closed / closing race
+	CTimerShed       // periodic timer bodies skipped by a backlogged shard
 
 	// transport: TCP connection lifecycle.
 	CTCPDial       // fresh connections dialed
@@ -117,6 +118,7 @@ var counterNames = [numCounters]string{
 	CTransportSend:   "transport_send",
 	CDropFullMailbox: "drop_full_mailbox",
 	CDropClosed:      "drop_closed",
+	CTimerShed:       "timer_shed",
 
 	CTCPDial:       "tcp_dial",
 	CTCPRedial:     "tcp_redial",
@@ -230,6 +232,27 @@ type Metrics struct {
 	SendQueue  *Hist
 	FlushBatch *Hist
 
+	// LoopLag records scheduled-fire vs actual-fire skew of timer-wheel
+	// entries in milliseconds (DESIGN.md §11): a loaded shard drains its
+	// mailbox instead of firing timers on time, and that overload shows up
+	// here instead of as silent tail latency.
+	LoopLag *Hist
+
+	// Sojourn records per-envelope queueing delay in milliseconds —
+	// transport enqueue to handler dispatch (DESIGN.md §11). It is the
+	// shard runtime's primary health signal: sustained sojourn above the
+	// protocol's retry backoff means acks return too late to cancel
+	// retransmissions and the cluster is sliding toward congestion
+	// collapse (the timer-shed counter rising says the governor is
+	// holding it back).
+	Sojourn *Hist
+
+	// gauges are named point-in-time values (live goroutine count,
+	// timer-wheel entries per shard) set by the runtime's monitor tick.
+	// A map+mutex is fine off the hot path.
+	gaugeMu sync.Mutex
+	gauges  map[string]int64
+
 	// RepairLink and RepairRing record time-to-repair in milliseconds:
 	// from the first missed heartbeat of a link later declared dead to
 	// the replacement — a new long link accepted (RepairLink) or the
@@ -257,6 +280,8 @@ func New() *Metrics {
 		RepairRing: NewHist(0, 2000, 200),
 		SendQueue:  NewHist(0, 512, 64),
 		FlushBatch: NewHist(0, 64, 64),
+		LoopLag:    NewHist(0, 1000, 200),
+		Sojourn:    NewHist(0, 1000, 200),
 	}
 }
 
@@ -316,6 +341,50 @@ func (m *Metrics) ObserveFlushBatch(frames float64) {
 		return
 	}
 	m.FlushBatch.Add(frames)
+}
+
+// ObserveLoopLagMS records how late a timer-wheel entry fired relative
+// to its scheduled deadline. Nil-safe.
+func (m *Metrics) ObserveLoopLagMS(ms float64) {
+	if m == nil {
+		return
+	}
+	m.LoopLag.Add(ms)
+}
+
+// ObserveSojournMS records one envelope's transport-enqueue→dispatch
+// queueing delay. Nil-safe.
+func (m *Metrics) ObserveSojournMS(ms float64) {
+	if m == nil {
+		return
+	}
+	m.Sojourn.Add(ms)
+}
+
+// SetGauge records a named point-in-time value, overwriting the previous
+// one. Nil-safe.
+func (m *Metrics) SetGauge(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.gaugeMu.Lock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]int64)
+	}
+	m.gauges[name] = v
+	m.gaugeMu.Unlock()
+}
+
+// Gauge returns the last value set for name (0, false when never set).
+// Nil-safe.
+func (m *Metrics) Gauge(name string) (int64, bool) {
+	if m == nil {
+		return 0, false
+	}
+	m.gaugeMu.Lock()
+	defer m.gaugeMu.Unlock()
+	v, ok := m.gauges[name]
+	return v, ok
 }
 
 // ObserveRepairLinkMS records the time-to-repair of a dead long link.
@@ -383,6 +452,12 @@ type Snapshot struct {
 	// depth at enqueue and frames coalesced per flush.
 	SendQueueDepth   map[string]float64 `json:"send_queue_depth,omitempty"`
 	FlushBatchFrames map[string]float64 `json:"flush_batch_frames,omitempty"`
+	// LoopLagMS holds timer-wheel fire-skew quantiles and SojournMS the
+	// envelope enqueue→dispatch delay quantiles (keys "p50", "p90",
+	// "p99"); Gauges holds the last value of every named gauge.
+	LoopLagMS map[string]float64 `json:"loop_lag_ms,omitempty"`
+	SojournMS map[string]float64 `json:"sojourn_ms,omitempty"`
+	Gauges    map[string]int64   `json:"gauges,omitempty"`
 	// Trace is the retained tail of the structured event trace, oldest
 	// first, with TraceDropped counting evicted older events.
 	Trace        []Event `json:"trace,omitempty"`
@@ -419,6 +494,16 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.RepairRingMS = quantiles(m.RepairRing.Snapshot())
 	s.SendQueueDepth = quantiles(m.SendQueue.Snapshot())
 	s.FlushBatchFrames = quantiles(m.FlushBatch.Snapshot())
+	s.LoopLagMS = quantiles(m.LoopLag.Snapshot())
+	s.SojournMS = quantiles(m.Sojourn.Snapshot())
+	m.gaugeMu.Lock()
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(m.gauges))
+		for k, v := range m.gauges {
+			s.Gauges[k] = v
+		}
+	}
+	m.gaugeMu.Unlock()
 	m.traceMu.Lock()
 	if m.traceCap > 0 {
 		kept := m.traceLen
@@ -487,6 +572,22 @@ func (s Snapshot) String() string {
 	if s.FlushBatchFrames != nil {
 		fmt.Fprintf(&b, "%-22s p50=%.0f p90=%.0f p99=%.0f\n", "flush_batch_frames",
 			s.FlushBatchFrames["p50"], s.FlushBatchFrames["p90"], s.FlushBatchFrames["p99"])
+	}
+	if s.LoopLagMS != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "loop_lag",
+			s.LoopLagMS["p50"], s.LoopLagMS["p90"], s.LoopLagMS["p99"])
+	}
+	if s.SojournMS != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "sojourn",
+			s.SojournMS["p50"], s.SojournMS["p90"], s.SojournMS["p99"])
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	for _, k := range gnames {
+		fmt.Fprintf(&b, "%-22s %12d\n", "gauge:"+k, s.Gauges[k])
 	}
 	for h, f := range s.HopFractions {
 		if f > 0.001 {

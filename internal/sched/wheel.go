@@ -1,0 +1,204 @@
+// Package sched provides the hashed timer wheel backing the sharded
+// event-loop runtime (DESIGN.md §11). One wheel replaces the per-node
+// time.Ticker/time.Timer sets of the old runtime: every deadline — a
+// periodic heartbeat, a gossip round, a maintenance tick, a repair
+// backoff — is an upsertable entry keyed by an opaque uint64 id, and one
+// goroutine per shard drains everything that is due.
+//
+// The wheel is the classic hashed construction: W slots of tick duration
+// T cover one rotation of W·T; an entry with deadline d lives in slot
+// (d/T) mod W and fires on the rotation whose tick index reaches d/T.
+// Schedule is an upsert (rescheduling moves the entry), Advance pops
+// everything due in deterministic order, and Next bounds how long the
+// owning loop may sleep.
+//
+// Determinism contract: for the same sequence of Schedule/Cancel/Advance
+// calls, fired entries come back in the same order — ordered by deadline
+// tick, ties broken by schedule insertion order. The wheel itself never
+// reads the clock; callers pass time in, so tests can drive it logically.
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fired is one due entry popped by Advance: the id it was scheduled
+// under and the deadline it was scheduled for (the owning loop derives
+// its lag — scheduled-fire vs actual-fire skew — from At).
+type Fired struct {
+	ID uint64
+	At time.Time
+}
+
+// entry is one scheduled deadline.
+type entry struct {
+	id  uint64
+	at  int64  // requested deadline, ns
+	tk  int64  // fire tick index (at/tick, clamped to the future at insert)
+	seq uint64 // insertion order, the deterministic tiebreak
+}
+
+// Wheel is a hashed timer wheel. Safe for concurrent use: protocol code
+// upserts deadlines from any goroutine while the owning shard loop
+// advances it.
+type Wheel struct {
+	mu      sync.Mutex
+	tick    int64 // slot granularity, ns
+	slots   [][]*entry
+	entries map[uint64]*entry
+	cur     int64 // last fully processed tick index
+	seq     uint64
+}
+
+// NewWheel builds a wheel with the given slot granularity and slot
+// count, positioned at `now`. Entries scheduled in the past fire on the
+// next Advance.
+func NewWheel(tick time.Duration, slots int, now time.Time) *Wheel {
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	if slots <= 0 {
+		slots = 512
+	}
+	return &Wheel{
+		tick:    int64(tick),
+		slots:   make([][]*entry, slots),
+		entries: make(map[uint64]*entry),
+		cur:     now.UnixNano() / int64(tick),
+	}
+}
+
+// Len returns the number of scheduled entries (the per-shard gauge).
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.entries)
+}
+
+// Schedule upserts entry id to fire at `at`. An existing entry moves to
+// the new deadline; insertion order (the fire-order tiebreak) is
+// assigned at first insert and refreshed on every reschedule.
+func (w *Wheel) Schedule(id uint64, at time.Time) {
+	ns := at.UnixNano()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e := w.entries[id]; e != nil {
+		w.unlink(e)
+	}
+	tk := ns / w.tick
+	if tk <= w.cur {
+		tk = w.cur + 1 // already due: fire on the next advance
+	}
+	w.seq++
+	e := &entry{id: id, at: ns, tk: tk, seq: w.seq}
+	w.entries[id] = e
+	s := int(tk % int64(len(w.slots)))
+	w.slots[s] = append(w.slots[s], e)
+}
+
+// Cancel removes entry id (no-op when absent).
+func (w *Wheel) Cancel(id uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if e := w.entries[id]; e != nil {
+		w.unlink(e)
+		delete(w.entries, id)
+	}
+}
+
+// unlink removes e from its slot list. Caller holds w.mu.
+func (w *Wheel) unlink(e *entry) {
+	s := int(e.tk % int64(len(w.slots)))
+	list := w.slots[s]
+	for i, x := range list {
+		if x == e {
+			w.slots[s] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Advance pops every entry due at `now` (deadline tick ≤ now's tick), in
+// deterministic order: by fire tick, then by insertion order. The caller
+// re-schedules periodic entries itself.
+func (w *Wheel) Advance(now time.Time) []Fired {
+	target := now.UnixNano() / w.tick
+	w.mu.Lock()
+	if target <= w.cur || len(w.entries) == 0 {
+		if target > w.cur {
+			w.cur = target
+		}
+		w.mu.Unlock()
+		return nil
+	}
+	W := int64(len(w.slots))
+	span := target - w.cur
+	if span > W {
+		span = W // a full rotation visits every slot once
+	}
+	var due []*entry
+	for i := int64(1); i <= span; i++ {
+		s := int((w.cur + i) % W)
+		list := w.slots[s]
+		if len(list) == 0 {
+			continue
+		}
+		keep := list[:0]
+		for _, e := range list {
+			if e.tk <= target {
+				due = append(due, e)
+				delete(w.entries, e.id)
+			} else {
+				keep = append(keep, e)
+			}
+		}
+		// Zero the tail so removed entries do not pin memory.
+		for j := len(keep); j < len(list); j++ {
+			list[j] = nil
+		}
+		w.slots[s] = keep
+	}
+	w.cur = target
+	w.mu.Unlock()
+	sort.Slice(due, func(a, b int) bool {
+		if due[a].tk != due[b].tk {
+			return due[a].tk < due[b].tk
+		}
+		return due[a].seq < due[b].seq
+	})
+	out := make([]Fired, len(due))
+	for i, e := range due {
+		out[i] = Fired{ID: e.id, At: time.Unix(0, e.at)}
+	}
+	return out
+}
+
+// Next returns the earliest fire time of any scheduled entry, or false
+// when the wheel is empty. The owning loop sleeps until this deadline
+// (or a Schedule kick). The scan walks at most one rotation of slots and
+// stops as soon as no later slot of the rotation can beat the best
+// candidate found.
+func (w *Wheel) Next() (time.Time, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.entries) == 0 {
+		return time.Time{}, false
+	}
+	W := int64(len(w.slots))
+	best := int64(-1)
+	for i := int64(1); i <= W; i++ {
+		t := w.cur + i
+		for _, e := range w.slots[int(t%W)] {
+			if best < 0 || e.tk < best {
+				best = e.tk
+			}
+		}
+		if best >= 0 && best <= t {
+			// Every later slot of this rotation holds ticks > t ≥ best.
+			break
+		}
+	}
+	return time.Unix(0, best*w.tick), true
+}

@@ -66,6 +66,10 @@ type Config struct {
 	GossipEvery    time.Duration
 	MaintainEvery  time.Duration
 
+	// Shards is the event-loop shard count handed to the node runtime
+	// (0 = GOMAXPROCS; see node.Options.Shards).
+	Shards int
+
 	// BootstrapFrac, when in (0,1), starts only that fraction of peers
 	// (growth-schedule join order) as converged ring members; the rest
 	// join live through the join protocol before the workload starts.
@@ -271,7 +275,7 @@ func Run(cfg Config) (*Report, error) {
 	fn := faultnet.Wrap(base, cfg.N, cfg.Fault, cfg.Seed+faultSeedOffset)
 	fn.Obs = met
 
-	nopts := node.Options{Graph: g, Overlay: ov, Transport: fn, Seed: cfg.Seed, Obs: met}
+	nopts := node.Options{Graph: g, Overlay: ov, Transport: fn, Seed: cfg.Seed, Obs: met, Shards: cfg.Shards}
 	if cfg.Recovery {
 		nopts.HeartbeatEvery = cfg.HeartbeatEvery
 		nopts.GossipEvery = cfg.GossipEvery

@@ -54,6 +54,8 @@ type TCP struct {
 	conns     map[connKey]net.Conn // each writer's current conn (registry for eviction)
 	evicted   map[connKey]bool     // keys whose cached conn died (next dial is a redial)
 	boxes     map[int32]chan Envelope
+	shared    map[int32]chan Envelope // BindInbox overrides; binder-owned, never closed here
+	muxed     atomic.Bool             // any BindInbox seen: disables the inline write path
 	listeners []net.Listener
 	closed    bool
 	stop      chan struct{}
@@ -78,6 +80,12 @@ type connKey struct{ from, to int32 }
 // non-empty and the drain loop coalesces), but on a busy single-core
 // machine it adds tail latency to sparse control traffic — exactly what
 // the heartbeat failure detector reads as missed pings.
+//
+// The inline path is disabled once any inbox is bound to a shared shard
+// channel (BindInbox): under the sharded runtime a Send comes from an
+// event-loop goroutine serving many nodes, and one synchronous dial or a
+// write against a wedged socket would stall all of them — the writer
+// goroutine hop is the cheaper price there.
 const sparseWriteWindow = int64(time.Millisecond)
 
 // peerWriter owns the outbound side of one (sender, receiver) pair: a
@@ -108,6 +116,7 @@ func NewTCP(n, buffer int) (*TCP, error) {
 		conns:   make(map[connKey]net.Conn),
 		evicted: make(map[connKey]bool),
 		boxes:   make(map[int32]chan Envelope, n),
+		shared:  make(map[int32]chan Envelope),
 		stop:    make(chan struct{}),
 	}
 	for i := 0; i < n; i++ {
@@ -174,7 +183,10 @@ func (t *TCP) readLoop(conn net.Conn, owner int32) {
 		// wg-registered, so the channel send below can never hit a closed
 		// channel; the closed flag is checked for accounting only.
 		t.mu.Lock()
-		box, ok := t.boxes[owner]
+		box, ok := t.shared[owner]
+		if !ok {
+			box, ok = t.boxes[owner]
+		}
 		closed := t.closed
 		t.mu.Unlock()
 		if !ok || closed {
@@ -182,7 +194,7 @@ func (t *TCP) readLoop(conn net.Conn, owner int32) {
 			return
 		}
 		select {
-		case box <- Envelope{Msg: m}:
+		case box <- Envelope{Msg: m, To: owner, At: time.Now()}:
 		default: // congested: drop, counted
 			t.Obs.Inc(obs.CDropFullMailbox)
 		}
@@ -297,7 +309,7 @@ func (t *TCP) writer(key connKey, to int32) (*peerWriter, error) {
 // overtake a batch the drain loop has popped but not yet locked for — a
 // reorder the protocol already tolerates (faultnet injects far worse).
 func (t *TCP) enqueue(w *peerWriter, buf *[]byte) {
-	if len(w.queue) == 0 && time.Now().UnixNano()-w.lastWrite.Load() > sparseWriteWindow && w.wmu.TryLock() {
+	if !t.muxed.Load() && len(w.queue) == 0 && time.Now().UnixNano()-w.lastWrite.Load() > sparseWriteWindow && w.wmu.TryLock() {
 		if len(w.queue) == 0 {
 			frames := [1]*[]byte{buf}
 			w.writeLocked(frames[:])
@@ -456,11 +468,36 @@ func (t *TCP) writeTimeout() time.Duration {
 	}
 }
 
+// ConnGoroutines reports the transport's live connection-goroutine
+// count for runtime-scale budget gates: one accept loop per listener
+// plus, per cached outbound connection, its writer goroutine and (both
+// ends of every loopback stream live in this process) the matching
+// reader.
+func (t *TCP) ConnGoroutines() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.listeners) + 2*len(t.writers)
+}
+
 // Inbox implements Transport.
 func (t *TCP) Inbox(owner int32) <-chan Envelope {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.boxes[owner]
+}
+
+// BindInbox implements InboxMux: inbound frames for owner route into ch
+// instead of the private mailbox. See the interface contract for
+// ownership and close semantics.
+func (t *TCP) BindInbox(owner int32, ch chan Envelope) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.boxes[owner]; !ok {
+		return false
+	}
+	t.shared[owner] = ch
+	t.muxed.Store(true)
+	return true
 }
 
 // Close implements Transport. Frames still queued on a per-peer writer
@@ -489,3 +526,5 @@ func (t *TCP) Close() {
 }
 
 var _ FrameSender = (*TCP)(nil)
+var _ InboxMux = (*TCP)(nil)
+var _ InboxMux = (*Switchboard)(nil)

@@ -20,9 +20,17 @@ import (
 	"selectps/internal/wire"
 )
 
-// Envelope is a received message.
+// Envelope is a received message. To is the peer the envelope was
+// delivered to — on a shared (multiplexed) inbox it is what routes the
+// message to the owning node, since Msg.To may name a final destination
+// further along the forwarding path.
 type Envelope struct {
 	Msg *wire.Message
+	To  int32
+	// At is the enqueue instant; receivers derive queueing delay
+	// (obs sojourn histogram) from it. Zero when a transport doesn't
+	// stamp it.
+	At time.Time
 }
 
 // Transport delivers messages between peers. Implementations must be safe
@@ -66,12 +74,34 @@ type FrameSender interface {
 	SendFrame(from, to int32, frame []byte) error
 }
 
+// InboxMux is the multiplexable form of inbox registration (DESIGN.md
+// §11): a receiver that owns many peers — a shard of the event-loop
+// runtime — binds them all to ONE shared channel and drains it from a
+// single select, instead of holding one goroutine per Inbox channel.
+// Envelopes carry To so the receiver can dispatch to the owning peer.
+//
+// BindInbox must be called before traffic for `owner` starts and returns
+// false when this transport cannot multiplex (the caller falls back to
+// draining Inbox(owner) itself). A bound shared channel is never closed
+// by the transport — it is owned by the binder, which must keep draining
+// it (or accept counted full-mailbox drops) until the transport closes.
+// Middleware that wraps another transport (faultnet) forwards the call
+// and reports the inner transport's capability.
+type InboxMux interface {
+	BindInbox(owner int32, ch chan Envelope) bool
+}
+
 // swBox is one peer's mailbox with its own close state: senders to
 // different peers share nothing, so fan-out to distinct receivers no
-// longer serializes on a transport-global mutex.
+// longer serializes on a transport-global mutex. The per-peer channel is
+// allocated lazily on the first Inbox call — a peer bound to a shared
+// shard channel (BindInbox) never allocates one, which is what keeps a
+// 4000-peer switchboard from holding 4000 buffered channels nobody
+// reads.
 type swBox struct {
 	mu     sync.Mutex
-	ch     chan Envelope
+	ch     chan Envelope // lazily allocated by Inbox
+	shared chan Envelope // set by BindInbox; takes precedence over ch
 	closed bool
 }
 
@@ -81,11 +111,17 @@ type swBox struct {
 // reaches a mailbox by slice index and takes only that mailbox's lock.
 type Switchboard struct {
 	boxes  []*swBox
+	buffer int
 	closed atomic.Bool
 	// timerMu serializes latency-timer registration against Close's
 	// wg.Wait (the only remaining cross-peer lock, off the synchronous
 	// path entirely).
 	timerMu sync.Mutex
+	// inflight counts latency-delayed deliveries not yet completed —
+	// the switchboard's transport-owned concurrency (each one briefly
+	// becomes a timer goroutine when it fires), reported by InFlight
+	// for runtime-scale goroutine budgets.
+	inflight atomic.Int64
 	// Latency, when set, returns the delivery delay for a message from →
 	// to; delivery happens on a timer goroutine.
 	Latency func(from, to int32) time.Duration
@@ -95,11 +131,12 @@ type Switchboard struct {
 }
 
 // NewSwitchboard creates mailboxes for peers 0..n-1 with the given buffer
-// size per mailbox.
+// size per mailbox. Per-peer channels are allocated on first use (Inbox);
+// peers bound to a shared channel never allocate one.
 func NewSwitchboard(n, buffer int) *Switchboard {
-	s := &Switchboard{boxes: make([]*swBox, n)}
+	s := &Switchboard{boxes: make([]*swBox, n), buffer: buffer}
 	for i := range s.boxes {
-		s.boxes[i] = &swBox{ch: make(chan Envelope, buffer)}
+		s.boxes[i] = &swBox{}
 	}
 	return s
 }
@@ -109,7 +146,7 @@ func NewSwitchboard(n, buffer int) *Switchboard {
 // recover) is what makes the closed-channel send impossible: a box is
 // only closed under its own lock with closed=true, and deliver never
 // touches the channel once the flag is set.
-func (s *Switchboard) deliver(box *swBox, m *wire.Message) {
+func (s *Switchboard) deliver(box *swBox, owner int32, m *wire.Message) {
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	if box.closed || s.closed.Load() {
@@ -120,8 +157,15 @@ func (s *Switchboard) deliver(box *swBox, m *wire.Message) {
 		s.Obs.Inc(obs.CDropClosed)
 		return
 	}
+	ch := box.shared
+	if ch == nil {
+		if box.ch == nil {
+			box.ch = make(chan Envelope, s.buffer)
+		}
+		ch = box.ch
+	}
 	select {
-	case box.ch <- Envelope{Msg: m}:
+	case ch <- Envelope{Msg: m, To: owner, At: time.Now()}:
 	default:
 		// Mailbox full: drop, like a congested link.
 		s.Obs.Inc(obs.CDropFullMailbox)
@@ -147,24 +191,54 @@ func (s *Switchboard) Send(to int32, m *wire.Message) error {
 			return fmt.Errorf("transport: switchboard closed")
 		}
 		s.wg.Add(1)
+		s.inflight.Add(1)
 		s.timerMu.Unlock()
 		d := s.Latency(m.From, to)
 		time.AfterFunc(d, func() {
 			defer s.wg.Done()
-			s.deliver(box, m)
+			defer s.inflight.Add(-1)
+			s.deliver(box, to, m)
 		})
 		return nil
 	}
-	s.deliver(box, m)
+	s.deliver(box, to, m)
 	return nil
 }
 
-// Inbox implements Transport.
+// InFlight reports how many latency-delayed deliveries are pending —
+// the switchboard's contribution to a runtime-scale goroutine budget
+// (zero when Latency is unset: undelayed delivery is synchronous).
+func (s *Switchboard) InFlight() int {
+	return int(s.inflight.Load())
+}
+
+// Inbox implements Transport, allocating the per-peer channel on first
+// call.
 func (s *Switchboard) Inbox(owner int32) <-chan Envelope {
 	if owner < 0 || int(owner) >= len(s.boxes) {
 		return nil
 	}
-	return s.boxes[owner].ch
+	box := s.boxes[owner]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if box.ch == nil {
+		box.ch = make(chan Envelope, s.buffer)
+	}
+	return box.ch
+}
+
+// BindInbox implements InboxMux: peer owner's traffic is routed into ch
+// instead of its private channel. See the interface contract for
+// ownership and close semantics.
+func (s *Switchboard) BindInbox(owner int32, ch chan Envelope) bool {
+	if owner < 0 || int(owner) >= len(s.boxes) {
+		return false
+	}
+	box := s.boxes[owner]
+	box.mu.Lock()
+	box.shared = ch
+	box.mu.Unlock()
+	return true
 }
 
 // Close implements Transport. Delayed messages still on their latency
@@ -180,7 +254,9 @@ func (s *Switchboard) Close() {
 	for _, box := range s.boxes {
 		box.mu.Lock()
 		box.closed = true
-		close(box.ch)
+		if box.ch != nil {
+			close(box.ch) // shared channels are binder-owned, never closed here
+		}
 		box.mu.Unlock()
 	}
 }
