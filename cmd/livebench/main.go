@@ -54,8 +54,12 @@ func main() {
 		mtEvery = flag.Duration("maintain", 200*time.Millisecond, "maintenance interval")
 		gate    = flag.Bool("gate", false, "fail (exit 1) when live goroutines exceed the 4×shards+conns budget after the run")
 		retry   = flag.Duration("retry", 0, "publisher retry backoff base (0 disables autonomous delivery repair)")
+		inboxOn = flag.Bool("inbox", false, "durable delivery tier: deposit publications for unreachable subscribers instead of dead-lettering (implies -retry 50ms when unset)")
 	)
 	flag.Parse()
+	if *inboxOn && *retry == 0 {
+		*retry = 50 * time.Millisecond
+	}
 
 	spec, err := datasets.ByName(*name)
 	if err != nil {
@@ -95,6 +99,7 @@ func main() {
 		GossipEvery:    *gsEvery,
 		MaintainEvery:  *mtEvery,
 		RetryBase:      *retry,
+		Inbox:          *inboxOn,
 		Bandwidths:     bw,
 		// -buffer sizes the shard mailboxes too: the muxed runtime
 		// replaces per-peer inboxes with one shared channel per shard,
@@ -220,6 +225,27 @@ type throughputResult struct {
 	BytesPerMsg    float64 `json:"bytes_per_msg"`
 	Shards         int     `json:"shards"`
 	Goroutines     int     `json:"goroutines"`
+	// Delivery-guarantee accounting: publications that exhausted their
+	// retry budget with nowhere to deposit, total and per publisher node
+	// (only nodes with a nonzero count appear).
+	DeadLetters       int64       `json:"dead_letters"`
+	DeadLettersByNode map[int]int `json:"dead_letters_by_node,omitempty"`
+}
+
+// deadLetterCensus totals the per-node dead-letter records after a run.
+func deadLetterCensus(cluster *node.Cluster) (int64, map[int]int) {
+	var total int64
+	byNode := make(map[int]int)
+	for i := range cluster.Nodes {
+		if n := len(cluster.Nodes[i].DeadLetters()); n > 0 {
+			byNode[i] = n
+			total += int64(n)
+		}
+	}
+	if len(byNode) == 0 {
+		byNode = nil
+	}
+	return total, byNode
 }
 
 // runThroughput floods posts publications across the highest-degree
@@ -331,6 +357,7 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 		res.BytesPerMsg = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(delivered)
 	}
 	mu.Unlock()
+	res.DeadLetters, res.DeadLettersByNode = deadLetterCensus(cluster)
 
 	if jsonOut {
 		out, err := json.MarshalIndent(res, "", "  ")
@@ -344,6 +371,9 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 		res.Publications, res.Delivered, res.Notifications, res.DeliveredPct, res.ElapsedSeconds)
 	fmt.Printf("sustained: %.0f msgs/sec   latency p50=%.2fms p99=%.2fms   allocs/msg=%.1f (%.0f B)\n",
 		res.MsgsPerSec, res.LatencyP50MS, res.LatencyP99MS, res.AllocsPerMsg, res.BytesPerMsg)
+	if res.DeadLetters > 0 {
+		fmt.Printf("dead letters: %d across %d publisher nodes\n", res.DeadLetters, len(res.DeadLettersByNode))
+	}
 }
 
 func fatal(err error) {

@@ -51,6 +51,10 @@ func main() {
 		liveRejoin = flag.Bool("live-rejoin", false, "churn crashes destroy overlay state; peers re-join through the live join protocol")
 		postPosts  = flag.Int("post-churn-posts", 0, "extra publications measured after the fault schedule ends (overlay-quality convergence)")
 
+		offlineFrac = flag.Float64("offline-frac", 0, "fraction of peers offline for the whole workload; they rejoin at the end and are scored on inbox replay")
+		inboxOn     = flag.Bool("inbox", false, "durable delivery tier: deposit publications for offline subscribers on their inbox replicas")
+		assertAll   = flag.Bool("assert-all", false, "exit 1 unless every subscriber (offline included) was delivered with zero dead letters and zero duplicate app deliveries")
+
 		compare  = flag.Bool("compare", false, "run recovery on AND off over the same fault schedule")
 		asJSON   = flag.Bool("json", false, "emit the obs snapshot as JSON")
 		trace    = flag.Bool("trace", false, "print the injected fault schedule")
@@ -77,6 +81,8 @@ func main() {
 		BootstrapFrac:  *bootFrac,
 		LiveRejoin:     *liveRejoin,
 		PostChurnPosts: *postPosts,
+		OfflineFrac:    *offlineFrac,
+		Inbox:          *inboxOn,
 	}
 	if *churnOn {
 		m := churn.DefaultModel()
@@ -109,6 +115,31 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\n%s\n", raw)
+	}
+	if *assertAll {
+		// CI gate for the durable tier: at-least-once to EVERY subscriber
+		// (offline ones scored after rejoin replay), nothing dead-lettered,
+		// nothing double-delivered to the app.
+		ok := true
+		if r.OfflineCount > 0 && r.AllRate < 1 {
+			fmt.Fprintf(os.Stderr, "soak: all-subscriber delivery %.4f < 1.0\n", r.AllRate)
+			ok = false
+		}
+		if r.OfflineCount == 0 && r.DeliveryRate < 1 {
+			fmt.Fprintf(os.Stderr, "soak: delivery rate %.4f < 1.0\n", r.DeliveryRate)
+			ok = false
+		}
+		if r.DeadLetters != 0 {
+			fmt.Fprintf(os.Stderr, "soak: %d dead letters\n", r.DeadLetters)
+			ok = false
+		}
+		if r.DuplicateDeliveries != 0 {
+			fmt.Fprintf(os.Stderr, "soak: %d duplicate app deliveries\n", r.DuplicateDeliveries)
+			ok = false
+		}
+		if !ok {
+			os.Exit(1)
+		}
 	}
 }
 

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
+	"selectps/internal/inbox"
 	"selectps/internal/obs"
 	"selectps/internal/overlay"
 	"selectps/internal/selectcore"
@@ -89,6 +92,31 @@ type Options struct {
 	// the simulator (zero value = selectcore.DefaultFailureDetector).
 	Detector selectcore.FailureDetector
 
+	// Inbox enables the durable delivery tier (DESIGN.md §12): instead of
+	// dead-lettering a publication for a subscriber that left the ring or
+	// exhausted the direct-retry budget, the publisher deposits the copy on
+	// the subscriber's replica set, which journals it and replays it when
+	// the subscriber rejoins. Requires repair (RetryBase > 0) — deposits
+	// ride the repair scheduler.
+	Inbox bool
+	// InboxReplicas is R, how many live clockwise ring successors of a
+	// subscriber hold its inbox (default 2).
+	InboxReplicas int
+	// InboxDir is where the per-shard journals live. Empty means a fresh
+	// temp directory owned (and removed at Shutdown) by the cluster; a
+	// caller-provided directory survives Shutdown — restart durability.
+	InboxDir string
+	// InboxSyncEvery is the journal fsync policy: 0 leaves flushing to the
+	// OS, 1 syncs every append, N syncs every N appends.
+	InboxSyncEvery int
+	// InboxLease is how long a claimed replica may go without replay
+	// progress before the subscriber hands the claim to the next replica
+	// (default 150ms).
+	InboxLease time.Duration
+	// InboxRetry is the base re-send delay for unacked replays and the
+	// initial deposit round spacing (default RetryBase).
+	InboxRetry time.Duration
+
 	// Obs receives runtime counters, histograms and trace events from
 	// every node (nil = no instrumentation).
 	Obs *obs.Metrics
@@ -134,6 +162,19 @@ func (o *Options) fill() {
 	if o.PubHistory == 0 {
 		o.PubHistory = 1024
 	}
+	if o.InboxReplicas <= 0 {
+		o.InboxReplicas = 2
+	}
+	if o.InboxLease <= 0 {
+		o.InboxLease = 150 * time.Millisecond
+	}
+	if o.InboxRetry <= 0 {
+		if o.RetryBase > 0 {
+			o.InboxRetry = o.RetryBase
+		} else {
+			o.InboxRetry = 20 * time.Millisecond
+		}
+	}
 	if o.K == 0 {
 		if kp, ok := o.Overlay.(interface{ K() int }); ok {
 			o.K = kp.K()
@@ -152,6 +193,10 @@ type Cluster struct {
 	dir    *directory
 	tr     transport.Transport
 	shards []*shard
+	// ibxDir is the durable-tier journal directory; ibxOwned marks a
+	// cluster-created temp directory removed at Shutdown.
+	ibxDir   string
+	ibxOwned bool
 	// stop ends every shard loop and fallback forwarder; wg tracks them.
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -263,6 +308,31 @@ func Start(opts Options) (*Cluster, error) {
 	c.shards = make([]*shard, opts.Shards)
 	for i := range c.shards {
 		c.shards[i] = newShard(i, c, &opts)
+	}
+	if opts.Inbox {
+		dirPath := opts.InboxDir
+		if dirPath == "" {
+			tmp, err := os.MkdirTemp("", "selectps-inbox-*")
+			if err != nil {
+				return nil, fmt.Errorf("node: inbox dir: %w", err)
+			}
+			dirPath = tmp
+			c.ibxOwned = true
+		}
+		c.ibxDir = dirPath
+		for i, sh := range c.shards {
+			st, err := inbox.Open(filepath.Join(dirPath, fmt.Sprintf("shard-%d.log", i)), opts.InboxSyncEvery, opts.Obs)
+			if err != nil {
+				for _, prev := range c.shards[:i] {
+					prev.ibx.Close()
+				}
+				if c.ibxOwned {
+					os.RemoveAll(dirPath)
+				}
+				return nil, fmt.Errorf("node: inbox shard %d: %w", i, err)
+			}
+			sh.ibx = st
+		}
 	}
 	mux, hasMux := opts.Transport.(transport.InboxMux)
 	start := time.Now()
@@ -401,5 +471,25 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 	}
 	c.tr.Close()
+	for _, sh := range c.shards {
+		if sh.ibx != nil {
+			sh.ibx.Close()
+		}
+	}
+	if c.ibxOwned && c.ibxDir != "" {
+		os.RemoveAll(c.ibxDir)
+	}
 	return err
+}
+
+// InboxDepth is the total number of deposits pending across every
+// shard's durable-tier journal — the cluster-wide inbox depth.
+func (c *Cluster) InboxDepth() int {
+	total := 0
+	for _, sh := range c.shards {
+		if sh.ibx != nil {
+			total += sh.ibx.Depth()
+		}
+	}
+	return total
 }

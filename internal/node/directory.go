@@ -5,6 +5,7 @@ import (
 
 	"selectps/internal/overlay"
 	"selectps/internal/ring"
+	"selectps/internal/selectcore"
 )
 
 // directory is the cluster-shared registry of ring positions and
@@ -63,6 +64,21 @@ func (d *directory) memberCount() int {
 		}
 	}
 	return n
+}
+
+// ringMembers snapshots the current members with their positions — the
+// input the durable tier's replica-placement rule consumes
+// (selectcore.InboxReplicas).
+func (d *directory) ringMembers() []selectcore.RingMember {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]selectcore.RingMember, 0, len(d.pos))
+	for q, m := range d.member {
+		if m {
+			out = append(out, selectcore.RingMember{ID: overlay.PeerID(q), Pos: d.pos[q]})
+		}
+	}
+	return out
 }
 
 // firstMember returns the lowest-id member other than p (-1 when the

@@ -116,6 +116,7 @@ func (n *Node) handleJoinReply(m *wire.Message) {
 	}
 	from := overlay.PeerID(m.From)
 	pos := ring.ID(math.Float64frombits(m.Pos))
+	prevPos := n.dir.position(n.id) // pre-crash identifier; inbox deposits live clockwise of it
 	n.dir.setPosition(n.id, pos)
 	n.dir.setMember(n.id, true)
 	contacts := int32sToPeers(m.RoutingTable)
@@ -142,8 +143,16 @@ func (n *Node) handleJoinReply(m *wire.Message) {
 	}
 	seqA := n.nextSeq()
 	seqX := n.nextSeq()
+	// Durable tier: a node that just (re)entered the ring claims its inbox
+	// replicas — any deposits that accumulated while it was offline replay
+	// now (inbox.go).
+	claimTo, claimMsg := n.startInboxClaimLocked(time.Now(), prevPos)
 	n.mu.Unlock()
 	n.cfg.Obs.TraceEvent("join", int32(n.id), m.Seq)
+	if claimTo >= 0 {
+		_ = n.tr.Send(claimTo, claimMsg)
+		n.kickInbox()
+	}
 	posBits := math.Float64bits(float64(pos))
 	for q := range announce {
 		_ = n.tr.Send(int32(q), &wire.Message{
@@ -180,6 +189,7 @@ func (n *Node) maintainTick() {
 	for _, o := range out {
 		_ = n.tr.Send(o.to, o.m)
 	}
+	n.inboxSweep()
 }
 
 // refreshHeadsLocked re-derives the short-range ring links from the
@@ -631,4 +641,11 @@ func (n *Node) resetVolatileLocked() {
 	n.joinNext = time.Time{}
 	n.joinAttempt = 0
 	n.joinedCh = make(chan struct{})
+	// Durable-tier runtime state is volatile — the claim cycle dies with
+	// the process and restarts at the next completed join; the replica
+	// drains restart from the journal-backed store, which is the
+	// persistent half. claimEpoch survives so each incarnation's lease
+	// order differs.
+	n.claim = nil
+	n.replay = nil
 }

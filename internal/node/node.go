@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"selectps/internal/churn"
+	"selectps/internal/inbox"
 	"selectps/internal/lsh"
 	"selectps/internal/obs"
 	"selectps/internal/overlay"
@@ -128,6 +129,12 @@ type Node struct {
 	// (repair.go); deadline changes re-arm the shard wheel via kickRetry.
 	pubs        map[uint32]*pubState
 	deadLetters []DeadLetter
+	// Durable delivery tier state (inbox.go): claim is the subscriber's
+	// in-flight lease cycle, replay the replica-side drains keyed by
+	// target, claimEpoch the seed that varies the lease order per cycle.
+	claim      *claimState
+	replay     map[overlay.PeerID]*replayState
+	claimEpoch uint32
 	// joinNext/joinAttempt schedule join-request resends on the repair
 	// timer; joinedCh closes when the node becomes a ring member.
 	joinNext    time.Time
@@ -269,6 +276,18 @@ func (n *Node) handle(m *wire.Message) {
 		n.handleLinkDrop(m)
 	case wire.KindLeave:
 		n.handleLeave(m)
+	case wire.KindInboxDeposit:
+		n.handleInboxDeposit(m)
+	case wire.KindInboxDepositAck:
+		n.handleInboxDepositAck(m)
+	case wire.KindInboxClaim:
+		n.handleInboxClaim(m)
+	case wire.KindInboxLease:
+		n.handleInboxLease(m)
+	case wire.KindInboxReplay:
+		n.handleInboxReplay(m)
+	case wire.KindInboxReplayAck:
+		n.handleInboxReplayAck(m)
 	}
 }
 
@@ -598,35 +617,6 @@ func (n *Node) Pause() { n.paused.Store(true) }
 // Resume brings a paused node back online.
 func (n *Node) Resume() { n.paused.Store(false) }
 
-// RetryMissing re-sends publication seq to every subscriber that has not
-// acked yet.
-//
-// Deprecated: repair is autonomous now — the in-node engine (repair.go)
-// re-sends on its seeded backoff schedule without any caller driving it.
-// This shim survives for ablation harnesses only; invocations count as
-// manual_retry, separate from the engine's retry_sent.
-func (n *Node) RetryMissing(seq uint32) int {
-	n.cfg.Obs.Inc(obs.CManualRetry)
-	id := msgID{int32(n.id), seq}
-	n.mu.Lock()
-	acked := n.acked[id]
-	var missing []overlay.PeerID
-	for _, s := range n.g.Neighbors(n.id) {
-		if acked == nil || !acked[int32(s)] {
-			missing = append(missing, s)
-		}
-	}
-	n.mu.Unlock()
-	for _, s := range missing {
-		m := &wire.Message{
-			Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
-			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
-		}
-		n.forward(m, s)
-	}
-	return len(missing)
-}
-
 // OnDeliver registers the push handler called once per first-time
 // publication delivery, outside the node lock. Register before traffic
 // starts; a nil handler disables the callback.
@@ -640,7 +630,15 @@ func (n *Node) OnDeliver(fn DeliverFunc) {
 // (the node's social friends) and returns the sequence number
 // identifying it.
 func (n *Node) Publish(payload []byte) uint32 {
-	return n.publish(payload, uint32(len(payload)))
+	return n.publish(payload, uint32(len(payload)), inbox.Medium)
+}
+
+// PublishPriority is Publish with an explicit durable-tier priority
+// class (inbox.High/Medium/Low): should this publication end up
+// deposited for an offline subscriber, the class decides its replay
+// order when the subscriber rejoins.
+func (n *Node) PublishPriority(payload []byte, pri uint8) uint32 {
+	return n.publish(payload, uint32(len(payload)), pri)
 }
 
 // PublishSize publishes a body-less publication that models a payload of
@@ -648,16 +646,16 @@ func (n *Node) Publish(payload []byte) uint32 {
 // where only accounting matters and materializing bodies would swamp the
 // harness.
 func (n *Node) PublishSize(size uint32) uint32 {
-	return n.publish(nil, size)
+	return n.publish(nil, size, inbox.Medium)
 }
 
-func (n *Node) publish(payload []byte, size uint32) uint32 {
+func (n *Node) publish(payload []byte, size uint32, pri uint8) uint32 {
 	subs := n.g.Neighbors(n.id)
 	n.mu.Lock()
 	seq := n.nextSeq()
 	id := msgID{int32(n.id), seq}
 	n.rememberDeliveryLocked(id, 0) // the publisher trivially has its own message
-	n.registerPublishLocked(seq, subs, payload, size, time.Now())
+	n.registerPublishLocked(seq, subs, payload, size, pri, time.Now())
 	n.mu.Unlock()
 	n.cfg.Obs.Addn(obs.CPublishSent, int64(len(subs)))
 	n.cfg.Obs.TraceEvent("publish", int32(n.id), seq)

@@ -34,9 +34,14 @@ type pubState struct {
 	subs    []overlay.PeerID
 	payload []byte
 	size    uint32
+	pri     uint8     // durable-tier replay class (inbox.High/Medium/Low)
 	attempt int       // retries already sent
 	nextAt  time.Time // next retry deadline
 	bseed   uint64    // selectcore.RepairSeed(seed, node, seq)
+	// dep holds the subscribers handed to the durable tier (inbox.go):
+	// direct repair stopped for them, deposit rounds retry until one
+	// replica acks persistence.
+	dep map[overlay.PeerID]*depSub
 }
 
 // DeadLetter records a publication that exhausted its retry budget with
@@ -94,6 +99,11 @@ func (n *Node) nextRepairAt() (time.Time, bool) {
 		if earliest.IsZero() || st.nextAt.Before(earliest) {
 			earliest = st.nextAt
 		}
+		for _, ds := range st.dep {
+			if !ds.acked && (earliest.IsZero() || ds.nextAt.Before(earliest)) {
+				earliest = ds.nextAt
+			}
+		}
 	}
 	if n.wantJoin && !n.joinNext.IsZero() && (earliest.IsZero() || n.joinNext.Before(earliest)) {
 		earliest = n.joinNext
@@ -112,7 +122,7 @@ func (n *Node) nextRepairAt() (time.Time, bool) {
 
 // registerPublishLocked opens the repair state machine for publication
 // seq: the first retry fires one backoff-delay after the initial send.
-func (n *Node) registerPublishLocked(seq uint32, subs []overlay.PeerID, payload []byte, size uint32, now time.Time) {
+func (n *Node) registerPublishLocked(seq uint32, subs []overlay.PeerID, payload []byte, size uint32, pri uint8, now time.Time) {
 	if !n.repairEnabled() {
 		return
 	}
@@ -121,13 +131,15 @@ func (n *Node) registerPublishLocked(seq uint32, subs []overlay.PeerID, payload 
 		subs:    append([]overlay.PeerID(nil), subs...),
 		payload: payload,
 		size:    size,
+		pri:     pri,
 		bseed:   bseed,
 		nextAt:  now.Add(n.backoff().Delay(bseed, 0)),
 	}
 }
 
 // resolveAckLocked closes publication seq's state machine once every
-// subscriber acked — the moment its record becomes garbage-collectable.
+// subscriber is settled — directly acked or durably deposited — the
+// moment its record becomes garbage-collectable.
 func (n *Node) resolveAckLocked(seq uint32) {
 	st := n.pubs[seq]
 	if st == nil {
@@ -135,7 +147,7 @@ func (n *Node) resolveAckLocked(seq uint32) {
 	}
 	acked := n.acked[msgID{int32(n.id), seq}]
 	for _, s := range st.subs {
-		if !acked[int32(s)] {
+		if !settledLocked(acked, st, s) {
 			return
 		}
 	}
@@ -150,9 +162,13 @@ func (n *Node) scheduleJoinResendLocked(now time.Time) {
 }
 
 // repairTick is the engine's timer body: re-send every due publication to
-// its still-unacked subscribers (dead-lettering past the budget) and
-// re-send a pending join request. Messages are staged under the lock and
-// routed after it (forward takes the lock itself).
+// its still-unacked subscribers, re-send a pending join request, and run
+// the durable-tier deposit rounds. With the inbox tier on, a subscriber
+// that is no longer a ring member — or that stayed unacked through the
+// whole direct-retry budget — is handed off to its inbox replica set
+// instead of dead-lettered; only a failed deposit (no replica acked
+// within the budget) still dead-letters. Messages are staged under the
+// lock and routed after it (forward takes the lock itself).
 func (n *Node) repairTick() {
 	if n.paused.Load() {
 		return
@@ -163,25 +179,70 @@ func (n *Node) repairTick() {
 	if budget <= 0 {
 		budget = 12
 	}
+	inboxOn := n.inboxOn()
 	var out []outMsg
+	// direct holds deposit traffic: inbox messages are point-to-point
+	// (publisher → replica), never greedy-forwarded like publications.
+	var direct []outMsg
 	resendJoin := false
 	n.mu.Lock()
 	for seq, st := range n.pubs {
+		// Deposit rounds run on their own per-subscriber deadlines, even
+		// when the publication's direct-retry deadline is not due.
+		var failed []overlay.PeerID
+		for s, ds := range st.dep {
+			if ds.acked || ds.nextAt.After(now) {
+				continue
+			}
+			if ds.attempt >= budget {
+				// The durable tier itself failed for s: no replica ever
+				// acked persistence. This is the real dead-letter case.
+				failed = append(failed, s)
+				continue
+			}
+			ds.attempt++
+			direct = n.sendDepositLocked(seq, st, s, ds, now, direct)
+		}
+		if len(failed) > 0 {
+			n.deadLetterLocked(seq, st, failed)
+			continue
+		}
 		if st.nextAt.After(now) {
 			continue
 		}
 		acked := n.acked[msgID{int32(n.id), seq}]
 		var missing []overlay.PeerID
+		depositing := false
 		for _, s := range st.subs {
-			if !acked[int32(s)] {
-				missing = append(missing, s)
+			if settledLocked(acked, st, s) {
+				continue
 			}
+			if st.dep[s] != nil {
+				depositing = true // hand-off done, deposit round pending
+				continue
+			}
+			if inboxOn && (st.attempt >= budget || !n.dir.isMember(s)) {
+				// Offline (membership dropped) or out of direct budget:
+				// hand this subscriber's copy to the durable tier.
+				direct = n.startDepositLocked(seq, st, s, now, direct)
+				depositing = true
+				continue
+			}
+			missing = append(missing, s)
 		}
 		if len(missing) == 0 {
-			delete(n.pubs, seq)
+			if !depositing {
+				delete(n.pubs, seq)
+			} else {
+				// Direct repair is done; keep the record alive for the
+				// deposit rounds without spinning the retry schedule.
+				st.nextAt = now.Add(bo.Delay(st.bseed, budget))
+			}
 			continue
 		}
 		if st.attempt >= budget {
+			// Inbox off (or it would have claimed them above): budget
+			// exhausted with subscribers missing.
 			n.deadLetterLocked(seq, st, missing)
 			continue
 		}
@@ -206,6 +267,9 @@ func (n *Node) repairTick() {
 	n.mu.Unlock()
 	for _, o := range out {
 		n.forward(o.m, overlay.PeerID(o.to))
+	}
+	for _, o := range direct {
+		_ = n.tr.Send(o.to, o.m)
 	}
 	if resendJoin {
 		n.sendJoinRequest()

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"selectps/internal/inbox"
 	"selectps/internal/obs"
 	"selectps/internal/sched"
 	"selectps/internal/transport"
@@ -27,13 +28,14 @@ import (
 
 // Timer-wheel entry ids encode (peer, kind) in one uint64: pid<<3|kind.
 // tkMonitor is shard-owned (the "pid" is the shard index) and never
-// collides with node entries because nodes only use kinds 0–3.
+// collides with node entries because nodes only use kinds 0–3 and 5.
 const (
 	tkHeartbeat = iota
 	tkGossip
 	tkMaintain
 	tkRepair
 	tkMonitor
+	tkInbox
 )
 
 func timerID(pid int32, kind uint64) uint64 { return uint64(uint32(pid))<<3 | kind }
@@ -83,6 +85,10 @@ type shard struct {
 	// scheduled a possibly-earlier deadline (Publish, requestJoin).
 	kick chan struct{}
 	obs  *obs.Metrics
+	// ibx is this shard's durable-tier journal store (nil when the inbox
+	// tier is off): every replica pinned to this shard persists its
+	// deposits here, keyed by replica id (inbox.go, DESIGN.md §12).
+	ibx *inbox.Store
 
 	// Fair queueing. The old runtime's per-node goroutines gave every
 	// node processor sharing: one node's message backlog never delayed a
@@ -230,6 +236,22 @@ func (s *shard) scheduleNode(n *Node, start time.Time) {
 func (s *shard) scheduleRepair(n *Node) {
 	id := timerID(int32(n.id), tkRepair)
 	if at, ok := n.nextRepairAt(); ok {
+		s.wheel.Schedule(id, at)
+	} else {
+		s.wheel.Cancel(id)
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleInbox upserts (or cancels) the node's durable-tier deadline —
+// lease expiries and replay re-sends (inbox.go). Same contract as
+// scheduleRepair: safe from any goroutine.
+func (s *shard) scheduleInbox(n *Node) {
+	id := timerID(int32(n.id), tkInbox)
+	if at, ok := n.nextInboxAt(); ok {
 		s.wheel.Schedule(id, at)
 	} else {
 		s.wheel.Cancel(id)
@@ -425,6 +447,14 @@ func (s *shard) fire(f sched.Fired, now time.Time) {
 		if at, ok := n.nextRepairAt(); ok {
 			s.wheel.Schedule(f.ID, at)
 		}
+	case tkInbox:
+		// Shed-exempt like repair: the durable tier IS the reliability
+		// path for offline subscribers, and its traffic is bounded by the
+		// one-outstanding-replay-per-target and lease contracts.
+		n.inboxTick()
+		if at, ok := n.nextInboxAt(); ok {
+			s.wheel.Schedule(f.ID, at)
+		}
 	}
 }
 
@@ -433,6 +463,9 @@ func (s *shard) fire(f sched.Fired, now time.Time) {
 // watches.
 func (s *shard) monitorTick() {
 	s.obs.SetGauge("wheel_entries_shard_"+strconv.Itoa(s.idx), int64(s.wheel.Len()))
+	if s.ibx != nil {
+		s.obs.SetGauge("inbox_depth_shard_"+strconv.Itoa(s.idx), int64(s.ibx.Depth()))
+	}
 	if s.idx == 0 {
 		s.obs.SetGauge("goroutines", int64(runtime.NumGoroutine()))
 		s.obs.SetGauge("shards", int64(len(s.c.shards)))

@@ -82,7 +82,6 @@ const (
 	CLinkDeadEvict // links declared dead and evicted (long links)
 	CRingSplice    // ring neighbors spliced from the successor list
 	CDeadLetter    // publications dead-lettered after the retry budget
-	CManualRetry   // RetryMissing shim invocations (should stay 0)
 	CJoinResend    // join requests re-sent by the retry scheduler
 
 	// transport: TCP data-plane fast path (DESIGN.md §10).
@@ -92,6 +91,18 @@ const (
 	CTCPCoalescedFlush // flushes that carried more than one frame
 	CTCPMalformedFrame // frames whose body failed to decode (conn evicted)
 	CTCPOversizeFrame  // frames with a zero or oversize length prefix (conn evicted)
+
+	// node: durable delivery tier (DESIGN.md §12).
+	CInboxDeposit     // deposits persisted by replicas
+	CInboxDepositDup  // duplicate deposits re-acked without re-persisting
+	CInboxDepositAck  // deposit acks consumed by publishers
+	CInboxDeposited   // per-subscriber copies handed to the durable tier instead of dead-lettered
+	CInboxClaim       // replay claims received by replicas
+	CInboxLeaseGrant  // leases granted (non-empty inbox claimed)
+	CInboxLeaseExpire // lease expiries (claim handed to the next replica)
+	CInboxReplay      // replay copies sent by replicas
+	CInboxReplayed    // replayed publications acked and cleared from the journal
+	CInboxLogCorrupt  // corrupt journal frames skipped at recovery
 
 	numCounters
 )
@@ -144,7 +155,6 @@ var counterNames = [numCounters]string{
 	CLinkDeadEvict: "link_dead_evict",
 	CRingSplice:    "ring_splice",
 	CDeadLetter:    "dead_letter",
-	CManualRetry:   "manual_retry",
 	CJoinResend:    "join_resend",
 
 	CTCPQueueDrop:      "tcp_send_queue_drop",
@@ -153,6 +163,17 @@ var counterNames = [numCounters]string{
 	CTCPCoalescedFlush: "tcp_coalesced_flush",
 	CTCPMalformedFrame: "tcp_malformed_frame",
 	CTCPOversizeFrame:  "tcp_oversize_frame",
+
+	CInboxDeposit:     "inbox_deposit",
+	CInboxDepositDup:  "inbox_deposit_dup",
+	CInboxDepositAck:  "inbox_deposit_ack",
+	CInboxDeposited:   "inbox_deposited",
+	CInboxClaim:       "inbox_claim",
+	CInboxLeaseGrant:  "inbox_lease_grant",
+	CInboxLeaseExpire: "inbox_lease_expire",
+	CInboxReplay:      "inbox_replay",
+	CInboxReplayed:    "inbox_replayed",
+	CInboxLogCorrupt:  "inbox_log_corrupt",
 }
 
 // String returns the counter's export name.

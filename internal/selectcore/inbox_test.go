@@ -1,0 +1,104 @@
+package selectcore
+
+import (
+	"reflect"
+	"testing"
+
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+func ringAt(ids ...float64) []RingMember {
+	out := make([]RingMember, len(ids))
+	for i, p := range ids {
+		out[i] = RingMember{ID: overlay.PeerID(i), Pos: ring.ID(p)}
+	}
+	return out
+}
+
+func TestInboxReplicasClockwiseOrder(t *testing.T) {
+	// Peers 0..4 at 0.0, 0.2, 0.4, 0.6, 0.8; subscriber is peer 1 at 0.2.
+	members := ringAt(0.0, 0.2, 0.4, 0.6, 0.8)
+	got := InboxReplicas(1, 0.2, members, nil, 3)
+	want := []overlay.PeerID{2, 3, 4} // clockwise from 0.2: 0.4, 0.6, 0.8
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replicas = %v, want %v", got, want)
+	}
+}
+
+func TestInboxReplicasSkipsDeadAndSelf(t *testing.T) {
+	members := ringAt(0.0, 0.2, 0.4, 0.6, 0.8)
+	live := func(p overlay.PeerID) bool { return p != 2 }
+	got := InboxReplicas(1, 0.2, members, live, 2)
+	// 2 is dead, 1 is the subscriber: next live clockwise are 3, 4.
+	want := []overlay.PeerID{3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replicas = %v, want %v", got, want)
+	}
+}
+
+func TestInboxReplicasWrapsAndBounds(t *testing.T) {
+	members := ringAt(0.1, 0.5, 0.9)
+	// Subscriber 2 at 0.9: clockwise wrap puts 0 (0.1) before 1 (0.5).
+	got := InboxReplicas(2, 0.9, members, nil, 5)
+	want := []overlay.PeerID{0, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replicas = %v, want %v", got, want)
+	}
+	if r := InboxReplicas(2, 0.9, members, nil, 0); r != nil {
+		t.Fatalf("r=0 returned %v", r)
+	}
+}
+
+func TestInboxReplicasDeterministicAcrossCallers(t *testing.T) {
+	// Positions colliding on one identifier: the id tiebreak must give
+	// every caller (publisher at deposit time, subscriber at claim time)
+	// the identical set regardless of input order.
+	members := []RingMember{{3, 0.4}, {2, 0.4}, {0, 0.1}, {4, 0.7}}
+	shuffled := []RingMember{{4, 0.7}, {0, 0.1}, {2, 0.4}, {3, 0.4}}
+	a := InboxReplicas(0, 0.1, members, nil, 3)
+	b := InboxReplicas(0, 0.1, shuffled, nil, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("order-dependent replica set: %v vs %v", a, b)
+	}
+	if a[0] != 2 || a[1] != 3 {
+		t.Fatalf("position tie must break by id: %v", a)
+	}
+}
+
+func TestLeaseOrderDeterministicPermutation(t *testing.T) {
+	replicas := []overlay.PeerID{7, 11, 13, 19}
+	a := LeaseOrder(5, 1, replicas)
+	b := LeaseOrder(5, 1, replicas)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same inputs ordered differently: %v vs %v", a, b)
+	}
+	// Must be a permutation of the input, input untouched.
+	seen := map[overlay.PeerID]bool{}
+	for _, p := range a {
+		seen[p] = true
+	}
+	for _, p := range replicas {
+		if !seen[p] {
+			t.Fatalf("replica %d missing from lease order %v", p, a)
+		}
+	}
+	if !reflect.DeepEqual(replicas, []overlay.PeerID{7, 11, 13, 19}) {
+		t.Fatalf("input mutated: %v", replicas)
+	}
+}
+
+func TestLeaseOrderVariesWithEpoch(t *testing.T) {
+	replicas := []overlay.PeerID{1, 2, 3, 4, 5, 6, 7, 8}
+	base := LeaseOrder(9, 0, replicas)
+	varied := false
+	for epoch := uint32(1); epoch < 8; epoch++ {
+		if !reflect.DeepEqual(LeaseOrder(9, epoch, replicas), base) {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Fatal("lease order never varies with epoch — first replica would absorb every claim")
+	}
+}

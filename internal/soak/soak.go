@@ -93,6 +93,17 @@ type Config struct {
 	RetryEvery     time.Duration
 	DeliverTimeout time.Duration
 
+	// OfflineFrac crashes this fraction of peers BEFORE the workload and
+	// rejoins them after it: the store-and-forward scenario. Their owed
+	// notifications are scored after the rejoin replay (Report.AllRate) —
+	// with Inbox on, the durable tier must deliver them at-least-once.
+	OfflineFrac float64
+	// Inbox enables the durable delivery tier (node.Options.Inbox):
+	// publications owed to offline subscribers are deposited on their
+	// replica sets and replayed when they rejoin, instead of
+	// dead-lettered. Requires Recovery.
+	Inbox bool
+
 	// TraceCap bounds the structured obs event trace (0 = off).
 	TraceCap int
 }
@@ -154,13 +165,33 @@ type Report struct {
 
 	// RecoveryActions aggregates detector-driven routing decisions
 	// (dead-link skips + random-walk escapes); Retries counts the repair
-	// engine's autonomous re-sends; ManualRetries counts RetryMissing shim
-	// invocations (must stay 0 — the harness never drives repair);
-	// DeadLetters counts publications that exhausted their retry budget.
+	// engine's autonomous re-sends; DeadLetters counts publications that
+	// exhausted their retry budget (and, with Inbox on, also failed to
+	// deposit on any replica).
 	RecoveryActions int64 `json:"recovery_actions"`
 	Retries         int64 `json:"retries"`
-	ManualRetries   int64 `json:"manual_retries"`
 	DeadLetters     int64 `json:"dead_letters"`
+
+	// Offline-subscriber arm (OfflineFrac > 0): OfflineCount peers were
+	// crashed through the whole workload and rejoined after it.
+	// OfflineWanted/Delivered score only their owed notifications after
+	// the rejoin replay; AllWanted/Delivered score EVERY subscriber of
+	// every publication at the end — AllRate = 1.0 with Inbox on is the
+	// at-least-once acceptance gate. DuplicateDeliveries counts app-level
+	// double deliveries observed by the OnDeliver handlers (must be 0:
+	// replay dedup is part of the contract); InboxDeposits/InboxReplayed
+	// and InboxDepth surface the durable tier's work.
+	OfflineCount        int     `json:"offline_count,omitempty"`
+	OfflineWanted       int     `json:"offline_wanted,omitempty"`
+	OfflineDelivered    int     `json:"offline_delivered,omitempty"`
+	OfflineRate         float64 `json:"offline_rate,omitempty"`
+	AllWanted           int     `json:"all_wanted,omitempty"`
+	AllDelivered        int     `json:"all_delivered,omitempty"`
+	AllRate             float64 `json:"all_rate,omitempty"`
+	DuplicateDeliveries int64   `json:"duplicate_deliveries"`
+	InboxDeposits       int64   `json:"inbox_deposits,omitempty"`
+	InboxReplayed       int64   `json:"inbox_replayed,omitempty"`
+	InboxDepth          int     `json:"inbox_depth,omitempty"`
 
 	// LiveJoins counts peers admitted through the join protocol during
 	// the bootstrap phase (BootstrapFrac < 1); Rejoins counts crashed
@@ -205,6 +236,8 @@ type ConfigSummary struct {
 	Recovery      bool    `json:"recovery"`
 	BootstrapFrac float64 `json:"bootstrap_frac,omitempty"`
 	LiveRejoin    bool    `json:"live_rejoin,omitempty"`
+	OfflineFrac   float64 `json:"offline_frac,omitempty"`
+	Inbox         bool    `json:"inbox,omitempty"`
 }
 
 // String renders the report like the repo's other experiment harnesses.
@@ -219,8 +252,15 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "duplicates absorbed: %d (%.3f per notification)\n", r.Duplicates, r.DuplicateRate)
 	fmt.Fprintf(&b, "publication latency: p50=%.0fms p90=%.0fms p99=%.0fms\n",
 		r.LatencyMSP50, r.LatencyMSP90, r.LatencyMSP99)
-	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d engine retries (%d dead-lettered, %d manual)\n",
-		r.RecoveryActions, r.Retries, r.DeadLetters, r.ManualRetries)
+	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d engine retries (%d dead-lettered)\n",
+		r.RecoveryActions, r.Retries, r.DeadLetters)
+	if r.OfflineCount > 0 {
+		fmt.Fprintf(&b, "offline subscribers: %d crashed through workload; after rejoin replay %d/%d owed = %.2f%% (all subscribers %d/%d = %.2f%%, %d app-level duplicates)\n",
+			r.OfflineCount, r.OfflineDelivered, r.OfflineWanted, 100*r.OfflineRate,
+			r.AllDelivered, r.AllWanted, 100*r.AllRate, r.DuplicateDeliveries)
+		fmt.Fprintf(&b, "durable tier: %d deposits persisted, %d replayed+cleared, %d left pending\n",
+			r.InboxDeposits, r.InboxReplayed, r.InboxDepth)
+	}
 	if r.LiveJoins > 0 || r.Rejoins > 0 {
 		fmt.Fprintf(&b, "live joins: %d   rejoins: %d   rejoined availability: %d/%d = %.2f%%\n",
 			r.LiveJoins, r.Rejoins, r.RejoinedDelivered, r.RejoinedWanted, 100*r.RejoinAvailability)
@@ -276,6 +316,7 @@ func Run(cfg Config) (*Report, error) {
 	fn.Obs = met
 
 	nopts := node.Options{Graph: g, Overlay: ov, Transport: fn, Seed: cfg.Seed, Obs: met, Shards: cfg.Shards}
+	nopts.Inbox = cfg.Inbox
 	if cfg.Recovery {
 		nopts.HeartbeatEvery = cfg.HeartbeatEvery
 		nopts.GossipEvery = cfg.GossipEvery
@@ -329,6 +370,31 @@ func Run(cfg Config) (*Report, error) {
 		defer cancel()
 		_ = cluster.Shutdown(ctx)
 	}()
+
+	// Duplicate-delivery watch: the durable tier's replay must never reach
+	// the application twice. Count per-(subscriber, publication) arrivals
+	// through the same OnDeliver push path the application would use.
+	type delivKey struct {
+		sub, pub int32
+		seq      uint32
+	}
+	var dupMu sync.Mutex
+	delivCount := make(map[delivKey]int)
+	var dupDeliveries int64
+	if cfg.Inbox {
+		for _, nd := range cluster.Nodes {
+			sid := int32(nd.ID())
+			nd.OnDeliver(func(pub overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+				k := delivKey{sub: sid, pub: int32(pub), seq: seq}
+				dupMu.Lock()
+				delivCount[k]++
+				if delivCount[k] > 1 {
+					dupDeliveries++
+				}
+				dupMu.Unlock()
+			})
+		}
+	}
 
 	liveJoins := 0
 	for _, e := range joiners {
@@ -392,6 +458,24 @@ func Run(cfg Config) (*Report, error) {
 		}()
 	}
 
+	// Offline-subscriber arm: crash the chosen fraction BEFORE any
+	// publication goes out. They stay down through the whole workload —
+	// every notification owed to them must cross the durable tier.
+	offline := make(map[overlay.PeerID]bool)
+	if cfg.OfflineFrac > 0 {
+		orng := rand.New(rand.NewSource(cfg.Seed + offlineSeedOffset))
+		want := int(cfg.OfflineFrac * float64(cfg.N))
+		for _, p := range orng.Perm(cfg.N) {
+			if len(offline) >= want {
+				break
+			}
+			offline[overlay.PeerID(p)] = true
+		}
+		for p := range offline {
+			cluster.Crash(p)
+		}
+	}
+
 	// Workload: seeded random publishers with at least one subscriber.
 	wrng := rand.New(rand.NewSource(cfg.Seed + workloadSeedOffset))
 	var latencies []float64
@@ -399,11 +483,17 @@ func Run(cfg Config) (*Report, error) {
 	eligibleWanted, eligibleDelivered := 0, 0
 	rejoinedWanted, rejoinedDelivered := 0, 0
 	hopTotal, hopCount := 0, 0
+	type pubRecord struct {
+		pub  overlay.PeerID
+		seq  uint32
+		subs []overlay.PeerID
+	}
+	var posted []pubRecord
 	for post := 0; post < cfg.Posts; post++ {
 		var pub overlay.PeerID
 		for attempt := 0; ; attempt++ {
 			pub = overlay.PeerID(wrng.Intn(cfg.N))
-			if g.Degree(pub) == 0 {
+			if g.Degree(pub) == 0 || offline[pub] {
 				continue
 			}
 			// Prefer a currently-live publisher; after enough tries take
@@ -416,10 +506,22 @@ func Run(cfg Config) (*Report, error) {
 		subs := g.Neighbors(pub)
 		start := time.Now()
 		seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
-		// The harness only waits: repair — if any — is the publisher's own
-		// engine re-sending on its seeded backoff schedule.
+		posted = append(posted, pubRecord{pub: pub, seq: seq, subs: subs})
+		// The harness only waits — and only for subscribers that are up;
+		// the offline set's copies are owed through the durable tier and
+		// scored after the rejoin replay. Repair — if any — is the
+		// publisher's own engine re-sending on its seeded backoff schedule.
+		await := subs
+		if len(offline) > 0 {
+			await = nil
+			for _, s := range subs {
+				if !offline[s] {
+					await = append(await, s)
+				}
+			}
+		}
 		waitCtx, waitCancel := context.WithDeadline(context.Background(), start.Add(cfg.DeliverTimeout))
-		cluster.AwaitDelivery(waitCtx, pub, seq, subs)
+		cluster.AwaitDelivery(waitCtx, pub, seq, await)
 		waitCancel()
 		lat := float64(time.Since(start).Milliseconds())
 		latencies = append(latencies, lat)
@@ -436,7 +538,9 @@ func Run(cfg Config) (*Report, error) {
 			// A subscriber crashed at scoring time is not eligible: no
 			// protocol can notify a dead phone. (Fig. 6 measures the
 			// availability of the notification service, not of handsets.)
-			if !fn.CrashedAt(scoreStep, int32(s)) {
+			// The deliberately-offline set is scored after its rejoin
+			// replay instead, never here.
+			if !fn.CrashedAt(scoreStep, int32(s)) && !offline[s] {
 				eligibleWanted++
 				if got {
 					eligibleDelivered++
@@ -451,6 +555,46 @@ func Run(cfg Config) (*Report, error) {
 					rejoinedWanted++
 					if got {
 						rejoinedDelivered++
+					}
+				}
+			}
+		}
+	}
+
+	// Offline-subscriber arm, second act: bring the offline set back
+	// through the live join protocol and wait for the durable tier's
+	// replay to deliver everything they were owed, then score EVERY
+	// subscriber of every publication — the at-least-once gate.
+	offlineWanted, offlineDelivered := 0, 0
+	allWanted, allDelivered := 0, 0
+	if len(offline) > 0 {
+		for p := range offline {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := cluster.Rejoin(ctx, p, -1)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("soak: offline rejoin of %d: %w", p, err)
+			}
+		}
+		// Replay drains highest-priority-first on the claim leases; wait
+		// per publication like the workload did, now over all subscribers.
+		replayDeadline := time.Now().Add(cfg.DeliverTimeout + time.Duration(len(offline))*time.Second)
+		for _, pr := range posted {
+			waitCtx, waitCancel := context.WithDeadline(context.Background(), replayDeadline)
+			cluster.AwaitDelivery(waitCtx, pr.pub, pr.seq, pr.subs)
+			waitCancel()
+		}
+		for _, pr := range posted {
+			for _, s := range pr.subs {
+				_, got := cluster.Nodes[s].Received(pr.pub, pr.seq)
+				allWanted++
+				if got {
+					allDelivered++
+				}
+				if offline[s] {
+					offlineWanted++
+					if got {
+						offlineDelivered++
 					}
 				}
 			}
@@ -532,6 +676,7 @@ func Run(cfg Config) (*Report, error) {
 			N: cfg.N, Seed: cfg.Seed, Dataset: cfg.Dataset, TCP: cfg.TCP,
 			Posts: cfg.Posts, Drop: cfg.Fault.DropProb, Recovery: cfg.Recovery,
 			BootstrapFrac: cfg.BootstrapFrac, LiveRejoin: cfg.LiveRejoin,
+			OfflineFrac: cfg.OfflineFrac, Inbox: cfg.Inbox,
 		},
 		Posts: cfg.Posts, Wanted: wanted, Delivered: delivered,
 		EligibleWanted: eligibleWanted, EligibleDelivered: eligibleDelivered,
@@ -545,9 +690,25 @@ func Run(cfg Config) (*Report, error) {
 		HopFractions:     snap.HopFractions,
 		RecoveryActions:  met.Get(obs.CCMADeadSkip) + met.Get(obs.CCMARandomWalk),
 		Retries:          met.Get(obs.CRetrySent),
-		ManualRetries:    met.Get(obs.CManualRetry),
 		DeadLetters:      met.Get(obs.CDeadLetter),
 		Obs:              snap,
+	}
+	if len(offline) > 0 {
+		dupMu.Lock()
+		r.DuplicateDeliveries = dupDeliveries
+		dupMu.Unlock()
+		r.OfflineCount = len(offline)
+		r.OfflineWanted, r.OfflineDelivered = offlineWanted, offlineDelivered
+		r.AllWanted, r.AllDelivered = allWanted, allDelivered
+		if offlineWanted > 0 {
+			r.OfflineRate = float64(offlineDelivered) / float64(offlineWanted)
+		}
+		if allWanted > 0 {
+			r.AllRate = float64(allDelivered) / float64(allWanted)
+		}
+		r.InboxDeposits = met.Get(obs.CInboxDeposit)
+		r.InboxReplayed = met.Get(obs.CInboxReplayed)
+		r.InboxDepth = cluster.InboxDepth()
 	}
 	if wanted > 0 {
 		r.RawRate = float64(delivered) / float64(wanted)
@@ -586,4 +747,5 @@ type rejoinTracker struct {
 const (
 	faultSeedOffset    = 1_000_003
 	workloadSeedOffset = 2_000_003
+	offlineSeedOffset  = 3_000_017
 )

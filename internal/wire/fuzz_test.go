@@ -50,6 +50,23 @@ func fuzzSeeds() []*Message {
 		{Kind: KindLinkAccept, From: 9, To: 12, Seq: 3},
 		{Kind: KindLinkDrop, From: 9, To: 2, Seq: 4},
 		{Kind: KindLeave, From: 12, To: 9, Seq: 5},
+		{
+			Kind: KindInboxDeposit, From: 9, To: 2, Seq: 11,
+			Publisher: 9, Target: 10, Priority: 1, PayloadSize: 1_200_000,
+		},
+		{
+			Kind: KindInboxDeposit, From: 9, To: 2, Seq: 12,
+			Publisher: 9, Target: 10, Priority: 0, PayloadSize: 4,
+			Payload: []byte("body"),
+		},
+		{Kind: KindInboxDepositAck, From: 2, To: 9, Seq: 11, Publisher: 9, Target: 10},
+		{Kind: KindInboxClaim, From: 10, To: 2, Seq: 7, Target: 10},
+		{Kind: KindInboxLease, From: 2, To: 10, Seq: 7, Target: 10, NMutual: 3},
+		{
+			Kind: KindInboxReplay, From: 2, To: 10, Seq: 11,
+			Publisher: 9, Target: 10, Priority: 2, PayloadSize: 1_200_000, HopCount: 1,
+		},
+		{Kind: KindInboxReplayAck, From: 10, To: 2, Seq: 11, Publisher: 9, Target: 10},
 	}
 }
 

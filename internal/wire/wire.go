@@ -56,6 +56,29 @@ const (
 	// KindLeave announces a graceful departure; receivers unlink the
 	// sender immediately instead of waiting for the CMA to decay.
 	KindLeave
+	// KindInboxDeposit stores a publication on an inbox replica for an
+	// offline subscriber (Target): the publisher's repair engine hands
+	// the copy to the durable tier instead of dead-lettering it
+	// (DESIGN.md §12). Publisher/Seq identify the publication, Priority
+	// its replay class.
+	KindInboxDeposit
+	// KindInboxDepositAck confirms a deposit is persisted in the
+	// replica's append log.
+	KindInboxDepositAck
+	// KindInboxClaim is sent by a (re)joined subscriber to one replica
+	// at a time, in seeded-deterministic lease order, asking it to
+	// replay the subscriber's inbox. Seq correlates the claim cycle.
+	KindInboxClaim
+	// KindInboxLease answers a claim: NMutual carries the number of
+	// pending deposits the replica holds (0 both for an empty inbox and
+	// as the final "drained" notice that releases the lease).
+	KindInboxLease
+	// KindInboxReplay delivers a stored publication from a replica to
+	// its subscriber (Target), highest priority class first.
+	KindInboxReplay
+	// KindInboxReplayAck acknowledges a replayed publication so the
+	// replica can ack the log record and compact it away.
+	KindInboxReplayAck
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +110,18 @@ func (k Kind) String() string {
 		return "link-drop"
 	case KindLeave:
 		return "leave"
+	case KindInboxDeposit:
+		return "inbox-deposit"
+	case KindInboxDepositAck:
+		return "inbox-deposit-ack"
+	case KindInboxClaim:
+		return "inbox-claim"
+	case KindInboxLease:
+		return "inbox-lease"
+	case KindInboxReplay:
+		return "inbox-replay"
+	case KindInboxReplayAck:
+		return "inbox-replay-ack"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -137,6 +172,13 @@ type Message struct {
 	SuccPos []uint64
 	Preds   []int32
 	PredPos []uint64
+
+	// Inbox kinds: Target is the subscriber the deposit/replay concerns
+	// (From/To are only the hop endpoints), Priority its replay class
+	// (0=HIGH, 1=MEDIUM, 2=LOW — internal/inbox). Both ride at the end
+	// of the frame so the PatchTo/PatchSeq header offsets are untouched.
+	Target   int32
+	Priority uint8
 }
 
 const maxSliceLen = 1 << 20 // defensive decode bound
@@ -195,7 +237,8 @@ func frameSize(m *Message) int {
 		4 + len(m.Payload) + // payload body
 		8 + // pos
 		4 + 4*len(m.Succs) + 4 + 8*len(m.SuccPos) +
-		4 + 4*len(m.Preds) + 4 + 8*len(m.PredPos)
+		4 + 4*len(m.Preds) + 4 + 8*len(m.PredPos) +
+		4 + 1 // target, priority
 }
 
 // Marshal encodes m into a self-delimited frame (4-byte length prefix).
@@ -276,6 +319,9 @@ func MarshalAppend(dst []byte, m *Message) []byte {
 	for _, v := range m.PredPos {
 		put64(v)
 	}
+	put32(m.Target)
+	b[off] = m.Priority
+	off++
 	return dst[:start+4+off]
 }
 
@@ -484,6 +530,14 @@ func UnmarshalInto(m *Message, b []byte) error {
 	if m.PredPos, err = get64s(m.PredPos, "pred positions"); err != nil {
 		return err
 	}
+	if m.Target, err = get32(); err != nil {
+		return err
+	}
+	if err := need(1); err != nil {
+		return err
+	}
+	m.Priority = b[off]
+	off++
 	if off != len(b) {
 		return fmt.Errorf("wire: %d trailing bytes", len(b)-off)
 	}
