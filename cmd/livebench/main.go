@@ -31,6 +31,7 @@ import (
 	"selectps/internal/metrics"
 	"selectps/internal/netmodel"
 	"selectps/internal/node"
+	"selectps/internal/obs"
 	"selectps/internal/overlay"
 	"selectps/internal/pubsub"
 	"selectps/internal/socialgraph"
@@ -55,9 +56,11 @@ func main() {
 		gate    = flag.Bool("gate", false, "fail (exit 1) when live goroutines exceed the 4×shards+conns budget after the run")
 		retry   = flag.Duration("retry", 0, "publisher retry backoff base (0 disables autonomous delivery repair)")
 		inboxOn = flag.Bool("inbox", false, "durable delivery tier: deposit publications for unreachable subscribers instead of dead-lettering (implies -retry 50ms when unset)")
+		topics  = flag.Int("topics", 0, "named-topic mode: publish to this many rendezvous-placed topics instead of friend feeds (throughput mode only; implies -retry 50ms when unset)")
+		zipfS   = flag.Float64("zipf", 1.2, "Zipf exponent for topic popularity in -topics mode (>1)")
 	)
 	flag.Parse()
-	if *inboxOn && *retry == 0 {
+	if (*inboxOn || *topics > 0) && *retry == 0 {
 		*retry = 50 * time.Millisecond
 	}
 
@@ -92,8 +95,9 @@ func main() {
 		}
 		tr = sw
 	}
+	met := obs.New()
 	cluster, err := node.Start(node.Options{
-		Graph: g, Overlay: ov, Transport: tr, Seed: *seed,
+		Graph: g, Overlay: ov, Transport: tr, Seed: *seed, Obs: met,
 		Shards:         *shards,
 		HeartbeatEvery: *hbEvery,
 		GossipEvery:    *gsEvery,
@@ -127,7 +131,10 @@ func main() {
 		*n, kind, spec.Name, g.NumEdges())
 
 	if *thrN > 0 {
-		runThroughput(cluster, g, *thrN, kind, *n, *jsonOut)
+		runThroughput(cluster, g, met, throughputConfig{
+			posts: *thrN, kind: kind, peers: *n, jsonOut: *jsonOut,
+			topics: *topics, zipfS: *zipfS, seed: *seed,
+		})
 		checkGate(cluster, tr, *gate, banner)
 		return
 	}
@@ -143,7 +150,7 @@ func main() {
 			}
 			subs := g.Neighbors(b)
 			start := time.Now()
-			seq := cluster.Nodes[b].PublishSize(1_200_000)
+			seq := cluster.Nodes[b].Publish(nil, node.WithSize(1_200_000))
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 			got, _ := cluster.AwaitDelivery(ctx, b, seq, subs)
 			cancel()
@@ -225,6 +232,11 @@ type throughputResult struct {
 	BytesPerMsg    float64 `json:"bytes_per_msg"`
 	Shards         int     `json:"shards"`
 	Goroutines     int     `json:"goroutines"`
+	// Topic-mode fields: how many named topics the flood targeted, the
+	// Zipf popularity exponent, and the runtime's topic_* counters.
+	Topics        int              `json:"topics,omitempty"`
+	ZipfS         float64          `json:"zipf_s,omitempty"`
+	TopicCounters map[string]int64 `json:"topic_counters,omitempty"`
 	// Delivery-guarantee accounting: publications that exhausted their
 	// retry budget with nowhere to deposit, total and per publisher node
 	// (only nodes with a nonzero count appear).
@@ -248,14 +260,29 @@ func deadLetterCensus(cluster *node.Cluster) (int64, map[int]int) {
 	return total, byNode
 }
 
+// throughputConfig parameterizes one -throughput run.
+type throughputConfig struct {
+	posts   int
+	kind    string
+	peers   int
+	jsonOut bool
+	topics  int     // >0: named-topic mode
+	zipfS   float64 // topic-popularity exponent
+	seed    int64
+}
+
 // runThroughput floods posts publications across the highest-degree
 // publishers with no per-publication await, then waits for deliveries to
 // settle. Throughput is delivered notifications over the whole window
 // (flood + drain), latency is publish-to-OnDeliver wall clock per
 // notification, and allocations are the process-wide heap delta divided
 // by deliveries — an end-to-end number that includes the node runtime,
-// codec, and transport.
-func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind string, peers int, jsonOut bool) {
+// codec, and transport. With cfg.topics > 0 the flood targets named
+// topics with Zipf-distributed popularity instead of friend feeds:
+// every peer subscribes to two Zipf-drawn topics and each publication
+// lands on a Zipf-drawn topic's rendezvous tree.
+func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, met *obs.Metrics, cfg throughputConfig) {
+	posts, kind, peers, jsonOut := cfg.posts, cfg.kind, cfg.peers, cfg.jsonOut
 	// Publishers: the four best-connected peers, round-robin.
 	ids := make([]overlay.PeerID, 0, peers)
 	for i := 0; i < peers; i++ {
@@ -279,9 +306,9 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 	)
 	const maxSamples = 1 << 18
 	for i := range cluster.Nodes {
-		cluster.Nodes[i].OnDeliver(func(p overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+		cluster.Nodes[i].OnDeliver(func(d node.Delivery) {
 			now := time.Now()
-			key := uint64(uint32(p))<<32 | uint64(seq)
+			key := uint64(uint32(d.Publisher))<<32 | uint64(d.Seq)
 			mu.Lock()
 			if t0, ok := starts[key]; ok && len(latencies) < maxSamples {
 				latencies = append(latencies, now.Sub(t0).Seconds()*1000)
@@ -289,6 +316,43 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 			delivered++
 			mu.Unlock()
 		})
+	}
+
+	// Topic mode: register every peer on two Zipf-drawn topics, and
+	// pre-draw the per-publication topic choices from the same law.
+	var topicNames []string
+	var subsOf map[string]map[overlay.PeerID]bool
+	var pubTopic []int
+	if cfg.topics > 0 {
+		rng := rand.New(rand.NewSource(cfg.seed + 7))
+		zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.topics-1))
+		topicNames = make([]string, cfg.topics)
+		for i := range topicNames {
+			topicNames[i] = fmt.Sprintf("#topic-%d", i)
+		}
+		subsOf = make(map[string]map[overlay.PeerID]bool, cfg.topics)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		for i := range cluster.Nodes {
+			p := overlay.PeerID(i)
+			for k := 0; k < 2; k++ {
+				name := topicNames[zipf.Uint64()]
+				if subsOf[name][p] {
+					continue
+				}
+				if _, err := cluster.Nodes[i].Topic(name).Subscribe(ctx); err != nil {
+					fatal(fmt.Errorf("subscribe %d to %s: %w", i, name, err))
+				}
+				if subsOf[name] == nil {
+					subsOf[name] = make(map[overlay.PeerID]bool)
+				}
+				subsOf[name][p] = true
+			}
+		}
+		cancel()
+		pubTopic = make([]int, posts)
+		for i := range pubTopic {
+			pubTopic[i] = int(zipf.Uint64())
+		}
 	}
 
 	// Closed-loop flood: cap the notifications in flight so the cluster is
@@ -311,11 +375,30 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 			}
 			time.Sleep(200 * time.Microsecond)
 		}
+		if cfg.topics > 0 {
+			name := topicNames[pubTopic[i]]
+			subs := subsOf[name]
+			expect := int64(len(subs))
+			if subs[b] {
+				expect-- // the publisher's own copy is not a notification
+			}
+			wanted += expect
+			mu.Lock()
+			seq, err := cluster.Nodes[b].Topic(name).Publish(nil, node.WithSize(1_200_000))
+			if err == nil {
+				starts[uint64(uint32(b))<<32|uint64(seq)] = time.Now()
+			}
+			mu.Unlock()
+			if err != nil {
+				fatal(fmt.Errorf("topic publish: %w", err))
+			}
+			continue
+		}
 		wanted += int64(g.Degree(b))
 		// Publish under mu so a delivery can never observe its own key
 		// before the start time is recorded.
 		mu.Lock()
-		seq := cluster.Nodes[b].PublishSize(1_200_000)
+		seq := cluster.Nodes[b].Publish(nil, node.WithSize(1_200_000))
 		starts[uint64(uint32(b))<<32|uint64(seq)] = time.Now()
 		mu.Unlock()
 	}
@@ -358,6 +441,17 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, posts int, kind 
 	}
 	mu.Unlock()
 	res.DeadLetters, res.DeadLettersByNode = deadLetterCensus(cluster)
+	if cfg.topics > 0 {
+		res.Topics, res.ZipfS = cfg.topics, cfg.zipfS
+		res.TopicCounters = map[string]int64{}
+		for _, c := range []obs.Counter{
+			obs.CTopicSub, obs.CTopicUnsub, obs.CTopicPubRecv, obs.CTopicFanout,
+			obs.CTopicDelivered, obs.CTopicRehome, obs.CTopicHandoff,
+			obs.CTopicLeaseExpire, obs.CTopicPurged,
+		} {
+			res.TopicCounters[c.String()] = met.Get(c)
+		}
+	}
 
 	if jsonOut {
 		out, err := json.MarshalIndent(res, "", "  ")

@@ -53,7 +53,11 @@ func main() {
 
 		offlineFrac = flag.Float64("offline-frac", 0, "fraction of peers offline for the whole workload; they rejoin at the end and are scored on inbox replay")
 		inboxOn     = flag.Bool("inbox", false, "durable delivery tier: deposit publications for offline subscribers on their inbox replicas")
-		assertAll   = flag.Bool("assert-all", false, "exit 1 unless every subscriber (offline included) was delivered with zero dead letters and zero duplicate app deliveries")
+
+		topics    = flag.Int("topics", 0, "flash-crowd arm: publish to this many Zipf-popular named topics instead of friend feeds (0 disables)")
+		topicZipf = flag.Float64("topic-zipf", 1.2, "Zipf exponent for topic popularity (topic 0 is the hot hashtag)")
+		topicSubs = flag.Int("topic-subs", 2, "topic subscriptions per peer")
+		assertAll = flag.Bool("assert-all", false, "exit 1 unless every subscriber (offline included) was delivered with zero dead letters and zero duplicate app deliveries")
 
 		compare  = flag.Bool("compare", false, "run recovery on AND off over the same fault schedule")
 		asJSON   = flag.Bool("json", false, "emit the obs snapshot as JSON")
@@ -83,6 +87,9 @@ func main() {
 		PostChurnPosts: *postPosts,
 		OfflineFrac:    *offlineFrac,
 		Inbox:          *inboxOn,
+		Topics:         *topics,
+		TopicZipf:      *topicZipf,
+		TopicSubs:      *topicSubs,
 	}
 	if *churnOn {
 		m := churn.DefaultModel()

@@ -87,7 +87,7 @@ func main() {
 	subs := g.Neighbors(pub)
 	var pushed atomic.Int64
 	for _, s := range subs {
-		cluster.Nodes[s].OnDeliver(func(from overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+		cluster.Nodes[s].OnDeliver(func(d node.Delivery) {
 			pushed.Add(1)
 		})
 	}
@@ -140,4 +140,31 @@ func main() {
 		cancel()
 		fmt.Printf("its first publication reached %d/%d subscribers\n", got, g.Degree(late))
 	}
+
+	// Named topic: interest, not friendship. A handful of peers follow a
+	// hashtag; the publication routes to the topic's rendezvous peers and
+	// fans down the dissemination tree to every subscriber.
+	topic := "#launch-day"
+	followers := []overlay.PeerID{1, 3, 5, 7, 11}
+	var topicPushes atomic.Int64
+	for _, f := range followers {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		sub, err := cluster.Nodes[f].Topic(topic).Subscribe(sctx)
+		scancel()
+		if err != nil {
+			panic(err)
+		}
+		sub.OnDeliver(func(d node.Delivery) {
+			topicPushes.Add(1)
+		})
+	}
+	tseq, err := cluster.Nodes[pub].Topic(topic).Publish([]byte("we are live"))
+	if err != nil {
+		panic(err)
+	}
+	tctx, tcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	tgot, _ := cluster.AwaitDelivery(tctx, pub, tseq, followers)
+	tcancel()
+	fmt.Printf("topic %s reached %d/%d followers (handler pushes=%d) via rendezvous %v\n",
+		topic, tgot, len(followers), topicPushes.Load(), cluster.Nodes[pub].TopicRendezvous(topic))
 }

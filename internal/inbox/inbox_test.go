@@ -56,6 +56,59 @@ func TestStoreDepositAckRoundtrip(t *testing.T) {
 	}
 }
 
+// TestStorePurgeTopicDrains pins the unsubscribe drain: purging a
+// (target, topic) pair removes exactly that topic's records, the drop
+// is journaled (it survives a reopen), and a fully-departed subscriber
+// leaves the store empty — no stranded journal entries.
+func TestStorePurgeTopicDrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shard.log")
+	s := openT(t, path, 1)
+
+	tagged := func(seq uint32, topic string) Record {
+		r := dep(2, 10, 9, seq, Medium, "body")
+		r.Topic = []byte(topic)
+		return r
+	}
+	for seq, topic := range map[uint32]string{1: "#go", 2: "#go", 3: "#rust"} {
+		if _, err := s.Deposit(tagged(seq, topic)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Another target's record of the same topic must be untouched.
+	other := dep(2, 11, 9, 4, Medium, "body")
+	other.Topic = []byte("#go")
+	if _, err := s.Deposit(other); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err := s.PurgeTopic(2, 10, []byte("#go"))
+	if err != nil || n != 2 {
+		t.Fatalf("purge = %d, %v; want 2 records dropped", n, err)
+	}
+	if got := s.PendingFor(2, 10); got != 1 {
+		t.Fatalf("target 10 pending = %d after purge, want 1 (#rust)", got)
+	}
+	if got := s.PendingFor(2, 11); got != 1 {
+		t.Fatalf("target 11 pending = %d, want 1 (other subscriber untouched)", got)
+	}
+	// Drain the rest and assert full departure leaves no journal residue,
+	// across a crash-recovery reopen.
+	if n, err := s.PurgeTopic(2, 10, []byte("#rust")); err != nil || n != 1 {
+		t.Fatalf("purge #rust = %d, %v", n, err)
+	}
+	if _, err := s.PurgeTopic(2, 11, []byte("#go")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d after full drain, want 0", s.Depth())
+	}
+	s.Close()
+	re := openT(t, path, 1)
+	if re.Depth() != 0 {
+		t.Fatalf("reopened depth = %d, want 0 (purge must be journaled)", re.Depth())
+	}
+}
+
 func TestStorePriorityOrder(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "shard.log")
 	s := openT(t, path, 0)

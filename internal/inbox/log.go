@@ -42,6 +42,11 @@ type Record struct {
 	Priority    uint8
 	PayloadSize uint32
 	Payload     []byte
+	// Topic names the topic the publication was addressed to; empty for
+	// friend-feed deposits. Carried so replay can restore the delivery's
+	// topic metadata and so an unsubscribe can purge exactly the records
+	// of the topic it departs (Store.PurgeTopic).
+	Topic []byte
 }
 
 // Log record types.
@@ -53,13 +58,14 @@ const (
 // Frame layout on disk: [len u32][crc u32][body], little endian, where
 // crc is the IEEE CRC-32 of body and len = len(body). The body is
 // type(1) replica(4) target(4) publisher(4) seq(4) priority(1)
-// payloadSize(4) payloadLen(4) payload. Acks carry the same body with
-// an empty payload. A reader stops at the first frame whose length
-// runs past EOF (torn tail write) or whose CRC mismatches (bit flip) —
-// everything before it is intact by construction.
+// payloadSize(4) payloadLen(4) topicLen(4) payload topic. Acks carry
+// the same body with an empty payload. A reader stops at the first
+// frame whose length runs past EOF (torn tail write) or whose CRC
+// mismatches (bit flip) — everything before it is intact by
+// construction.
 const (
 	recHeader  = 4 + 4
-	recBodyFix = 1 + 4 + 4 + 4 + 4 + 1 + 4 + 4
+	recBodyFix = 1 + 4 + 4 + 4 + 4 + 1 + 4 + 4 + 4
 	// maxRecordLen bounds what a reader will buffer for one frame; a
 	// corrupted length field must never cost more memory than this.
 	maxRecordLen = 16 << 20
@@ -93,7 +99,7 @@ func OpenLog(path string, syncEvery int) (*Log, error) {
 
 // appendRecord frames and writes one record.
 func (l *Log) appendRecord(typ byte, r *Record) error {
-	body := recBodyFix + len(r.Payload)
+	body := recBodyFix + len(r.Payload) + len(r.Topic)
 	need := recHeader + body
 	if cap(l.scratch) < need {
 		l.scratch = make([]byte, 0, need+need/2)
@@ -117,7 +123,10 @@ func (l *Log) appendRecord(typ byte, r *Record) error {
 	off += 4
 	binary.LittleEndian.PutUint32(b[off:], uint32(len(r.Payload)))
 	off += 4
-	copy(b[off:], r.Payload)
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(r.Topic)))
+	off += 4
+	off += copy(b[off:], r.Payload)
+	copy(b[off:], r.Topic)
 	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(b[recHeader:]))
 	if _, err := l.f.Write(b); err != nil {
 		return err
@@ -189,11 +198,17 @@ func readJournal(r io.Reader) (entries []entry, corrupt int, err error) {
 		off += 4
 		plen := binary.LittleEndian.Uint32(body[off:])
 		off += 4
-		if int(plen) != int(bodyLen)-recBodyFix {
+		tlen := binary.LittleEndian.Uint32(body[off:])
+		off += 4
+		if int(plen)+int(tlen) != int(bodyLen)-recBodyFix {
 			return entries, 1, nil // inner/outer length disagreement
 		}
 		if plen > 0 {
 			ent.rec.Payload = body[off : off+int(plen)]
+			off += int(plen)
+		}
+		if tlen > 0 {
+			ent.rec.Topic = body[off : off+int(tlen)]
 		}
 		entries = append(entries, ent)
 	}

@@ -161,6 +161,9 @@ func (s *Store) Deposit(r Record) (fresh bool, err error) {
 	if r.Payload != nil {
 		r.Payload = append([]byte(nil), r.Payload...)
 	}
+	if r.Topic != nil {
+		r.Topic = append([]byte(nil), r.Topic...)
+	}
 	if err := s.log.appendRecord(recDeposit, &r); err != nil {
 		return false, err
 	}
@@ -241,6 +244,42 @@ func (s *Store) PendingFor(replica, target int32) int {
 		n += len(c)
 	}
 	return n
+}
+
+// PurgeTopic drops every pending deposit the given replica holds for
+// the given (target, topic) pair, journaling an ack per record so the
+// drop survives a restart. It is the unsubscribe drain: a subscriber
+// that departs a topic must not strand journal entries it will never
+// claim. Returns how many records were dropped.
+func (s *Store) PurgeTopic(replica, target int32, topic []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queues[[2]int32{replica, target}]
+	if q == nil {
+		return 0, nil
+	}
+	var doomed []*Record
+	for _, c := range q.classes {
+		for _, r := range c {
+			if string(r.Topic) == string(topic) {
+				doomed = append(doomed, r)
+			}
+		}
+	}
+	for _, r := range doomed {
+		ack := Record{Replica: r.Replica, Target: r.Target, Publisher: r.Publisher, Seq: r.Seq}
+		if err := s.log.appendRecord(recAck, &ack); err != nil {
+			return 0, err
+		}
+		s.dropLocked(keyOf(r))
+		s.acked++
+	}
+	if s.acked >= compactEvery {
+		if err := s.compactLocked(); err != nil {
+			return len(doomed), err
+		}
+	}
+	return len(doomed), nil
 }
 
 // Depth is the total number of pending deposits in the store — the

@@ -117,6 +117,14 @@ type Options struct {
 	// initial deposit round spacing (default RetryBase).
 	InboxRetry time.Duration
 
+	// TopicLease is how long a topic registration lives at its rendezvous
+	// without a refresh (DESIGN.md §13); subscribers refresh at half the
+	// lease on the maintain tick (default 500ms).
+	TopicLease time.Duration
+	// TopicFanout bounds the branching factor of the per-topic
+	// dissemination tree (default 4).
+	TopicFanout int
+
 	// Obs receives runtime counters, histograms and trace events from
 	// every node (nil = no instrumentation).
 	Obs *obs.Metrics
@@ -174,6 +182,12 @@ func (o *Options) fill() {
 		} else {
 			o.InboxRetry = 20 * time.Millisecond
 		}
+	}
+	if o.TopicLease <= 0 {
+		o.TopicLease = 500 * time.Millisecond
+	}
+	if o.TopicFanout <= 0 {
+		o.TopicFanout = 4
 	}
 	if o.K == 0 {
 		if kp, ok := o.Overlay.(interface{ K() int }); ok {

@@ -193,11 +193,21 @@ func (n *Node) startDepositLocked(seq uint32, st *pubState, s overlay.PeerID, no
 // ack; R copies are fault tolerance for the replicas themselves.
 func (n *Node) sendDepositLocked(seq uint32, st *pubState, s overlay.PeerID, ds *depSub, now time.Time, out []outMsg) []outMsg {
 	ds.nextAt = now.Add(n.backoff().Delay(st.bseed^uint64(uint32(s)), ds.attempt))
+	// Deposits carry the publication's origin identity: for a topic
+	// hand-off the depositing rendezvous is not the origin publisher, and
+	// replay dedup must key by the origin id.
+	pub, pseq := int32(n.id), seq
+	var topic []byte
+	if st.topic != "" {
+		pub, pseq = st.origin.Publisher, st.origin.Seq
+		topic = []byte(st.topic)
+	}
 	for _, rep := range n.inboxReplicaSet(s, n.cfg.InboxReplicas) {
 		out = append(out, outMsg{int32(rep), &wire.Message{
 			Kind: wire.KindInboxDeposit, From: int32(n.id), To: int32(rep),
-			Seq: seq, Publisher: int32(n.id), Target: int32(s),
+			Seq: pseq, Publisher: pub, Target: int32(s),
 			Priority: st.pri, PayloadSize: st.size, Payload: st.payload,
+			Topic: topic,
 		}})
 	}
 	return out
@@ -222,10 +232,18 @@ func (n *Node) handleInboxDepositAck(m *wire.Message) {
 	}
 	n.cfg.Obs.Inc(obs.CInboxDepositAck)
 	n.mu.Lock()
-	if st := n.pubs[m.Seq]; st != nil {
-		if ds := st.dep[overlay.PeerID(m.Target)]; ds != nil && !ds.acked {
-			ds.acked = true
-			n.resolveAckLocked(m.Seq)
+	// The ack echoes the deposit's origin identity; for a topic hand-off
+	// the local repair state is keyed by this node's repair seq instead.
+	seq, known := m.Seq, m.Publisher == int32(n.id)
+	if !known {
+		seq, known = n.tpOrigin[msgID{m.Publisher, m.Seq}]
+	}
+	if known {
+		if st := n.pubs[seq]; st != nil {
+			if ds := st.dep[overlay.PeerID(m.Target)]; ds != nil && !ds.acked {
+				ds.acked = true
+				n.resolveAckLocked(seq)
+			}
 		}
 	}
 	n.mu.Unlock()
@@ -245,6 +263,7 @@ func (n *Node) handleInboxDeposit(m *wire.Message) {
 	fresh, err := n.sh.ibx.Deposit(inbox.Record{
 		Replica: int32(n.id), Target: m.Target, Publisher: m.Publisher,
 		Seq: m.Seq, Priority: m.Priority, PayloadSize: m.PayloadSize, Payload: m.Payload,
+		Topic: m.Topic,
 	})
 	if err != nil {
 		// Journal failure: no ack, the publisher keeps retrying (possibly
@@ -350,7 +369,7 @@ func (n *Node) replayMsg(target overlay.PeerID, rec *inbox.Record) *wire.Message
 		Kind: wire.KindInboxReplay, From: int32(n.id), To: int32(target),
 		Seq: rec.Seq, Publisher: rec.Publisher, Target: int32(target),
 		Priority: rec.Priority, PayloadSize: rec.PayloadSize, Payload: rec.Payload,
-		HopCount: 1,
+		Topic: rec.Topic, HopCount: 1,
 	}
 }
 
@@ -526,10 +545,14 @@ func (n *Node) handleInboxReplay(m *wire.Message) {
 		return
 	}
 	id := msgID{m.Publisher, m.Seq}
+	topic := string(m.Topic)
+	if topic == "" {
+		topic = UserTopic(overlay.PeerID(m.Publisher))
+	}
 	now := time.Now()
 	n.mu.Lock()
 	dup := !n.rememberDeliveryLocked(id, m.HopCount)
-	handler := n.onDeliver
+	handler := n.deliverHandlerLocked(topic)
 	if cl := n.claim; cl != nil && cl.idx < len(cl.order) && overlay.PeerID(m.From) == cl.order[cl.idx] {
 		// Progress from the lease holder keeps its lease alive.
 		cl.deadline = now.Add(n.cfg.InboxLease)
@@ -539,11 +562,19 @@ func (n *Node) handleInboxReplay(m *wire.Message) {
 	if dup {
 		n.cfg.Obs.Inc(obs.CPublishDuplicate)
 	} else {
-		n.cfg.Obs.Inc(obs.CPublishDelivered)
+		if len(m.Topic) > 0 {
+			n.cfg.Obs.Inc(obs.CTopicDelivered)
+		} else {
+			n.cfg.Obs.Inc(obs.CPublishDelivered)
+		}
 		n.cfg.Obs.ObserveHops(float64(m.HopCount))
 		n.cfg.Obs.TraceEvent("deliver", int32(n.id), m.Seq)
 		if handler != nil {
-			handler(overlay.PeerID(m.Publisher), m.Seq, m.HopCount, m.Payload)
+			handler(Delivery{
+				Publisher: overlay.PeerID(m.Publisher), Topic: topic,
+				Seq: m.Seq, Hops: m.HopCount, Priority: m.Priority,
+				Payload: m.Payload,
+			})
 		}
 	}
 	_ = n.tr.Send(m.From, &wire.Message{

@@ -21,12 +21,12 @@ type deliveryCounter struct {
 
 func (d *deliveryCounter) install(n *Node) {
 	d.got = make(map[uint32]int)
-	n.OnDeliver(func(_ overlay.PeerID, seq uint32, _ uint8, _ []byte) {
+	n.OnDeliver(func(dl Delivery) {
 		d.mu.Lock()
-		if d.got[seq] == 0 {
-			d.order = append(d.order, seq)
+		if d.got[dl.Seq] == 0 {
+			d.order = append(d.order, dl.Seq)
 		}
-		d.got[seq]++
+		d.got[dl.Seq]++
 		d.mu.Unlock()
 	})
 }

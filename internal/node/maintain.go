@@ -190,6 +190,7 @@ func (n *Node) maintainTick() {
 		_ = n.tr.Send(o.to, o.m)
 	}
 	n.inboxSweep()
+	n.topicMaintain()
 }
 
 // refreshHeadsLocked re-derives the short-range ring links from the
@@ -648,4 +649,15 @@ func (n *Node) resetVolatileLocked() {
 	// order differs.
 	n.claim = nil
 	n.replay = nil
+	// The rendezvous-side topic registry is soft state rebuilt from lease
+	// refreshes; subscriptions themselves are app intent and survive, but
+	// their refresh bookkeeping resets so the first maintain tick after a
+	// rejoin re-registers them at the (possibly re-homed) rendezvous.
+	// tpubs and tpOrigin survive alongside pubs — the publisher's and the
+	// rendezvous's repair outboxes resume after the rejoin.
+	n.topicReg = make(map[string]map[overlay.PeerID]time.Time)
+	for _, ts := range n.subTopics {
+		ts.set = nil
+		ts.lastSub = time.Time{}
+	}
 }

@@ -52,8 +52,21 @@ type msgID struct {
 	Seq       uint32
 }
 
+// Delivery is one first-time publication delivery as the application
+// sees it: who published, on which topic (the publisher's implicit
+// UserTopic for friend-feed publications), and the payload with its
+// routing and durability metadata.
+type Delivery struct {
+	Publisher overlay.PeerID
+	Topic     string
+	Seq       uint32
+	Hops      uint8
+	Priority  uint8
+	Payload   []byte
+}
+
 // DeliverFunc is the push handler for first-time publication deliveries.
-type DeliverFunc func(pub overlay.PeerID, seq uint32, hops uint8, payload []byte)
+type DeliverFunc func(d Delivery)
 
 // outMsg is a message staged under n.mu and sent after unlock (the
 // transport must never be entered while holding the node lock).
@@ -135,6 +148,16 @@ type Node struct {
 	claim      *claimState
 	replay     map[overlay.PeerID]*replayState
 	claimEpoch uint32
+	// Topic tier state (topic.go): subTopics is this node's own
+	// subscriptions, topicReg the rendezvous-side subscriber registry,
+	// tpubs the publisher-side rendezvous hand-off rounds, and tpOrigin
+	// maps an accepted publication's origin id to the local repair seq
+	// its pubState is keyed by (the ack/deposit correlation for repair
+	// state whose owner is not the origin publisher).
+	subTopics map[string]*topicSub
+	topicReg  map[string]map[overlay.PeerID]time.Time
+	tpubs     map[uint32]*topicPubState
+	tpOrigin  map[msgID]uint32
 	// joinNext/joinAttempt schedule join-request resends on the repair
 	// timer; joinedCh closes when the node becomes a ring member.
 	joinNext    time.Time
@@ -189,6 +212,10 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 		pendingPings: make(map[uint32]overlay.PeerID),
 		acked:        make(map[msgID]map[int32]bool),
 		pubs:         make(map[uint32]*pubState),
+		subTopics:    make(map[string]*topicSub),
+		topicReg:     make(map[string]map[overlay.PeerID]time.Time),
+		tpubs:        make(map[uint32]*topicPubState),
+		tpOrigin:     make(map[msgID]uint32),
 		joinedCh:     make(chan struct{}),
 	}
 	for i := range n.strength {
@@ -288,6 +315,18 @@ func (n *Node) handle(m *wire.Message) {
 		n.handleInboxReplay(m)
 	case wire.KindInboxReplayAck:
 		n.handleInboxReplayAck(m)
+	case wire.KindTopicSub:
+		n.handleTopicSub(m)
+	case wire.KindTopicSubAck:
+		n.handleTopicSubAck(m)
+	case wire.KindTopicUnsub:
+		n.handleTopicUnsub(m)
+	case wire.KindTopicPub:
+		n.handleTopicPub(m)
+	case wire.KindTopicPubAck:
+		n.handleTopicPubAck(m)
+	case wire.KindTopicHandoff:
+		n.handleTopicHandoff(m)
 	}
 }
 
@@ -465,9 +504,10 @@ func (n *Node) observe(q overlay.PeerID, online bool) {
 func (n *Node) handlePublish(m *wire.Message) {
 	id := msgID{m.Publisher, m.Seq}
 	if overlay.PeerID(m.To) == n.id {
+		topic := UserTopic(overlay.PeerID(m.Publisher))
 		n.mu.Lock()
 		dup := !n.rememberDeliveryLocked(id, m.HopCount)
-		handler := n.onDeliver
+		handler := n.deliverHandlerLocked(topic)
 		n.mu.Unlock()
 		if dup {
 			n.cfg.Obs.Inc(obs.CPublishDuplicate)
@@ -476,7 +516,11 @@ func (n *Node) handlePublish(m *wire.Message) {
 			n.cfg.Obs.ObserveHops(float64(m.HopCount))
 			n.cfg.Obs.TraceEvent("deliver", int32(n.id), m.Seq)
 			if handler != nil {
-				handler(overlay.PeerID(m.Publisher), m.Seq, m.HopCount, m.Payload)
+				handler(Delivery{
+					Publisher: overlay.PeerID(m.Publisher), Topic: topic,
+					Seq: m.Seq, Hops: m.HopCount, Priority: m.Priority,
+					Payload: m.Payload,
+				})
 			}
 		}
 		// Ack back to the publisher (directed).
@@ -510,6 +554,10 @@ func (n *Node) routeOrConsumeAck(m *wire.Message) {
 		set[m.From] = true
 		if m.Publisher == int32(n.id) {
 			n.resolveAckLocked(m.Seq)
+		} else if rseq, ok := n.tpOrigin[id]; ok {
+			// Topic-rendezvous repair state: the ack is keyed by the origin
+			// publisher, the pubState by this node's local repair seq.
+			n.resolveAckLocked(rseq)
 		}
 		n.mu.Unlock()
 		n.cfg.Obs.Inc(obs.CAckReceived)
@@ -617,36 +665,84 @@ func (n *Node) Pause() { n.paused.Store(true) }
 // Resume brings a paused node back online.
 func (n *Node) Resume() { n.paused.Store(false) }
 
-// OnDeliver registers the push handler called once per first-time
-// publication delivery, outside the node lock. Register before traffic
-// starts; a nil handler disables the callback.
+// OnDeliver registers the node-level push handler called once per
+// first-time publication delivery, outside the node lock. It receives
+// every delivery a per-subscription handler (Subscription.OnDeliver)
+// does not claim. Register before traffic starts; a nil handler
+// disables the callback.
 func (n *Node) OnDeliver(fn DeliverFunc) {
 	n.mu.Lock()
 	n.onDeliver = fn
 	n.mu.Unlock()
 }
 
-// Publish unicasts a publication carrying payload to every subscriber
-// (the node's social friends) and returns the sequence number
-// identifying it.
-func (n *Node) Publish(payload []byte) uint32 {
-	return n.publish(payload, uint32(len(payload)), inbox.Medium)
+// deliverHandlerLocked resolves the handler for a delivery on topic:
+// the subscription's own handler when one is registered, else the
+// node-level handler.
+func (n *Node) deliverHandlerLocked(topic string) DeliverFunc {
+	if ts := n.subTopics[topic]; ts != nil && ts.handler != nil {
+		return ts.handler
+	}
+	return n.onDeliver
 }
 
-// PublishPriority is Publish with an explicit durable-tier priority
-// class (inbox.High/Medium/Low): should this publication end up
-// deposited for an offline subscriber, the class decides its replay
+// pubOpts is the resolved form of a Publish call's options.
+type pubOpts struct {
+	size    uint32
+	sizeSet bool
+	pri     uint8
+}
+
+// PublishOption configures one Publish call (WithPriority, WithSize).
+type PublishOption func(*pubOpts)
+
+// WithPriority sets the durable-tier priority class (inbox.High /
+// inbox.Medium / inbox.Low, default Medium): should the publication end
+// up deposited for an offline subscriber, the class decides its replay
 // order when the subscriber rejoins.
-func (n *Node) PublishPriority(payload []byte, pri uint8) uint32 {
-	return n.publish(payload, uint32(len(payload)), pri)
+func WithPriority(pri uint8) PublishOption {
+	return func(o *pubOpts) { o.pri = pri }
 }
 
-// PublishSize publishes a body-less publication that models a payload of
-// the given size — the benchmark shim for the paper's 1.2 MB fragments,
-// where only accounting matters and materializing bodies would swamp the
-// harness.
+// WithSize overrides the modeled payload size without materializing a
+// body — the benchmark shim for the paper's 1.2 MB fragments, where
+// only byte accounting matters and real bodies would swamp the harness.
+// Without it the size is len(payload).
+func WithSize(size uint32) PublishOption {
+	return func(o *pubOpts) { o.size = size; o.sizeSet = true }
+}
+
+func resolvePublishOpts(payload []byte, opts []PublishOption) pubOpts {
+	o := pubOpts{pri: inbox.Medium}
+	for _, f := range opts {
+		f(&o)
+	}
+	if !o.sizeSet {
+		o.size = uint32(len(payload))
+	}
+	return o
+}
+
+// Publish unicasts a publication carrying payload to every subscriber
+// (the node's social friends — equivalently, the node's implicit
+// UserTopic) and returns the sequence number identifying it.
+func (n *Node) Publish(payload []byte, opts ...PublishOption) uint32 {
+	o := resolvePublishOpts(payload, opts)
+	return n.publish(payload, o.size, o.pri)
+}
+
+// PublishPriority publishes with an explicit priority class.
+//
+// Deprecated: use Publish(payload, WithPriority(pri)).
+func (n *Node) PublishPriority(payload []byte, pri uint8) uint32 {
+	return n.Publish(payload, WithPriority(pri))
+}
+
+// PublishSize publishes a body-less publication of a modeled size.
+//
+// Deprecated: use Publish(nil, WithSize(size)).
 func (n *Node) PublishSize(size uint32) uint32 {
-	return n.publish(nil, size, inbox.Medium)
+	return n.Publish(nil, WithSize(size))
 }
 
 func (n *Node) publish(payload []byte, size uint32, pri uint8) uint32 {
@@ -668,7 +764,7 @@ func (n *Node) publish(payload []byte, size uint32, pri uint8) uint32 {
 		*buf = wire.MarshalAppend((*buf)[:0], &wire.Message{
 			Kind: wire.KindPublish, From: int32(n.id),
 			Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
-			PayloadSize: size, Payload: payload,
+			Priority: pri, PayloadSize: size, Payload: payload,
 		})
 		for _, s := range subs {
 			next, ok := n.nextHop(s)
@@ -686,7 +782,7 @@ func (n *Node) publish(payload []byte, size uint32, pri uint8) uint32 {
 			m := &wire.Message{
 				Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
 				Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
-				PayloadSize: size, Payload: payload,
+				Priority: pri, PayloadSize: size, Payload: payload,
 			}
 			n.forward(m, s)
 		}

@@ -88,9 +88,9 @@ func TestPublishPayloadAndHandler(t *testing.T) {
 	calls := 0
 	for _, s := range subs {
 		s := s
-		c.Nodes[s].OnDeliver(func(p overlay.PeerID, seq uint32, hops uint8, payload []byte) {
+		c.Nodes[s].OnDeliver(func(d Delivery) {
 			mu.Lock()
-			got[s] = payload
+			got[s] = d.Payload
 			calls++
 			mu.Unlock()
 		})

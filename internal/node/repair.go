@@ -42,6 +42,12 @@ type pubState struct {
 	// direct repair stopped for them, deposit rounds retry until one
 	// replica acks persistence.
 	dep map[overlay.PeerID]*depSub
+	// origin/topic are set on topic-rendezvous repair state (topic.go):
+	// the publication's original (publisher, seq) identity — acks and
+	// deposits are keyed by it, not by this node's local repair seq —
+	// and the topic it disseminates on.
+	origin msgID
+	topic  string
 }
 
 // DeadLetter records a publication that exhausted its retry budget with
@@ -105,6 +111,11 @@ func (n *Node) nextRepairAt() (time.Time, bool) {
 			}
 		}
 	}
+	for _, tp := range n.tpubs {
+		if earliest.IsZero() || tp.nextAt.Before(earliest) {
+			earliest = tp.nextAt
+		}
+	}
 	if n.wantJoin && !n.joinNext.IsZero() && (earliest.IsZero() || n.joinNext.Before(earliest)) {
 		earliest = n.joinNext
 	}
@@ -137,6 +148,15 @@ func (n *Node) registerPublishLocked(seq uint32, subs []overlay.PeerID, payload 
 	}
 }
 
+// pubKey is the ack-set key of publication seq's state: the origin
+// identity for topic-rendezvous repair state, (self, seq) otherwise.
+func (n *Node) pubKey(seq uint32, st *pubState) msgID {
+	if st.topic != "" {
+		return st.origin
+	}
+	return msgID{int32(n.id), seq}
+}
+
 // resolveAckLocked closes publication seq's state machine once every
 // subscriber is settled — directly acked or durably deposited — the
 // moment its record becomes garbage-collectable.
@@ -145,13 +165,16 @@ func (n *Node) resolveAckLocked(seq uint32) {
 	if st == nil {
 		return
 	}
-	acked := n.acked[msgID{int32(n.id), seq}]
+	acked := n.acked[n.pubKey(seq, st)]
 	for _, s := range st.subs {
 		if !settledLocked(acked, st, s) {
 			return
 		}
 	}
 	delete(n.pubs, seq)
+	if st.topic != "" {
+		delete(n.tpOrigin, st.origin)
+	}
 	n.cfg.Obs.TraceEvent("pub_resolved", int32(n.id), seq)
 }
 
@@ -210,7 +233,7 @@ func (n *Node) repairTick() {
 		if st.nextAt.After(now) {
 			continue
 		}
-		acked := n.acked[msgID{int32(n.id), seq}]
+		acked := n.acked[n.pubKey(seq, st)]
 		var missing []overlay.PeerID
 		depositing := false
 		for _, s := range st.subs {
@@ -251,13 +274,28 @@ func (n *Node) repairTick() {
 		n.cfg.Obs.Addn(obs.CRetrySent, int64(len(missing)))
 		n.cfg.Obs.TraceEvent("retry", int32(n.id), seq)
 		for _, s := range missing {
+			if st.topic != "" {
+				// Topic repair copies are point-to-point leaf deliveries
+				// (no subtree) carrying the origin identity, with acks
+				// addressed back to this rendezvous replica.
+				direct = append(direct, outMsg{int32(s), &wire.Message{
+					Kind: wire.KindTopicPub, From: int32(n.id), To: int32(s),
+					Seq: st.origin.Seq, Publisher: st.origin.Publisher,
+					Target: int32(n.id), Priority: st.pri, TTL: n.cfg.TTL,
+					PayloadSize: st.size, Payload: st.payload,
+					Topic: []byte(st.topic),
+				}})
+				continue
+			}
 			out = append(out, outMsg{int32(s), &wire.Message{
 				Kind: wire.KindPublish, From: int32(n.id), To: int32(s),
 				Seq: seq, Publisher: int32(n.id), TTL: n.cfg.TTL,
-				PayloadSize: st.size, Payload: st.payload,
+				Priority: st.pri, PayloadSize: st.size, Payload: st.payload,
 			}})
 		}
 	}
+	var accepts []selfAccept
+	direct, accepts = n.topicRepairLocked(now, budget, direct, accepts)
 	if n.wantJoin && !n.joinNext.IsZero() && !n.joinNext.After(now) {
 		resendJoin = true
 		n.joinAttempt++
@@ -265,6 +303,9 @@ func (n *Node) repairTick() {
 		n.cfg.Obs.Inc(obs.CJoinResend)
 	}
 	n.mu.Unlock()
+	for _, a := range accepts {
+		n.acceptTopicPub(a.origin, a.topic, a.payload, a.size, a.pri)
+	}
 	for _, o := range out {
 		n.forward(o.m, overlay.PeerID(o.to))
 	}
@@ -280,6 +321,9 @@ func (n *Node) repairTick() {
 // with subscribers missing. The record is bounded FIFO.
 func (n *Node) deadLetterLocked(seq uint32, st *pubState, missing []overlay.PeerID) {
 	delete(n.pubs, seq)
+	if st.topic != "" {
+		delete(n.tpOrigin, st.origin)
+	}
 	n.cfg.Obs.Inc(obs.CDeadLetter)
 	n.cfg.Obs.TraceEvent("dead_letter", int32(n.id), seq)
 	n.deadLetters = append(n.deadLetters, DeadLetter{Seq: seq, Missing: missing, Retries: st.attempt})

@@ -1,0 +1,873 @@
+package node
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"time"
+
+	"selectps/internal/obs"
+	"selectps/internal/overlay"
+	"selectps/internal/selectcore"
+	"selectps/internal/wire"
+)
+
+// This file is the named-topic pub/sub tier (DESIGN.md §13): hashtags,
+// group channels and pages whose subscribers are not social friends.
+//
+//   - placement: a topic hashes to a ring position; the first R live
+//     clockwise successors (selectcore.Rendezvous — the PR-7 successor
+//     geometry) host its subscriber registry. Index 0 is the primary,
+//     the rest are standbys.
+//   - subscription: subscribers register at every member of the
+//     rendezvous set with a lease (TopicSub, refreshed at lease/2 on
+//     the maintain tick; registry entries expire when refreshes stop).
+//   - publication: the publisher hands the message to the rendezvous
+//     set (TopicPub with Target = -1, retried on the repair wheel until
+//     every live member acked acceptance). The primary fans it down a
+//     bounded-fanout dissemination tree built from the registry
+//     (selectcore.TreeBranches; each tree copy carries its subtree in
+//     RoutingTable); every accepting replica also registers the
+//     publication in the repair engine, so unacked subscribers get
+//     direct retries and — via the PR-7 inbox — durable deposits when
+//     they are offline.
+//   - re-homing: membership changes and accrual-detector verdicts
+//     (deadUntil) shift the rendezvous set; subscribers re-register the
+//     moment their computed set changes, a peer that lost ownership
+//     hands its registry off (TopicHandoff), and publishers recompute
+//     the set on every retry. Duplicate fan-out waves from standby
+//     acceptance are absorbed by the (publisher, seq) dedup window.
+
+// Errors returned by the topic-first API.
+var (
+	// ErrForeignUserTopic is returned when publishing to another peer's
+	// implicit user topic: only the owner posts to its own feed.
+	ErrForeignUserTopic = errors.New("node: cannot publish to another user's feed topic")
+	// ErrNotFriend is returned when subscribing to a user topic whose
+	// owner is not a social friend — user feeds disseminate along the
+	// friend graph only; use a named topic for non-friend fan-out.
+	ErrNotFriend = errors.New("node: user-feed topics are only subscribable by friends")
+	// ErrTopicRepairOff is returned when the topic tier is used without
+	// the repair scheduler (RetryBase = 0): rendezvous hand-off and
+	// lease refresh both ride it.
+	ErrTopicRepairOff = errors.New("node: topic pub/sub requires the repair scheduler (RetryBase > 0)")
+)
+
+// userTopicPrefix marks the implicit per-user feed topics.
+const userTopicPrefix = "~"
+
+// UserTopic names peer p's implicit feed topic: every friend-feed
+// publication is a publication on this topic, so one delivery path (and
+// one handler signature) serves friend feeds and named topics alike.
+func UserTopic(p overlay.PeerID) string {
+	return userTopicPrefix + strconv.Itoa(int(p))
+}
+
+// parseUserTopic reports whether name is an implicit user topic and
+// whose.
+func parseUserTopic(name string) (overlay.PeerID, bool) {
+	if !strings.HasPrefix(name, userTopicPrefix) {
+		return -1, false
+	}
+	v, err := strconv.Atoi(name[len(userTopicPrefix):])
+	if err != nil || v < 0 {
+		return -1, false
+	}
+	return overlay.PeerID(v), true
+}
+
+// TopicHandle is the topic-first API surface: a cheap, stateless handle
+// on one named topic as seen from one node. Obtain with Node.Topic.
+type TopicHandle struct {
+	n    *Node
+	name string
+}
+
+// Topic returns a handle on the named topic. User topics ("~<id>",
+// UserTopic) address the implicit per-user feed; any other name is a
+// rendezvous-placed named topic (hashtag, group, page).
+func (n *Node) Topic(name string) *TopicHandle {
+	return &TopicHandle{n: n, name: name}
+}
+
+// Name returns the topic's name.
+func (t *TopicHandle) Name() string { return t.name }
+
+// Subscription is one node's registration on one topic. At most one
+// subscription exists per (node, topic); a second Subscribe returns the
+// same Subscription.
+type Subscription struct {
+	n     *Node
+	topic string
+}
+
+// Topic returns the subscribed topic's name.
+func (s *Subscription) Topic() string { return s.topic }
+
+// OnDeliver registers the per-subscription push handler, called once
+// per first-time delivery on this topic, outside the node lock. Topics
+// without a subscription handler fall back to the node-level handler.
+func (s *Subscription) OnDeliver(fn DeliverFunc) {
+	s.n.mu.Lock()
+	if ts := s.n.subTopics[s.topic]; ts != nil {
+		ts.handler = fn
+	}
+	s.n.mu.Unlock()
+}
+
+// topicSub is the subscriber-side state for one topic.
+type topicSub struct {
+	sub      *Subscription
+	handler  DeliverFunc
+	implicit bool // user topic: delivered by the friend graph, no rendezvous
+	acked    bool // at least one TopicSubAck arrived (Subscribe unblocks)
+	ackCh    chan struct{}
+	lastSub  time.Time        // last lease-refresh round
+	set      []overlay.PeerID // rendezvous set at the last round (re-home detection)
+}
+
+// topicPubState is the publisher-side hand-off record of one topic
+// publication: retried on the repair wheel until every live member of
+// the (re-computed per round) rendezvous set confirmed acceptance —
+// all-member acking is what makes a mid-fan-out rendezvous death
+// lossless, because a surviving acked standby keeps repairing.
+type topicPubState struct {
+	topic   string
+	payload []byte
+	size    uint32
+	pri     uint8
+	attempt int
+	nextAt  time.Time
+	bseed   uint64
+	acked   map[overlay.PeerID]bool
+}
+
+// Subscribe registers this node on the topic and blocks until a
+// rendezvous replica confirms the registration (or ctx expires; the
+// registration keeps retrying on the maintain tick either way).
+// User-topic subscriptions are implicit — friends already receive the
+// feed — and return immediately; non-friends get ErrNotFriend.
+func (t *TopicHandle) Subscribe(ctx context.Context) (*Subscription, error) {
+	n := t.n
+	if owner, ok := parseUserTopic(t.name); ok {
+		if owner != n.id && !n.g.HasEdge(n.id, owner) {
+			return nil, ErrNotFriend
+		}
+		n.mu.Lock()
+		ts := n.subTopics[t.name]
+		if ts == nil {
+			ts = &topicSub{sub: &Subscription{n: n, topic: t.name}, implicit: true, acked: true}
+			n.subTopics[t.name] = ts
+		}
+		sub := ts.sub
+		n.mu.Unlock()
+		return sub, nil
+	}
+	if !n.repairEnabled() {
+		return nil, ErrTopicRepairOff
+	}
+	now := time.Now()
+	n.mu.Lock()
+	ts := n.subTopics[t.name]
+	if ts == nil {
+		ts = &topicSub{sub: &Subscription{n: n, topic: t.name}, ackCh: make(chan struct{})}
+		n.subTopics[t.name] = ts
+	}
+	sub, ackCh, acked := ts.sub, ts.ackCh, ts.acked
+	out := n.topicRegisterLocked(t.name, ts, now, nil)
+	n.mu.Unlock()
+	for _, o := range out {
+		_ = n.tr.Send(o.to, o.m)
+	}
+	if acked {
+		return sub, nil
+	}
+	select {
+	case <-ackCh:
+		return sub, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Unsubscribe removes the registration: the rendezvous set drops this
+// node from the registry, and both the rendezvous peers and this node's
+// own inbox replicas purge any journaled deposits still parked for
+// (node, topic) — a departed subscriber must not strand journal
+// entries it will never claim.
+func (s *Subscription) Unsubscribe(ctx context.Context) error {
+	_ = ctx
+	n := s.n
+	n.mu.Lock()
+	ts := n.subTopics[s.topic]
+	delete(n.subTopics, s.topic)
+	if ts == nil || ts.implicit {
+		n.mu.Unlock()
+		return nil
+	}
+	seq := n.nextSeq()
+	now := time.Now()
+	targets := make(map[overlay.PeerID]bool)
+	for _, rep := range n.topicRendezvousLocked(s.topic, now) {
+		targets[rep] = true
+	}
+	for _, rep := range selectcore.InboxReplicas(n.id, n.dir.position(n.id), n.dir.ringMembers(), nil, n.cfg.InboxReplicas) {
+		targets[rep] = true
+	}
+	selfToo := targets[n.id]
+	delete(targets, n.id)
+	if selfToo {
+		n.dropTopicRegLocked(s.topic, n.id)
+	}
+	n.mu.Unlock()
+	if selfToo {
+		n.purgeTopicJournal(int32(n.id), []byte(s.topic))
+	}
+	topic := []byte(s.topic)
+	for rep := range targets {
+		_ = n.tr.Send(int32(rep), &wire.Message{
+			Kind: wire.KindTopicUnsub, From: int32(n.id), To: int32(rep),
+			Seq: seq, Topic: topic,
+		})
+	}
+	return nil
+}
+
+// Publish sends one publication to the topic and returns its sequence
+// number. On the node's own user topic it is exactly the friend-feed
+// Publish; on a named topic the message is handed to the rendezvous set
+// and disseminated down the per-topic tree, with the hand-off retried
+// on the repair wheel until every live rendezvous replica accepted.
+func (t *TopicHandle) Publish(payload []byte, opts ...PublishOption) (uint32, error) {
+	n := t.n
+	if owner, ok := parseUserTopic(t.name); ok {
+		if owner != n.id {
+			return 0, ErrForeignUserTopic
+		}
+		return n.Publish(payload, opts...), nil
+	}
+	if !n.repairEnabled() {
+		return 0, ErrTopicRepairOff
+	}
+	o := resolvePublishOpts(payload, opts)
+	now := time.Now()
+	var direct []outMsg
+	selfAccept := false
+	n.mu.Lock()
+	seq := n.nextSeq()
+	id := msgID{int32(n.id), seq}
+	n.rememberDeliveryLocked(id, 0) // the publisher trivially has its own message
+	tp := &topicPubState{
+		topic: t.name, payload: payload, size: o.size, pri: o.pri,
+		bseed: selectcore.RepairSeed(n.cfg.Seed, int32(n.id), seq),
+		acked: make(map[overlay.PeerID]bool),
+	}
+	tp.nextAt = now.Add(n.backoff().Delay(tp.bseed, 0))
+	n.tpubs[seq] = tp
+	set := n.topicRendezvousLocked(t.name, now)
+	for _, rep := range set {
+		if rep == n.id {
+			tp.acked[n.id] = true
+			selfAccept = true
+			continue
+		}
+		direct = append(direct, outMsg{int32(rep), n.topicPubMsgLocked(seq, tp, rep, -1, nil)})
+	}
+	n.mu.Unlock()
+	n.cfg.Obs.Inc(obs.CPublishSent)
+	n.cfg.Obs.TraceEvent("topic_publish", int32(n.id), seq)
+	for _, o := range direct {
+		_ = n.tr.Send(o.to, o.m)
+	}
+	if selfAccept {
+		n.acceptTopicPub(id, t.name, payload, o.size, o.pri)
+	}
+	n.kickRetry()
+	return seq, nil
+}
+
+// topicPubMsgLocked builds one TopicPub copy. target -1 is the
+// publisher→rendezvous hand-off; target >= 0 is a dissemination copy
+// whose acks flow back to rendezvous peer `target`, with subtree
+// carrying the receiver's share of the tree.
+func (n *Node) topicPubMsgLocked(seq uint32, tp *topicPubState, to overlay.PeerID, target int32, subtree []int32) *wire.Message {
+	return &wire.Message{
+		Kind: wire.KindTopicPub, From: int32(n.id), To: int32(to),
+		Seq: seq, Publisher: int32(n.id), Target: target,
+		Priority: tp.pri, PayloadSize: tp.size, Payload: tp.payload,
+		Topic: []byte(tp.topic), RoutingTable: subtree, TTL: n.cfg.TTL,
+	}
+}
+
+// ---- placement -------------------------------------------------------
+
+// topicLiveLocked returns the liveness filter for rendezvous placement:
+// ring members not currently under this node's dead-quarantine — the
+// accrual detector's verdict is what re-homes a topic whose rendezvous
+// died without the directory noticing yet.
+func (n *Node) topicLiveLocked(now time.Time) func(overlay.PeerID) bool {
+	return func(q overlay.PeerID) bool {
+		t, dead := n.deadUntil[q]
+		return !dead || now.After(t)
+	}
+}
+
+// topicRendezvousLocked computes the topic's current rendezvous set
+// from the converged ring positions (R = InboxReplicas deep — the PR-7
+// placement rule applied to the topic's hash position).
+func (n *Node) topicRendezvousLocked(topic string, now time.Time) []overlay.PeerID {
+	return selectcore.Rendezvous(
+		selectcore.TopicPos(topic), n.dir.ringMembers(), n.topicLiveLocked(now), n.cfg.InboxReplicas)
+}
+
+// TopicRendezvous returns the topic's rendezvous set as this node
+// currently computes it (ops/tests surface; the selectcore equivalence
+// test pins it against the simulator-side rule).
+func (n *Node) TopicRendezvous(topic string) []overlay.PeerID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.topicRendezvousLocked(topic, time.Now())
+}
+
+// ---- subscriber side -------------------------------------------------
+
+// topicRegisterLocked stages one registration round for a topic: a
+// TopicSub to every rendezvous member (self-registration is applied
+// locally). Stamps lastSub and caches the set for re-home detection.
+func (n *Node) topicRegisterLocked(topic string, ts *topicSub, now time.Time, out []outMsg) []outMsg {
+	set := n.topicRendezvousLocked(topic, now)
+	if ts.set != nil && !peersEqual(ts.set, set) {
+		n.cfg.Obs.Inc(obs.CTopicRehome)
+		n.cfg.Obs.TraceEvent("topic_rehome", int32(n.id), 0)
+	}
+	ts.set = set
+	ts.lastSub = now
+	seq := n.nextSeq()
+	for _, rep := range set {
+		if rep == n.id {
+			n.registerTopicSubLocked(topic, n.id, now)
+			if !ts.acked {
+				ts.acked = true
+				close(ts.ackCh)
+			}
+			continue
+		}
+		out = append(out, outMsg{int32(rep), &wire.Message{
+			Kind: wire.KindTopicSub, From: int32(n.id), To: int32(rep),
+			Seq: seq, Topic: []byte(topic),
+		}})
+	}
+	return out
+}
+
+// topicMaintain runs on the maintain tick: lease refreshes (immediate
+// after a rendezvous-set change), registry expiry, and registry
+// hand-off by peers that lost ownership.
+func (n *Node) topicMaintain() {
+	if !n.repairEnabled() {
+		return
+	}
+	now := time.Now()
+	var out []outMsg
+	n.mu.Lock()
+	// Subscriber role: refresh leases at lease/2, immediately when the
+	// set changed or the registration is still unconfirmed.
+	for topic, ts := range n.subTopics {
+		if ts.implicit {
+			continue
+		}
+		refreshDue := !ts.acked || now.Sub(ts.lastSub) >= n.cfg.TopicLease/2
+		if !refreshDue && peersEqual(ts.set, n.topicRendezvousLocked(topic, now)) {
+			continue
+		}
+		out = n.topicRegisterLocked(topic, ts, now, out)
+	}
+	// Rendezvous role: expire silent registrations, hand off registries
+	// this node no longer owns.
+	for topic, reg := range n.topicReg {
+		for sub, exp := range reg {
+			if now.After(exp) {
+				delete(reg, sub)
+				n.cfg.Obs.Inc(obs.CTopicLeaseExpire)
+			}
+		}
+		if len(reg) == 0 {
+			delete(n.topicReg, topic)
+			continue
+		}
+		set := n.topicRendezvousLocked(topic, now)
+		if len(set) == 0 {
+			continue
+		}
+		own := false
+		for _, rep := range set {
+			if rep == n.id {
+				own = true
+				break
+			}
+		}
+		if own {
+			continue
+		}
+		// Ownership moved (an Algorithm-2 ID move or membership change):
+		// hand the registry to the current set and drop it. Hand-off is
+		// best-effort — lease refreshes repopulate within a lease anyway.
+		subs := make([]int32, 0, len(reg))
+		for sub := range reg {
+			subs = append(subs, int32(sub))
+		}
+		seq := n.nextSeq()
+		for _, rep := range set {
+			out = append(out, outMsg{int32(rep), &wire.Message{
+				Kind: wire.KindTopicHandoff, From: int32(n.id), To: int32(rep),
+				Seq: seq, Topic: []byte(topic), RoutingTable: subs,
+			}})
+		}
+		delete(n.topicReg, topic)
+		n.cfg.Obs.Inc(obs.CTopicHandoff)
+		n.cfg.Obs.TraceEvent("topic_handoff", int32(n.id), seq)
+	}
+	n.mu.Unlock()
+	for _, o := range out {
+		_ = n.tr.Send(o.to, o.m)
+	}
+}
+
+// ---- rendezvous side -------------------------------------------------
+
+// registerTopicSubLocked records (or refreshes) one subscriber lease.
+func (n *Node) registerTopicSubLocked(topic string, sub overlay.PeerID, now time.Time) {
+	reg := n.topicReg[topic]
+	if reg == nil {
+		reg = make(map[overlay.PeerID]time.Time)
+		n.topicReg[topic] = reg
+	}
+	reg[sub] = now.Add(n.cfg.TopicLease)
+}
+
+func (n *Node) dropTopicRegLocked(topic string, sub overlay.PeerID) {
+	if reg := n.topicReg[topic]; reg != nil {
+		delete(reg, sub)
+		if len(reg) == 0 {
+			delete(n.topicReg, topic)
+		}
+	}
+}
+
+// registrySubsLocked snapshots the topic's live-lease subscribers,
+// excluding the origin publisher and this node itself (the rendezvous
+// delivers to itself locally, not through the tree).
+func (n *Node) registrySubsLocked(topic string, now time.Time, excl int32) []overlay.PeerID {
+	reg := n.topicReg[topic]
+	if len(reg) == 0 {
+		return nil
+	}
+	subs := make([]overlay.PeerID, 0, len(reg))
+	for sub, exp := range reg {
+		if sub == n.id || int32(sub) == excl || now.After(exp) {
+			continue
+		}
+		subs = append(subs, sub)
+	}
+	return subs
+}
+
+func (n *Node) handleTopicSub(m *wire.Message) {
+	n.cfg.Obs.Inc(obs.CTopicSub)
+	n.mu.Lock()
+	n.registerTopicSubLocked(string(m.Topic), overlay.PeerID(m.From), time.Now())
+	n.mu.Unlock()
+	_ = n.tr.Send(m.From, &wire.Message{
+		Kind: wire.KindTopicSubAck, From: int32(n.id), To: m.From,
+		Seq: m.Seq, Topic: m.Topic,
+	})
+}
+
+func (n *Node) handleTopicSubAck(m *wire.Message) {
+	n.mu.Lock()
+	if ts := n.subTopics[string(m.Topic)]; ts != nil && !ts.implicit && !ts.acked {
+		ts.acked = true
+		close(ts.ackCh)
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) handleTopicUnsub(m *wire.Message) {
+	n.cfg.Obs.Inc(obs.CTopicUnsub)
+	topic := string(m.Topic)
+	target := overlay.PeerID(m.From)
+	n.mu.Lock()
+	n.dropTopicRegLocked(topic, target)
+	// Cancel repair still owed to the departed subscriber: publications
+	// retrying toward it must neither keep re-sending nor deposit fresh
+	// journal entries after the purge below.
+	for seq, st := range n.pubs {
+		if st.topic != topic {
+			continue
+		}
+		for i, s := range st.subs {
+			if s == target {
+				st.subs = append(st.subs[:i], st.subs[i+1:]...)
+				delete(st.dep, target)
+				n.resolveAckLocked(seq)
+				break
+			}
+		}
+	}
+	// An outstanding replay of the departed topic is cancelled; the pump
+	// moves on to whatever the purge below leaves behind.
+	var out []outMsg
+	if rs := n.replay[target]; rs != nil && rs.hasOut && string(rs.outstanding.Topic) == topic {
+		rs.hasOut = false
+	}
+	n.mu.Unlock()
+	n.purgeTopicJournal(m.From, m.Topic)
+	n.mu.Lock()
+	if rs := n.replay[target]; rs != nil && !rs.hasOut {
+		out = n.pumpReplayLocked(target, time.Now(), out)
+	}
+	n.mu.Unlock()
+	for _, o := range out {
+		_ = n.tr.Send(o.to, o.m)
+	}
+}
+
+// purgeTopicJournal drops this replica's journaled deposits for
+// (target, topic) — the durable half of the unsubscribe drain.
+func (n *Node) purgeTopicJournal(target int32, topic []byte) {
+	if !n.inboxOn() {
+		return
+	}
+	dropped, err := n.sh.ibx.PurgeTopic(int32(n.id), target, topic)
+	if err != nil {
+		n.cfg.Obs.TraceEvent("inbox_journal_err", int32(n.id), uint32(target))
+		return
+	}
+	n.cfg.Obs.Addn(obs.CTopicPurged, int64(dropped))
+}
+
+func (n *Node) handleTopicHandoff(m *wire.Message) {
+	now := time.Now()
+	n.mu.Lock()
+	topic := string(m.Topic)
+	for _, sub := range m.RoutingTable {
+		if overlay.PeerID(sub) == n.id {
+			continue
+		}
+		// Adopt with a fresh lease; the subscriber's own refresh corrects
+		// the expiry within a lease period.
+		n.registerTopicSubLocked(topic, overlay.PeerID(sub), now)
+	}
+	n.mu.Unlock()
+}
+
+// handleTopicPub dispatches one TopicPub copy: Target < 0 is the
+// publisher→rendezvous hand-off, Target >= 0 a dissemination copy for
+// this subscriber (with its subtree to forward on).
+func (n *Node) handleTopicPub(m *wire.Message) {
+	if overlay.PeerID(m.To) != n.id {
+		return
+	}
+	if m.Target < 0 {
+		origin := msgID{m.Publisher, m.Seq}
+		n.acceptTopicPub(origin, string(m.Topic), clonePayload(m.Payload), m.PayloadSize, m.Priority)
+		// Ack the hand-off whether fresh or duplicate — the publisher
+		// retries until every live rendezvous member confirmed.
+		_ = n.tr.Send(m.From, &wire.Message{
+			Kind: wire.KindTopicPubAck, From: int32(n.id), To: m.From,
+			Seq: m.Seq, Publisher: m.Publisher, Topic: m.Topic,
+		})
+		return
+	}
+	n.deliverTopicCopy(m)
+}
+
+// clonePayload detaches a payload from the transport's decode buffer
+// (acceptTopicPub retains it in repair state past the handler's return).
+func clonePayload(p []byte) []byte {
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+// acceptTopicPub is the rendezvous accept path: register the
+// publication in the repair engine against the current registry and —
+// when this node is the set's primary — fan it down the dissemination
+// tree. Standbys skip the immediate tree wave and let their repair
+// schedule re-send directly to whoever the primary's wave missed;
+// subscriber acks (sent to every rendezvous member) settle both.
+func (n *Node) acceptTopicPub(origin msgID, topic string, payload []byte, size uint32, pri uint8) {
+	if !n.repairEnabled() {
+		return
+	}
+	now := time.Now()
+	var direct []outMsg
+	var deliver DeliverFunc
+	var d Delivery
+	n.mu.Lock()
+	if _, dup := n.tpOrigin[origin]; dup {
+		n.mu.Unlock()
+		return
+	}
+	n.cfg.Obs.Inc(obs.CTopicPubRecv)
+	subs := n.registrySubsLocked(topic, now, origin.Publisher)
+	rseq := n.nextSeq()
+	bseed := selectcore.RepairSeed(n.cfg.Seed, origin.Publisher, origin.Seq)
+	st := &pubState{
+		subs: subs, payload: payload, size: size, pri: pri,
+		bseed: bseed, origin: origin, topic: topic,
+	}
+	set := n.topicRendezvousLocked(topic, now)
+	primary := len(set) > 0 && set[0] == n.id
+	delayStep := 0
+	if !primary {
+		delayStep = 1 // let the primary's wave land first
+	}
+	st.nextAt = now.Add(n.backoff().Delay(bseed, delayStep))
+	n.pubs[rseq] = st
+	n.tpOrigin[origin] = rseq
+	// Local delivery when the rendezvous itself subscribes (it is not in
+	// the tree).
+	if ts := n.subTopics[topic]; ts != nil && origin.Publisher != int32(n.id) {
+		if n.rememberDeliveryLocked(origin, 0) {
+			deliver = ts.handler
+			if deliver == nil {
+				deliver = n.onDeliver
+			}
+			d = Delivery{
+				Publisher: overlay.PeerID(origin.Publisher), Topic: topic,
+				Seq: origin.Seq, Priority: pri, Payload: payload,
+			}
+			n.cfg.Obs.Inc(obs.CTopicDelivered)
+		}
+	}
+	if primary {
+		fanout := n.cfg.TopicFanout
+		tp := &topicPubState{topic: topic, payload: payload, size: size, pri: pri}
+		for _, branch := range selectcore.TreeBranches(subs, fanout) {
+			child := branch[0]
+			subtree := peersToInt32s(branch[1:])
+			msg := n.topicPubMsgLocked(origin.Seq, tp, child, int32(n.id), subtree)
+			msg.Publisher = origin.Publisher
+			direct = append(direct, outMsg{int32(child), msg})
+		}
+		n.cfg.Obs.Addn(obs.CTopicFanout, int64(len(direct)))
+	}
+	n.mu.Unlock()
+	if deliver != nil {
+		deliver(d)
+	}
+	for _, o := range direct {
+		_ = n.tr.Send(o.to, o.m)
+	}
+	n.cfg.Obs.TraceEvent("topic_accept", int32(n.id), origin.Seq)
+	n.kickRetry()
+}
+
+// deliverTopicCopy is the subscriber path of a dissemination-tree (or
+// repair) copy: deliver locally, ack every rendezvous replica, and
+// forward the carried subtree with bounded fanout. Forwarding happens
+// only on first receipt — later waves stop here and let the rendezvous
+// repair engines cover any gap below.
+func (n *Node) deliverTopicCopy(m *wire.Message) {
+	id := msgID{m.Publisher, m.Seq}
+	topic := string(m.Topic)
+	now := time.Now()
+	var deliver DeliverFunc
+	var d Delivery
+	var direct []outMsg
+	n.mu.Lock()
+	fresh := n.rememberDeliveryLocked(id, m.HopCount)
+	if fresh {
+		if ts := n.subTopics[topic]; ts != nil {
+			deliver = ts.handler
+			if deliver == nil {
+				deliver = n.onDeliver
+			}
+			d = Delivery{
+				Publisher: overlay.PeerID(m.Publisher), Topic: topic,
+				Seq: m.Seq, Hops: m.HopCount, Priority: m.Priority,
+				Payload: append([]byte(nil), m.Payload...),
+			}
+			n.cfg.Obs.Inc(obs.CTopicDelivered)
+			n.cfg.Obs.ObserveHops(float64(m.HopCount))
+			n.cfg.Obs.TraceEvent("topic_deliver", int32(n.id), m.Seq)
+		}
+		if len(m.RoutingTable) > 0 {
+			tp := &topicPubState{topic: topic, payload: clonePayload(m.Payload), size: m.PayloadSize, pri: m.Priority}
+			for _, branch := range selectcore.TreeBranches(int32sToPeers(m.RoutingTable), n.cfg.TopicFanout) {
+				child := branch[0]
+				msg := n.topicPubMsgLocked(m.Seq, tp, child, m.Target, peersToInt32s(branch[1:]))
+				msg.Publisher = m.Publisher
+				msg.HopCount = m.HopCount + 1
+				direct = append(direct, outMsg{int32(child), msg})
+			}
+			n.cfg.Obs.Addn(obs.CTopicFanout, int64(len(direct)))
+		}
+	}
+	// Ack every rendezvous member (the repair owners) plus whichever
+	// replica stamped this copy — views may diverge during re-homing.
+	ackTo := make(map[overlay.PeerID]bool)
+	for _, rep := range n.topicRendezvousLocked(topic, now) {
+		ackTo[rep] = true
+	}
+	if m.Target >= 0 {
+		ackTo[overlay.PeerID(m.Target)] = true
+	}
+	delete(ackTo, n.id)
+	for rep := range ackTo {
+		direct = append(direct, outMsg{int32(rep), &wire.Message{
+			Kind: wire.KindAck, From: int32(n.id), To: int32(rep),
+			Seq: m.Seq, Publisher: m.Publisher, TTL: n.cfg.TTL,
+		}})
+	}
+	n.mu.Unlock()
+	if !fresh {
+		n.cfg.Obs.Inc(obs.CPublishDuplicate)
+	}
+	if deliver != nil {
+		deliver(d)
+	}
+	for _, o := range direct {
+		_ = n.tr.Send(o.to, o.m)
+	}
+}
+
+// topicRepairLocked runs the publisher-side hand-off rounds inside
+// repairTick: re-send the TopicPub to every not-yet-acked member of the
+// topic's current rendezvous set, resolving when all live members
+// acked and dead-lettering past the budget. Self-accepts are returned
+// for the caller to run outside the lock.
+type selfAccept struct {
+	origin  msgID
+	topic   string
+	payload []byte
+	size    uint32
+	pri     uint8
+}
+
+func (n *Node) topicRepairLocked(now time.Time, budget int, direct []outMsg, accepts []selfAccept) ([]outMsg, []selfAccept) {
+	for seq, tp := range n.tpubs {
+		set := n.topicRendezvousLocked(tp.topic, now)
+		allAcked := len(set) > 0
+		for _, rep := range set {
+			if !tp.acked[rep] {
+				allAcked = false
+				break
+			}
+		}
+		if allAcked {
+			delete(n.tpubs, seq)
+			n.cfg.Obs.TraceEvent("topic_pub_resolved", int32(n.id), seq)
+			continue
+		}
+		if tp.nextAt.After(now) {
+			continue
+		}
+		if tp.attempt >= budget {
+			// A member that answered none of the budget's hand-offs is de
+			// facto dead even while the accrual detector still lists it
+			// live: if any replica accepted, that replica owns delivery
+			// (tree, repair, deposits) and the hand-off is complete. Only a
+			// publication NO replica ever accepted dead-letters.
+			anyAcked := false
+			var missing []overlay.PeerID
+			for _, rep := range set {
+				if tp.acked[rep] {
+					anyAcked = true
+				} else {
+					missing = append(missing, rep)
+				}
+			}
+			delete(n.tpubs, seq)
+			if anyAcked {
+				n.cfg.Obs.TraceEvent("topic_pub_resolved", int32(n.id), seq)
+				continue
+			}
+			n.cfg.Obs.Inc(obs.CDeadLetter)
+			n.cfg.Obs.TraceEvent("topic_dead_letter", int32(n.id), seq)
+			n.deadLetters = append(n.deadLetters, DeadLetter{Seq: seq, Missing: missing, Retries: tp.attempt})
+			if len(n.deadLetters) > maxDeadLetters {
+				n.deadLetters = n.deadLetters[len(n.deadLetters)-maxDeadLetters:]
+			}
+			continue
+		}
+		tp.attempt++
+		tp.nextAt = now.Add(n.backoff().Delay(tp.bseed, tp.attempt))
+		for _, rep := range set {
+			if tp.acked[rep] {
+				continue
+			}
+			if rep == n.id {
+				tp.acked[n.id] = true
+				accepts = append(accepts, selfAccept{
+					origin: msgID{int32(n.id), seq}, topic: tp.topic,
+					payload: tp.payload, size: tp.size, pri: tp.pri,
+				})
+				continue
+			}
+			n.cfg.Obs.Inc(obs.CRetrySent)
+			direct = append(direct, outMsg{int32(rep), n.topicPubMsgLocked(seq, tp, rep, -1, nil)})
+		}
+	}
+	return direct, accepts
+}
+
+// handleTopicPubAck marks one rendezvous member's acceptance on the
+// publisher.
+func (n *Node) handleTopicPubAck(m *wire.Message) {
+	if overlay.PeerID(m.To) != n.id || m.Publisher != int32(n.id) {
+		return
+	}
+	now := time.Now()
+	n.mu.Lock()
+	if tp := n.tpubs[m.Seq]; tp != nil {
+		tp.acked[overlay.PeerID(m.From)] = true
+		// Resolve eagerly so nextRepairAt can drop the entry.
+		set := n.topicRendezvousLocked(tp.topic, now)
+		all := len(set) > 0
+		for _, rep := range set {
+			if !tp.acked[rep] {
+				all = false
+				break
+			}
+		}
+		if all {
+			delete(n.tpubs, m.Seq)
+			n.cfg.Obs.TraceEvent("topic_pub_resolved", int32(n.id), m.Seq)
+		}
+	}
+	n.mu.Unlock()
+	n.cfg.Obs.Inc(obs.CAckReceived)
+	n.kickRetry()
+}
+
+// TopicSubscribers reports the topic's registry size at this node
+// (rendezvous role; ops/tests surface).
+func (n *Node) TopicSubscribers(topic string) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.topicReg[topic])
+}
+
+// PendingTopicPublishes reports how many topic hand-offs are still
+// unresolved on this node (publisher role).
+func (n *Node) PendingTopicPublishes() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.tpubs)
+}
+
+func peersEqual(a, b []overlay.PeerID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

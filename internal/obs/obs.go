@@ -104,6 +104,17 @@ const (
 	CInboxReplayed    // replayed publications acked and cleared from the journal
 	CInboxLogCorrupt  // corrupt journal frames skipped at recovery
 
+	// node: topic pub/sub (DESIGN.md §13).
+	CTopicSub         // subscription registrations/lease refreshes received by rendezvous peers
+	CTopicUnsub       // unsubscribes received (registry removal or journal purge)
+	CTopicPubRecv     // topic publications accepted for fan-out by rendezvous peers
+	CTopicFanout      // dissemination-tree copies sent (root branches + interior forwards)
+	CTopicDelivered   // topic publications delivered to a local subscriber handler
+	CTopicRehome      // rendezvous-set changes observed by subscribers (lease re-registered)
+	CTopicHandoff     // registry hand-offs sent by peers that lost rendezvous ownership
+	CTopicLeaseExpire // registry entries expired (subscriber stopped refreshing)
+	CTopicPurged      // journal records purged by an unsubscribe drain
+
 	numCounters
 )
 
@@ -174,6 +185,15 @@ var counterNames = [numCounters]string{
 	CInboxReplay:      "inbox_replay",
 	CInboxReplayed:    "inbox_replayed",
 	CInboxLogCorrupt:  "inbox_log_corrupt",
+	CTopicSub:         "topic_sub",
+	CTopicUnsub:       "topic_unsub",
+	CTopicPubRecv:     "topic_pub_recv",
+	CTopicFanout:      "topic_fanout",
+	CTopicDelivered:   "topic_delivered",
+	CTopicRehome:      "topic_rehome",
+	CTopicHandoff:     "topic_handoff",
+	CTopicLeaseExpire: "topic_lease_expire",
+	CTopicPurged:      "topic_purged",
 }
 
 // String returns the counter's export name.

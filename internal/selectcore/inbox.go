@@ -24,38 +24,7 @@ type RingMember struct {
 // hold its own offline inbox); ties on a shared position break by peer
 // id so every caller derives the identical set.
 func InboxReplicas(sub overlay.PeerID, subPos ring.ID, members []RingMember, live func(overlay.PeerID) bool, r int) []overlay.PeerID {
-	if r <= 0 {
-		return nil
-	}
-	cands := make([]RingMember, 0, len(members))
-	for _, m := range members {
-		if m.ID == sub || (live != nil && !live(m.ID)) {
-			continue
-		}
-		cands = append(cands, m)
-	}
-	sort.Slice(cands, func(i, j int) bool {
-		di := ring.Clockwise(subPos, cands[i].Pos)
-		dj := ring.Clockwise(subPos, cands[j].Pos)
-		if di <= 0 {
-			di += 1
-		}
-		if dj <= 0 {
-			dj += 1
-		}
-		if di != dj {
-			return di < dj
-		}
-		return cands[i].ID < cands[j].ID
-	})
-	if len(cands) > r {
-		cands = cands[:r]
-	}
-	out := make([]overlay.PeerID, len(cands))
-	for i, m := range cands {
-		out[i] = m.ID
-	}
-	return out
+	return clockwiseSuccessors(subPos, sub, members, live, r)
 }
 
 // LeaseOrder is the claim-scheduling rule: the order in which a rejoined

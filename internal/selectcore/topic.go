@@ -1,0 +1,122 @@
+package selectcore
+
+import (
+	"sort"
+
+	"selectps/internal/overlay"
+	"selectps/internal/ring"
+)
+
+// Topic rules (DESIGN.md §13): named topics hash to a ring position and
+// rendezvous on the first live clockwise successors of that position —
+// the same successor-set geometry the durable tier uses for inbox
+// replicas, so topic state needs no directory of its own. Both the
+// rendezvous-placement rule and the dissemination-tree rule are pure
+// functions of (position, membership) shared by the simulator and the
+// runtime; the equivalence tests in topic_test.go pin that every peer
+// with the same ring view derives the identical rendezvous set and the
+// identical tree.
+
+// TopicPos maps a topic name onto the unit ring. Publishers,
+// subscribers, and rendezvous candidates all derive placement from this
+// one hash, so no coordination is needed to agree where a topic lives.
+func TopicPos(name string) ring.ID {
+	return ring.Hash([]byte(name))
+}
+
+// Rendezvous is the topic-placement rule: the first r live peers
+// clockwise from pos host the topic's subscriber registry (index 0 is
+// the primary, the rest are standbys that shadow the registry and take
+// over fan-out when the primary dies). Unlike InboxReplicas no peer is
+// excluded — a topic position is a hash, not a peer, so any live member
+// may serve it. Ties on a shared position break by peer id so every
+// caller derives the identical set.
+func Rendezvous(pos ring.ID, members []RingMember, live func(overlay.PeerID) bool, r int) []overlay.PeerID {
+	return clockwiseSuccessors(pos, -1, members, live, r)
+}
+
+// clockwiseSuccessors is the shared successor-selection kernel behind
+// Rendezvous and InboxReplicas: the first r live members strictly
+// clockwise from pos (a member exactly at pos wraps the whole ring —
+// measure-zero for hashed positions, and deterministic), excluding
+// `exclude` when it is a valid peer id, id-tiebroken.
+func clockwiseSuccessors(pos ring.ID, exclude overlay.PeerID, members []RingMember, live func(overlay.PeerID) bool, r int) []overlay.PeerID {
+	if r <= 0 {
+		return nil
+	}
+	cands := make([]RingMember, 0, len(members))
+	for _, m := range members {
+		if m.ID == exclude || (live != nil && !live(m.ID)) {
+			continue
+		}
+		cands = append(cands, m)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		di := ring.Clockwise(pos, cands[i].Pos)
+		dj := ring.Clockwise(pos, cands[j].Pos)
+		if di <= 0 {
+			di += 1
+		}
+		if dj <= 0 {
+			dj += 1
+		}
+		if di != dj {
+			return di < dj
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	if len(cands) > r {
+		cands = cands[:r]
+	}
+	out := make([]overlay.PeerID, len(cands))
+	for i, m := range cands {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// TreeBranches is the dissemination-tree rule: given a topic's
+// subscriber set (any order, duplicates tolerated) it returns at most
+// `fanout` branches. Each branch is a slice whose first element is the
+// child the current node forwards to and whose tail is that child's
+// subtree — the child recurses with TreeBranches(branch[1:], fanout),
+// so the whole tree unrolls from local decisions with no shared state
+// beyond the subscriber list itself. Subscribers are ranked by id, and
+// branch sizes differ by at most one, giving a complete fanout-ary tree
+// of depth ceil(log_fanout(n)). The input slice is not mutated.
+func TreeBranches(subs []overlay.PeerID, fanout int) [][]overlay.PeerID {
+	if len(subs) == 0 {
+		return nil
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	order := append([]overlay.PeerID(nil), subs...)
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	// Drop duplicates so a double-registered subscriber cannot become
+	// its own descendant.
+	dedup := order[:1]
+	for _, p := range order[1:] {
+		if p != dedup[len(dedup)-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	order = dedup
+	k := fanout
+	if len(order) < k {
+		k = len(order)
+	}
+	out := make([][]overlay.PeerID, 0, k)
+	base := len(order) / k
+	rem := len(order) % k
+	at := 0
+	for i := 0; i < k; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out = append(out, order[at:at+sz])
+		at += sz
+	}
+	return out
+}

@@ -104,6 +104,17 @@ type Config struct {
 	// dead-lettered. Requires Recovery.
 	Inbox bool
 
+	// Topics enables the named-topic flash-crowd arm: every peer
+	// subscribes to TopicSubs Zipf-drawn topics (exponent TopicZipf over
+	// Topics names — index 0, the hot hashtag, draws most of the mass)
+	// and the workload publishes every post to a Zipf-drawn topic's
+	// rendezvous tree instead of the publisher's friend feed. Combined
+	// with churn this exercises rendezvous re-homing mid-flood. Requires
+	// Recovery.
+	Topics    int
+	TopicZipf float64 // Zipf exponent (>1), default 1.2
+	TopicSubs int     // subscriptions per peer, default 2
+
 	// TraceCap bounds the structured obs event trace (0 = off).
 	TraceCap int
 }
@@ -216,6 +227,19 @@ type Report struct {
 	// > 0) — the converged-back overlay quality.
 	PostChurnMeanHops float64 `json:"post_churn_mean_hops,omitempty"`
 
+	// Topic arm (Topics > 0): the workload published to Zipf-popular
+	// named topics, so DeliveryRate measures flash-crowd delivery to
+	// live topic subscribers. HotTopicSubs is the hot hashtag's
+	// subscriber count; TopicRehomes/TopicHandoffs count rendezvous
+	// re-homing activity (nonzero under churn means re-homing was
+	// exercised mid-flood); TopicFanoutCopies counts dissemination-tree
+	// sends.
+	Topics            int   `json:"topics,omitempty"`
+	HotTopicSubs      int   `json:"hot_topic_subs,omitempty"`
+	TopicRehomes      int64 `json:"topic_rehomes,omitempty"`
+	TopicHandoffs     int64 `json:"topic_handoffs,omitempty"`
+	TopicFanoutCopies int64 `json:"topic_fanout_copies,omitempty"`
+
 	// FaultTrace is the canonical injected-fault schedule; identical for
 	// identical seeds. FaultEvents is its event count.
 	FaultEvents int    `json:"fault_events"`
@@ -238,6 +262,8 @@ type ConfigSummary struct {
 	LiveRejoin    bool    `json:"live_rejoin,omitempty"`
 	OfflineFrac   float64 `json:"offline_frac,omitempty"`
 	Inbox         bool    `json:"inbox,omitempty"`
+	Topics        int     `json:"topics,omitempty"`
+	TopicZipf     float64 `json:"topic_zipf,omitempty"`
 }
 
 // String renders the report like the repo's other experiment harnesses.
@@ -264,6 +290,10 @@ func (r *Report) String() string {
 	if r.LiveJoins > 0 || r.Rejoins > 0 {
 		fmt.Fprintf(&b, "live joins: %d   rejoins: %d   rejoined availability: %d/%d = %.2f%%\n",
 			r.LiveJoins, r.Rejoins, r.RejoinedDelivered, r.RejoinedWanted, 100*r.RejoinAvailability)
+	}
+	if r.Topics > 0 {
+		fmt.Fprintf(&b, "topics: %d (hot hashtag %d subscribers)   rehomes: %d   handoffs: %d   tree copies: %d\n",
+			r.Topics, r.HotTopicSubs, r.TopicRehomes, r.TopicHandoffs, r.TopicFanoutCopies)
 	}
 	fmt.Fprintf(&b, "overlay quality: mean hops %.2f, link-bucket coverage %.2f\n", r.MeanHops, r.MeanLinkCoverage)
 	fmt.Fprintf(&b, "injected fault events: %d\n", r.FaultEvents)
@@ -317,6 +347,23 @@ func Run(cfg Config) (*Report, error) {
 
 	nopts := node.Options{Graph: g, Overlay: ov, Transport: fn, Seed: cfg.Seed, Obs: met, Shards: cfg.Shards}
 	nopts.Inbox = cfg.Inbox
+	if cfg.Topics > 0 {
+		if !cfg.Recovery {
+			return nil, fmt.Errorf("soak: Topics requires Recovery (rendezvous re-homing rides the repair engine)")
+		}
+		if cfg.TopicZipf == 0 {
+			cfg.TopicZipf = 1.2
+		}
+		if cfg.TopicSubs == 0 {
+			cfg.TopicSubs = 2
+		}
+		// Under churn a paused subscriber cannot refresh its lease; keep
+		// registrations alive across the longest window the soak is still
+		// willing to score so the rendezvous keeps repairing toward peers
+		// that resume mid-deadline (the friend-feed arm gets the same
+		// property from the publisher's retry budget).
+		nopts.TopicLease = cfg.DeliverTimeout + 5*time.Second
+	}
 	if cfg.Recovery {
 		nopts.HeartbeatEvery = cfg.HeartbeatEvery
 		nopts.GossipEvery = cfg.GossipEvery
@@ -384,8 +431,8 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Inbox {
 		for _, nd := range cluster.Nodes {
 			sid := int32(nd.ID())
-			nd.OnDeliver(func(pub overlay.PeerID, seq uint32, hops uint8, payload []byte) {
-				k := delivKey{sub: sid, pub: int32(pub), seq: seq}
+			nd.OnDeliver(func(d node.Delivery) {
+				k := delivKey{sub: sid, pub: int32(d.Publisher), seq: d.Seq}
 				dupMu.Lock()
 				delivCount[k]++
 				if delivCount[k] > 1 {
@@ -476,6 +523,44 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
+	// Topic flash-crowd arm: every live peer subscribes to TopicSubs
+	// Zipf-drawn named topics before the flood. Topic 0 — the hot
+	// hashtag — draws most of the probability mass, so its rendezvous
+	// peers carry a flash crowd while churn keeps killing and re-homing
+	// them mid-flood.
+	var topicNames []string
+	subsOf := make(map[string][]overlay.PeerID)
+	var topicZipf *rand.Zipf
+	if cfg.Topics > 0 {
+		trng := rand.New(rand.NewSource(cfg.Seed + topicSeedOffset))
+		topicZipf = rand.NewZipf(trng, cfg.TopicZipf, 1, uint64(cfg.Topics-1))
+		topicNames = make([]string, cfg.Topics)
+		for i := range topicNames {
+			topicNames[i] = fmt.Sprintf("#topic-%d", i)
+		}
+		for p := 0; p < cfg.N; p++ {
+			pid := overlay.PeerID(p)
+			if offline[pid] {
+				continue // crashed before the workload; cannot register
+			}
+			seen := make(map[string]bool, cfg.TopicSubs)
+			for k := 0; k < cfg.TopicSubs; k++ {
+				name := topicNames[topicZipf.Uint64()]
+				if seen[name] {
+					continue
+				}
+				seen[name] = true
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				_, err := cluster.Nodes[p].Topic(name).Subscribe(ctx)
+				cancel()
+				if err != nil {
+					return nil, fmt.Errorf("soak: subscribe %d to %s: %w", p, name, err)
+				}
+				subsOf[name] = append(subsOf[name], pid)
+			}
+		}
+	}
+
 	// Workload: seeded random publishers with at least one subscriber.
 	wrng := rand.New(rand.NewSource(cfg.Seed + workloadSeedOffset))
 	var latencies []float64
@@ -503,9 +588,25 @@ func Run(cfg Config) (*Report, error) {
 				break
 			}
 		}
-		subs := g.Neighbors(pub)
+		var subs []overlay.PeerID
+		var seq uint32
 		start := time.Now()
-		seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
+		if cfg.Topics > 0 {
+			name := topicNames[topicZipf.Uint64()]
+			for _, s := range subsOf[name] {
+				if s != pub {
+					subs = append(subs, s)
+				}
+			}
+			var perr error
+			seq, perr = cluster.Nodes[pub].Topic(name).Publish(nil, node.WithSize(cfg.PayloadSize))
+			if perr != nil {
+				return nil, fmt.Errorf("soak: topic publish %s from %d: %w", name, pub, perr)
+			}
+		} else {
+			subs = g.Neighbors(pub)
+			seq = cluster.Nodes[pub].Publish(nil, node.WithSize(cfg.PayloadSize))
+		}
 		posted = append(posted, pubRecord{pub: pub, seq: seq, subs: subs})
 		// The harness only waits — and only for subscribers that are up;
 		// the offline set's copies are owed through the durable tier and
@@ -637,7 +738,7 @@ func Run(cfg Config) (*Report, error) {
 				}
 			}
 			subs := g.Neighbors(pub)
-			seq := cluster.Nodes[pub].PublishSize(cfg.PayloadSize)
+			seq := cluster.Nodes[pub].Publish(nil, node.WithSize(cfg.PayloadSize))
 			waitCtx, waitCancel := context.WithTimeout(context.Background(), cfg.DeliverTimeout)
 			cluster.AwaitDelivery(waitCtx, pub, seq, subs)
 			waitCancel()
@@ -677,6 +778,7 @@ func Run(cfg Config) (*Report, error) {
 			Posts: cfg.Posts, Drop: cfg.Fault.DropProb, Recovery: cfg.Recovery,
 			BootstrapFrac: cfg.BootstrapFrac, LiveRejoin: cfg.LiveRejoin,
 			OfflineFrac: cfg.OfflineFrac, Inbox: cfg.Inbox,
+			Topics: cfg.Topics, TopicZipf: cfg.TopicZipf,
 		},
 		Posts: cfg.Posts, Wanted: wanted, Delivered: delivered,
 		EligibleWanted: eligibleWanted, EligibleDelivered: eligibleDelivered,
@@ -726,6 +828,13 @@ func Run(cfg Config) (*Report, error) {
 	if postHopCount > 0 {
 		r.PostChurnMeanHops = float64(postHopTotal) / float64(postHopCount)
 	}
+	if cfg.Topics > 0 {
+		r.Topics = cfg.Topics
+		r.HotTopicSubs = len(subsOf[topicNames[0]])
+		r.TopicRehomes = met.Get(obs.CTopicRehome)
+		r.TopicHandoffs = met.Get(obs.CTopicHandoff)
+		r.TopicFanoutCopies = met.Get(obs.CTopicFanout)
+	}
 	if s := fn.Schedule(); s != nil {
 		r.FaultEvents = len(s.Ev)
 		r.FaultTrace = s.Trace()
@@ -748,4 +857,5 @@ const (
 	faultSeedOffset    = 1_000_003
 	workloadSeedOffset = 2_000_003
 	offlineSeedOffset  = 3_000_017
+	topicSeedOffset    = 4_000_037
 )

@@ -67,6 +67,24 @@ func fuzzSeeds() []*Message {
 			Publisher: 9, Target: 10, Priority: 2, PayloadSize: 1_200_000, HopCount: 1,
 		},
 		{Kind: KindInboxReplayAck, From: 10, To: 2, Seq: 11, Publisher: 9, Target: 10},
+		{Kind: KindTopicSub, From: 10, To: 2, Seq: 21, Topic: []byte("#go")},
+		{Kind: KindTopicSubAck, From: 2, To: 10, Seq: 21, Topic: []byte("#go")},
+		{Kind: KindTopicUnsub, From: 10, To: 2, Seq: 22, Topic: []byte("#go")},
+		{
+			Kind: KindTopicPub, From: 9, To: 2, Seq: 23,
+			Publisher: 9, Target: -1, Priority: 1, PayloadSize: 1_200_000,
+			Topic: []byte("#flashcrowd"),
+		},
+		{
+			Kind: KindTopicPub, From: 2, To: 10, Seq: 23,
+			Publisher: 9, Target: 2, PayloadSize: 4, Payload: []byte("body"),
+			RoutingTable: []int32{11, 12, 13}, Topic: []byte("#flashcrowd"),
+		},
+		{Kind: KindTopicPubAck, From: 2, To: 9, Seq: 23, Publisher: 9, Topic: []byte("#flashcrowd")},
+		{
+			Kind: KindTopicHandoff, From: 2, To: 3, Seq: 24,
+			RoutingTable: []int32{10, 11}, Topic: []byte("#go"),
+		},
 	}
 }
 
@@ -111,7 +129,7 @@ func FuzzUnmarshal(f *testing.F) {
 		// guard — the length claims are validated against len(b) before
 		// any make).
 		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap) + len(m.Payload) +
-			4*len(m.Succs) + 8*len(m.SuccPos) + 4*len(m.Preds) + 8*len(m.PredPos)
+			4*len(m.Succs) + 8*len(m.SuccPos) + 4*len(m.Preds) + 8*len(m.PredPos) + len(m.Topic)
 		if claimed > len(b) {
 			t.Fatalf("decoded %d bytes of slices from a %d-byte frame", claimed, len(b))
 		}

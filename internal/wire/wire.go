@@ -79,6 +79,33 @@ const (
 	// KindInboxReplayAck acknowledges a replayed publication so the
 	// replica can ack the log record and compact it away.
 	KindInboxReplayAck
+	// KindTopicSub registers the sender as a subscriber of Topic at a
+	// rendezvous replica, refreshing its lease (DESIGN.md §13). Sent
+	// point-to-point to every member of the topic's rendezvous set.
+	KindTopicSub
+	// KindTopicSubAck confirms a registration; Seq echoes the TopicSub.
+	KindTopicSubAck
+	// KindTopicUnsub removes the sender's registration and asks the
+	// receiver to purge any inbox deposits it still journals for
+	// (sender, topic) — sent both to the rendezvous set and to the
+	// sender's own inbox replicas so a departed subscriber cannot
+	// strand journal entries.
+	KindTopicUnsub
+	// KindTopicPub carries a topic publication. Target < 0 marks the
+	// publisher→rendezvous hand-off hop (accepted by whichever replica
+	// receives it); Target >= 0 marks a dissemination-tree copy whose
+	// acks flow back to the rendezvous peer Target, with RoutingTable
+	// carrying the receiver's subtree of subscribers to forward on to.
+	KindTopicPub
+	// KindTopicPubAck confirms a rendezvous replica accepted a
+	// publication for fan-out (the publisher retries the hand-off until
+	// every live replica of the current rendezvous set has acked).
+	KindTopicPubAck
+	// KindTopicHandoff transfers a topic's subscriber registry
+	// (RoutingTable) from a peer that lost rendezvous ownership — an
+	// Algorithm-2 ID move or membership change shifted the set — to a
+	// current member of the set.
+	KindTopicHandoff
 )
 
 // String implements fmt.Stringer.
@@ -122,6 +149,18 @@ func (k Kind) String() string {
 		return "inbox-replay"
 	case KindInboxReplayAck:
 		return "inbox-replay-ack"
+	case KindTopicSub:
+		return "topic-sub"
+	case KindTopicSubAck:
+		return "topic-sub-ack"
+	case KindTopicUnsub:
+		return "topic-unsub"
+	case KindTopicPub:
+		return "topic-pub"
+	case KindTopicPubAck:
+		return "topic-pub-ack"
+	case KindTopicHandoff:
+		return "topic-handoff"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -179,6 +218,11 @@ type Message struct {
 	// of the frame so the PatchTo/PatchSeq header offsets are untouched.
 	Target   int32
 	Priority uint8
+
+	// Topic names the topic a Topic* kind concerns (raw UTF-8 bytes).
+	// Appended after Priority so, like Target/Priority before it, the
+	// PatchTo/PatchSeq header offsets stay valid.
+	Topic []byte
 }
 
 const maxSliceLen = 1 << 20 // defensive decode bound
@@ -212,6 +256,9 @@ func (m *Message) Clone() *Message {
 	if m.PredPos != nil {
 		c.PredPos = append([]uint64(nil), m.PredPos...)
 	}
+	if m.Topic != nil {
+		c.Topic = append([]byte(nil), m.Topic...)
+	}
 	return &c
 }
 
@@ -238,7 +285,8 @@ func frameSize(m *Message) int {
 		8 + // pos
 		4 + 4*len(m.Succs) + 4 + 8*len(m.SuccPos) +
 		4 + 4*len(m.Preds) + 4 + 8*len(m.PredPos) +
-		4 + 1 // target, priority
+		4 + 1 + // target, priority
+		4 + len(m.Topic) // topic
 }
 
 // Marshal encodes m into a self-delimited frame (4-byte length prefix).
@@ -322,6 +370,8 @@ func MarshalAppend(dst []byte, m *Message) []byte {
 	put32(m.Target)
 	b[off] = m.Priority
 	off++
+	putU32(uint32(len(m.Topic)))
+	off += copy(b[off:], m.Topic)
 	return dst[:start+4+off]
 }
 
@@ -538,6 +588,18 @@ func UnmarshalInto(m *Message, b []byte) error {
 	}
 	m.Priority = b[off]
 	off++
+	tl, err := getU32()
+	if err != nil {
+		return err
+	}
+	if tl > maxSliceLen {
+		return fmt.Errorf("wire: topic length %d too large", tl)
+	}
+	if err := need(int(tl)); err != nil {
+		return err
+	}
+	m.Topic = append(m.Topic[:0], b[off:off+int(tl)]...)
+	off += int(tl)
 	if off != len(b) {
 		return fmt.Errorf("wire: %d trailing bytes", len(b)-off)
 	}

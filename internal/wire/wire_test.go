@@ -15,8 +15,10 @@ func TestKindString(t *testing.T) {
 		KindJoinRequest: "join-request", KindJoinReply: "join-reply",
 		KindIDAnnounce: "id-announce", KindLinkProposal: "link-proposal",
 		KindLinkAccept: "link-accept", KindLinkDrop: "link-drop",
-		KindLeave: "leave",
-		Kind(99):  "kind(99)",
+		KindLeave: "leave", KindTopicSub: "topic-sub", KindTopicSubAck: "topic-sub-ack",
+		KindTopicUnsub: "topic-unsub", KindTopicPub: "topic-pub",
+		KindTopicPubAck: "topic-pub-ack", KindTopicHandoff: "topic-handoff",
+		Kind(99): "kind(99)",
 	} {
 		if got := k.String(); got != want {
 			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
@@ -44,6 +46,9 @@ func TestRoundTripAllFields(t *testing.T) {
 		SuccPos:      []uint64{0x3FE0000000000000, 0x3FD0000000000000, 1},
 		Preds:        []int32{2, 1},
 		PredPos:      []uint64{0x3FC0000000000000, 0},
+		Target:       42,
+		Priority:     2,
+		Topic:        []byte("#hashtag"),
 	}
 	frame := Marshal(m)
 	length := binary.LittleEndian.Uint32(frame)
@@ -128,6 +133,10 @@ func TestRoundTripProperty(t *testing.T) {
 		if n := rng.Intn(64); n > 0 {
 			m.Payload = make([]byte, n)
 			rng.Read(m.Payload)
+		}
+		if n := rng.Intn(16); n > 0 {
+			m.Topic = make([]byte, n)
+			rng.Read(m.Topic)
 		}
 		if n := rng.Intn(6); n > 0 {
 			m.Succs = make([]int32, n)
