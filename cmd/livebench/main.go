@@ -150,7 +150,7 @@ func main() {
 			}
 			subs := g.Neighbors(b)
 			start := time.Now()
-			seq := cluster.Nodes[b].Publish(nil, node.WithSize(1_200_000))
+			seq, _ := cluster.Nodes[b].Topic(node.UserTopic(b)).Publish(nil, node.WithSize(1_200_000))
 			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 			got, _ := cluster.AwaitDelivery(ctx, b, seq, subs)
 			cancel()
@@ -398,7 +398,7 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, met *obs.Metrics
 		// Publish under mu so a delivery can never observe its own key
 		// before the start time is recorded.
 		mu.Lock()
-		seq := cluster.Nodes[b].Publish(nil, node.WithSize(1_200_000))
+		seq, _ := cluster.Nodes[b].Topic(node.UserTopic(b)).Publish(nil, node.WithSize(1_200_000))
 		starts[uint64(uint32(b))<<32|uint64(seq)] = time.Now()
 		mu.Unlock()
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -59,10 +60,19 @@ func main() {
 		topicSubs = flag.Int("topic-subs", 2, "topic subscriptions per peer")
 		assertAll = flag.Bool("assert-all", false, "exit 1 unless every subscriber (offline included) was delivered with zero dead letters and zero duplicate app deliveries")
 
-		compare  = flag.Bool("compare", false, "run recovery on AND off over the same fault schedule")
-		asJSON   = flag.Bool("json", false, "emit the obs snapshot as JSON")
-		trace    = flag.Bool("trace", false, "print the injected fault schedule")
-		traceCap = flag.Int("trace-cap", 0, "retain the last N structured obs events (0 disables)")
+		attack       = flag.String("attack", "none", "adversarial arm: none, sybil, eclipse or liar")
+		attackFrac   = flag.Float64("attack-frac", 0.05, "fraction of peers recruited as attackers")
+		attackFrom   = flag.Int("attack-from", 0, "step the attack window opens (0 = Steps/4)")
+		attackFor    = flag.Int("attack-for", 0, "attack window length in steps (0 = Steps/2)")
+		attackTarget = flag.Int("attack-target", -1, "victim peer (-1 = drawn from the seed)")
+		defenses     = flag.Bool("defenses", true, "hardened nodes: admission rate limits, arc caps, position cross-checks, strength clamps")
+		minAvail     = flag.Float64("min-avail", 0, "exit 1 if eligible availability falls below this fraction (CI floor; 0 disables)")
+
+		compare    = flag.Bool("compare", false, "run recovery on AND off over the same fault schedule")
+		asJSON     = flag.Bool("json", false, "emit the obs snapshot as JSON")
+		reportJSON = flag.Bool("report-json", false, "emit the full report as JSON (for bench assembly)")
+		trace      = flag.Bool("trace", false, "print the injected fault schedule")
+		traceCap   = flag.Int("trace-cap", 0, "retain the last N structured obs events (0 disables)")
 	)
 	flag.Parse()
 
@@ -95,7 +105,25 @@ func main() {
 		m := churn.DefaultModel()
 		cfg.Fault.Churn = &m
 	}
-	if cfg.Fault.Churn == nil && *partEach == 0 {
+	kind, ok := faultnet.ParseAttack(*attack)
+	if !ok {
+		fatal(fmt.Errorf("unknown -attack %q (want none, sybil, eclipse or liar)", *attack))
+	}
+	if kind != faultnet.AttackNone {
+		cfg.Fault.Attack = kind
+		cfg.Fault.AttackFrac = *attackFrac
+		cfg.Fault.AttackFrom = *attackFrom
+		cfg.Fault.AttackFor = *attackFor
+		cfg.Fault.AttackTarget = int32(*attackTarget)
+		cfg.Defenses = *defenses
+		if cfg.PostChurnPosts == 0 {
+			// The attack report needs the post-window recovery phase: keep
+			// the run alive past EvAttackStop and measure what the overlay
+			// converged back to.
+			cfg.PostChurnPosts = 5
+		}
+	}
+	if cfg.Fault.Churn == nil && *partEach == 0 && kind == faultnet.AttackNone {
 		// No timed faults requested: skip schedule generation entirely.
 		cfg.Fault.Tick, cfg.Fault.Steps = 0, 0
 	}
@@ -112,7 +140,15 @@ func main() {
 	}
 
 	r := run(cfg)
-	fmt.Print(r)
+	if *reportJSON {
+		raw, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", raw)
+	} else {
+		fmt.Print(r)
+	}
 	if *trace && r.FaultTrace != "" {
 		fmt.Printf("\n--- injected fault schedule ---\n%s", r.FaultTrace)
 	}
@@ -147,6 +183,10 @@ func main() {
 		if !ok {
 			os.Exit(1)
 		}
+	}
+	if *minAvail > 0 && r.DeliveryRate < *minAvail {
+		fmt.Fprintf(os.Stderr, "soak: eligible availability %.4f < floor %.4f\n", r.DeliveryRate, *minAvail)
+		os.Exit(1)
 	}
 }
 

@@ -95,7 +95,7 @@ func main() {
 	fmt.Printf("publisher %d notifies %d friends (%d-byte payload)\n", pub, len(subs), len(body))
 
 	start := time.Now()
-	seq := cluster.Nodes[pub].Publish(body)
+	seq, _ := cluster.Nodes[pub].Topic(node.UserTopic(pub)).Publish(body)
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	delivered, ok := cluster.AwaitDelivery(ctx, pub, seq, subs)
 	cancel()
@@ -134,7 +134,7 @@ func main() {
 	}
 	fmt.Printf("peer %d joined live at ring position %.4f\n", late, cluster.Nodes[late].Position())
 	if g.Degree(late) > 0 {
-		seq := cluster.Nodes[late].Publish([]byte("first post after joining"))
+		seq, _ := cluster.Nodes[late].Topic(node.UserTopic(late)).Publish([]byte("first post after joining"))
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		got, _ := cluster.AwaitDelivery(ctx, late, seq, g.Neighbors(late))
 		cancel()

@@ -1,0 +1,143 @@
+package faultnet
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestAttackScheduleDeterministic pins the byte-identical Trace()
+// contract for the adversarial arms: same (n, cfg, seed) ⇒ same trace,
+// different seed ⇒ a different attacker draw.
+func TestAttackScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		Tick: time.Millisecond, Steps: 400,
+		Attack: AttackEclipse, AttackFrac: 0.1, AttackTarget: -1,
+	}
+	a := BuildSchedule(50, cfg, 7).Trace()
+	b := BuildSchedule(50, cfg, 7).Trace()
+	if a != b {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a, b)
+	}
+	c := BuildSchedule(50, cfg, 8).Trace()
+	if a == c {
+		t.Fatal("different seeds produced an identical attack schedule")
+	}
+	if !strings.Contains(a, "attack arm=eclipse") {
+		t.Fatalf("trace missing attack event:\n%s", a)
+	}
+	if !strings.Contains(a, "attack-stop arm=eclipse") {
+		t.Fatalf("trace missing attack-stop event:\n%s", a)
+	}
+}
+
+// TestAttackSchedulePinnedTrace pins the exact rendering: defaults put
+// the window at [Steps/4, Steps/4+Steps/2), the victim comes from the
+// seed stream, attackers are sorted and exclude the victim.
+func TestAttackSchedulePinnedTrace(t *testing.T) {
+	cfg := Config{
+		Tick: time.Millisecond, Steps: 100,
+		Attack: AttackSybil, AttackFrac: 0.25, AttackTarget: 3,
+	}
+	got := BuildSchedule(8, cfg, 1).Trace()
+	want := "schedule n=8 steps=100 events=2\n" +
+		"step=25 attack arm=sybil target=3 side=[4 5]\n" +
+		"step=75 attack-stop arm=sybil target=3\n"
+	if got != want {
+		t.Fatalf("pinned attack trace changed:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestAttackWindowCompile pins the compiled lookup the soak driver polls:
+// inside the window AttackAt yields (arm, victim, attackers); outside it
+// reports no attack.
+func TestAttackWindowCompile(t *testing.T) {
+	sched := &Schedule{N: 10, Steps: 100, Ev: []Event{
+		{Step: 20, Kind: EvAttackStart, Peer: 4, Part: -1, Side: []int32{1, 7}, Attack: AttackLiar},
+		{Step: 60, Kind: EvAttackStop, Peer: 4, Part: -1, Attack: AttackLiar},
+	}}
+	c := sched.compile()
+	if _, _, _, ok := c.attackAt(19); ok {
+		t.Fatal("attack active before its window")
+	}
+	kind, target, attackers, ok := c.attackAt(20)
+	if !ok || kind != AttackLiar || target != 4 || len(attackers) != 2 || attackers[0] != 1 || attackers[1] != 7 {
+		t.Fatalf("attackAt(20) = %v %d %v %v", kind, target, attackers, ok)
+	}
+	if _, _, _, ok := c.attackAt(60); ok {
+		t.Fatal("attack still active at its stop step")
+	}
+	// A window with no stop event stays open to the horizon.
+	openEnded := &Schedule{N: 10, Steps: 100, Ev: []Event{
+		{Step: 50, Kind: EvAttackStart, Peer: 2, Part: -1, Side: []int32{3}, Attack: AttackSybil},
+	}}
+	co := openEnded.compile()
+	if _, _, _, ok := co.attackAt(99); !ok {
+		t.Fatal("open-ended attack window not active at the horizon")
+	}
+}
+
+// TestAttackTargetNeverAttacker asserts the victim is excluded from the
+// attacker draw across seeds.
+func TestAttackTargetNeverAttacker(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		cfg := Config{
+			Tick: time.Millisecond, Steps: 200,
+			Attack: AttackSybil, AttackFrac: 0.5, AttackTarget: -1,
+		}
+		s := BuildSchedule(12, cfg, seed)
+		for _, e := range s.Ev {
+			if e.Kind != EvAttackStart {
+				continue
+			}
+			for _, a := range e.Side {
+				if a == e.Peer {
+					t.Fatalf("seed %d: victim %d is also an attacker", seed, e.Peer)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionFracRoundsToZeroSkipped pins the BuildSchedule edge fix:
+// a PartitionFrac that rounds to zero peers emits no partition events at
+// all (previously it forced a one-peer side), and the trace is pinned.
+func TestPartitionFracRoundsToZeroSkipped(t *testing.T) {
+	cfg := Config{
+		Tick: time.Millisecond, Steps: 100,
+		PartitionEvery: 20, PartitionFor: 10, PartitionFrac: 0.1,
+	}
+	// n=3, frac=0.1 → int(0.3) = 0 peers: every partition is skipped.
+	got := BuildSchedule(3, cfg, 5).Trace()
+	want := "schedule n=3 steps=100 events=0\n"
+	if got != want {
+		t.Fatalf("zero-peer partitions not skipped:\n got: %q\nwant: %q", got, want)
+	}
+	// The same fraction over enough peers still partitions.
+	s := BuildSchedule(40, cfg, 5)
+	if len(s.Ev) == 0 {
+		t.Fatal("valid partitions were skipped")
+	}
+	for _, e := range s.Ev {
+		if e.Kind == EvPartitionStart && len(e.Side) == 0 {
+			t.Fatal("empty partition side scheduled")
+		}
+	}
+}
+
+// TestParseAttack pins the flag surface.
+func TestParseAttack(t *testing.T) {
+	cases := map[string]AttackKind{
+		"": AttackNone, "none": AttackNone,
+		"sybil": AttackSybil, "eclipse": AttackEclipse, "liar": AttackLiar,
+	}
+	for in, want := range cases {
+		got, ok := ParseAttack(in)
+		if !ok || got != want {
+			t.Fatalf("ParseAttack(%q) = %v, %v", in, got, ok)
+		}
+	}
+	if _, ok := ParseAttack("ddos"); ok {
+		t.Fatal("unknown arm accepted")
+	}
+}

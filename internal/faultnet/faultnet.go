@@ -62,6 +62,26 @@ type Config struct {
 	PartitionEvery int
 	PartitionFor   int
 	PartitionFrac  float64
+
+	// Attack schedules one adversarial arm (AttackNone = honest faults
+	// only). The schedule picks the attacker set and victim
+	// deterministically from the seed and emits EvAttackStart /
+	// EvAttackStop events; enacting the behavior is the driver's job —
+	// it mirrors the window onto node adversary hooks
+	// (node.Node.SetAdversary), because these are byzantine *peers*,
+	// not transport faults.
+	Attack AttackKind
+	// AttackFrac is the fraction of peers recruited as attackers
+	// (default 0.05, at least one, never the victim).
+	AttackFrac float64
+	// AttackFrom is the step the attack starts (default Steps/4) and
+	// AttackFor its duration in steps (default Steps/2, clamped to the
+	// horizon).
+	AttackFrom int
+	AttackFor  int
+	// AttackTarget is the victim peer; negative draws one from the seed
+	// stream.
+	AttackTarget int32
 }
 
 // enabled reports whether any probabilistic fault is configured.
@@ -157,6 +177,15 @@ func (f *Net) PartitionedAt(step int, a, b int32) bool {
 		return false
 	}
 	return f.comp.partitionedAt(step, a, b)
+}
+
+// AttackAt returns the adversarial window active at step: the arm, the
+// victim, and the sorted attacker set. ok is false outside any window.
+func (f *Net) AttackAt(step int) (kind AttackKind, target int32, attackers []int32, ok bool) {
+	if f.sched == nil {
+		return AttackNone, -1, nil, false
+	}
+	return f.comp.attackAt(step)
 }
 
 // link returns the decision stream for (from → to), creating it

@@ -24,7 +24,66 @@ const (
 	EvPartitionStart
 	// EvPartitionHeal closes a partition.
 	EvPartitionHeal
+	// EvAttackStart opens an adversarial window: the peers in Side run
+	// the attack named by Attack against the victim in Peer until the
+	// matching EvAttackStop. The transport itself stays honest — the
+	// driver mirrors the window onto node adversary hooks.
+	EvAttackStart
+	// EvAttackStop closes an adversarial window; the attackers revert to
+	// honest protocol behavior.
+	EvAttackStop
 )
+
+// AttackKind names one adversarial arm.
+type AttackKind uint8
+
+// Adversarial arms.
+const (
+	// AttackNone disables the adversarial tier.
+	AttackNone AttackKind = iota
+	// AttackSybil: attackers cycle leave/re-join through the victim,
+	// flooding its free arc (one LSH region) with cheap identities.
+	AttackSybil
+	// AttackEclipse: attackers push forged successor/predecessor claims
+	// flanking the victim's ring position, trying to monopolize its
+	// r-deep lists and long links.
+	AttackEclipse
+	// AttackLiar: attackers inflate the mutual counts in their
+	// gossip-exchange replies, poisoning learned tie strengths.
+	AttackLiar
+)
+
+// String implements fmt.Stringer.
+func (a AttackKind) String() string {
+	switch a {
+	case AttackNone:
+		return "none"
+	case AttackSybil:
+		return "sybil"
+	case AttackEclipse:
+		return "eclipse"
+	case AttackLiar:
+		return "liar"
+	default:
+		return fmt.Sprintf("attack(%d)", uint8(a))
+	}
+}
+
+// ParseAttack maps an arm name (the cmd/soak -attack flag) to its kind.
+func ParseAttack(s string) (AttackKind, bool) {
+	switch s {
+	case "", "none":
+		return AttackNone, true
+	case "sybil":
+		return AttackSybil, true
+	case "eclipse":
+		return AttackEclipse, true
+	case "liar":
+		return AttackLiar, true
+	default:
+		return AttackNone, false
+	}
+}
 
 // String implements fmt.Stringer.
 func (k EventKind) String() string {
@@ -37,6 +96,10 @@ func (k EventKind) String() string {
 		return "partition"
 	case EvPartitionHeal:
 		return "heal"
+	case EvAttackStart:
+		return "attack"
+	case EvAttackStop:
+		return "attack-stop"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}
@@ -51,9 +114,13 @@ type Event struct {
 	Peer int32
 	// Part identifies the partition (start/heal only, else -1).
 	Part int
-	// Side lists the minority side of the cut (partition start only),
-	// sorted ascending; the majority side is the complement.
+	// Side lists the minority side of the cut (partition start only) or
+	// the attacker set (attack start only), sorted ascending; for
+	// partitions the majority side is the complement.
 	Side []int32
+	// Attack names the adversarial arm (attack start/stop only, else
+	// AttackNone).
+	Attack AttackKind
 }
 
 // Schedule is a fully precomputed fault timeline. It is a pure function
@@ -98,7 +165,10 @@ func BuildSchedule(n int, cfg Config, seed int64) *Schedule {
 		for t := cfg.PartitionEvery; t < cfg.Steps; t += cfg.PartitionEvery {
 			k := int(frac * float64(n))
 			if k < 1 {
-				k = 1
+				// The fraction rounds to zero peers: the minority side would
+				// be empty and no pair crosses the cut. Skip the no-op events
+				// rather than scheduling an empty partition.
+				continue
 			}
 			perm := rng.Perm(n)[:k]
 			side := make([]int32, k)
@@ -114,6 +184,55 @@ func BuildSchedule(n int, cfg Config, seed int64) *Schedule {
 				Event{Step: t, Kind: EvPartitionStart, Peer: -1, Part: part, Side: side},
 				Event{Step: heal, Kind: EvPartitionHeal, Peer: -1, Part: part})
 			part++
+		}
+	}
+	if cfg.Attack != AttackNone && n > 1 {
+		frac := cfg.AttackFrac
+		if frac <= 0 || frac >= 1 {
+			frac = 0.05
+		}
+		k := int(frac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		if k > n-1 {
+			k = n - 1
+		}
+		target := cfg.AttackTarget
+		if target < 0 || target >= int32(n) {
+			target = int32(rng.Intn(n))
+		}
+		// Attackers are drawn from the seed stream, never the victim.
+		attackers := make([]int32, 0, k)
+		for _, p := range rng.Perm(n) {
+			if int32(p) == target {
+				continue
+			}
+			attackers = append(attackers, int32(p))
+			if len(attackers) == k {
+				break
+			}
+		}
+		sort.Slice(attackers, func(i, j int) bool { return attackers[i] < attackers[j] })
+		from := cfg.AttackFrom
+		if from <= 0 {
+			from = cfg.Steps / 4
+			if from < 1 {
+				from = 1
+			}
+		}
+		dur := cfg.AttackFor
+		if dur <= 0 {
+			dur = cfg.Steps / 2
+		}
+		stop := from + dur
+		if stop > cfg.Steps {
+			stop = cfg.Steps
+		}
+		if from < cfg.Steps {
+			s.Ev = append(s.Ev,
+				Event{Step: from, Kind: EvAttackStart, Peer: target, Part: -1, Side: attackers, Attack: cfg.Attack},
+				Event{Step: stop, Kind: EvAttackStop, Peer: target, Part: -1, Attack: cfg.Attack})
 		}
 	}
 	// Canonical order: by step, then kind, then peer/part — so the trace
@@ -147,6 +266,10 @@ func (s *Schedule) Trace() string {
 			fmt.Fprintf(&b, "step=%d %s id=%d side=%v\n", e.Step, e.Kind, e.Part, e.Side)
 		case EvPartitionHeal:
 			fmt.Fprintf(&b, "step=%d %s id=%d\n", e.Step, e.Kind, e.Part)
+		case EvAttackStart:
+			fmt.Fprintf(&b, "step=%d %s arm=%s target=%d side=%v\n", e.Step, e.Kind, e.Attack, e.Peer, e.Side)
+		case EvAttackStop:
+			fmt.Fprintf(&b, "step=%d %s arm=%s target=%d\n", e.Step, e.Kind, e.Attack, e.Peer)
 		}
 	}
 	return b.String()
@@ -163,17 +286,28 @@ type partWindow struct {
 	side map[int32]bool
 }
 
-// compiled is the schedule lowered to per-peer crash windows and
-// partition windows for O(windows-per-peer) lookup on the send path.
+// attackWindow is an active adversarial interval.
+type attackWindow struct {
+	window
+	kind      AttackKind
+	target    int32
+	attackers []int32
+}
+
+// compiled is the schedule lowered to per-peer crash windows, partition
+// windows and attack windows for O(windows-per-peer) lookup on the send
+// path.
 type compiled struct {
-	crash map[int32][]window
-	parts []partWindow
+	crash   map[int32][]window
+	parts   []partWindow
+	attacks []attackWindow
 }
 
 func (s *Schedule) compile() compiled {
 	c := compiled{crash: make(map[int32][]window)}
 	open := make(map[int32]int) // peer -> crash start
 	partOpen := make(map[int]partWindow)
+	attackOpen := make(map[AttackKind]attackWindow)
 	for _, e := range s.Ev {
 		switch e.Kind {
 		case EvCrash:
@@ -195,15 +329,26 @@ func (s *Schedule) compile() compiled {
 				c.parts = append(c.parts, pw)
 				delete(partOpen, e.Part)
 			}
+		case EvAttackStart:
+			attackOpen[e.Attack] = attackWindow{window{e.Step, s.Steps}, e.Attack, e.Peer, e.Side}
+		case EvAttackStop:
+			if aw, ok := attackOpen[e.Attack]; ok {
+				aw.end = e.Step
+				c.attacks = append(c.attacks, aw)
+				delete(attackOpen, e.Attack)
+			}
 		}
 	}
-	// Crashes and partitions still open at the horizon stay in effect
-	// until the end of the schedule.
+	// Crashes, partitions and attacks still open at the horizon stay in
+	// effect until the end of the schedule.
 	for peer, start := range open {
 		c.crash[peer] = append(c.crash[peer], window{start, s.Steps})
 	}
 	for _, pw := range partOpen {
 		c.parts = append(c.parts, pw)
+	}
+	for _, aw := range attackOpen {
+		c.attacks = append(c.attacks, aw)
 	}
 	return c
 }
@@ -224,4 +369,13 @@ func (c *compiled) partitionedAt(step int, a, b int32) bool {
 		}
 	}
 	return false
+}
+
+func (c *compiled) attackAt(step int) (AttackKind, int32, []int32, bool) {
+	for _, aw := range c.attacks {
+		if aw.contains(step) {
+			return aw.kind, aw.target, aw.attackers, true
+		}
+	}
+	return AttackNone, -1, nil, false
 }

@@ -117,6 +117,30 @@ type Options struct {
 	// initial deposit round spacing (default RetryBase).
 	InboxRetry time.Duration
 
+	// Hardened enables the adversarial defenses of DESIGN.md §14: the
+	// per-identity join admission cache and arc-occupancy caps against
+	// sybil floods, directory position cross-checks (correction, not
+	// drop) with firsthand-protected successor/predecessor lists against
+	// eclipse attempts, and mutual-count sanity rejection against
+	// tie-strength liars. Off by default so the honest protocol (and the
+	// defenses-off ablation the resilience benchmarks measure against)
+	// is unchanged.
+	Hardened bool
+	// JoinRateWindow is the hardened per-identity re-join cooldown
+	// (default 1s): an identity re-joining through the same inviter
+	// within the window is re-served its cached position — no fresh
+	// placement, no new arc grant — and past joinServeCap repeats is
+	// dropped. Honest lost-reply resends are re-answered immediately, so
+	// the damper costs honest joiners nothing while capping a sybil
+	// cycle at one placement per window per identity.
+	JoinRateWindow time.Duration
+	// ArcJoinCap is the most friend-arc placements (Algorithm-1 social
+	// placement inside this inviter's free arc — one LSH region) granted
+	// per JoinRateWindow when hardened (default 4); excess friends are
+	// diverted to their uniform independent-join position, spreading the
+	// load the way non-friends already do.
+	ArcJoinCap int
+
 	// TopicLease is how long a topic registration lives at its rendezvous
 	// without a refresh (DESIGN.md §13); subscribers refresh at half the
 	// lease on the maintain tick (default 500ms).
@@ -182,6 +206,12 @@ func (o *Options) fill() {
 		} else {
 			o.InboxRetry = 20 * time.Millisecond
 		}
+	}
+	if o.JoinRateWindow <= 0 {
+		o.JoinRateWindow = time.Second
+	}
+	if o.ArcJoinCap <= 0 {
+		o.ArcJoinCap = 4
 	}
 	if o.TopicLease <= 0 {
 		o.TopicLease = 500 * time.Millisecond
@@ -308,7 +338,8 @@ func Start(opts Options) (*Cluster, error) {
 		own := dir.pos[p]
 		for q := 0; q < n; q++ {
 			if q != p && dir.member[q] {
-				nd.rview.learn(own, nd.id, overlay.PeerID(q), dir.pos[q])
+				// Bootstrap entries are trusted admission records: firsthand.
+				nd.rview.learn(own, nd.id, overlay.PeerID(q), dir.pos[q], true)
 			}
 		}
 		nd.shortSucc, nd.shortPred = dir.ringNeighbors(overlay.PeerID(p))
@@ -461,6 +492,52 @@ func (c *Cluster) AwaitDelivery(ctx context.Context, publisher overlay.PeerID, s
 			timer.Reset(pollEvery)
 		}
 	}
+}
+
+// RingConsistent reports whether p is a ring member whose short-range
+// links agree with the directory's current nearest members — the
+// restabilization probe the adversarial soak polls after an attack
+// window closes (DESIGN.md §14). Measurement-only: live repair never
+// consults the directory's ring scan.
+func (c *Cluster) RingConsistent(p overlay.PeerID) bool {
+	if !c.dir.isMember(p) {
+		return false
+	}
+	wantSucc, wantPred := c.dir.ringNeighbors(p)
+	nd := c.Nodes[p]
+	nd.mu.Lock()
+	gotSucc, gotPred := nd.shortSucc, nd.shortPred
+	nd.mu.Unlock()
+	return gotSucc == wantSucc && gotPred == wantPred
+}
+
+// RingHeads snapshots p's current short-range ring heads (successor,
+// predecessor; -1 when unset). Measurement-only — the adversarial soak
+// samples it each driver tick to score how often an attack cohort holds
+// a victim's ring view (DESIGN.md §14).
+func (c *Cluster) RingHeads(p overlay.PeerID) (succ, pred overlay.PeerID) {
+	nd := c.Nodes[p]
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	return nd.shortSucc, nd.shortPred
+}
+
+// HeadForged reports whether p's ring view holds q at a position that
+// contradicts the directory's granted one — an adopted forgery, as
+// opposed to a legitimately ring-adjacent peer (SELECT's social
+// placement makes a victim's friends genuine ring neighbors, so raw
+// head occupancy alone cannot separate stolen seats from earned ones).
+// Measurement-only, like RingConsistent.
+func (c *Cluster) HeadForged(p, q overlay.PeerID) bool {
+	nd := c.Nodes[p]
+	nd.mu.Lock()
+	pos, ok := nd.rview.posOf(q)
+	nd.mu.Unlock()
+	if !ok {
+		return false
+	}
+	dp, member := c.dir.memberPos(q)
+	return !member || pos != dp
 }
 
 // Shards reports how many event-loop goroutines the cluster runs —

@@ -81,6 +81,18 @@ func (d *directory) ringMembers() []selectcore.RingMember {
 	return out
 }
 
+// memberPos returns p's directory position and whether p is currently a
+// member — the admission-record lookup the hardened ring view
+// cross-checks hearsay position claims against (DESIGN.md §14).
+func (d *directory) memberPos(p overlay.PeerID) (ring.ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if p < 0 || int(p) >= len(d.member) || !d.member[p] {
+		return 0, false
+	}
+	return d.pos[p], true
+}
+
 // firstMember returns the lowest-id member other than p (-1 when the
 // ring is empty) — the deterministic contact of last resort for a joiner
 // with no member friends.

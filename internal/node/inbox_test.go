@@ -81,7 +81,7 @@ func TestInboxOfflineDepositReplayOnRejoin(t *testing.T) {
 	const posts = 5
 	seqs := make([]uint32, posts)
 	for i := range seqs {
-		seqs[i] = c.Nodes[pub].PublishSize(1000)
+		seqs[i] = publishSize(c.Nodes[pub], 1000)
 	}
 	waitFor(t, 5*time.Second, "deposits acked", func() bool {
 		return met.Get(obs.CInboxDepositAck) >= posts
@@ -149,7 +149,7 @@ func TestInboxLeaseExpiryHandoffUnresponsiveReplica(t *testing.T) {
 	const posts = 5
 	seqs := make([]uint32, posts)
 	for i := range seqs {
-		seqs[i] = c.Nodes[pub].PublishSize(1000)
+		seqs[i] = publishSize(c.Nodes[pub], 1000)
 	}
 	waitFor(t, 5*time.Second, "deposits acked", func() bool {
 		return met.Get(obs.CInboxDepositAck) >= posts
@@ -216,9 +216,9 @@ func TestInboxReplayPriorityOrder(t *testing.T) {
 
 	c.Crash(victim)
 	time.Sleep(50 * time.Millisecond)
-	low1 := c.Nodes[pub].PublishPriority([]byte("feed"), inbox.Medium)
-	low2 := c.Nodes[pub].PublishPriority([]byte("feed"), inbox.Medium)
-	high := c.Nodes[pub].PublishPriority([]byte("mention"), inbox.High)
+	low1 := publishPri(c.Nodes[pub], []byte("feed"), inbox.Medium)
+	low2 := publishPri(c.Nodes[pub], []byte("feed"), inbox.Medium)
+	high := publishPri(c.Nodes[pub], []byte("mention"), inbox.High)
 	waitFor(t, 5*time.Second, "deposits acked", func() bool {
 		return met.Get(obs.CInboxDepositAck) >= 3
 	})

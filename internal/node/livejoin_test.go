@@ -68,7 +68,7 @@ func admit(t *testing.T, c *Cluster, joiners []growth.Event) {
 // deadline passes; it returns the delivered count.
 func publishAndSettle(c *Cluster, g *socialgraph.Graph, p overlay.PeerID, horizon time.Duration) (seq uint32, delivered int, total int) {
 	subs := g.Neighbors(p)
-	seq = c.Nodes[p].PublishSize(200)
+	seq = publishSize(c.Nodes[p], 200)
 	delivered, _ = await(c, p, seq, subs, horizon)
 	return seq, delivered, len(subs)
 }
@@ -92,7 +92,7 @@ func TestLiveJoinDelivery(t *testing.T) {
 		}
 	}
 	if early >= 0 {
-		c.Nodes[early].PublishSize(100)
+		publishSize(c.Nodes[early], 100)
 	}
 
 	admit(t, c, joiners)

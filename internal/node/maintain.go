@@ -80,18 +80,28 @@ func (n *Node) handleJoinRequest(m *wire.Message) {
 	n.cfg.Obs.Inc(obs.CJoinRequest)
 	q := overlay.PeerID(m.From)
 	myPos := n.dir.position(n.id)
+	now := time.Now()
 	n.mu.Lock()
-	var pos ring.ID
-	if n.g.HasEdge(n.id, q) {
-		gap := 0.0
-		if succ, _ := n.rview.heads(n.dir.isMember); succ >= 0 {
-			if sp, ok := n.rview.posOf(succ); ok {
-				gap = ring.Clockwise(myPos, sp)
+	pos, cached, drop := n.cachedJoinLocked(now, q)
+	if drop {
+		// Hardened re-join cooldown exhausted — this identity is cycling
+		// leave/join through this inviter (adversary.go).
+		n.mu.Unlock()
+		return
+	}
+	if !cached {
+		if n.g.HasEdge(n.id, q) && n.arcGrantLocked(now) {
+			gap := 0.0
+			if succ, _ := n.rview.heads(n.dir.isMember); succ >= 0 {
+				if sp, ok := n.rview.posOf(succ); ok {
+					gap = ring.Clockwise(myPos, sp)
+				}
 			}
+			pos = selectcore.PlaceJoin(myPos, gap, 1/float64(n.dir.memberCount()+1), n.rng.Float64())
+		} else {
+			pos = selectcore.PlaceIndependent(uint64(q))
 		}
-		pos = selectcore.PlaceJoin(myPos, gap, 1/float64(n.dir.memberCount()+1), n.rng.Float64())
-	} else {
-		pos = selectcore.PlaceIndependent(uint64(q))
+		n.recordJoinLocked(now, q, pos)
 	}
 	succs, succPos, preds, predPos := n.rview.wireFields(n.id, myPos)
 	links := n.linksLocked()
@@ -126,8 +136,8 @@ func (n *Node) handleJoinReply(m *wire.Message) {
 	n.joinNext = time.Time{}
 	n.joinAttempt = 0
 	n.lookahead[from] = contacts
-	n.learnRingLocked(pos, m.Succs, m.SuccPos)
-	n.learnRingLocked(pos, m.Preds, m.PredPos)
+	n.learnRingLocked(pos, from, m.Succs, m.SuccPos)
+	n.learnRingLocked(pos, from, m.Preds, m.PredPos)
 	n.refreshHeadsLocked()
 	close(n.joinedCh)
 	announce := make(map[overlay.PeerID]bool)
@@ -176,6 +186,9 @@ func (n *Node) handleJoinReply(m *wire.Message) {
 // come from the node's own successor lists — the directory's ring scan is
 // bootstrap-only.
 func (n *Node) maintainTick() {
+	if n.adversaryMaintain() {
+		return
+	}
 	if !n.dir.isMember(n.id) {
 		return
 	}

@@ -28,7 +28,6 @@
 package node
 
 import (
-	"math"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -89,7 +88,12 @@ type Node struct {
 	cfg    Options
 	rng    *rand.Rand
 	hasher *lsh.Hasher
-	bw     []float64 // shared, read-only
+	// sampler picks gossip-exchange partners: a PeerSwap-style swap
+	// sampler (selectcore) with private seeded state, so exchange-partner
+	// choice is uniform with bounded gaps and cannot be steered by
+	// inbound traffic advancing the general-purpose rng.
+	sampler *selectcore.Sampler
+	bw      []float64 // shared, read-only
 
 	mu sync.Mutex
 	// Live routing state: ring membership, short-range ring neighbors and
@@ -158,6 +162,19 @@ type Node struct {
 	topicReg  map[string]map[overlay.PeerID]time.Time
 	tpubs     map[uint32]*topicPubState
 	tpOrigin  map[msgID]uint32
+	// Hardened admission state (adversary.go): the last granted join per
+	// identity (the re-join cooldown cache, time + assigned position) and
+	// the sliding window of friend-arc placements this inviter made.
+	joinAdmits map[overlay.PeerID]joinGrant
+	arcGrants  []time.Time
+	// Adversary hooks (adversary.go): the soak driver mirrors faultnet's
+	// scheduled attack windows onto these; honest nodes keep AdvNone.
+	// advMode is atomic so the hot paths (every publish checks the
+	// blackhole hook) read it without touching n.mu.
+	advMode   atomic.Uint32
+	advTarget overlay.PeerID
+	advCohort []overlay.PeerID
+	advRank   int
 	// joinNext/joinAttempt schedule join-request resends on the repair
 	// timer; joinedCh closes when the node becomes a ring member.
 	joinNext    time.Time
@@ -193,11 +210,12 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 		id: id, g: cfg.Graph, dir: dir, tr: cfg.Transport, cfg: cfg,
 		rng:          rand.New(rand.NewSource(seed)),
 		hasher:       lsh.NewHasher(len(friends), buckets, 0, rand.New(rand.NewSource(seed^0x15b))),
+		sampler:      selectcore.NewSampler(peersToInt32s(friends), selectcore.SamplerSeed(seed, int32(id))),
 		bw:           bw,
 		inviterPref:  -1,
 		shortSucc:    -1,
 		shortPred:    -1,
-		rview:        ringView{r: cfg.SuccListLen},
+		rview:        ringView{r: cfg.SuccListLen, hardened: cfg.Hardened},
 		pendingOut:   make(map[overlay.PeerID]bool),
 		strength:     make([]float64, len(friends)),
 		bitmaps:      make(map[overlay.PeerID][]uint64),
@@ -243,7 +261,11 @@ func (n *Node) handle(m *wire.Message) {
 		// ring views converging without extra messages.
 		reply := &wire.Message{Kind: wire.KindPong, From: int32(n.id), To: m.From, Seq: m.Seq}
 		n.mu.Lock()
-		if n.joined {
+		if ss, sp, ps, pp, forged := n.forgedRingClaimLocked(); forged && overlay.PeerID(m.From) == n.advTarget {
+			// An armed eclipse attacker answers its victim's heartbeats
+			// with the same forged flank claims its gossip tick pushes.
+			reply.Succs, reply.SuccPos, reply.Preds, reply.PredPos = ss, sp, ps, pp
+		} else if n.joined {
 			reply.Succs, reply.SuccPos, reply.Preds, reply.PredPos =
 				n.rview.wireFields(n.id, n.dir.position(n.id))
 		}
@@ -264,8 +286,9 @@ func (n *Node) handle(m *wire.Message) {
 		}
 		if n.joined && len(m.Succs) > 0 {
 			own := n.dir.position(n.id)
-			n.learnRingLocked(own, m.Succs, m.SuccPos)
-			n.learnRingLocked(own, m.Preds, m.PredPos)
+			from := overlay.PeerID(m.From)
+			n.learnRingLocked(own, from, m.Succs, m.SuccPos)
+			n.learnRingLocked(own, from, m.Preds, m.PredPos)
 			n.refreshHeadsLocked()
 		}
 		n.mu.Unlock()
@@ -290,8 +313,8 @@ func (n *Node) handle(m *wire.Message) {
 			// The announcement comes from the peer itself — first-person
 			// liveness evidence that overrides any dead-quarantine.
 			delete(n.deadUntil, overlay.PeerID(m.From))
-			n.rview.learn(n.dir.position(n.id), n.id,
-				overlay.PeerID(m.From), ring.ID(math.Float64frombits(m.Pos)))
+			n.learnRingLocked(n.dir.position(n.id), overlay.PeerID(m.From),
+				[]int32{m.From}, []uint64{m.Pos})
 			n.refreshHeadsLocked()
 		}
 		n.mu.Unlock()
@@ -370,7 +393,7 @@ func (n *Node) linksSnapshot() []overlay.PeerID {
 func (n *Node) handleExchange(m *wire.Message) {
 	mine := n.g.Neighbors(n.id)
 	theirs := int32sToPeers(m.Neighborhood)
-	mutual := countMutualSorted(mine, theirs)
+	mutual := n.liarMutual(countMutualSorted(mine, theirs), len(theirs))
 	n.mu.Lock()
 	links := n.linksLocked()
 	n.lookahead[overlay.PeerID(m.From)] = int32sToPeers(m.RoutingTable)
@@ -408,25 +431,33 @@ func (n *Node) handleExchangeReply(m *wire.Message) {
 	n.mu.Lock()
 	n.lookahead[from] = int32sToPeers(m.RoutingTable)
 	if i, ok := n.fidx[from]; ok {
-		n.strength[i] = selectcore.StrengthFromCounts(
-			n.g.Degree(n.id), n.g.Degree(from), int(m.NMutual))
+		if nm, sane := n.clampMutual(int(m.NMutual), from); sane {
+			n.strength[i] = selectcore.StrengthFromCounts(
+				n.g.Degree(n.id), n.g.Degree(from), nm)
+		}
 		n.bitmaps[from] = m.Bitmap
 	}
 	n.exchanges++
 	n.mu.Unlock()
 }
 
-// sendExchange is the active thread of Algorithm 3: pick a random social
-// friend and send it the neighborhood and routing table.
+// sendExchange is the active thread of Algorithm 3: draw the next social
+// friend from the swap sampler and send it the neighborhood and routing
+// table. Every friend is exchanged with exactly once per sampler round,
+// so no tie strength goes stale longer than 2·deg−1 gossip ticks.
 func (n *Node) sendExchange() {
+	if n.adversaryGossip() {
+		return
+	}
 	n.mu.Lock()
-	f, ok := n.g.RandomFriend(n.id, n.rng)
+	fi, ok := n.sampler.Next()
 	links := n.linksLocked()
 	seq := n.nextSeq()
 	n.mu.Unlock()
 	if !ok {
 		return
 	}
+	f := overlay.PeerID(fi)
 	n.cfg.Obs.Inc(obs.CGossipSent)
 	m := &wire.Message{
 		Kind: wire.KindExchangeRT, From: int32(n.id), To: int32(f), Seq: seq,
@@ -451,6 +482,21 @@ func (n *Node) sendHeartbeats() {
 	n.pendingPings = make(map[uint32]overlay.PeerID)
 	out = n.detectorSweepLocked(now, out)
 	links := n.linksLocked()
+	// Hardened: also probe unverified ring candidates sitting ahead of the
+	// firsthand heads — their pong self-entry upgrades them so the head
+	// preference for verified peers cannot pin the ring on stale links.
+	for _, q := range n.rview.probation(n.dir.isMember) {
+		dup := false
+		for _, x := range links {
+			if x == q {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			links = append(links, q)
+		}
+	}
 	seqs := make(map[uint32]overlay.PeerID, len(links))
 	for _, q := range links {
 		s := n.nextSeq()
@@ -502,6 +548,9 @@ func (n *Node) observe(q overlay.PeerID, online bool) {
 // handlePublish processes a directed publication copy: deliver locally
 // when this node is the target, forward otherwise.
 func (n *Node) handlePublish(m *wire.Message) {
+	if n.adversaryBlackhole(overlay.PeerID(m.To)) {
+		return
+	}
 	id := msgID{m.Publisher, m.Seq}
 	if overlay.PeerID(m.To) == n.id {
 		topic := UserTopic(overlay.PeerID(m.Publisher))
@@ -723,26 +772,13 @@ func resolvePublishOpts(payload []byte, opts []PublishOption) pubOpts {
 	return o
 }
 
-// Publish unicasts a publication carrying payload to every subscriber
-// (the node's social friends — equivalently, the node's implicit
-// UserTopic) and returns the sequence number identifying it.
-func (n *Node) Publish(payload []byte, opts ...PublishOption) uint32 {
+// publishFeed resolves options and runs the friend-feed fan-out — the
+// node's implicit UserTopic. The public surface is
+// Topic(UserTopic(id)).Publish (topic.go); the PR-8 deprecated
+// Publish/PublishPriority/PublishSize shims are gone.
+func (n *Node) publishFeed(payload []byte, opts ...PublishOption) uint32 {
 	o := resolvePublishOpts(payload, opts)
 	return n.publish(payload, o.size, o.pri)
-}
-
-// PublishPriority publishes with an explicit priority class.
-//
-// Deprecated: use Publish(payload, WithPriority(pri)).
-func (n *Node) PublishPriority(payload []byte, pri uint8) uint32 {
-	return n.Publish(payload, WithPriority(pri))
-}
-
-// PublishSize publishes a body-less publication of a modeled size.
-//
-// Deprecated: use Publish(nil, WithSize(size)).
-func (n *Node) PublishSize(size uint32) uint32 {
-	return n.Publish(nil, WithSize(size))
 }
 
 func (n *Node) publish(payload []byte, size uint32, pri uint8) uint32 {

@@ -55,7 +55,7 @@ func TestPublishUnderSeededDrops(t *testing.T) {
 		}
 	}
 	subs := g.Neighbors(pub)
-	seq := c.Nodes[pub].PublishSize(1000)
+	seq := publishSize(c.Nodes[pub], 1000)
 
 	// Repair horizon: the publisher's engine re-sends to unacked
 	// subscribers on its own seeded backoff until every subscriber has
@@ -122,7 +122,7 @@ func TestRetriesSurviveDroppedAcks(t *testing.T) {
 		t.Skip("no publisher with enough friends")
 	}
 	subs := g.Neighbors(pub)
-	seq := c.Nodes[pub].PublishSize(100)
+	seq := publishSize(c.Nodes[pub], 100)
 	delivered, ok := await(c, pub, seq, subs, 10*time.Second)
 	if !ok {
 		t.Fatalf("only %d/%d delivered with publish+ack drops", delivered, len(subs))

@@ -15,6 +15,21 @@ import (
 	"selectps/internal/transport"
 )
 
+// publishSize publishes a body-less modeled-size publication on n's own
+// user topic — the Topic-API replacement for the removed PublishSize
+// shim (own-user-topic publishes cannot fail).
+func publishSize(n *Node, size uint32) uint32 {
+	seq, _ := n.Topic(UserTopic(n.ID())).Publish(nil, WithSize(size))
+	return seq
+}
+
+// publishPri is the Topic-API replacement for the removed
+// PublishPriority shim.
+func publishPri(n *Node, payload []byte, pri uint8) uint32 {
+	seq, _ := n.Topic(UserTopic(n.ID())).Publish(payload, WithPriority(pri))
+	return seq
+}
+
 // buildCluster constructs a SELECT overlay over a small graph and starts a
 // live in-memory cluster on it. The caller fills only the tuning fields of
 // opts; graph, overlay, transport and seed are provided here.
@@ -66,7 +81,7 @@ func TestPublishReachesAllSubscribers(t *testing.T) {
 	g, c := buildCluster(t, 150, 1, Options{})
 	defer shutdown(t, c)
 	pub := topDegree(g)
-	seq := c.Nodes[pub].PublishSize(1_200_000)
+	seq := publishSize(c.Nodes[pub], 1_200_000)
 	subs := g.Neighbors(pub)
 	delivered, ok := await(c, pub, seq, subs, 5*time.Second)
 	if !ok {
@@ -95,7 +110,7 @@ func TestPublishPayloadAndHandler(t *testing.T) {
 			mu.Unlock()
 		})
 	}
-	seq := c.Nodes[pub].Publish(body)
+	seq, _ := c.Nodes[pub].Topic(UserTopic(pub)).Publish(body)
 	if _, ok := await(c, pub, seq, subs, 5*time.Second); !ok {
 		t.Fatal("delivery incomplete")
 	}
@@ -124,7 +139,7 @@ func TestPublishAcksFlowBack(t *testing.T) {
 	if pub < 0 {
 		t.Skip("no publisher with enough friends")
 	}
-	seq := c.Nodes[pub].PublishSize(1000)
+	seq := publishSize(c.Nodes[pub], 1000)
 	subs := g.Neighbors(pub)
 	if _, ok := await(c, pub, seq, subs, 5*time.Second); !ok {
 		t.Fatal("delivery incomplete")
@@ -152,7 +167,7 @@ func TestMultiplePublishersConcurrently(t *testing.T) {
 		if g.Degree(p) == 0 {
 			continue
 		}
-		pubs = append(pubs, pubRec{p, c.Nodes[p].PublishSize(500)})
+		pubs = append(pubs, pubRec{p, publishSize(c.Nodes[p], 500)})
 	}
 	for _, pr := range pubs {
 		subs := g.Neighbors(pr.p)
@@ -166,7 +181,7 @@ func TestHopCountsAreSmall(t *testing.T) {
 	g, c := buildCluster(t, 200, 4, Options{})
 	defer shutdown(t, c)
 	pub := topDegree(g)
-	seq := c.Nodes[pub].PublishSize(100)
+	seq := publishSize(c.Nodes[pub], 100)
 	subs := g.Neighbors(pub)
 	if _, ok := await(c, pub, seq, subs, 5*time.Second); !ok {
 		t.Fatal("delivery incomplete")
@@ -286,7 +301,7 @@ func TestClusterOverTCP(t *testing.T) {
 	}
 	defer shutdown(t, c)
 	pub := topDegree(g)
-	seq := c.Nodes[pub].PublishSize(1_200_000)
+	seq := publishSize(c.Nodes[pub], 1_200_000)
 	subs := g.Neighbors(pub)
 	delivered, ok := await(c, pub, seq, subs, 10*time.Second)
 	if !ok {
@@ -310,7 +325,7 @@ func TestLatencyAwareSwitchboard(t *testing.T) {
 	}
 	defer shutdown(t, c)
 	pub := topDegree(g)
-	seq := c.Nodes[pub].PublishSize(100)
+	seq := publishSize(c.Nodes[pub], 100)
 	if _, ok := await(c, pub, seq, g.Neighbors(pub), 10*time.Second); !ok {
 		t.Fatal("latency cluster delivery incomplete")
 	}
@@ -345,7 +360,7 @@ func TestLiveChurnRecovery(t *testing.T) {
 	// Give heartbeats time to mark the paused peers dead.
 	time.Sleep(150 * time.Millisecond)
 
-	seq := c.Nodes[pub].PublishSize(1000)
+	seq := publishSize(c.Nodes[pub], 1000)
 	delivered, ok := await(c, pub, seq, subs, 8*time.Second)
 	if !ok {
 		t.Fatalf("only %d/%d subscribers delivered under churn", delivered, len(subs))
@@ -370,7 +385,7 @@ func TestPausedNodeDropsEverything(t *testing.T) {
 	}
 	victim := g.Neighbors(pub)[0]
 	c.Nodes[victim].Pause()
-	seq := c.Nodes[pub].PublishSize(100)
+	seq := publishSize(c.Nodes[pub], 100)
 	time.Sleep(100 * time.Millisecond)
 	if _, ok := c.Nodes[victim].Received(pub, seq); ok {
 		t.Error("paused subscriber received a publication")

@@ -418,7 +418,20 @@ func (n *Node) quarantinedLocked(q overlay.PeerID, now time.Time) bool {
 // learnRingLocked folds piggybacked successor/predecessor wire fields
 // into the ring view, skipping self and quarantined peers — gossip from
 // third parties must not resurrect a neighbor this node declared dead.
-func (n *Node) learnRingLocked(own ring.ID, peers []int32, poss []uint64) {
+// from is the message sender: its own entry (wireFields prepends self)
+// counts as firsthand evidence, everything else is hearsay. Hardened,
+// every claim is cross-checked against the shared directory's admission
+// record and CORRECTED rather than believed: a claim about a non-member
+// is a ghost and is dropped, and a claimed position that contradicts the
+// one the directory granted is replaced by the granted one (both count
+// pos_rejected). An eclipse cohort's ε-flank forgeries therefore
+// collapse to statements about real members at their real positions —
+// worthless — while honest-but-stale gossip (a peer moved or rejoined
+// and the claim predates it) still contributes its liveness information
+// at the corrected position instead of being thrown away (DESIGN.md
+// §14); residual attempts to move a firsthand entry by hearsay feed the
+// eclipse_displaced counter.
+func (n *Node) learnRingLocked(own ring.ID, from overlay.PeerID, peers []int32, poss []uint64) {
 	k := len(peers)
 	if len(poss) < k {
 		k = len(poss)
@@ -429,7 +442,21 @@ func (n *Node) learnRingLocked(own ring.ID, peers []int32, poss []uint64) {
 		if q == n.id || n.quarantinedLocked(q, now) {
 			continue
 		}
-		n.rview.learn(own, n.id, q, ring.ID(math.Float64frombits(poss[i])))
+		pos := ring.ID(math.Float64frombits(poss[i]))
+		if n.cfg.Hardened {
+			dp, ok := n.dir.memberPos(q)
+			if !ok {
+				n.cfg.Obs.Inc(obs.CPosRejected)
+				continue
+			}
+			if dp != pos {
+				n.cfg.Obs.Inc(obs.CPosRejected)
+				pos = dp
+			}
+		}
+		if blocked := n.rview.learn(own, n.id, q, pos, q == from); blocked > 0 {
+			n.cfg.Obs.Addn(obs.CEclipseDisplaced, int64(blocked))
+		}
 	}
 }
 

@@ -43,7 +43,7 @@ func TestCrashMidDisseminationAutonomousRepair(t *testing.T) {
 	for _, v := range victims {
 		c.Nodes[v].Pause()
 	}
-	seq := c.Nodes[pub].PublishSize(500)
+	seq := publishSize(c.Nodes[pub], 500)
 	time.Sleep(60 * time.Millisecond)
 	for _, v := range victims {
 		c.Nodes[v].Resume()

@@ -8,10 +8,14 @@ import (
 )
 
 // ringEntry is one learned (peer, position) pair of the successor/
-// predecessor lists.
+// predecessor lists. firsthand marks first-person evidence: the claim
+// came from the peer itself (its pong self-entry, its own identifier
+// announcement, a join-reply from it) or from the trusted bootstrap —
+// as opposed to hearsay piggybacked by a third party.
 type ringEntry struct {
-	peer overlay.PeerID
-	pos  ring.ID
+	peer      overlay.PeerID
+	pos       ring.ID
+	firsthand bool
 }
 
 // ringView is a node's r-deep decentralized view of its ring
@@ -20,12 +24,21 @@ type ringEntry struct {
 // piggybacks and identifier announcements — never from the directory
 // (DESIGN.md §9). When a ring neighbor dies the node splices to the next
 // live entry locally, which is what keeps greedy ring routing alive
-// under churn without any omniscient membership scan. All methods are
-// called under the owning node's mutex.
+// under churn without any omniscient membership scan.
+//
+// With hardened set (DESIGN.md §14) positions arriving here have already
+// been verified against the directory's admission record (repair.go), so
+// the lists only defend the *liveness* half of a claim: hearsay never
+// moves or downgrades an existing firsthand entry, and the ring heads
+// prefer firsthand entries — the short links a node heartbeats are peers
+// that vouched for their own position, with hearsay only bridging the
+// window before first-person evidence arrives. All methods are called
+// under the owning node's mutex.
 type ringView struct {
-	r    int
-	succ []ringEntry // sorted by clockwise distance from the owner
-	pred []ringEntry // sorted by counter-clockwise distance from the owner
+	r        int
+	hardened bool
+	succ     []ringEntry // sorted by clockwise distance from the owner
+	pred     []ringEntry // sorted by counter-clockwise distance from the owner
 }
 
 // cwDist is the clockwise arc with the directory's zero-arc convention: a
@@ -41,14 +54,31 @@ func cwDist(from, to ring.ID) float64 {
 
 // learn inserts or repositions peer in both direction lists, keeping each
 // sorted and truncated to r entries. self guards against learning the
-// owner itself.
-func (v *ringView) learn(own ring.ID, self, peer overlay.PeerID, pos ring.ID) {
+// owner itself. firsthand marks first-person evidence (see ringEntry).
+// The return value counts hearsay attempts to move or downgrade a
+// firsthand entry blocked by the hardened rule (feeds the
+// eclipse_displaced counter).
+func (v *ringView) learn(own ring.ID, self, peer overlay.PeerID, pos ring.ID, firsthand bool) (blocked int) {
 	if peer < 0 || peer == self {
-		return
+		return 0
+	}
+	if cur, ok := v.get(peer); ok && cur.firsthand {
+		if v.hardened && !firsthand {
+			// A third party may not move or downgrade an entry the peer
+			// itself vouched for.
+			if cur.pos != pos {
+				return 1
+			}
+			return 0
+		}
+		// Re-learning a verified peer keeps its verification.
+		firsthand = true
 	}
 	v.remove(peer)
-	v.succ = insertByDist(v.succ, ringEntry{peer, pos}, cwDist(own, pos), own, true, v.r)
-	v.pred = insertByDist(v.pred, ringEntry{peer, pos}, cwDist(pos, own), own, false, v.r)
+	e := ringEntry{peer, pos, firsthand}
+	v.succ = insertByDist(v.succ, e, cwDist(own, pos), own, true, v.r)
+	v.pred = insertByDist(v.pred, e, cwDist(pos, own), own, false, v.r)
+	return 0
 }
 
 // insertByDist places e into list (sorted by its direction's distance
@@ -77,6 +107,21 @@ func insertByDist(list []ringEntry, e ringEntry, d float64, own ring.ID, clockwi
 		list = list[:cap]
 	}
 	return list
+}
+
+// get returns the entry for peer from either list.
+func (v *ringView) get(peer overlay.PeerID) (ringEntry, bool) {
+	for _, e := range v.succ {
+		if e.peer == peer {
+			return e, true
+		}
+	}
+	for _, e := range v.pred {
+		if e.peer == peer {
+			return e, true
+		}
+	}
+	return ringEntry{}, false
 }
 
 // remove deletes peer from both lists (no-op when absent).
@@ -110,7 +155,8 @@ func (v *ringView) prune(keep func(overlay.PeerID) bool) {
 }
 
 // rebase re-sorts both lists around a new owner position (after an
-// Algorithm-2 identifier move); entry positions are unchanged.
+// Algorithm-2 identifier move); entry positions and verification flags
+// are unchanged.
 func (v *ringView) rebase(own ring.ID) {
 	entries := append([]ringEntry(nil), v.succ...)
 	for _, e := range v.pred {
@@ -136,36 +182,62 @@ func containsEntry(list []ringEntry, peer overlay.PeerID) bool {
 
 // heads returns the nearest entry in each direction that live accepts
 // (-1 when the list holds no acceptable entry) — the node's short-range
-// ring links.
+// ring links. Hardened, a firsthand entry is preferred over any hearsay
+// one: the ring links a node heartbeats must be peers that claimed their
+// own position, with hearsay only bridging the bootstrap window before
+// first-person evidence arrives.
 func (v *ringView) heads(live func(overlay.PeerID) bool) (succ, pred overlay.PeerID) {
-	succ, pred = -1, -1
-	for _, e := range v.succ {
-		if live(e.peer) {
-			succ = e.peer
-			break
+	pick := func(list []ringEntry) overlay.PeerID {
+		if v.hardened {
+			for _, e := range list {
+				if e.firsthand && live(e.peer) {
+					return e.peer
+				}
+			}
+		}
+		for _, e := range list {
+			if live(e.peer) {
+				return e.peer
+			}
+		}
+		return -1
+	}
+	return pick(v.succ), pick(v.pred)
+}
+
+// probation returns hearsay entries sitting ahead of the firsthand head
+// in each direction — peers that would be the short-range links if their
+// claims were verified. Hardened nodes ping them alongside the links:
+// the pong's self-entry is first-person evidence and upgrades the entry,
+// so a nearer honest neighbor only stays hearsay for one heartbeat RTT.
+// Without this, firsthand-preference would pin heads() on farther
+// verified peers forever. Nil when the view is not hardened.
+func (v *ringView) probation(live func(overlay.PeerID) bool) []overlay.PeerID {
+	if !v.hardened {
+		return nil
+	}
+	var out []overlay.PeerID
+	scan := func(list []ringEntry) {
+		for _, e := range list {
+			if !live(e.peer) {
+				continue
+			}
+			if e.firsthand {
+				return // everything ahead of the verified head is collected
+			}
+			out = append(out, e.peer)
 		}
 	}
-	for _, e := range v.pred {
-		if live(e.peer) {
-			pred = e.peer
-			break
-		}
-	}
-	return succ, pred
+	scan(v.succ)
+	scan(v.pred)
+	return out
 }
 
 // succPos returns the position of the first succ entry matching peer
 // (used for the Algorithm-1 free-arc computation), ok=false when absent.
 func (v *ringView) posOf(peer overlay.PeerID) (ring.ID, bool) {
-	for _, e := range v.succ {
-		if e.peer == peer {
-			return e.pos, true
-		}
-	}
-	for _, e := range v.pred {
-		if e.peer == peer {
-			return e.pos, true
-		}
+	if e, ok := v.get(peer); ok {
+		return e.pos, true
 	}
 	return 0, false
 }

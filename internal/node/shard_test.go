@@ -19,7 +19,7 @@ func TestShardCountEquivalentDeliverySets(t *testing.T) {
 		defer shutdown(t, c)
 		pub := topDegree(g)
 		subs := g.Neighbors(pub)
-		seq := c.Nodes[pub].PublishSize(1000)
+		seq := publishSize(c.Nodes[pub], 1000)
 		if n, ok := await(c, pub, seq, subs, 10*time.Second); !ok {
 			t.Fatalf("shards=%d: only %d/%d subscribers delivered", shards, n, len(subs))
 		}
@@ -81,7 +81,7 @@ func TestCrashRejoinReschedulesOnWheel(t *testing.T) {
 	c.Crash(victim)
 	// While crashed, the victim's wheel entries keep firing but its
 	// protocol body is skipped; the cluster keeps delivering to others.
-	seq := c.Nodes[pub].PublishSize(100)
+	seq := publishSize(c.Nodes[pub], 100)
 	rest := make([]overlay.PeerID, 0, len(subs)-1)
 	for _, s := range subs[1:] {
 		rest = append(rest, s)

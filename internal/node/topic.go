@@ -245,7 +245,7 @@ func (t *TopicHandle) Publish(payload []byte, opts ...PublishOption) (uint32, er
 		if owner != n.id {
 			return 0, ErrForeignUserTopic
 		}
-		return n.Publish(payload, opts...), nil
+		return n.publishFeed(payload, opts...), nil
 	}
 	if !n.repairEnabled() {
 		return 0, ErrTopicRepairOff

@@ -115,6 +115,13 @@ const (
 	CTopicLeaseExpire // registry entries expired (subscriber stopped refreshing)
 	CTopicPurged      // journal records purged by an unsubscribe drain
 
+	// node: adversarial defenses (DESIGN.md §14).
+	CSybilRejected    // join admissions dropped by the inviter's rate limit
+	CSybilDiverted    // friend joins diverted to their hash position by the arc-occupancy cap
+	CEclipseDisplaced // hearsay ring claims blocked from displacing a liveness-verified entry
+	CPosRejected      // ring claims rejected by the admission-record position cross-check
+	CStrengthClamped  // out-of-range exchange mutual counts detected (hardened: rejected)
+
 	numCounters
 )
 
@@ -194,6 +201,12 @@ var counterNames = [numCounters]string{
 	CTopicHandoff:     "topic_handoff",
 	CTopicLeaseExpire: "topic_lease_expire",
 	CTopicPurged:      "topic_purged",
+
+	CSybilRejected:    "sybil_rejected",
+	CSybilDiverted:    "sybil_diverted",
+	CEclipseDisplaced: "eclipse_displaced",
+	CPosRejected:      "pos_rejected",
+	CStrengthClamped:  "strength_clamped",
 }
 
 // String returns the counter's export name.
@@ -303,6 +316,14 @@ type Metrics struct {
 	RepairLink *Hist
 	RepairRing *Hist
 
+	// Restabilize records post-attack time-to-restabilize in
+	// milliseconds: from the end of an adversarial window to the probe
+	// round whose hop mean and delivery rate are back within the
+	// recovery band of the pre-attack baseline (recorded by the soak
+	// harness, which owns the baseline). The Feldmann-style
+	// self-stabilization measurement of DESIGN.md §14.
+	Restabilize *Hist
+
 	// trace is a bounded ring; nil until EnableTrace.
 	traceMu  sync.Mutex
 	trace    []Event
@@ -315,14 +336,15 @@ type Metrics struct {
 // (hops 0..16, latency 0..5000 ms in 10 ms bins).
 func New() *Metrics {
 	return &Metrics{
-		Hops:       NewHist(0, 16, 16),
-		Latency:    NewHist(0, 5000, 500),
-		RepairLink: NewHist(0, 2000, 200),
-		RepairRing: NewHist(0, 2000, 200),
-		SendQueue:  NewHist(0, 512, 64),
-		FlushBatch: NewHist(0, 64, 64),
-		LoopLag:    NewHist(0, 1000, 200),
-		Sojourn:    NewHist(0, 1000, 200),
+		Hops:        NewHist(0, 16, 16),
+		Latency:     NewHist(0, 5000, 500),
+		RepairLink:  NewHist(0, 2000, 200),
+		RepairRing:  NewHist(0, 2000, 200),
+		Restabilize: NewHist(0, 10000, 200),
+		SendQueue:   NewHist(0, 512, 64),
+		FlushBatch:  NewHist(0, 64, 64),
+		LoopLag:     NewHist(0, 1000, 200),
+		Sojourn:     NewHist(0, 1000, 200),
 	}
 }
 
@@ -446,6 +468,15 @@ func (m *Metrics) ObserveRepairRingMS(ms float64) {
 	m.RepairRing.Add(ms)
 }
 
+// ObserveRestabilizeMS records one post-attack time-to-restabilize
+// measurement. Nil-safe.
+func (m *Metrics) ObserveRestabilizeMS(ms float64) {
+	if m == nil {
+		return
+	}
+	m.Restabilize.Add(ms)
+}
+
 // EnableTrace turns on the bounded structured event trace, keeping the
 // most recent cap events. Call before the cluster starts; nil-safe.
 func (m *Metrics) EnableTrace(cap int) {
@@ -489,6 +520,9 @@ type Snapshot struct {
 	// long links and dead ring neighbors (keys "p50", "p90", "p99").
 	RepairLinkMS map[string]float64 `json:"repair_link_ms,omitempty"`
 	RepairRingMS map[string]float64 `json:"repair_ring_ms,omitempty"`
+	// RestabilizeMS holds post-attack time-to-restabilize quantiles
+	// (keys "p50", "p90", "p99").
+	RestabilizeMS map[string]float64 `json:"restabilize_ms,omitempty"`
 	// SendQueueDepth/FlushBatchFrames hold TCP fast-path quantiles: queue
 	// depth at enqueue and frames coalesced per flush.
 	SendQueueDepth   map[string]float64 `json:"send_queue_depth,omitempty"`
@@ -533,6 +567,7 @@ func (m *Metrics) Snapshot() Snapshot {
 	s.LatencyMS = quantiles(m.Latency.Snapshot())
 	s.RepairLinkMS = quantiles(m.RepairLink.Snapshot())
 	s.RepairRingMS = quantiles(m.RepairRing.Snapshot())
+	s.RestabilizeMS = quantiles(m.Restabilize.Snapshot())
 	s.SendQueueDepth = quantiles(m.SendQueue.Snapshot())
 	s.FlushBatchFrames = quantiles(m.FlushBatch.Snapshot())
 	s.LoopLagMS = quantiles(m.LoopLag.Snapshot())
@@ -605,6 +640,10 @@ func (s Snapshot) String() string {
 	if s.RepairRingMS != nil {
 		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "time_to_repair_ring",
 			s.RepairRingMS["p50"], s.RepairRingMS["p90"], s.RepairRingMS["p99"])
+	}
+	if s.RestabilizeMS != nil {
+		fmt.Fprintf(&b, "%-22s p50=%.0fms p90=%.0fms p99=%.0fms\n", "time_to_restabilize",
+			s.RestabilizeMS["p50"], s.RestabilizeMS["p90"], s.RestabilizeMS["p99"])
 	}
 	if s.SendQueueDepth != nil {
 		fmt.Fprintf(&b, "%-22s p50=%.0f p90=%.0f p99=%.0f\n", "send_queue_depth",

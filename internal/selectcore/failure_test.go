@@ -116,3 +116,70 @@ func TestTraceStringPinned(t *testing.T) {
 		t.Fatalf("pinned backoff trace changed:\n got:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestFlappingLinkNeverDies drives the detector through a suspect→alive
+// flap cycle: a link that keeps answering every other probe oscillates
+// between alive and suspect but can never be declared dead, no matter
+// how long the flapping lasts — only an unbroken DeadAfter streak (or a
+// collapsed CMA) kills a link. This bounds the damage of asymmetric or
+// lossy paths: flapping costs relay preference, not membership.
+func TestFlappingLinkNeverDies(t *testing.T) {
+	d := DefaultFailureDetector()
+	type link struct {
+		misses  int
+		samples int
+		hits    int
+	}
+	l := link{}
+	observe := func(online bool) {
+		l.samples++
+		if online {
+			l.hits++
+			l.misses = 0
+		} else {
+			l.misses++
+		}
+	}
+	cma := func() float64 { return float64(l.hits) / float64(l.samples) }
+
+	worst := LinkAlive
+	for round := 0; round < 200; round++ {
+		// miss, miss (→ suspect), answer, answer (→ alive): a 50%-lossy
+		// flap. The streak never reaches DeadAfter and the CMA holds at
+		// 0.5 — above the dead-early line — so the link must survive.
+		observe(false)
+		observe(false)
+		if got := d.Classify(l.misses, l.samples, cma()); got == LinkDead {
+			t.Fatalf("round %d: flapping link declared dead at streak %d cma %.2f", round, l.misses, cma())
+		} else if got == LinkSuspect {
+			worst = LinkSuspect
+		}
+		observe(true)
+		observe(true)
+		if got := d.Classify(l.misses, l.samples, cma()); got != LinkAlive {
+			t.Fatalf("round %d: link answering its probe classified %v, want alive", round, got)
+		}
+	}
+	if worst != LinkSuspect {
+		t.Fatalf("two-miss streaks never reached suspect — flap cycle not exercised")
+	}
+}
+
+// TestSuspectRecoveryIsImmediate pins the §III-F asymmetry: demotion to
+// suspect takes SuspectAfter consecutive misses, but promotion back to
+// alive takes exactly one answered probe — recovery must not carry
+// hysteresis or a reformed link would flap in the lists forever.
+func TestSuspectRecoveryIsImmediate(t *testing.T) {
+	d := DefaultFailureDetector()
+	if d.Classify(d.SuspectAfter, 10, 0.9) != LinkSuspect {
+		t.Fatalf("SuspectAfter misses should demote to suspect")
+	}
+	if got := d.Classify(0, 10, 0.9); got != LinkAlive {
+		t.Fatalf("one answered probe should restore alive, got %v", got)
+	}
+	// Even with the CMA dragged below the suspect line, a responsive link
+	// stays alive: history alone never demotes (streak 0 short-circuits).
+	if got := d.Classify(0, 100, 0.05); got != LinkAlive {
+		t.Fatalf("responsive link with bad history classified %v, want alive", got)
+	}
+}

@@ -1,0 +1,91 @@
+package selectcore
+
+// This file holds the PeerSwap-style gossip peer sampler shared by the
+// offline simulator (internal/selectsys) and the live runtime
+// (internal/node). The previous sampler drew exchange partners with
+// replacement from the node's general-purpose RNG — a stream that is
+// also advanced by unrelated message handling (join placement draws,
+// random-walk escapes), so an attacker who controls when a victim
+// processes messages also steers *which friend the victim gossips with
+// next*, and sampling with replacement leaves unbounded gaps during
+// which a friend's tie strength goes stale.
+//
+// The swap sampler closes both holes. It walks a seeded permutation of
+// the fixed friend pool by an incremental Fisher–Yates swap: at each
+// step the cursor element is swapped with a uniformly drawn element of
+// the un-emitted suffix and emitted. One full round therefore emits
+// every friend exactly once (bounded inter-sample gap: at most
+// 2·len(pool)−1 draws between two samples of the same friend), each
+// round is an independent uniform permutation, and the stream is a pure
+// function of (pool, seed) — private state no inbound traffic can
+// advance. This is the randomness contract of PeerSwap (arXiv:2408.03829)
+// scoped to a static pool: uniform, unbiased, and not attacker-steerable.
+
+// Sampler is a swap-based peer sampler over a fixed pool. The zero value
+// is empty; build one with NewSampler. Not safe for concurrent use — the
+// runtime drives it under the node mutex, the simulator is single-
+// threaded per shard.
+type Sampler struct {
+	pool   []int32
+	perm   []int
+	cursor int
+	rounds int
+	state  uint64
+}
+
+// NewSampler builds a sampler over pool (copied; the caller may reuse
+// the slice). Same (pool, seed) ⇒ same sample stream.
+func NewSampler(pool []int32, seed uint64) *Sampler {
+	s := &Sampler{
+		pool:  append([]int32(nil), pool...),
+		perm:  make([]int, len(pool)),
+		state: splitmix64(seed ^ 0x5EED5A4D0C9B17F1),
+	}
+	for i := range s.perm {
+		s.perm[i] = i
+	}
+	return s
+}
+
+// Next emits the next sample. ok is false only for an empty pool.
+func (s *Sampler) Next() (peer int32, ok bool) {
+	n := len(s.pool)
+	if n == 0 {
+		return -1, false
+	}
+	// Swap step: the cursor slot trades places with a uniform draw from
+	// the remaining suffix, then the cursor slot is emitted. Incremental
+	// Fisher–Yates — by round end the permutation is uniform.
+	j := s.cursor + int(s.next()%uint64(n-s.cursor))
+	s.perm[s.cursor], s.perm[j] = s.perm[j], s.perm[s.cursor]
+	peer = s.pool[s.perm[s.cursor]]
+	s.cursor++
+	if s.cursor == n {
+		s.cursor = 0
+		s.rounds++
+	}
+	return peer, true
+}
+
+// Len is the pool size.
+func (s *Sampler) Len() int { return len(s.pool) }
+
+// Rounds is the number of completed full passes — every pool member has
+// been emitted exactly Rounds or Rounds+1 times.
+func (s *Sampler) Rounds() int { return s.rounds }
+
+// next is a counter-mode splitmix64 stream: state advances by the golden
+// gamma and is finalized per draw, so draws are independent of pool size.
+func (s *Sampler) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return splitmix64(s.state)
+}
+
+// SamplerSeed derives the per-peer sampler stream from the cluster seed,
+// so two nodes (or a node and its simulator twin) never share a stream.
+func SamplerSeed(seed int64, self int32) uint64 {
+	z := uint64(seed)
+	z = splitmix64(z + 0xA5A5A5A5A5A5A5A5)
+	z = splitmix64(z + 0x9E3779B97F4A7C15*uint64(uint32(self)+1))
+	return z
+}

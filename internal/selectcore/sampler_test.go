@@ -1,0 +1,122 @@
+package selectcore
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSamplerRoundCoverage pins the bounded-gap guarantee: every pool
+// member is emitted exactly once per round, for many rounds, across pool
+// sizes including the degenerate ones.
+func TestSamplerRoundCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 64, 257} {
+		pool := make([]int32, n)
+		for i := range pool {
+			pool[i] = int32(i * 3)
+		}
+		s := NewSampler(pool, 42)
+		for round := 0; round < 20; round++ {
+			seen := make(map[int32]int, n)
+			for i := 0; i < n; i++ {
+				p, ok := s.Next()
+				if !ok {
+					t.Fatalf("n=%d: Next failed mid-round", n)
+				}
+				seen[p]++
+			}
+			for _, p := range pool {
+				if seen[p] != 1 {
+					t.Fatalf("n=%d round %d: peer %d emitted %d times", n, round, p, seen[p])
+				}
+			}
+		}
+		if s.Rounds() != 20 {
+			t.Fatalf("n=%d: Rounds() = %d, want 20", n, s.Rounds())
+		}
+	}
+}
+
+// TestSamplerDeterministic pins the purity contract: same (pool, seed) ⇒
+// identical stream; different seed ⇒ a different stream.
+func TestSamplerDeterministic(t *testing.T) {
+	pool := []int32{5, 9, 13, 21, 34, 55}
+	a := NewSampler(pool, 7)
+	b := NewSampler(pool, 7)
+	c := NewSampler(pool, 8)
+	var diverged bool
+	for i := 0; i < 600; i++ {
+		pa, _ := a.Next()
+		pb, _ := b.Next()
+		pc, _ := c.Next()
+		if pa != pb {
+			t.Fatalf("draw %d: same seed diverged (%d vs %d)", i, pa, pb)
+		}
+		if pa != pc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 7 and 8 produced identical 600-draw streams")
+	}
+}
+
+// TestSamplerEmpty asserts the empty pool degrades to (ok=false) rather
+// than panicking — a node with no social friends simply never gossips.
+func TestSamplerEmpty(t *testing.T) {
+	s := NewSampler(nil, 1)
+	if _, ok := s.Next(); ok {
+		t.Fatal("empty pool produced a sample")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len() = %d", s.Len())
+	}
+}
+
+// TestSamplerUniformPairs is the randomness-guarantee property: over many
+// rounds, the frequency of each ordered (previous, current) transition is
+// close to uniform — the swap walk does not develop a fixed cycle the way
+// a naive rotation would, and no pool member is favored as a successor of
+// another. Tolerance is loose (±40% of expected) but a rotation or a
+// stuck permutation fails it by orders of magnitude.
+func TestSamplerUniformPairs(t *testing.T) {
+	const n, rounds = 16, 4000
+	pool := make([]int32, n)
+	for i := range pool {
+		pool[i] = int32(i)
+	}
+	s := NewSampler(pool, 99)
+	pair := make(map[[2]int32]int)
+	prev, _ := s.Next()
+	draws := 0
+	for draws < n*rounds {
+		cur, _ := s.Next()
+		pair[[2]int32{prev, cur}]++
+		prev = cur
+		draws++
+	}
+	// Ordered pairs with distinct elements: n*(n-1) of them. Self-pairs
+	// only occur across a round boundary and are rare; ignore them.
+	expect := float64(draws) / float64(n*(n-1))
+	for a := int32(0); a < n; a++ {
+		for b := int32(0); b < n; b++ {
+			if a == b {
+				continue
+			}
+			got := float64(pair[[2]int32{a, b}])
+			if math.Abs(got-expect) > 0.4*expect {
+				t.Fatalf("transition %d→%d seen %.0f times, expected ~%.0f", a, b, got, expect)
+			}
+		}
+	}
+}
+
+// TestSamplerSeedDerivation pins that per-peer streams from the same
+// cluster seed are distinct.
+func TestSamplerSeedDerivation(t *testing.T) {
+	if SamplerSeed(1, 0) == SamplerSeed(1, 1) {
+		t.Fatal("adjacent peers derived the same sampler seed")
+	}
+	if SamplerSeed(1, 3) == SamplerSeed(2, 3) {
+		t.Fatal("different cluster seeds derived the same sampler seed")
+	}
+}

@@ -550,11 +550,32 @@ func (o *Overlay) budgetVictim(p overlay.PeerID) overlay.PeerID {
 }
 
 // createRandomLinks is the Algorithm-5 ablation: fill the K-link budget
-// with uniformly random friends, no similarity bucketing.
+// with uniformly random friends, no similarity bucketing. Candidates come
+// from the shared PeerSwap-style swap sampler (selectcore.Sampler — the
+// same stream discipline the live runtime's gossip exchange uses), so one
+// round of draws covers every friend exactly once instead of sampling
+// with replacement.
 func (o *Overlay) createRandomLinks(p overlay.PeerID, friends []overlay.PeerID) bool {
+	if o.samplers == nil {
+		o.samplers = make([]*selectcore.Sampler, o.N())
+		o.samplerSeed = int64(o.rng.Uint64())
+	}
+	s := o.samplers[p]
+	if s == nil {
+		pool := make([]int32, len(friends))
+		for i, f := range friends {
+			pool[i] = int32(f)
+		}
+		s = selectcore.NewSampler(pool, selectcore.SamplerSeed(o.samplerSeed, int32(p)))
+		o.samplers[p] = s
+	}
 	changed := false
 	for attempts := 0; len(o.longLinks[p]) < o.cfg.K && attempts < o.cfg.K*8; attempts++ {
-		u := friends[o.rng.Intn(len(friends))]
+		ui, ok := s.Next()
+		if !ok {
+			break
+		}
+		u := overlay.PeerID(ui)
 		if !o.hasLong(p, u) && o.establish(p, u) {
 			changed = true
 		}

@@ -126,6 +126,12 @@ type Overlay struct {
 	// scratch is the reusable Algorithm-5 working set (gossip.go).
 	scratch linkScratch
 
+	// samplers holds the per-peer swap samplers of the RandomLinks
+	// ablation (lazy — the default LSH path never allocates them);
+	// samplerSeed is the base stream drawn once from rng at first use.
+	samplers    []*selectcore.Sampler
+	samplerSeed int64
+
 	// longLinks[p] is R_p^l: the K long-range links (subset of Base links;
 	// Base also holds the two ring links R_p^s).
 	longLinks [][]overlay.PeerID

@@ -115,6 +115,14 @@ type Config struct {
 	TopicZipf float64 // Zipf exponent (>1), default 1.2
 	TopicSubs int     // subscriptions per peer, default 2
 
+	// Defenses enables the hardened node defenses of DESIGN.md §14
+	// (node.Options.Hardened): join admission rate limits and arc caps,
+	// eviction-resistant ring lists with position cross-checks, and
+	// mutual-count clamps. The adversarial arms (Fault.Attack != none)
+	// run with it on and off to measure the defense margin; it is
+	// harmless under honest faults.
+	Defenses bool
+
 	// TraceCap bounds the structured obs event trace (0 = off).
 	TraceCap int
 }
@@ -240,6 +248,46 @@ type Report struct {
 	TopicHandoffs     int64 `json:"topic_handoffs,omitempty"`
 	TopicFanoutCopies int64 `json:"topic_fanout_copies,omitempty"`
 
+	// Adversarial arm (Fault.Attack != none): AttackerCount byzantine
+	// peers ran the named attack against AttackTarget between schedule
+	// steps AttackStart and AttackStop. Attackers are excluded from
+	// eligibility (a byzantine peer's own notifications are not the
+	// service's promise); the victim stays eligible — that is the point.
+	// AttackWanted/Delivered/Rate score eligible notifications whose
+	// publication resolved inside the attack window — the degraded-window
+	// availability the defense margin is measured on. AttackMeanHops is
+	// the in-window delivered hop count (hop inflation vs MeanHops).
+	// RestabilizeMS is how long after the window closed until the
+	// victim's ring links agreed with the directory again (the
+	// Feldmann-style recovery contract), RestabilizeTicks the same in
+	// maintain periods. HeadOccupancy is the fraction of in-window
+	// driver ticks on which an attacker held the victim's ring successor
+	// or predecessor — the prize both ring attacks play for — and
+	// ForgedOccupancy the fraction where that seat was held at a
+	// position contradicting the directory's grant (a swallowed forgery,
+	// vs a seat a friend earned legitimately under social placement):
+	// the in-window damage gauges the defenses-off ablation degrades.
+	// Both -1 when not measured. The defense counters echo obs.
+	Attack           string  `json:"attack,omitempty"`
+	Defenses         bool    `json:"defenses,omitempty"`
+	AttackerCount    int     `json:"attacker_count,omitempty"`
+	AttackTarget     int32   `json:"attack_target,omitempty"`
+	AttackStart      int     `json:"attack_start,omitempty"`
+	AttackStop       int     `json:"attack_stop,omitempty"`
+	AttackWanted     int     `json:"attack_wanted,omitempty"`
+	AttackDelivered  int     `json:"attack_delivered,omitempty"`
+	AttackRate       float64 `json:"attack_rate,omitempty"`
+	AttackMeanHops   float64 `json:"attack_mean_hops,omitempty"`
+	RestabilizeMS    float64 `json:"restabilize_ms,omitempty"`
+	RestabilizeTicks int     `json:"restabilize_ticks,omitempty"`
+	HeadOccupancy    float64 `json:"attacker_head_occupancy"`
+	ForgedOccupancy  float64 `json:"forged_head_occupancy"`
+	SybilRejected    int64   `json:"sybil_rejected,omitempty"`
+	SybilDiverted    int64   `json:"sybil_diverted,omitempty"`
+	EclipseDisplaced int64   `json:"eclipse_displaced,omitempty"`
+	PosRejected      int64   `json:"pos_rejected,omitempty"`
+	StrengthClamped  int64   `json:"strength_clamped,omitempty"`
+
 	// FaultTrace is the canonical injected-fault schedule; identical for
 	// identical seeds. FaultEvents is its event count.
 	FaultEvents int    `json:"fault_events"`
@@ -264,6 +312,8 @@ type ConfigSummary struct {
 	Inbox         bool    `json:"inbox,omitempty"`
 	Topics        int     `json:"topics,omitempty"`
 	TopicZipf     float64 `json:"topic_zipf,omitempty"`
+	Attack        string  `json:"attack,omitempty"`
+	Defenses      bool    `json:"defenses,omitempty"`
 }
 
 // String renders the report like the repo's other experiment harnesses.
@@ -295,7 +345,27 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "topics: %d (hot hashtag %d subscribers)   rehomes: %d   handoffs: %d   tree copies: %d\n",
 			r.Topics, r.HotTopicSubs, r.TopicRehomes, r.TopicHandoffs, r.TopicFanoutCopies)
 	}
+	if r.Attack != "" && r.Attack != "none" {
+		fmt.Fprintf(&b, "attack: %s ×%d vs peer %d (steps %d-%d, defenses=%v)\n",
+			r.Attack, r.AttackerCount, r.AttackTarget, r.AttackStart, r.AttackStop, r.Defenses)
+		fmt.Fprintf(&b, "in-window availability: %d/%d = %.2f%% (mean hops %.2f)   restabilize: %.0fms ≈ %d maintain ticks\n",
+			r.AttackDelivered, r.AttackWanted, 100*r.AttackRate, r.AttackMeanHops,
+			r.RestabilizeMS, r.RestabilizeTicks)
+		if r.HeadOccupancy >= 0 {
+			forged := r.ForgedOccupancy
+			if forged < 0 {
+				forged = 0
+			}
+			fmt.Fprintf(&b, "attacker ring-head occupancy through window: %.1f%% (%.1f%% at forged positions)\n",
+				100*r.HeadOccupancy, 100*forged)
+		}
+		fmt.Fprintf(&b, "defenses: sybil_rejected=%d sybil_diverted=%d eclipse_displaced=%d pos_rejected=%d strength_clamped=%d\n",
+			r.SybilRejected, r.SybilDiverted, r.EclipseDisplaced, r.PosRejected, r.StrengthClamped)
+	}
 	fmt.Fprintf(&b, "overlay quality: mean hops %.2f, link-bucket coverage %.2f\n", r.MeanHops, r.MeanLinkCoverage)
+	if r.PostChurnMeanHops > 0 {
+		fmt.Fprintf(&b, "post-churn convergence: mean hops %.2f on the clean network\n", r.PostChurnMeanHops)
+	}
 	fmt.Fprintf(&b, "injected fault events: %d\n", r.FaultEvents)
 	b.WriteString(r.Obs.String())
 	return b.String()
@@ -347,6 +417,7 @@ func Run(cfg Config) (*Report, error) {
 
 	nopts := node.Options{Graph: g, Overlay: ov, Transport: fn, Seed: cfg.Seed, Obs: met, Shards: cfg.Shards}
 	nopts.Inbox = cfg.Inbox
+	nopts.Hardened = cfg.Defenses
 	if cfg.Topics > 0 {
 		if !cfg.Recovery {
 			return nil, fmt.Errorf("soak: Topics requires Recovery (rendezvous re-homing rides the repair engine)")
@@ -505,6 +576,143 @@ func Run(cfg Config) (*Report, error) {
 		}()
 	}
 
+	// Adversarial arm: lift the attack window out of the schedule, then
+	// mirror it onto node adversary hooks — the attack is byzantine *peer*
+	// behavior, so faultnet only decides who/when; the nodes act it out.
+	attackers := make(map[overlay.PeerID]bool)
+	var cohort []overlay.PeerID
+	var attackStart, attackStop int
+	attackKind := faultnet.AttackNone
+	attackTarget := overlay.PeerID(-1)
+	if s := fn.Schedule(); s != nil {
+		for _, e := range s.Ev {
+			switch e.Kind {
+			case faultnet.EvAttackStart:
+				attackKind = e.Attack
+				attackStart, attackStop = e.Step, s.Steps
+				attackTarget = overlay.PeerID(e.Peer)
+				for _, a := range e.Side {
+					attackers[overlay.PeerID(a)] = true
+					cohort = append(cohort, overlay.PeerID(a))
+				}
+			case faultnet.EvAttackStop:
+				attackStop = e.Step
+			}
+		}
+	}
+	var restabMu sync.Mutex
+	restabilizeMS := -1.0
+	headOccupancy := -1.0
+	forgedOccupancy := -1.0
+	if attackKind != faultnet.AttackNone && cfg.Fault.Tick > 0 {
+		mode := node.AdvNone
+		switch attackKind {
+		case faultnet.AttackSybil:
+			mode = node.AdvSybil
+		case faultnet.AttackEclipse:
+			mode = node.AdvEclipse
+		case faultnet.AttackLiar:
+			mode = node.AdvLiar
+		}
+		driverWG.Add(1)
+		go func() {
+			defer driverWG.Done()
+			armed := false
+			occHeld, occForged, occTicks := 0, 0, 0
+			tick := time.NewTicker(cfg.Fault.Tick)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopDriver:
+					return
+				case <-tick.C:
+				}
+				_, _, _, active := fn.AttackAt(fn.Step())
+				if active && armed {
+					// Head-occupancy sample: does an attacker hold the
+					// victim's ring successor or predecessor right now? This
+					// is the prize both ring attacks play for (forged ε-flanks
+					// for eclipse, arc-flood placements for sybil), and the
+					// headline in-window damage the defenses-off ablation
+					// measures — hardened correction keeps it near zero.
+					occTicks++
+					s, p := cluster.RingHeads(attackTarget)
+					if attackers[s] || attackers[p] {
+						occHeld++
+						// A seat can be earned (friends are genuine ring
+						// neighbors under social placement) or stolen; only a
+						// view position contradicting the directory's grant
+						// proves a swallowed forgery.
+						if (attackers[s] && cluster.HeadForged(attackTarget, s)) ||
+							(attackers[p] && cluster.HeadForged(attackTarget, p)) {
+							occForged++
+						}
+					}
+				}
+				switch {
+				case active && !armed:
+					armed = true
+					for _, a := range cohort {
+						cluster.Nodes[a].SetAdversary(mode, attackTarget, cohort)
+					}
+				case !active && armed:
+					armed = false
+					stoppedAt := time.Now()
+					restabMu.Lock()
+					if occTicks > 0 {
+						headOccupancy = float64(occHeld) / float64(occTicks)
+						forgedOccupancy = float64(occForged) / float64(occTicks)
+					}
+					restabMu.Unlock()
+					for _, a := range cohort {
+						cluster.Nodes[a].SetAdversary(node.AdvNone, -1, nil)
+					}
+					// Sybil attackers may be stranded outside the ring
+					// mid-cycle; walk them back through the join protocol
+					// like churn rejoins so the network can re-converge.
+					for _, a := range cohort {
+						if cluster.Nodes[a].Joined() {
+							continue
+						}
+						a := a
+						driverWG.Add(1)
+						go func() {
+							defer driverWG.Done()
+							ctx, cancel := context.WithTimeout(driverCtx, 30*time.Second)
+							defer cancel()
+							_ = cluster.Rejoin(ctx, a, -1)
+						}()
+					}
+					// Restabilization probe: time from window close until
+					// the victim's ring links agree with the directory
+					// again — the recovery contract the report pins.
+					driverWG.Add(1)
+					go func() {
+						defer driverWG.Done()
+						deadline := time.Now().Add(60 * time.Second)
+						for time.Now().Before(deadline) {
+							select {
+							case <-stopDriver:
+								return
+							default:
+							}
+							if cluster.RingConsistent(attackTarget) {
+								ms := float64(time.Since(stoppedAt).Milliseconds())
+								met.ObserveRestabilizeMS(ms)
+								restabMu.Lock()
+								restabilizeMS = ms
+								restabMu.Unlock()
+								return
+							}
+							time.Sleep(cfg.Fault.Tick)
+						}
+					}()
+					return
+				}
+			}
+		}()
+	}
+
 	// Offline-subscriber arm: crash the chosen fraction BEFORE any
 	// publication goes out. They stay down through the whole workload —
 	// every notification owed to them must cross the durable tier.
@@ -568,6 +776,8 @@ func Run(cfg Config) (*Report, error) {
 	eligibleWanted, eligibleDelivered := 0, 0
 	rejoinedWanted, rejoinedDelivered := 0, 0
 	hopTotal, hopCount := 0, 0
+	attackWanted, attackDelivered := 0, 0
+	attackHopTotal, attackHopCount := 0, 0
 	type pubRecord struct {
 		pub  overlay.PeerID
 		seq  uint32
@@ -578,7 +788,7 @@ func Run(cfg Config) (*Report, error) {
 		var pub overlay.PeerID
 		for attempt := 0; ; attempt++ {
 			pub = overlay.PeerID(wrng.Intn(cfg.N))
-			if g.Degree(pub) == 0 || offline[pub] {
+			if g.Degree(pub) == 0 || offline[pub] || attackers[pub] {
 				continue
 			}
 			// Prefer a currently-live publisher; after enough tries take
@@ -605,7 +815,7 @@ func Run(cfg Config) (*Report, error) {
 			}
 		} else {
 			subs = g.Neighbors(pub)
-			seq = cluster.Nodes[pub].Publish(nil, node.WithSize(cfg.PayloadSize))
+			seq, _ = cluster.Nodes[pub].Topic(node.UserTopic(pub)).Publish(nil, node.WithSize(cfg.PayloadSize))
 		}
 		posted = append(posted, pubRecord{pub: pub, seq: seq, subs: subs})
 		// The harness only waits — and only for subscribers that are up;
@@ -613,10 +823,10 @@ func Run(cfg Config) (*Report, error) {
 		// scored after the rejoin replay. Repair — if any — is the
 		// publisher's own engine re-sending on its seeded backoff schedule.
 		await := subs
-		if len(offline) > 0 {
+		if len(offline) > 0 || len(attackers) > 0 {
 			await = nil
 			for _, s := range subs {
-				if !offline[s] {
+				if !offline[s] && !attackers[s] {
 					await = append(await, s)
 				}
 			}
@@ -641,10 +851,21 @@ func Run(cfg Config) (*Report, error) {
 			// availability of the notification service, not of handsets.)
 			// The deliberately-offline set is scored after its rejoin
 			// replay instead, never here.
-			if !fn.CrashedAt(scoreStep, int32(s)) && !offline[s] {
+			// Attackers are excluded too — no availability promise is owed
+			// to a byzantine peer. The victim stays eligible: that is the
+			// promise under attack.
+			if !fn.CrashedAt(scoreStep, int32(s)) && !offline[s] && !attackers[s] {
 				eligibleWanted++
 				if got {
 					eligibleDelivered++
+				}
+				if attackKind != faultnet.AttackNone && scoreStep >= attackStart && scoreStep < attackStop {
+					attackWanted++
+					if got {
+						attackDelivered++
+						attackHopTotal += int(hops)
+						attackHopCount++
+					}
 				}
 				rj.mu.Lock()
 				wasRejoined := rj.rejoined[s]
@@ -738,7 +959,7 @@ func Run(cfg Config) (*Report, error) {
 				}
 			}
 			subs := g.Neighbors(pub)
-			seq := cluster.Nodes[pub].Publish(nil, node.WithSize(cfg.PayloadSize))
+			seq, _ := cluster.Nodes[pub].Topic(node.UserTopic(pub)).Publish(nil, node.WithSize(cfg.PayloadSize))
 			waitCtx, waitCancel := context.WithTimeout(context.Background(), cfg.DeliverTimeout)
 			cluster.AwaitDelivery(waitCtx, pub, seq, subs)
 			waitCancel()
@@ -779,9 +1000,11 @@ func Run(cfg Config) (*Report, error) {
 			BootstrapFrac: cfg.BootstrapFrac, LiveRejoin: cfg.LiveRejoin,
 			OfflineFrac: cfg.OfflineFrac, Inbox: cfg.Inbox,
 			Topics: cfg.Topics, TopicZipf: cfg.TopicZipf,
+			Attack: attackKind.String(), Defenses: cfg.Defenses,
 		},
 		Posts: cfg.Posts, Wanted: wanted, Delivered: delivered,
 		EligibleWanted: eligibleWanted, EligibleDelivered: eligibleDelivered,
+		HeadOccupancy: -1, ForgedOccupancy: -1,
 		LiveJoins: liveJoins, Rejoins: rejoins,
 		RejoinedWanted: rejoinedWanted, RejoinedDelivered: rejoinedDelivered,
 		MeanLinkCoverage: coverage,
@@ -834,6 +1057,33 @@ func Run(cfg Config) (*Report, error) {
 		r.TopicRehomes = met.Get(obs.CTopicRehome)
 		r.TopicHandoffs = met.Get(obs.CTopicHandoff)
 		r.TopicFanoutCopies = met.Get(obs.CTopicFanout)
+	}
+	if attackKind != faultnet.AttackNone {
+		r.Attack = attackKind.String()
+		r.Defenses = cfg.Defenses
+		r.AttackerCount = len(cohort)
+		r.AttackTarget = int32(attackTarget)
+		r.AttackStart, r.AttackStop = attackStart, attackStop
+		r.AttackWanted, r.AttackDelivered = attackWanted, attackDelivered
+		if attackWanted > 0 {
+			r.AttackRate = float64(attackDelivered) / float64(attackWanted)
+		}
+		if attackHopCount > 0 {
+			r.AttackMeanHops = float64(attackHopTotal) / float64(attackHopCount)
+		}
+		restabMu.Lock()
+		r.RestabilizeMS = restabilizeMS
+		r.HeadOccupancy = headOccupancy
+		r.ForgedOccupancy = forgedOccupancy
+		restabMu.Unlock()
+		if r.RestabilizeMS >= 0 && cfg.MaintainEvery > 0 {
+			r.RestabilizeTicks = int(r.RestabilizeMS/float64(cfg.MaintainEvery.Milliseconds())) + 1
+		}
+		r.SybilRejected = met.Get(obs.CSybilRejected)
+		r.SybilDiverted = met.Get(obs.CSybilDiverted)
+		r.EclipseDisplaced = met.Get(obs.CEclipseDisplaced)
+		r.PosRejected = met.Get(obs.CPosRejected)
+		r.StrengthClamped = met.Get(obs.CStrengthClamped)
 	}
 	if s := fn.Schedule(); s != nil {
 		r.FaultEvents = len(s.Ev)

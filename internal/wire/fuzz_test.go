@@ -85,6 +85,38 @@ func fuzzSeeds() []*Message {
 			Kind: KindTopicHandoff, From: 2, To: 3, Seq: 24,
 			RoutingTable: []int32{10, 11}, Topic: []byte("#go"),
 		},
+		// Attacker-shaped frames (DESIGN.md §14): well-formed wire encoding
+		// carrying protocol-level lies. The transport must decode them
+		// untroubled — rejecting the *claims* is the node layer's job
+		// (clampMutual, position cross-checks) — so these seed the corpus
+		// at the exact shapes the adversarial arms emit.
+		{
+			// Liar reply: mutual count far beyond any neighborhood, with a
+			// saturated friendship bitmap over a tiny claimed neighborhood.
+			Kind: KindExchangeReply, From: 66, To: 4, Seq: 6,
+			NMutual: 1 << 30, Bitmap: []uint64{^uint64(0), ^uint64(0), ^uint64(0)},
+			RoutingTable: []int32{11},
+		},
+		{
+			// Negative liar reply: a mutual count with the sign bit set.
+			Kind: KindExchangeReply, From: 66, To: 4, Seq: 7,
+			NMutual: -1, Bitmap: []uint64{1},
+		},
+		{
+			// Eclipse pong: the cohort bracketing a victim with ε-close
+			// flank positions, duplicated entries and a succ/pred overlap.
+			Kind: KindPong, From: 66, To: 1, Seq: 8,
+			Succs:   []int32{66, 67, 68, 67},
+			SuccPos: []uint64{0x3FE0000000000001, 0x3FE0000000000002, 0x3FDFFFFFFFFFFFFF, 0x3FE0000000000002},
+			Preds:   []int32{68, 69},
+			PredPos: []uint64{0x3FDFFFFFFFFFFFFF, 0x7FF8000000000000}, // NaN position claim
+		},
+		{
+			// Out-of-range peer IDs and non-finite positions in a join reply.
+			Kind: KindJoinReply, From: 66, To: 12, Seq: 9,
+			Pos:   0x7FF0000000000000, // +Inf identifier
+			Succs: []int32{-5, 1 << 30}, SuccPos: []uint64{0, ^uint64(0)},
+		},
 	}
 }
 
