@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -58,10 +59,52 @@ func main() {
 		inboxOn = flag.Bool("inbox", false, "durable delivery tier: deposit publications for unreachable subscribers instead of dead-lettering (implies -retry 50ms when unset)")
 		topics  = flag.Int("topics", 0, "named-topic mode: publish to this many rendezvous-placed topics instead of friend feeds (throughput mode only; implies -retry 50ms when unset)")
 		zipfS   = flag.Float64("zipf", 1.2, "Zipf exponent for topic popularity in -topics mode (>1)")
+		ackMode = flag.String("ackbatch", "auto", "ack coalescing: auto (on for raw TCP), on, off")
+		hbPiggy = flag.Bool("hbpiggyback", true, "suppress heartbeats on links with recent traffic")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	if (*inboxOn || *topics > 0) && *retry == 0 {
 		*retry = 50 * time.Millisecond
+	}
+	var ackBatch node.AckBatchMode
+	switch *ackMode {
+	case "auto":
+		ackBatch = node.AckBatchAuto
+	case "on":
+		ackBatch = node.AckBatchOn
+	case "off":
+		ackBatch = node.AckBatchOff
+	default:
+		fatal(fmt.Errorf("-ackbatch must be auto, on or off (got %q)", *ackMode))
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "livebench: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "livebench: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	spec, err := datasets.ByName(*name)
@@ -79,12 +122,14 @@ func main() {
 		fatal(err)
 	}
 
+	met := obs.New()
 	var tr transport.Transport
 	if *useTCP {
 		t, err := transport.NewTCP(*n, *buffer)
 		if err != nil {
 			fatal(err)
 		}
+		t.Obs = met // transport-side counters (frames sent, ingress batches)
 		tr = t
 	} else {
 		sw := transport.NewSwitchboard(*n, *buffer)
@@ -93,18 +138,20 @@ func main() {
 			// quickly while preserving relative differences.
 			return time.Duration(net.Latency(from, to) * float64(time.Second) / 10)
 		}
+		sw.Obs = met
 		tr = sw
 	}
-	met := obs.New()
 	cluster, err := node.Start(node.Options{
 		Graph: g, Overlay: ov, Transport: tr, Seed: *seed, Obs: met,
-		Shards:         *shards,
-		HeartbeatEvery: *hbEvery,
-		GossipEvery:    *gsEvery,
-		MaintainEvery:  *mtEvery,
-		RetryBase:      *retry,
-		Inbox:          *inboxOn,
-		Bandwidths:     bw,
+		Shards:               *shards,
+		HeartbeatEvery:       *hbEvery,
+		GossipEvery:          *gsEvery,
+		MaintainEvery:        *mtEvery,
+		RetryBase:            *retry,
+		Inbox:                *inboxOn,
+		Bandwidths:           bw,
+		AckBatch:             ackBatch,
+		NoHeartbeatPiggyback: !*hbPiggy,
 		// -buffer sizes the shard mailboxes too: the muxed runtime
 		// replaces per-peer inboxes with one shared channel per shard,
 		// so a per-peer depth alone would silently shrink total
@@ -230,8 +277,14 @@ type throughputResult struct {
 	LatencyP99MS   float64 `json:"latency_p99_ms"`
 	AllocsPerMsg   float64 `json:"allocs_per_msg"`
 	BytesPerMsg    float64 `json:"bytes_per_msg"`
-	Shards         int     `json:"shards"`
-	Goroutines     int     `json:"goroutines"`
+	// FramesPerDelivered is transport sends over the flood window divided
+	// by delivered notifications — the frame-economy figure of merit
+	// (DESIGN.md §15): control-traffic coalescing pushes it down without
+	// touching the delivered count.
+	FramesPerDelivered float64          `json:"frames_per_delivered_msg"`
+	FrameCounters      map[string]int64 `json:"frame_counters,omitempty"`
+	Shards             int              `json:"shards"`
+	Goroutines         int              `json:"goroutines"`
 	// Topic-mode fields: how many named topics the flood targeted, the
 	// Zipf popularity exponent, and the runtime's topic_* counters.
 	Topics        int              `json:"topics,omitempty"`
@@ -363,6 +416,7 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, met *obs.Metrics
 	var m0, m1 runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
+	frames0 := met.Get(obs.CTransportSend)
 	start := time.Now()
 	for i := 0; i < posts; i++ {
 		b := ids[i%len(ids)]
@@ -438,8 +492,16 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, met *obs.Metrics
 	if delivered > 0 {
 		res.AllocsPerMsg = float64(m1.Mallocs-m0.Mallocs) / float64(delivered)
 		res.BytesPerMsg = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(delivered)
+		res.FramesPerDelivered = float64(met.Get(obs.CTransportSend)-frames0) / float64(delivered)
 	}
 	mu.Unlock()
+	res.FrameCounters = map[string]int64{}
+	for _, c := range []obs.Counter{
+		obs.CAckBatchSent, obs.CAckCoalesced, obs.CAckTTLDrop,
+		obs.CHeartbeatSuppress, obs.CIngressBatch,
+	} {
+		res.FrameCounters[c.String()] = met.Get(c)
+	}
 	res.DeadLetters, res.DeadLettersByNode = deadLetterCensus(cluster)
 	if cfg.topics > 0 {
 		res.Topics, res.ZipfS = cfg.topics, cfg.zipfS
@@ -465,6 +527,9 @@ func runThroughput(cluster *node.Cluster, g *socialgraph.Graph, met *obs.Metrics
 		res.Publications, res.Delivered, res.Notifications, res.DeliveredPct, res.ElapsedSeconds)
 	fmt.Printf("sustained: %.0f msgs/sec   latency p50=%.2fms p99=%.2fms   allocs/msg=%.1f (%.0f B)\n",
 		res.MsgsPerSec, res.LatencyP50MS, res.LatencyP99MS, res.AllocsPerMsg, res.BytesPerMsg)
+	fmt.Printf("frames/delivered-msg: %.2f   (ack batches %d, acks coalesced %d, heartbeats suppressed %d)\n",
+		res.FramesPerDelivered, res.FrameCounters["ack_batch_sent"],
+		res.FrameCounters["ack_coalesced"], res.FrameCounters["heartbeat_suppressed"])
 	if res.DeadLetters > 0 {
 		fmt.Printf("dead letters: %d across %d publisher nodes\n", res.DeadLetters, len(res.DeadLettersByNode))
 	}

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"selectps/internal/churn"
@@ -73,8 +75,38 @@ func main() {
 		reportJSON = flag.Bool("report-json", false, "emit the full report as JSON (for bench assembly)")
 		trace      = flag.Bool("trace", false, "print the injected fault schedule")
 		traceCap   = flag.Int("trace-cap", 0, "retain the last N structured obs events (0 disables)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	cfg := soak.Config{
 		N: *n, Seed: *seed, Dataset: *dataset, TCP: *useTCP,

@@ -92,6 +92,26 @@ type Options struct {
 	// the simulator (zero value = selectcore.DefaultFailureDetector).
 	Detector selectcore.FailureDetector
 
+	// AckBatch selects the control-traffic coalescing mode (DESIGN.md
+	// §15): acks buffer per next hop and ride KindAckBatch frames instead
+	// of one frame each. AckBatchAuto (the zero value) enables batching
+	// only on raw framed transports (the same transport.FrameSender gate
+	// as the marshal-once heartbeat path), so faultnet-wrapped chaos
+	// schedules and their canonical traces stay byte-identical.
+	AckBatch AckBatchMode
+	// AckFlushEvery is the longest an ack may sit buffered before its
+	// batch is flushed (default 1ms — about one timer-wheel tick).
+	AckFlushEvery time.Duration
+	// AckBatchMax flushes a next-hop bucket early when it reaches this
+	// many entries (default 64).
+	AckBatchMax int
+	// NoHeartbeatPiggyback disables liveness piggybacking: normally any
+	// inbound frame counts as heartbeat evidence for its sender, and the
+	// heartbeat sweep skips pinging links that carried traffic within the
+	// last interval (idle links keep the full ping cadence, so detection
+	// latency is unchanged).
+	NoHeartbeatPiggyback bool
+
 	// Inbox enables the durable delivery tier (DESIGN.md §12): instead of
 	// dead-lettering a publication for a subscriber that left the ring or
 	// exhausted the direct-retry budget, the publisher deposits the copy on
@@ -196,6 +216,12 @@ func (o *Options) fill() {
 	}
 	if o.InboxReplicas <= 0 {
 		o.InboxReplicas = 2
+	}
+	if o.AckFlushEvery <= 0 {
+		o.AckFlushEvery = time.Millisecond
+	}
+	if o.AckBatchMax <= 0 {
+		o.AckBatchMax = 64
 	}
 	if o.InboxLease <= 0 {
 		o.InboxLease = 150 * time.Millisecond
@@ -380,11 +406,19 @@ func Start(opts Options) (*Cluster, error) {
 		}
 	}
 	mux, hasMux := opts.Transport.(transport.InboxMux)
+	bmux, hasBMux := opts.Transport.(transport.BatchInboxMux)
 	start := time.Now()
 	for p, nd := range c.Nodes {
 		sh := c.shards[shardOf(int32(p), len(c.shards))]
 		nd.sh = sh
-		if !hasMux || !mux.BindInbox(int32(p), sh.inbox) {
+		// Bulk ingress first (DESIGN.md §15): the transport's read loop
+		// hands whole envelope slices into the shard, which drains each
+		// under one queue-lock acquisition. Then the single-envelope mux,
+		// then the per-node forwarder goroutine of last resort.
+		switch {
+		case hasBMux && bmux.BindInboxBatch(int32(p), sh.binbox):
+		case hasMux && mux.BindInbox(int32(p), sh.inbox):
+		default:
 			c.wg.Add(1)
 			go c.forwardInbox(opts.Transport.Inbox(int32(p)), int32(p), sh.inbox)
 		}

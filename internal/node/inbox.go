@@ -232,20 +232,7 @@ func (n *Node) handleInboxDepositAck(m *wire.Message) {
 	}
 	n.cfg.Obs.Inc(obs.CInboxDepositAck)
 	n.mu.Lock()
-	// The ack echoes the deposit's origin identity; for a topic hand-off
-	// the local repair state is keyed by this node's repair seq instead.
-	seq, known := m.Seq, m.Publisher == int32(n.id)
-	if !known {
-		seq, known = n.tpOrigin[msgID{m.Publisher, m.Seq}]
-	}
-	if known {
-		if st := n.pubs[seq]; st != nil {
-			if ds := st.dep[overlay.PeerID(m.Target)]; ds != nil && !ds.acked {
-				ds.acked = true
-				n.resolveAckLocked(seq)
-			}
-		}
-	}
+	n.consumeDepositAckLocked(m.Publisher, m.Seq, m.Target)
 	n.mu.Unlock()
 	n.kickRetry()
 }
@@ -276,10 +263,17 @@ func (n *Node) handleInboxDeposit(m *wire.Message) {
 	}
 	target := overlay.PeerID(m.Target)
 	var out []outMsg
-	out = append(out, outMsg{m.From, &wire.Message{
-		Kind: wire.KindInboxDepositAck, From: int32(n.id), To: m.From,
-		Seq: m.Seq, Publisher: m.Publisher, Target: m.Target,
-	}})
+	if n.ackBatch {
+		n.queueAck(wire.AckEntry{
+			Kind: wire.KindInboxDepositAck, From: int32(n.id), Dest: m.From,
+			Pub: m.Publisher, Seq: m.Seq, Target: m.Target,
+		}, true)
+	} else {
+		out = append(out, outMsg{m.From, &wire.Message{
+			Kind: wire.KindInboxDepositAck, From: int32(n.id), To: m.From,
+			Seq: m.Seq, Publisher: m.Publisher, Target: m.Target,
+		}})
+	}
 	n.mu.Lock()
 	if n.dir.isMember(target) {
 		n.activateReplayLocked(target, 0)

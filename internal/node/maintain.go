@@ -645,6 +645,16 @@ func (n *Node) resetVolatileLocked() {
 	n.deadUntil = make(map[overlay.PeerID]time.Time)
 	n.linkRepairStart = nil
 	n.pendingPings = make(map[uint32]overlay.PeerID)
+	// Buffered-but-unflushed ack batches and piggybacked-liveness stamps
+	// die with the process, like any unsent frame.
+	if n.ackBatch {
+		n.ackBuf = make(map[overlay.PeerID][]wire.AckEntry)
+	}
+	n.ackFlushArmed = false
+	if n.hbPiggyback {
+		n.lastHeard = make(map[overlay.PeerID]time.Time)
+		n.hbSkip = make(map[overlay.PeerID]int)
+	}
 	// The ring view and join machinery are volatile; a fresh joinedCh
 	// lets the next Join wait on this incarnation. The repair outbox
 	// (pubs) survives alongside received/acked — it is the same

@@ -189,6 +189,21 @@ type Node struct {
 	coords      []int
 	pickScratch []int32
 
+	// Frame-economy fast path (DESIGN.md §15, ackbatch.go): ackBatch is
+	// the resolved coalescing switch; ackBuf holds buffered ack entries
+	// per next hop; ackFlushArmed guards the one-shot tkAckFlush wheel
+	// entry against re-arm (the wheel's Schedule is an upsert — re-arming
+	// would push the deadline back under sustained traffic).
+	ackBatch      bool
+	ackBuf        map[overlay.PeerID][]wire.AckEntry
+	ackFlushArmed bool
+	// Heartbeat piggybacking: lastHeard stamps the most recent inbound
+	// frame per peer (liveness evidence), hbSkip counts consecutive
+	// suppressed pings so the ring's pong anti-entropy keeps a floor.
+	hbPiggyback bool
+	lastHeard   map[overlay.PeerID]time.Time
+	hbSkip      map[overlay.PeerID]int
+
 	// paused simulates an unresponsive peer (churn): incoming messages are
 	// consumed and dropped, nothing is sent.
 	paused atomic.Bool
@@ -245,6 +260,24 @@ func newNode(id overlay.PeerID, dir *directory, bw []float64, cfg Options, seed 
 	if fs, ok := cfg.Transport.(transport.FrameSender); ok {
 		n.fs = fs
 	}
+	switch cfg.AckBatch {
+	case AckBatchOn:
+		n.ackBatch = true
+	case AckBatchOff:
+	default:
+		// Auto: batch only on raw framed transports — the same gate as
+		// the marshal-once heartbeat path, so faultnet-wrapped chaos
+		// schedules keep the one-frame-per-ack protocol byte-identical.
+		n.ackBatch = n.fs != nil
+	}
+	if n.ackBatch {
+		n.ackBuf = make(map[overlay.PeerID][]wire.AckEntry)
+	}
+	n.hbPiggyback = cfg.HeartbeatEvery > 0 && !cfg.NoHeartbeatPiggyback
+	if n.hbPiggyback {
+		n.lastHeard = make(map[overlay.PeerID]time.Time)
+		n.hbSkip = make(map[overlay.PeerID]int)
+	}
 	return n
 }
 
@@ -254,6 +287,19 @@ func (n *Node) nextSeq() uint32 {
 }
 
 func (n *Node) handle(m *wire.Message) {
+	if n.hbPiggyback && m.From >= 0 && overlay.PeerID(m.From) != n.id &&
+		m.Kind != wire.KindPing && m.Kind != wire.KindPong {
+		// Any inbound non-heartbeat frame is liveness evidence for its
+		// sender: the next heartbeat sweep skips pinging links that carried
+		// traffic inside the interval (sendHeartbeats) instead of
+		// generating a redundant ping/pong pair. Pings and pongs are
+		// excluded — the probe channel must not feed its own suppression,
+		// or an idle mesh would throttle the pong-borne ring anti-entropy
+		// it has no other way to run.
+		n.mu.Lock()
+		n.lastHeard[overlay.PeerID(m.From)] = time.Now()
+		n.mu.Unlock()
+	}
 	switch m.Kind {
 	case wire.KindPing:
 		// Pongs piggyback the responder's successor/predecessor lists —
@@ -300,6 +346,8 @@ func (n *Node) handle(m *wire.Message) {
 		n.handlePublish(m)
 	case wire.KindAck:
 		n.routeOrConsumeAck(m)
+	case wire.KindAckBatch:
+		n.handleAckBatch(m)
 	case wire.KindJoinRequest:
 		n.handleJoinRequest(m)
 	case wire.KindJoinReply:
@@ -473,10 +521,24 @@ func (n *Node) sendExchange() {
 // and repaired before the next pings go out (repair.go).
 func (n *Node) sendHeartbeats() {
 	now := time.Now()
+	cutoff := now.Add(-n.cfg.HeartbeatEvery)
 	var out []outMsg
 	n.mu.Lock()
-	n.cfg.Obs.Addn(obs.CHeartbeatMiss, int64(len(n.pendingPings)))
+	// fresh reports whether q's traffic inside the last interval already
+	// proved it alive (piggybacked liveness, DESIGN.md §15). Always false
+	// with piggybacking off — idle links see the exact legacy protocol,
+	// so failure-detection latency is unchanged where it matters.
+	fresh := func(q overlay.PeerID) bool {
+		return n.hbPiggyback && n.lastHeard[q].After(cutoff)
+	}
 	for _, target := range n.pendingPings {
+		if fresh(target) {
+			// The pong never came but data frames did: the link is alive,
+			// the miss would be pure noise. The links loop below records
+			// the round's (single) online observation.
+			continue
+		}
+		n.cfg.Obs.Inc(obs.CHeartbeatMiss)
 		n.observe(target, false)
 	}
 	n.pendingPings = make(map[uint32]overlay.PeerID)
@@ -485,6 +547,9 @@ func (n *Node) sendHeartbeats() {
 	// Hardened: also probe unverified ring candidates sitting ahead of the
 	// firsthand heads — their pong self-entry upgrades them so the head
 	// preference for verified peers cannot pin the ring on stale links.
+	// Probation peers are exempt from suppression (links[probe:]): only a
+	// pong's self-entry can upgrade them, so they always get a real ping.
+	probe := len(links)
 	for _, q := range n.rview.probation(n.dir.isMember) {
 		dup := false
 		for _, x := range links {
@@ -498,7 +563,20 @@ func (n *Node) sendHeartbeats() {
 		}
 	}
 	seqs := make(map[uint32]overlay.PeerID, len(links))
-	for _, q := range links {
+	for i, q := range links {
+		if i < probe && fresh(q) && n.hbSkip[q] < hbSuppressMax {
+			// Heartbeat piggybacking: the link moved data this interval, so
+			// its ping would be redundant — fold the traffic as this round's
+			// online sample instead (exactly one detector sample per link
+			// per round, same as a pong). Every hbSuppressMax-th round still
+			// pings: pongs carry successor lists, the ring's anti-entropy
+			// channel, which data frames do not.
+			n.hbSkip[q]++
+			n.observe(q, true)
+			n.cfg.Obs.Inc(obs.CHeartbeatSuppress)
+			continue
+		}
+		delete(n.hbSkip, q)
 		s := n.nextSeq()
 		seqs[s] = q
 		n.pendingPings[s] = q
@@ -574,11 +652,18 @@ func (n *Node) handlePublish(m *wire.Message) {
 		}
 		// Ack back to the publisher (directed).
 		if overlay.PeerID(m.Publisher) != n.id {
-			ack := &wire.Message{
-				Kind: wire.KindAck, From: int32(n.id), To: m.Publisher,
-				Seq: m.Seq, Publisher: m.Publisher, TTL: n.cfg.TTL,
+			if n.ackBatch {
+				n.queueAck(wire.AckEntry{
+					Kind: wire.KindAck, From: int32(n.id), Dest: m.Publisher,
+					Pub: m.Publisher, Seq: m.Seq, TTL: n.cfg.TTL,
+				}, false)
+			} else {
+				ack := &wire.Message{
+					Kind: wire.KindAck, From: int32(n.id), To: m.Publisher,
+					Seq: m.Seq, Publisher: m.Publisher, TTL: n.cfg.TTL,
+				}
+				n.forward(ack, overlay.PeerID(m.Publisher))
 			}
-			n.forward(ack, overlay.PeerID(m.Publisher))
 		}
 		return
 	}
@@ -597,17 +682,8 @@ func (n *Node) handlePublish(m *wire.Message) {
 // it toward the publisher.
 func (n *Node) routeOrConsumeAck(m *wire.Message) {
 	if overlay.PeerID(m.To) == n.id {
-		id := msgID{m.Publisher, m.Seq}
 		n.mu.Lock()
-		set := n.ackedSetLocked(id)
-		set[m.From] = true
-		if m.Publisher == int32(n.id) {
-			n.resolveAckLocked(m.Seq)
-		} else if rseq, ok := n.tpOrigin[id]; ok {
-			// Topic-rendezvous repair state: the ack is keyed by the origin
-			// publisher, the pubState by this node's local repair seq.
-			n.resolveAckLocked(rseq)
-		}
+		n.consumeAckLocked(m.From, m.Publisher, m.Seq)
 		n.mu.Unlock()
 		n.cfg.Obs.Inc(obs.CAckReceived)
 		return

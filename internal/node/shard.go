@@ -36,6 +36,7 @@ const (
 	tkRepair
 	tkMonitor
 	tkInbox
+	tkAckFlush
 )
 
 func timerID(pid int32, kind uint64) uint64 { return uint64(uint32(pid))<<3 | kind }
@@ -81,6 +82,10 @@ type shard struct {
 	c     *Cluster
 	wheel *sched.Wheel
 	inbox chan transport.Envelope
+	// binbox is the bulk-ingress mailbox (DESIGN.md §15): transports
+	// implementing BatchInboxMux deliver pooled envelope slices here, so
+	// a flood burst costs one channel op instead of one per frame.
+	binbox chan *[]transport.Envelope
 	// kick wakes the loop to re-arm its sleep after another goroutine
 	// scheduled a possibly-earlier deadline (Publish, requestJoin).
 	kick chan struct{}
@@ -160,6 +165,7 @@ func newShard(idx int, c *Cluster, opts *Options) *shard {
 		c:      c,
 		wheel:  sched.NewWheel(time.Millisecond, 512, time.Now()),
 		inbox:  make(chan transport.Envelope, opts.ShardMailbox),
+		binbox: make(chan *[]transport.Envelope, opts.ShardMailbox),
 		kick:   make(chan struct{}, 1),
 		obs:    opts.Obs,
 		queues: make([]nodeq, len(c.Nodes)),
@@ -177,10 +183,26 @@ func (s *shard) pull() {
 				return
 			}
 			s.enqueue(env)
+		case nb, ok := <-s.binbox:
+			if !ok {
+				return
+			}
+			s.enqueueBatch(nb)
 		default:
 			return
 		}
 	}
+}
+
+// enqueueBatch drains one bulk-ingress slice into the per-node queues —
+// a whole burst crosses into the fair-queueing structures in one pass —
+// and recycles the slice. ingestCap may overshoot by one batch; the next
+// pull iteration stops, which is the same backpressure point.
+func (s *shard) enqueueBatch(nb *[]transport.Envelope) {
+	for _, env := range *nb {
+		s.enqueue(env)
+	}
+	transport.PutEnvelopeBatch(nb)
 }
 
 func (s *shard) enqueue(env transport.Envelope) {
@@ -240,6 +262,19 @@ func (s *shard) scheduleRepair(n *Node) {
 	} else {
 		s.wheel.Cancel(id)
 	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// scheduleAckFlush arms the node's one-shot ack-flush deadline and kicks
+// the loop so its sleep shortens. Safe from any goroutine. The wheel's
+// Schedule is an upsert, so callers guard against re-arming while a
+// flush is pending (ackFlushArmed) — re-scheduling would push the
+// deadline back and starve the buffer under sustained traffic.
+func (s *shard) scheduleAckFlush(n *Node, at time.Time) {
+	s.wheel.Schedule(timerID(int32(n.id), tkAckFlush), at)
 	select {
 	case s.kick <- struct{}{}:
 	default:
@@ -361,6 +396,11 @@ func (s *shard) run() {
 				return
 			}
 			s.enqueue(env)
+		case nb, ok := <-s.binbox:
+			if !ok {
+				return
+			}
+			s.enqueueBatch(nb)
 		case <-s.kick:
 			rearm()
 		case <-timer.C:
@@ -399,13 +439,7 @@ func (s *shard) fire(f sched.Fired, now time.Time) {
 	pid := int32(uint32(f.ID >> 3))
 	n := s.c.Nodes[pid]
 	periodic := func(every time.Duration) {
-		// Next fire keeps the requested cadence; a shard that fell behind
-		// re-anchors at now instead of burning CPU on catch-up backlog.
-		next := f.At.Add(every)
-		if next.Before(now) {
-			next = now.Add(every)
-		}
-		s.wheel.Schedule(f.ID, next)
+		s.wheel.Schedule(f.ID, nextPeriodic(f.At, now, every))
 	}
 	// Congestion governor: a backlogged shard skips the BODY of periodic
 	// fires (cadence continues) so control traffic yields to draining the
@@ -455,7 +489,28 @@ func (s *shard) fire(f sched.Fired, now time.Time) {
 		if at, ok := n.nextInboxAt(); ok {
 			s.wheel.Schedule(f.ID, at)
 		}
+	case tkAckFlush:
+		// Shed-exempt: acks ARE the reliability feedback — delaying a
+		// flush under backlog turns into spurious retries, the exact load
+		// spiral shedding exists to break. One-shot: queueAck re-arms on
+		// the next buffered ack.
+		n.flushAcks()
 	}
+}
+
+// nextPeriodic computes a periodic entry's next deadline, skipping whole
+// periods arithmetically when the shard fell behind. Re-anchoring at
+// now+every (the old behavior) would collapse the splitmix64 phase
+// stagger scheduleNode spread the fleet with: after any shard stall,
+// every entry that lapsed during it would re-synchronize into the same
+// tick and fire as one thundering herd forever after. Preserving
+// at+k*every keeps each (node, kind) on its own phase through stalls.
+func nextPeriodic(at, now time.Time, every time.Duration) time.Time {
+	next := at.Add(every)
+	if !next.After(now) {
+		next = at.Add(every * (now.Sub(at)/every + 1))
+	}
+	return next
 }
 
 // monitorTick publishes the runtime-scale gauges: wheel entries per

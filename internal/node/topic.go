@@ -574,10 +574,17 @@ func (n *Node) handleTopicPub(m *wire.Message) {
 		n.acceptTopicPub(origin, string(m.Topic), clonePayload(m.Payload), m.PayloadSize, m.Priority)
 		// Ack the hand-off whether fresh or duplicate — the publisher
 		// retries until every live rendezvous member confirmed.
-		_ = n.tr.Send(m.From, &wire.Message{
-			Kind: wire.KindTopicPubAck, From: int32(n.id), To: m.From,
-			Seq: m.Seq, Publisher: m.Publisher, Topic: m.Topic,
-		})
+		if n.ackBatch {
+			n.queueAck(wire.AckEntry{
+				Kind: wire.KindTopicPubAck, From: int32(n.id), Dest: m.From,
+				Pub: m.Publisher, Seq: m.Seq,
+			}, true)
+		} else {
+			_ = n.tr.Send(m.From, &wire.Message{
+				Kind: wire.KindTopicPubAck, From: int32(n.id), To: m.From,
+				Seq: m.Seq, Publisher: m.Publisher, Topic: m.Topic,
+			})
+		}
 		return
 	}
 	n.deliverTopicCopy(m)
@@ -717,7 +724,13 @@ func (n *Node) deliverTopicCopy(m *wire.Message) {
 		ackTo[overlay.PeerID(m.Target)] = true
 	}
 	delete(ackTo, n.id)
+	var ackBatchTo []overlay.PeerID
 	for rep := range ackTo {
+		if n.ackBatch {
+			// Point-to-point acks coalesce (queued outside the lock below).
+			ackBatchTo = append(ackBatchTo, rep)
+			continue
+		}
 		direct = append(direct, outMsg{int32(rep), &wire.Message{
 			Kind: wire.KindAck, From: int32(n.id), To: int32(rep),
 			Seq: m.Seq, Publisher: m.Publisher, TTL: n.cfg.TTL,
@@ -732,6 +745,12 @@ func (n *Node) deliverTopicCopy(m *wire.Message) {
 	}
 	for _, o := range direct {
 		_ = n.tr.Send(o.to, o.m)
+	}
+	for _, rep := range ackBatchTo {
+		n.queueAck(wire.AckEntry{
+			Kind: wire.KindAck, From: int32(n.id), Dest: int32(rep),
+			Pub: m.Publisher, Seq: m.Seq, TTL: n.cfg.TTL,
+		}, true)
 	}
 }
 
@@ -823,22 +842,7 @@ func (n *Node) handleTopicPubAck(m *wire.Message) {
 	}
 	now := time.Now()
 	n.mu.Lock()
-	if tp := n.tpubs[m.Seq]; tp != nil {
-		tp.acked[overlay.PeerID(m.From)] = true
-		// Resolve eagerly so nextRepairAt can drop the entry.
-		set := n.topicRendezvousLocked(tp.topic, now)
-		all := len(set) > 0
-		for _, rep := range set {
-			if !tp.acked[rep] {
-				all = false
-				break
-			}
-		}
-		if all {
-			delete(n.tpubs, m.Seq)
-			n.cfg.Obs.TraceEvent("topic_pub_resolved", int32(n.id), m.Seq)
-		}
-	}
+	n.consumeTopicPubAckLocked(overlay.PeerID(m.From), m.Seq, now)
 	n.mu.Unlock()
 	n.cfg.Obs.Inc(obs.CAckReceived)
 	n.kickRetry()

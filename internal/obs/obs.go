@@ -122,6 +122,13 @@ const (
 	CPosRejected      // ring claims rejected by the admission-record position cross-check
 	CStrengthClamped  // out-of-range exchange mutual counts detected (hardened: rejected)
 
+	// node/transport: frame-economy fast path (DESIGN.md §15).
+	CAckBatchSent      // KindAckBatch frames flushed to a next hop
+	CAckCoalesced      // individual ack entries carried inside batches
+	CAckTTLDrop        // batched routed-ack entries expired in relay
+	CHeartbeatSuppress // heartbeat pings skipped: data traffic already proved liveness
+	CIngressBatch      // envelope batches delivered to shard mailboxes in bulk
+
 	numCounters
 )
 
@@ -207,6 +214,12 @@ var counterNames = [numCounters]string{
 	CEclipseDisplaced: "eclipse_displaced",
 	CPosRejected:      "pos_rejected",
 	CStrengthClamped:  "strength_clamped",
+
+	CAckBatchSent:      "ack_batch_sent",
+	CAckCoalesced:      "ack_coalesced",
+	CAckTTLDrop:        "ack_ttl_drop",
+	CHeartbeatSuppress: "heartbeat_suppressed",
+	CIngressBatch:      "ingress_batch",
 }
 
 // String returns the counter's export name.

@@ -191,6 +191,10 @@ type Report struct {
 	Retries         int64 `json:"retries"`
 	DeadLetters     int64 `json:"dead_letters"`
 
+	// FramesPerDelivered is total transport sends per delivered
+	// notification — the frame-economy figure of merit (DESIGN.md §15).
+	FramesPerDelivered float64 `json:"frames_per_delivered_msg"`
+
 	// Offline-subscriber arm (OfflineFrac > 0): OfflineCount peers were
 	// crashed through the whole workload and rejoined after it.
 	// OfflineWanted/Delivered score only their owed notifications after
@@ -330,6 +334,9 @@ func (r *Report) String() string {
 		r.LatencyMSP50, r.LatencyMSP90, r.LatencyMSP99)
 	fmt.Fprintf(&b, "recovery actions: %d (cma skips/walks) + %d engine retries (%d dead-lettered)\n",
 		r.RecoveryActions, r.Retries, r.DeadLetters)
+	if r.FramesPerDelivered > 0 {
+		fmt.Fprintf(&b, "frames/delivered-msg: %.2f\n", r.FramesPerDelivered)
+	}
 	if r.OfflineCount > 0 {
 		fmt.Fprintf(&b, "offline subscribers: %d crashed through workload; after rejoin replay %d/%d owed = %.2f%% (all subscribers %d/%d = %.2f%%, %d app-level duplicates)\n",
 			r.OfflineCount, r.OfflineDelivered, r.OfflineWanted, 100*r.OfflineRate,
@@ -1017,6 +1024,9 @@ func Run(cfg Config) (*Report, error) {
 		Retries:          met.Get(obs.CRetrySent),
 		DeadLetters:      met.Get(obs.CDeadLetter),
 		Obs:              snap,
+	}
+	if delivered > 0 {
+		r.FramesPerDelivered = float64(met.Get(obs.CTransportSend)) / float64(delivered)
 	}
 	if len(offline) > 0 {
 		dupMu.Lock()

@@ -91,6 +91,51 @@ type InboxMux interface {
 	BindInbox(owner int32, ch chan Envelope) bool
 }
 
+// BatchInboxMux is the bulk form of InboxMux (DESIGN.md §15): the
+// transport delivers *[]Envelope slices — pooled via GetEnvelopeBatch /
+// PutEnvelopeBatch — so a burst of inbound frames costs one channel send
+// and one receiver wakeup instead of one per frame. The receiver owns a
+// delivered batch and must return it with PutEnvelopeBatch once drained.
+//
+// BindInboxBatch follows the BindInbox contract (call before traffic,
+// false means fall back to BindInbox/Inbox, the channel is binder-owned
+// and never closed by the transport). Fault middleware (faultnet) does
+// not implement it, so wrapped transports fall back to the per-envelope
+// path — chaos schedules and canonical Trace() output stay byte-identical,
+// the same opt-out FrameSender uses.
+type BatchInboxMux interface {
+	BindInboxBatch(owner int32, ch chan *[]Envelope) bool
+}
+
+// ingressBatchMax caps how many envelopes one bulk-ingress batch
+// carries; it mirrors sendBatchMax on the TCP write side.
+const ingressBatchMax = 64
+
+var envBatchPool = sync.Pool{New: func() any {
+	s := make([]Envelope, 0, ingressBatchMax)
+	return &s
+}}
+
+// GetEnvelopeBatch returns a pooled, zero-length envelope slice for bulk
+// ingress. Return it with PutEnvelopeBatch once every envelope has been
+// consumed.
+func GetEnvelopeBatch() *[]Envelope {
+	return envBatchPool.Get().(*[]Envelope)
+}
+
+// PutEnvelopeBatch recycles a batch obtained from GetEnvelopeBatch,
+// clearing the entries so pooled slices never pin Message memory.
+func PutEnvelopeBatch(b *[]Envelope) {
+	if b == nil || cap(*b) > 4*ingressBatchMax {
+		return
+	}
+	for i := range *b {
+		(*b)[i] = Envelope{}
+	}
+	*b = (*b)[:0]
+	envBatchPool.Put(b)
+}
+
 // swBox is one peer's mailbox with its own close state: senders to
 // different peers share nothing, so fan-out to distinct receivers no
 // longer serializes on a transport-global mutex. The per-peer channel is
@@ -99,10 +144,11 @@ type InboxMux interface {
 // 4000-peer switchboard from holding 4000 buffered channels nobody
 // reads.
 type swBox struct {
-	mu     sync.Mutex
-	ch     chan Envelope // lazily allocated by Inbox
-	shared chan Envelope // set by BindInbox; takes precedence over ch
-	closed bool
+	mu          sync.Mutex
+	ch          chan Envelope    // lazily allocated by Inbox
+	shared      chan Envelope    // set by BindInbox; takes precedence over ch
+	sharedBatch chan *[]Envelope // set by BindInboxBatch; takes precedence over both
+	closed      bool
 }
 
 // Switchboard is the in-memory transport: per-peer buffered mailboxes,
@@ -155,6 +201,22 @@ func (s *Switchboard) deliver(box *swBox, owner int32, m *wire.Message) {
 		// packet, not a crash — real networks drop packets too. Counted,
 		// never silent.
 		s.Obs.Inc(obs.CDropClosed)
+		return
+	}
+	if bch := box.sharedBatch; bch != nil {
+		// Bulk-bound receiver: the switchboard delivers synchronously, so
+		// each send is a batch of one — the uniform *[]Envelope mailbox is
+		// what lets the shard drain switchboard and TCP traffic through
+		// the same bulk path.
+		nb := GetEnvelopeBatch()
+		*nb = append(*nb, Envelope{Msg: m, To: owner, At: time.Now()})
+		select {
+		case bch <- nb:
+			s.Obs.Inc(obs.CIngressBatch)
+		default:
+			PutEnvelopeBatch(nb)
+			s.Obs.Inc(obs.CDropFullMailbox)
+		}
 		return
 	}
 	ch := box.shared
@@ -237,6 +299,20 @@ func (s *Switchboard) BindInbox(owner int32, ch chan Envelope) bool {
 	box := s.boxes[owner]
 	box.mu.Lock()
 	box.shared = ch
+	box.mu.Unlock()
+	return true
+}
+
+// BindInboxBatch implements BatchInboxMux: peer owner's traffic is
+// delivered as pooled single-envelope batches into ch. See the interface
+// contract for ownership and close semantics.
+func (s *Switchboard) BindInboxBatch(owner int32, ch chan *[]Envelope) bool {
+	if owner < 0 || int(owner) >= len(s.boxes) {
+		return false
+	}
+	box := s.boxes[owner]
+	box.mu.Lock()
+	box.sharedBatch = ch
 	box.mu.Unlock()
 	return true
 }

@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func batchMsg() *Message {
+	return &Message{
+		Kind: KindAckBatch, From: 7, To: 3, Seq: 99,
+		Acks: []AckEntry{
+			{Kind: KindAck, From: 7, Dest: 3, Pub: 3, Seq: 10, TTL: 28},
+			{Kind: KindAck, From: 7, Dest: 3, Pub: 3, Seq: 11, TTL: 28},
+			{Kind: KindInboxDepositAck, From: 7, Dest: 3, Pub: 3, Seq: 12, Target: 44},
+			{Kind: KindTopicPubAck, From: 7, Dest: 3, Pub: 3, Seq: 13},
+		},
+	}
+}
+
+func TestAckBatchRoundtrip(t *testing.T) {
+	src := batchMsg()
+	frame := Marshal(src)[4:]
+	got, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Acks) != len(src.Acks) {
+		t.Fatalf("decoded %d entries, want %d", len(got.Acks), len(src.Acks))
+	}
+	for i := range src.Acks {
+		if got.Acks[i] != src.Acks[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got.Acks[i], src.Acks[i])
+		}
+	}
+	if out := Marshal(got)[4:]; !bytes.Equal(out, frame) {
+		t.Fatalf("non-canonical roundtrip:\n in: %x\nout: %x", frame, out)
+	}
+}
+
+// TestAckBatchDirtyReuse interleaves batch frames of shrinking and
+// growing entry counts through one reused Message: capacity reuse must
+// never leak stale entries into a smaller batch.
+func TestAckBatchDirtyReuse(t *testing.T) {
+	big := batchMsg()
+	small := &Message{Kind: KindAckBatch, From: 1, To: 2, Seq: 5,
+		Acks: []AckEntry{{Kind: KindAck, From: 1, Dest: 2, Pub: 2, Seq: 77, TTL: 9}}}
+	empty := &Message{Kind: KindAckBatch, From: 1, To: 2, Seq: 6}
+	var m Message
+	for _, src := range []*Message{big, small, big, empty, small} {
+		frame := Marshal(src)[4:]
+		if err := UnmarshalInto(&m, frame); err != nil {
+			t.Fatal(err)
+		}
+		if got := Marshal(&m)[4:]; !bytes.Equal(got, frame) {
+			t.Fatalf("dirty-reuse diverged for %d entries:\n got %x\nwant %x",
+				len(src.Acks), got, frame)
+		}
+	}
+}
+
+// TestAckBatchZeroAlloc pins the fast-path contract for the new kind:
+// warm-buffer marshal and reused-struct unmarshal at 0 allocs/op.
+func TestAckBatchZeroAlloc(t *testing.T) {
+	src := batchMsg()
+	buf := make([]byte, 0, 4096)
+	if allocs := testing.AllocsPerRun(200, func() {
+		buf = MarshalAppend(buf[:0], src)
+	}); allocs != 0 {
+		t.Errorf("MarshalAppend(ack-batch) = %.1f allocs/op, want 0", allocs)
+	}
+	frame := Marshal(src)[4:]
+	var m Message
+	if err := UnmarshalInto(&m, frame); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := UnmarshalInto(&m, frame); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("UnmarshalInto(ack-batch) = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestCloneDeepCopiesAcks pins that faultnet duplication cannot alias a
+// batch payload: mutating the clone's entries must not disturb the
+// original (and vice versa), matching every other slice field.
+func TestCloneDeepCopiesAcks(t *testing.T) {
+	src := batchMsg()
+	src.Topic = []byte("#go")
+	c := src.Clone()
+	if &c.Acks[0] == &src.Acks[0] {
+		t.Fatal("Clone aliased the Acks backing array")
+	}
+	c.Acks[0].Seq = 9999
+	c.Acks[1].TTL = 0
+	c.Topic[0] = '!'
+	if src.Acks[0].Seq == 9999 || src.Acks[1].TTL == 0 {
+		t.Fatal("mutating the clone's Acks reached the original")
+	}
+	if src.Topic[0] == '!' {
+		t.Fatal("mutating the clone's Topic reached the original")
+	}
+	// A nil Acks slice stays nil through Clone (identity preserved).
+	plain := &Message{Kind: KindAck, From: 1, To: 2, Seq: 3}
+	if cc := plain.Clone(); cc.Acks != nil {
+		t.Fatal("Clone materialized a nil Acks slice")
+	}
+}

@@ -23,6 +23,15 @@ func hotKinds() []*Message {
 			Payload: bytes.Repeat([]byte("x"), 64),
 		},
 		{Kind: KindAck, From: 9, To: 3, Seq: 55, Publisher: 3, TTL: 31},
+		{
+			Kind: KindAckBatch, From: 9, To: 3, Seq: 56,
+			Acks: []AckEntry{
+				{Kind: KindAck, From: 9, Dest: 3, Pub: 3, Seq: 55, TTL: 31},
+				{Kind: KindAck, From: 9, Dest: 3, Pub: 3, Seq: 56, TTL: 31},
+				{Kind: KindInboxDepositAck, From: 9, Dest: 3, Pub: 3, Seq: 57, Target: 12},
+				{Kind: KindTopicPubAck, From: 9, Dest: 3, Pub: 3, Seq: 58},
+			},
+		},
 	}
 }
 

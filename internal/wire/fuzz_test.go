@@ -85,6 +85,15 @@ func fuzzSeeds() []*Message {
 			Kind: KindTopicHandoff, From: 2, To: 3, Seq: 24,
 			RoutingTable: []int32{10, 11}, Topic: []byte("#go"),
 		},
+		{
+			Kind: KindAckBatch, From: 10, To: 9, Seq: 25,
+			Acks: []AckEntry{
+				{Kind: KindAck, From: 10, Dest: 9, Pub: 9, Seq: 11, TTL: 30},
+				{Kind: KindInboxDepositAck, From: 2, Dest: 9, Pub: 9, Seq: 12, Target: 10},
+				{Kind: KindTopicPubAck, From: 2, Dest: 9, Pub: 9, Seq: 23},
+			},
+		},
+		{Kind: KindAckBatch, From: 10, To: 9, Seq: 26}, // empty batch (flush race)
 		// Attacker-shaped frames (DESIGN.md §14): well-formed wire encoding
 		// carrying protocol-level lies. The transport must decode them
 		// untroubled — rejecting the *claims* is the node layer's job
@@ -161,7 +170,8 @@ func FuzzUnmarshal(f *testing.F) {
 		// guard — the length claims are validated against len(b) before
 		// any make).
 		claimed := 4*len(m.Neighborhood) + 4*len(m.RoutingTable) + 8*len(m.Bitmap) + len(m.Payload) +
-			4*len(m.Succs) + 8*len(m.SuccPos) + 4*len(m.Preds) + 8*len(m.PredPos) + len(m.Topic)
+			4*len(m.Succs) + 8*len(m.SuccPos) + 4*len(m.Preds) + 8*len(m.PredPos) + len(m.Topic) +
+			ackEntrySize*len(m.Acks)
 		if claimed > len(b) {
 			t.Fatalf("decoded %d bytes of slices from a %d-byte frame", claimed, len(b))
 		}

@@ -106,6 +106,12 @@ const (
 	// Algorithm-2 ID move or membership change shifted the set — to a
 	// current member of the set.
 	KindTopicHandoff
+	// KindAckBatch coalesces several acknowledgements bound for the same
+	// next hop into one frame (DESIGN.md §15). Each Acks entry carries a
+	// complete single-ack description (original kind, acker, destination,
+	// publication id) so the receiver can consume entries addressed to it
+	// and re-batch the rest hop by hop.
+	KindAckBatch
 )
 
 // String implements fmt.Stringer.
@@ -161,6 +167,8 @@ func (k Kind) String() string {
 		return "topic-pub-ack"
 	case KindTopicHandoff:
 		return "topic-handoff"
+	case KindAckBatch:
+		return "ack-batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -223,7 +231,34 @@ type Message struct {
 	// Appended after Priority so, like Target/Priority before it, the
 	// PatchTo/PatchSeq header offsets stay valid.
 	Topic []byte
+
+	// Acks carries the coalesced acknowledgements of a KindAckBatch
+	// frame. Encoded as a count plus fixed-width records at the very end
+	// of the frame, after Topic, keeping the PatchTo/PatchSeq offsets
+	// valid; non-batch kinds leave it empty for +4 bytes of overhead.
+	Acks []AckEntry
 }
+
+// AckEntry is one acknowledgement inside a KindAckBatch frame. It is a
+// self-contained rendering of the single-ack frame it replaces: Kind is
+// the original ack kind (KindAck, KindInboxDepositAck or
+// KindTopicPubAck), From the acking peer, Dest the peer the ack must
+// reach, Pub/Seq the publication id, Target the offline subscriber a
+// deposit ack concerns, and TTL the remaining relay budget for routed
+// (KindAck) entries.
+type AckEntry struct {
+	Kind   Kind
+	From   int32
+	Dest   int32
+	Pub    int32
+	Seq    uint32
+	Target int32
+	TTL    uint8
+}
+
+// ackEntrySize is the fixed wire width of one AckEntry record: kind (1),
+// from (4), dest (4), pub (4), seq (4), target (4), ttl (1).
+const ackEntrySize = 1 + 4 + 4 + 4 + 4 + 4 + 1
 
 const maxSliceLen = 1 << 20 // defensive decode bound
 
@@ -259,6 +294,9 @@ func (m *Message) Clone() *Message {
 	if m.Topic != nil {
 		c.Topic = append([]byte(nil), m.Topic...)
 	}
+	if m.Acks != nil {
+		c.Acks = append([]AckEntry(nil), m.Acks...)
+	}
 	return &c
 }
 
@@ -286,7 +324,8 @@ func frameSize(m *Message) int {
 		4 + 4*len(m.Succs) + 4 + 8*len(m.SuccPos) +
 		4 + 4*len(m.Preds) + 4 + 8*len(m.PredPos) +
 		4 + 1 + // target, priority
-		4 + len(m.Topic) // topic
+		4 + len(m.Topic) + // topic
+		4 + ackEntrySize*len(m.Acks) // ack batch
 }
 
 // Marshal encodes m into a self-delimited frame (4-byte length prefix).
@@ -372,6 +411,19 @@ func MarshalAppend(dst []byte, m *Message) []byte {
 	off++
 	putU32(uint32(len(m.Topic)))
 	off += copy(b[off:], m.Topic)
+	putU32(uint32(len(m.Acks)))
+	for i := range m.Acks {
+		e := &m.Acks[i]
+		b[off] = byte(e.Kind)
+		off++
+		put32(e.From)
+		put32(e.Dest)
+		put32(e.Pub)
+		putU32(e.Seq)
+		put32(e.Target)
+		b[off] = e.TTL
+		off++
+	}
 	return dst[:start+4+off]
 }
 
@@ -438,6 +490,13 @@ func growU64(s []uint64, n int) []uint64 {
 		return s[:n]
 	}
 	return make([]uint64, n)
+}
+
+func growAcks(s []AckEntry, n int) []AckEntry {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	return make([]AckEntry, n)
 }
 
 // UnmarshalInto decodes one frame into m, overwriting every field and
@@ -600,6 +659,34 @@ func UnmarshalInto(m *Message, b []byte) error {
 	}
 	m.Topic = append(m.Topic[:0], b[off:off+int(tl)]...)
 	off += int(tl)
+	al, err := getU32()
+	if err != nil {
+		return err
+	}
+	if al > maxSliceLen {
+		return fmt.Errorf("wire: ack batch length %d too large", al)
+	}
+	if err := need(ackEntrySize * int(al)); err != nil {
+		return err
+	}
+	m.Acks = growAcks(m.Acks, int(al))
+	for i := range m.Acks {
+		e := &m.Acks[i]
+		e.Kind = Kind(b[off])
+		off++
+		e.From = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		e.Dest = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		e.Pub = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		e.Seq = binary.LittleEndian.Uint32(b[off:])
+		off += 4
+		e.Target = int32(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		e.TTL = b[off]
+		off++
+	}
 	if off != len(b) {
 		return fmt.Errorf("wire: %d trailing bytes", len(b)-off)
 	}
